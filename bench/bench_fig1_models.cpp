@@ -1,0 +1,52 @@
+/// Fig. 1 of the paper: the conceptual workload decomposition of the four
+/// scaling models at n = 3 — Amdahl (fixed-size), Gustafson/Sun-Ni
+/// (fixed-time / memory-bounded), and IPSO (in-proportion + scale-out-
+/// induced). Prints Wp/Ws/Wo per model and the resulting speedups.
+
+#include "core/laws.h"
+#include "core/model.h"
+#include "trace/report.h"
+
+#include <iostream>
+
+using namespace ipso;
+
+int main() {
+  const double n = 3.0;
+  const double eta = 0.75;  // 3 units parallelizable, 1 serial at n = 1
+
+  trace::print_banner(std::cout,
+                      "Fig. 1: speedup models at n = 3 (eta = 0.75)");
+
+  struct Row {
+    const char* model;
+    ScalingFactors f;
+  };
+  const Row rows[] = {
+      {"Amdahl (fixed-size)",
+       {constant_factor(1.0), constant_factor(1.0), constant_factor(0.0)}},
+      {"Gustafson / Sun-Ni (fixed-time)",
+       {identity_factor(), constant_factor(1.0), constant_factor(0.0)}},
+      {"IPSO in-proportion (IN = n)",
+       {identity_factor(), identity_factor(), constant_factor(0.0)}},
+      {"IPSO + scale-out-induced (q = 0.2 n)",
+       {identity_factor(), identity_factor(), make_q(0.2, 1.0)}},
+  };
+
+  std::vector<std::vector<std::string>> table;
+  for (const auto& row : rows) {
+    const double wp = eta * row.f.ex(n);
+    const double ws = (1.0 - eta) * row.f.in(n);
+    const double wo = eta * row.f.ex(n) / n * row.f.q(n);
+    table.push_back({row.model, trace::fmt(wp, 2), trace::fmt(ws, 2),
+                     trace::fmt(wo, 2),
+                     trace::fmt(speedup_deterministic(row.f, eta, n), 3)});
+  }
+  trace::print_table(std::cout, {"model", "Wp(3)", "Ws(3)", "Wo(3)", "S(3)"},
+                     table);
+
+  std::cout << "\nReference laws at n = 3: Amdahl "
+            << laws::amdahl(eta, n) << ", Gustafson " << laws::gustafson(eta, n)
+            << ", Sun-Ni (g = n) " << laws::sun_ni(eta, n) << "\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// Fig. 2 of the paper: the four distinct IPSO scaling behaviours for the
+/// fixed-time workload type — It (Gustafson-like linear), IIt (sublinear
+/// unbounded), IIIt,1/IIIt,2 (pathological bounded), IVt (pathological
+/// peaked). Prints one representative curve per type plus the classifier's
+/// verdict and asymptotic bound for each.
+
+#include "core/classify.h"
+#include "core/model.h"
+#include "trace/report.h"
+
+#include <cmath>
+#include <iostream>
+
+using namespace ipso;
+
+namespace {
+
+AsymptoticParams ft(double eta, double alpha, double delta, double beta,
+                    double gamma) {
+  AsymptoticParams p;
+  p.type = WorkloadType::kFixedTime;
+  p.eta = eta;
+  p.alpha = alpha;
+  p.delta = delta;
+  p.beta = beta;
+  p.gamma = gamma;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  trace::print_banner(
+      std::cout, "Fig. 2: IPSO scaling behaviours, fixed-time (EX(n) = n)");
+
+  struct Case {
+    const char* label;
+    AsymptoticParams p;
+  };
+  const Case cases[] = {
+      {"It   (gamma=0, delta=1)", ft(0.9, 1.0, 1.0, 0.0, 0.0)},
+      {"IIt  (gamma=0.5)", ft(0.9, 1.0, 1.0, 0.1, 0.5)},
+      {"IIIt,1 (delta=0, gamma<1)", ft(0.9, 4.3, 0.0, 0.0, 0.0)},
+      {"IIIt,2 (gamma=1)", ft(0.9, 1.0, 1.0, 0.05, 1.0)},
+      {"IVt  (gamma=2)", ft(0.9, 1.0, 1.0, 0.001, 2.0)},
+  };
+
+  std::vector<stats::Series> curves;
+  for (const auto& c : cases) {
+    stats::Series s(c.label);
+    for (double n = 1; n <= 200; n += (n < 16 ? 1 : 8)) {
+      s.add(n, speedup_asymptotic(c.p, n));
+    }
+    curves.push_back(std::move(s));
+  }
+  trace::print_series_table(std::cout, "n", curves, 2);
+
+  trace::print_banner(std::cout, "Classifier verdicts (Section IV taxonomy)");
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& c : cases) {
+    const Classification cls = classify(c.p);
+    rows.push_back(
+        {c.label, std::string(to_string(cls.type)),
+         std::isinf(cls.bound) ? "unbounded" : trace::fmt(cls.bound, 2),
+         cls.peak_n > 0 ? trace::fmt(cls.peak_n, 1) : "-"});
+  }
+  trace::print_table(std::cout, {"case", "type", "bound", "peak n"}, rows);
+  return 0;
+}

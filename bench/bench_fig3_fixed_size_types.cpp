@@ -1,0 +1,75 @@
+/// Fig. 3 of the paper: the four distinct IPSO scaling behaviours for the
+/// fixed-size workload type — Is (linear), IIs (sublinear unbounded),
+/// IIIs,1/IIIs,2 (Amdahl-like bounded), IVs (pathological peaked).
+
+#include "core/classify.h"
+#include "core/laws.h"
+#include "core/model.h"
+#include "trace/report.h"
+
+#include <cmath>
+#include <iostream>
+
+using namespace ipso;
+
+namespace {
+
+AsymptoticParams fs(double eta, double alpha, double beta, double gamma) {
+  AsymptoticParams p;
+  p.type = WorkloadType::kFixedSize;
+  p.eta = eta;
+  p.alpha = alpha;
+  p.delta = 0.0;
+  p.beta = beta;
+  p.gamma = gamma;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  trace::print_banner(
+      std::cout, "Fig. 3: IPSO scaling behaviours, fixed-size (EX(n) = 1)");
+
+  struct Case {
+    const char* label;
+    AsymptoticParams p;
+  };
+  const Case cases[] = {
+      {"Is   (eta=1, gamma=0)", fs(1.0, 1.0, 0.0, 0.0)},
+      {"IIs  (eta=1, gamma=0.5)", fs(1.0, 1.0, 0.2, 0.5)},
+      {"IIIs,1 (Amdahl: eta=0.9)", fs(0.9, 1.0, 0.0, 0.0)},
+      {"IIIs,2 (gamma=1)", fs(0.9, 1.0, 0.5, 1.0)},
+      {"IVs  (gamma=2, CF-like)", fs(1.0, 1.0, 3.74e-4, 2.0)},
+  };
+
+  std::vector<stats::Series> curves;
+  for (const auto& c : cases) {
+    stats::Series s(c.label);
+    for (double n = 1; n <= 200; n += (n < 16 ? 1 : 8)) {
+      s.add(n, speedup_asymptotic(c.p, n));
+    }
+    curves.push_back(std::move(s));
+  }
+  // Amdahl reference curve for the IIIs,1 comparison.
+  stats::Series amdahl("Amdahl eta=0.9");
+  for (double n = 1; n <= 200; n += (n < 16 ? 1 : 8)) {
+    amdahl.add(n, laws::amdahl(0.9, n));
+  }
+  curves.push_back(std::move(amdahl));
+  trace::print_series_table(std::cout, "n", curves, 2);
+
+  trace::print_banner(std::cout, "Classifier verdicts (Section IV taxonomy)");
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& c : cases) {
+    const Classification cls = classify(c.p);
+    rows.push_back(
+        {c.label, std::string(to_string(cls.type)),
+         std::isinf(cls.bound) ? "unbounded" : trace::fmt(cls.bound, 2),
+         shape_of(cls.type) == GrowthShape::kPeaked
+             ? trace::fmt(cls.peak_n, 1)
+             : "-"});
+  }
+  trace::print_table(std::cout, {"case", "type", "bound", "peak n"}, rows);
+  return 0;
+}

@@ -1,0 +1,40 @@
+/// Fig. 4 of the paper: measured speedups of the four HiBench/Hadoop micro
+/// benchmarks (QMC, WordCount, Sort, TeraSort) on the simulated EMR cluster
+/// for the fixed-time workload, side by side with Gustafson's prediction.
+/// Expected shapes: QMC ~ Gustafson (It); WordCount near-linear (It/IIt);
+/// Sort bounded by ~5 and TeraSort bounded by ~3 (IIIt,1).
+
+#include "trace/experiment.h"
+#include "trace/report.h"
+#include "workloads/qmc_pi.h"
+#include "workloads/sort.h"
+#include "workloads/terasort.h"
+#include "workloads/wordcount.h"
+
+#include <iostream>
+
+using namespace ipso;
+
+int main() {
+  trace::MrSweepConfig sweep;
+  sweep.type = WorkloadType::kFixedTime;
+  sweep.ns = {1, 2, 4, 8, 16, 32, 64, 96, 128, 160, 200};
+  sweep.repetitions = 3;
+  const auto base = sim::default_emr_cluster(1);
+
+  for (const auto& spec : {wl::qmc_pi_spec(), wl::wordcount_spec(),
+                           wl::sort_spec(), wl::terasort_spec()}) {
+    const auto r = trace::run_mr_sweep(spec, base, sweep);
+    trace::print_banner(std::cout, "Fig. 4: " + spec.name +
+                                       " (fixed-time, eta = " +
+                                       trace::fmt(r.factors.eta, 3) + ")");
+    auto gustafson = trace::law_baseline(r, WorkloadType::kFixedTime);
+    gustafson.set_name("Gustafson");
+    auto measured = r.speedup;
+    measured.set_name("Measured S(n)");
+    trace::print_series_table(std::cout, "n", {measured, gustafson}, 2);
+    std::cout << "max measured speedup: " << trace::fmt(r.speedup.max_y(), 2)
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+/// Fig. 6 of the paper: measured external and internal scaling factors for
+/// the four MapReduce cases. EX(n) ~ n for all four (memory-bounded ==
+/// fixed-time for data-intensive working sets); IN(n) is linear-in-n for
+/// Sort (paper fit 0.36 n - 0.11) and TeraSort (0.23 n + 2.72 for n > 16)
+/// and ~1 for WordCount and QMC.
+
+#include "core/fit.h"
+#include "trace/experiment.h"
+#include "trace/reference_data.h"
+#include "trace/report.h"
+#include "workloads/qmc_pi.h"
+#include "workloads/sort.h"
+#include "workloads/terasort.h"
+#include "workloads/wordcount.h"
+
+#include <iostream>
+
+using namespace ipso;
+
+int main() {
+  trace::MrSweepConfig sweep;
+  sweep.type = WorkloadType::kFixedTime;
+  sweep.ns = {1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128, 160};
+  sweep.repetitions = 1;
+  const auto base = sim::default_emr_cluster(1);
+
+  std::vector<stats::Series> ex_curves, in_curves;
+  std::vector<std::vector<std::string>> fits;
+  for (const auto& spec : {wl::sort_spec(), wl::terasort_spec(),
+                           wl::wordcount_spec(), wl::qmc_pi_spec()}) {
+    const auto r = trace::run_mr_sweep(spec, base, sweep);
+    auto ex = r.factors.ex;
+    ex.set_name(spec.name + " EX");
+    ex_curves.push_back(std::move(ex));
+    auto in = r.factors.in;
+    in.set_name(spec.name + " IN");
+
+    // Linear fit of IN(n); for TeraSort use n > 16 as the paper does.
+    stats::Series fit_range =
+        spec.name == "TeraSort" ? in.slice_x(17, 1e9) : in;
+    const auto lf = stats::fit_linear(fit_range);
+    fits.push_back({spec.name, trace::fmt(lf.slope, 3),
+                    trace::fmt(lf.intercept, 2),
+                    trace::fmt(lf.r_squared, 4)});
+    in_curves.push_back(std::move(in));
+  }
+
+  trace::print_banner(std::cout, "Fig. 6 (left): EX(n) for the four cases");
+  trace::print_series_table(std::cout, "n", ex_curves, 2);
+
+  trace::print_banner(std::cout, "Fig. 6 (right): IN(n) for the four cases");
+  trace::print_series_table(std::cout, "n", in_curves, 3);
+
+  trace::print_banner(std::cout, "IN(n) linear fits (TeraSort fit on n>16)");
+  trace::print_table(std::cout, {"case", "slope", "intercept", "R^2"}, fits);
+  std::cout << "paper: Sort 0.36 n - 0.11; TeraSort 0.23 n + 2.72 (n>16); "
+               "WordCount, QMC ~ 1\n";
+  return 0;
+}

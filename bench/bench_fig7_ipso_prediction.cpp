@@ -1,0 +1,65 @@
+/// Fig. 7 of the paper: IPSO speedups predicted from scaling factors fitted
+/// at small problem sizes (n <= 16; TeraSort on 16..64), compared against
+/// the measured speedups and Gustafson's law out to n = 200. IPSO should
+/// track the measurement for all four cases; Gustafson should wildly
+/// overpredict Sort and TeraSort.
+
+#include "core/predict.h"
+#include "trace/experiment.h"
+#include "trace/report.h"
+#include "workloads/qmc_pi.h"
+#include "workloads/sort.h"
+#include "workloads/terasort.h"
+#include "workloads/wordcount.h"
+
+#include <iostream>
+
+using namespace ipso;
+
+int main() {
+  const auto base = sim::default_emr_cluster(1);
+  const std::vector<double> eval_ns{1,  2,  4,  8,  16, 32,
+                                    64, 96, 128, 160, 200};
+
+  for (const auto& spec : {wl::qmc_pi_spec(), wl::wordcount_spec(),
+                           wl::sort_spec(), wl::terasort_spec()}) {
+    // Fit window per the paper.
+    trace::MrSweepConfig fit_sweep;
+    fit_sweep.type = WorkloadType::kFixedTime;
+    fit_sweep.repetitions = 1;
+    fit_sweep.ns = spec.name == "TeraSort"
+                       ? std::vector<double>{16, 24, 32, 40, 48, 56, 64}
+                       : std::vector<double>{1, 2, 4, 6, 8, 10, 12, 14, 16};
+    const auto small = trace::run_mr_sweep(spec, base, fit_sweep);
+    const auto fits = fit_factors(WorkloadType::kFixedTime, small.factors);
+    const auto predictor = SpeedupPredictor::from_fits(fits);
+
+    // Measured curve over the full range.
+    trace::MrSweepConfig eval_sweep;
+    eval_sweep.type = WorkloadType::kFixedTime;
+    eval_sweep.repetitions = 3;
+    eval_sweep.ns = eval_ns;
+    const auto measured = trace::run_mr_sweep(spec, base, eval_sweep);
+
+    trace::print_banner(std::cout,
+                        "Fig. 7: " + spec.name + " — IPSO vs measured vs "
+                        "Gustafson (fit window " +
+                        (spec.name == "TeraSort" ? "n=16..64" : "n<=16") +
+                        ")");
+    auto m = measured.speedup;
+    m.set_name("Measured");
+    auto ipso_curve = predictor.curve(eval_ns, "IPSO");
+    auto gustafson = trace::law_baseline(measured, WorkloadType::kFixedTime);
+    trace::print_series_table(std::cout, "n", {m, ipso_curve, gustafson}, 2);
+
+    std::cout << "fitted factors: eta=" << trace::fmt(fits.params.eta, 3)
+              << " alpha=" << trace::fmt(fits.params.alpha, 3)
+              << " delta=" << trace::fmt(fits.params.delta, 3)
+              << " beta=" << trace::fmt(fits.params.beta, 5)
+              << " gamma=" << trace::fmt(fits.params.gamma, 3)
+              << (fits.in_has_changepoint ? "  [IN changepoint detected]"
+                                          : "")
+              << "\n";
+  }
+  return 0;
+}

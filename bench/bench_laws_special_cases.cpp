@@ -1,0 +1,56 @@
+/// Eqs. 12-13 of the paper: the classical laws are special cases of IPSO.
+/// Verifies numerically over a wide (eta, n) grid that Eq. 10 with
+/// IN(n) = 1, q(n) = 0 and EX(n) in {1, n, g(n)} reproduces Amdahl,
+/// Gustafson and Sun-Ni exactly, and that g(n) ~ n makes Sun-Ni coincide
+/// with Gustafson for data-intensive (memory-bounded) workloads.
+
+#include "core/laws.h"
+#include "core/model.h"
+#include "trace/report.h"
+
+#include <cmath>
+#include <iostream>
+
+using namespace ipso;
+
+int main() {
+  trace::print_banner(std::cout,
+                      "Eq. 12-13: classical laws as IPSO special cases");
+  double worst_amdahl = 0.0, worst_gustafson = 0.0, worst_sunni = 0.0,
+         worst_coincide = 0.0;
+  const ScalingFactors amdahl_f{constant_factor(1.0), constant_factor(1.0),
+                                constant_factor(0.0)};
+  const ScalingFactors gustafson_f{identity_factor(), constant_factor(1.0),
+                                   constant_factor(0.0)};
+  const auto g = power_factor(1.0, 0.97);  // near-linear memory bound
+  const ScalingFactors sunni_f{g, constant_factor(1.0), constant_factor(0.0)};
+
+  int grid_points = 0;
+  for (double eta = 0.05; eta <= 1.0; eta += 0.05) {
+    for (double n = 1; n <= 4096; n *= 2) {
+      ++grid_points;
+      worst_amdahl =
+          std::max(worst_amdahl,
+                   std::abs(speedup_deterministic(amdahl_f, eta, n) -
+                            laws::amdahl(eta, n)));
+      worst_gustafson =
+          std::max(worst_gustafson,
+                   std::abs(speedup_deterministic(gustafson_f, eta, n) -
+                            laws::gustafson(eta, n)));
+      worst_sunni = std::max(worst_sunni,
+                             std::abs(speedup_deterministic(sunni_f, eta, n) -
+                                      laws::sun_ni(eta, n, g)));
+      worst_coincide =
+          std::max(worst_coincide,
+                   std::abs(laws::sun_ni(eta, n) - laws::gustafson(eta, n)));
+    }
+  }
+  trace::print_table(
+      std::cout, {"degeneration", "max |error| over grid"},
+      {{"IPSO(EX=1,IN=1,q=0)  = Amdahl", trace::fmt(worst_amdahl, 15)},
+       {"IPSO(EX=n,IN=1,q=0)  = Gustafson", trace::fmt(worst_gustafson, 15)},
+       {"IPSO(EX=g,IN=1,q=0)  = Sun-Ni", trace::fmt(worst_sunni, 15)},
+       {"Sun-Ni(g=n)          = Gustafson", trace::fmt(worst_coincide, 15)}});
+  std::cout << "grid: " << grid_points << " (eta, n) points\n";
+  return worst_amdahl + worst_gustafson + worst_sunni > 1e-9 ? 1 : 0;
+}

@@ -1,0 +1,91 @@
+/// The complete IPSO solution space as a map: classify every point of a
+/// (delta, gamma) grid for the fixed-time workload and a (eta, gamma) grid
+/// for the fixed-size workload (paper Section IV spans the space in
+/// EX/IN/q; the named regions of Figs. 2-3 appear as contiguous areas).
+
+#include "core/classify.h"
+#include "trace/report.h"
+
+#include <iostream>
+
+using namespace ipso;
+
+namespace {
+
+char code(ScalingType t) {
+  switch (t) {
+    case ScalingType::kIt:
+    case ScalingType::kIs:
+      return '1';  // linear
+    case ScalingType::kIIt:
+    case ScalingType::kIIs:
+      return '2';  // sublinear unbounded
+    case ScalingType::kIIIt1:
+    case ScalingType::kIIIs1:
+      return '3';
+    case ScalingType::kIIIt2:
+    case ScalingType::kIIIs2:
+      return '4';
+    case ScalingType::kIVt:
+    case ScalingType::kIVs:
+      return 'X';  // pathological peaked
+  }
+  return '?';
+}
+
+}  // namespace
+
+int main() {
+  trace::print_banner(std::cout,
+                      "Fixed-time solution space: type over (delta, gamma), "
+                      "eta = 0.9, alpha = 1, beta = 0.01");
+  std::cout << "legend: 1 = It linear, 2 = IIt sublinear, 3 = IIIt,1, "
+               "4 = IIIt,2, X = IVt peaked\n\n";
+  std::cout << "gamma\\delta ";
+  for (double delta = 0.0; delta <= 1.001; delta += 0.125) {
+    std::cout << trace::fmt(delta, 2) << "  ";
+  }
+  std::cout << "\n";
+  for (double gamma = 2.0; gamma >= -0.001; gamma -= 0.25) {
+    std::cout << "   " << trace::fmt(gamma, 2) << "     ";
+    for (double delta = 0.0; delta <= 1.001; delta += 0.125) {
+      AsymptoticParams p;
+      p.type = WorkloadType::kFixedTime;
+      p.eta = 0.9;
+      p.alpha = 1.0;
+      p.delta = delta;
+      p.beta = gamma > 0.0 ? 0.01 : 0.0;
+      p.gamma = gamma;
+      std::cout << code(classify(p).type) << "     ";
+    }
+    std::cout << "\n";
+  }
+
+  trace::print_banner(std::cout,
+                      "Fixed-size solution space: type over (eta, gamma), "
+                      "alpha = 1, beta = 0.01");
+  std::cout << "legend: 1 = Is linear, 2 = IIs sublinear, 3 = IIIs,1 "
+               "(Amdahl-like), 4 = IIIs,2, X = IVs peaked\n\n";
+  std::cout << "gamma\\eta  ";
+  for (double eta = 0.25; eta <= 1.001; eta += 0.125) {
+    std::cout << trace::fmt(eta, 2) << "  ";
+  }
+  std::cout << "\n";
+  for (double gamma = 2.0; gamma >= -0.001; gamma -= 0.25) {
+    std::cout << "   " << trace::fmt(gamma, 2) << "   ";
+    for (double eta = 0.25; eta <= 1.001; eta += 0.125) {
+      AsymptoticParams p;
+      p.type = WorkloadType::kFixedSize;
+      p.eta = eta;
+      p.alpha = 1.0;
+      p.delta = 0.0;
+      p.beta = gamma > 0.0 ? 0.01 : 0.0;
+      p.gamma = gamma;
+      std::cout << code(classify(p).type) << "     ";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\npathology (X) occupies exactly gamma > 1, independent of "
+               "every other factor — the paper's headline warning\n";
+  return 0;
+}

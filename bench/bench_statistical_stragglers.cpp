@@ -1,0 +1,64 @@
+/// The statistical IPSO model (Eq. 8) under task-time dispersion — the
+/// paper's Section IV argument made quantitative:
+///  * with FINITE task-time tails (uniform, capped Pareto), E[max Tp,i(n)]
+///    is bounded, so the statistical curve keeps the deterministic curve's
+///    qualitative type (here: Gustafson-like It stays linear);
+///  * with an INFINITE tail (exponential), E[max] ~ ln n and even a
+///    perfectly parallel fixed-time workload degrades to S ~ n/ln n —
+///    what the paper's finite-tail caveat rules out.
+
+#include "core/statistical.h"
+#include "trace/report.h"
+
+#include <iostream>
+#include <vector>
+
+using namespace ipso;
+
+int main() {
+  const ScalingFactors gustafson{identity_factor(), constant_factor(1.0),
+                                 constant_factor(0.0)};
+  const double eta = 1.0;
+  std::vector<double> ns;
+  for (double n = 1; n <= 4096; n *= 2) ns.push_back(n);
+
+  DeterministicTime det;
+  UniformTime uniform(0.5);
+  CappedParetoTime pareto(2.5, 4.0);
+  ExponentialTime exponential;
+
+  std::vector<stats::Series> curves{
+      speedup_statistical_curve(gustafson, eta, det, ns, "deterministic"),
+      speedup_statistical_curve(gustafson, eta, uniform, ns,
+                                "uniform +-50%"),
+      speedup_statistical_curve(gustafson, eta, pareto, ns,
+                                "capped Pareto (4x)"),
+      speedup_statistical_curve(gustafson, eta, exponential, ns,
+                                "exponential (unbounded tail)"),
+  };
+  trace::print_banner(std::cout,
+                      "Eq. 8: statistical speedup of a perfectly parallel "
+                      "fixed-time workload under task-time dispersion");
+  trace::print_series_table(std::cout, "n", curves, 1);
+
+  trace::print_banner(std::cout, "Parallel efficiency S(n)/n at large n");
+  std::vector<std::vector<std::string>> rows;
+  const TaskTimeDistribution* dists[] = {&det, &uniform, &pareto,
+                                         &exponential};
+  for (const auto* d : dists) {
+    const double e256 =
+        speedup_statistical(gustafson, eta, *d, 256.0) / 256.0;
+    const double e4096 =
+        speedup_statistical(gustafson, eta, *d, 4096.0) / 4096.0;
+    rows.push_back({d->name(), trace::fmt(e256, 3), trace::fmt(e4096, 3),
+                    d->has_bounded_max() ? "finite -> stays linear"
+                                         : "infinite -> sublinear"});
+  }
+  trace::print_table(std::cout,
+                     {"task-time tail", "eff @256", "eff @4096", "verdict"},
+                     rows);
+  std::cout << "finite-tail efficiencies stabilize (the deterministic model "
+               "is qualitatively exact, paper Section IV); the exponential "
+               "tail keeps decaying like 1/ln n\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+/// ipso_diagnose_cli — diagnose a measured speedup curve from a CSV file,
+/// the way a practitioner would use IPSO on their own cluster data.
+///
+/// Usage:
+///   ipso_diagnose_cli fixed-time measurements.csv
+///   cat measurements.csv | ipso_diagnose_cli fixed-size -
+///
+/// The CSV has two columns "n,speedup" (header optional, '#' comments
+/// allowed). Optionally a second file with columns "n,EX,IN,q" enables the
+/// exact step-6 classification:
+///   ipso_diagnose_cli fixed-time speedup.csv factors.csv 0.59
+/// where the trailing number is eta (the parallelizable fraction at n = 1).
+///
+/// With no arguments, runs on a built-in demo dataset.
+
+#include "core/diagnose.h"
+#include "core/model.h"
+#include "trace/csv.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace ipso;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: ipso_diagnose_cli <fixed-time|fixed-size> "
+               "<speedup.csv|-> [factors.csv eta]\n";
+  return 2;
+}
+
+stats::Series demo_curve() {
+  // A Sort-like bounded curve, so the no-argument run shows something real.
+  stats::Series s("demo S(n)");
+  const ScalingFactors f{identity_factor(), linear_factor(0.36, 0.64),
+                         constant_factor(0.0)};
+  for (double n = 1; n <= 256; n *= 2) {
+    s.add(n, speedup_deterministic(f, 0.59, n));
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  WorkloadType type = WorkloadType::kFixedTime;
+  stats::Series speedup;
+  std::optional<FactorMeasurements> factors;
+
+  if (argc == 1) {
+    std::cout << "(no input given: running on a built-in Sort-like demo "
+                 "curve)\n";
+    speedup = demo_curve();
+  } else if (argc >= 3) {
+    const std::string type_arg = argv[1];
+    if (type_arg == "fixed-time") {
+      type = WorkloadType::kFixedTime;
+    } else if (type_arg == "fixed-size") {
+      type = WorkloadType::kFixedSize;
+    } else {
+      return usage();
+    }
+    const std::string path = argv[2];
+    try {
+      if (path == "-") {
+        speedup = trace::read_series_csv(std::cin, "S(n)");
+      } else {
+        std::ifstream in(path);
+        if (!in) {
+          std::cerr << "cannot open " << path << "\n";
+          return 1;
+        }
+        speedup = trace::read_series_csv(in, "S(n)");
+      }
+      if (argc >= 5) {
+        std::ifstream fin(argv[3]);
+        if (!fin) {
+          std::cerr << "cannot open " << argv[3] << "\n";
+          return 1;
+        }
+        const auto cols = trace::read_table_csv(fin);
+        if (cols.size() < 3) {
+          std::cerr << "factors csv needs columns n,EX,IN,q\n";
+          return 1;
+        }
+        FactorMeasurements m;
+        m.eta = std::stod(argv[4]);
+        m.ex = cols[0];
+        m.in = cols[1];
+        m.q = cols[2];
+        factors = std::move(m);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  } else {
+    return usage();
+  }
+
+  if (speedup.size() < 3) {
+    std::cerr << "need at least 3 measured points\n";
+    return 1;
+  }
+  const DiagnosticReport report = diagnose(type, speedup, factors);
+  std::cout << report.summary;
+  return 0;
+}

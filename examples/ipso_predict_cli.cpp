@@ -1,0 +1,125 @@
+/// ipso_predict_cli — predict large-scale speedups and plan cluster sizes
+/// from small-scale factor measurements, the paper's "measurement-based
+/// resource provisioning" workflow.
+///
+/// Usage:
+///   ipso_predict_cli <fixed-time|fixed-size> <factors.csv> <eta> [n...]
+///
+/// factors.csv columns: n,EX,IN,q (header optional). The trailing n values
+/// (default: 32 64 128 256 512) are the scales to predict. Prints the
+/// fitted parameters, the classification with its bound/peak, predicted
+/// speedups, and the provisioning plan (knee / best-value / peak n).
+///
+/// With no arguments, runs on a built-in TeraSort-like demo dataset.
+
+#include "core/classify.h"
+#include "core/predict.h"
+#include "trace/csv.h"
+#include "trace/report.h"
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+
+using namespace ipso;
+
+namespace {
+
+FactorMeasurements demo_factors() {
+  FactorMeasurements m;
+  m.eta = 1.0 / 3.0;
+  for (double n = 1; n <= 24; ++n) {
+    m.ex.add(n, n);
+    m.in.add(n, n <= 15 ? 0.15 * n + 0.85 : 0.25 * n + 0.85);
+  }
+  return m;
+}
+
+int usage() {
+  std::cerr << "usage: ipso_predict_cli <fixed-time|fixed-size> "
+               "<factors.csv> <eta> [n...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  WorkloadType type = WorkloadType::kFixedTime;
+  FactorMeasurements measurements;
+  std::vector<double> targets{32, 64, 128, 256, 512};
+
+  if (argc == 1) {
+    std::cout << "(no input given: using a built-in TeraSort-like demo "
+                 "dataset, eta = 1/3)\n";
+    measurements = demo_factors();
+  } else if (argc >= 4) {
+    const std::string type_arg = argv[1];
+    if (type_arg == "fixed-time") {
+      type = WorkloadType::kFixedTime;
+    } else if (type_arg == "fixed-size") {
+      type = WorkloadType::kFixedSize;
+    } else {
+      return usage();
+    }
+    std::ifstream in(argv[2]);
+    if (!in) {
+      std::cerr << "cannot open " << argv[2] << "\n";
+      return 1;
+    }
+    try {
+      const auto cols = trace::read_table_csv(in);
+      if (cols.size() < 3) {
+        std::cerr << "factors csv needs columns n,EX,IN,q\n";
+        return 1;
+      }
+      measurements.ex = cols[0];
+      measurements.in = cols[1];
+      measurements.q = cols[2];
+      measurements.eta = std::stod(argv[3]);
+      if (argc > 4) {
+        targets.clear();
+        for (int i = 4; i < argc; ++i) targets.push_back(std::stod(argv[i]));
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  } else {
+    return usage();
+  }
+
+  const FactorFits fits = fit_factors(type, measurements);
+  const Classification verdict = classify(fits.params);
+  std::cout << "fitted: eta=" << trace::fmt(fits.params.eta, 3)
+            << " alpha=" << trace::fmt(fits.params.alpha, 3)
+            << " delta=" << trace::fmt(fits.params.delta, 3)
+            << " beta=" << trace::fmt(fits.params.beta, 5)
+            << " gamma=" << trace::fmt(fits.params.gamma, 3)
+            << (fits.in_has_changepoint ? "  [IN(n) changepoint]" : "")
+            << "\n";
+  std::cout << "type " << to_string(verdict.type);
+  if (std::isfinite(verdict.bound)) {
+    std::cout << ", speedup bound ~" << trace::fmt(verdict.bound, 2);
+  }
+  if (shape_of(verdict.type) == GrowthShape::kPeaked) {
+    std::cout << ", PEAK at n ~" << trace::fmt(verdict.peak_n, 0)
+              << " (never scale past it)";
+  }
+  std::cout << "\n\n";
+
+  const auto predictor = SpeedupPredictor::from_fits(fits);
+  std::vector<std::vector<std::string>> rows;
+  for (double n : targets) {
+    rows.push_back({trace::fmt(n, 0), trace::fmt(predictor(n), 2)});
+  }
+  trace::print_table(std::cout, {"n", "predicted S(n)"}, rows);
+
+  std::vector<double> sweep;
+  const double hi = *std::max_element(targets.begin(), targets.end());
+  for (double n = 1; n <= hi; ++n) sweep.push_back(n);
+  const auto plan = plan_provisioning(predictor, sweep, 0.9);
+  std::cout << "\nprovisioning: 90%-of-max knee at n = " << plan.knee_n
+            << ", best speedup-per-cost at n = " << plan.best_value_n
+            << ", max speedup at n = " << plan.best_speedup_n << "\n";
+  return 0;
+}

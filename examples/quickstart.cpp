@@ -1,0 +1,55 @@
+/// Quickstart: the IPSO model in ten minutes.
+///
+/// 1. Express a workload's scaling factors (EX, IN, q).
+/// 2. Evaluate the IPSO speedup and compare with Amdahl / Gustafson.
+/// 3. Classify the scaling behaviour and read off the bound.
+/// 4. Diagnose a measured speedup curve you got from anywhere.
+///
+/// Build & run:  ./build/examples/quickstart
+
+#include "core/classify.h"
+#include "core/diagnose.h"
+#include "core/laws.h"
+#include "core/model.h"
+
+#include <iostream>
+
+using namespace ipso;
+
+int main() {
+  // --- 1. A Sort-like workload: fixed-time external scaling (EX = n),
+  //        in-proportion serial scaling (IN = 0.36 n + 0.64), no
+  //        scale-out-induced overhead. 59% of the n=1 work parallelizes.
+  const double eta = 0.59;
+  const ScalingFactors sortish{identity_factor(),
+                               linear_factor(0.36, 0.64),
+                               constant_factor(0.0)};
+
+  std::cout << "n     IPSO   Gustafson   Amdahl\n";
+  for (double n : {1.0, 8.0, 32.0, 128.0, 512.0}) {
+    std::cout << n << "\t" << speedup_deterministic(sortish, eta, n) << "\t"
+              << laws::gustafson(eta, n) << "\t" << laws::amdahl(eta, n)
+              << "\n";
+  }
+
+  // --- 2. Classify it: five numbers span the whole solution space.
+  AsymptoticParams params;
+  params.type = WorkloadType::kFixedTime;
+  params.eta = eta;
+  params.alpha = 1.0 / 0.36;  // epsilon(n) = EX/IN -> 2.78 as n -> inf
+  params.delta = 0.0;         // the ratio flattens: full in-proportion
+  const Classification verdict = classify(params);
+  std::cout << "\ntype " << to_string(verdict.type) << ", bound "
+            << verdict.bound << "\n"
+            << verdict.rationale << "\n";
+
+  // --- 3. Diagnose a measured curve (no model knowledge needed).
+  stats::Series measured("S(n)");
+  for (double n = 1; n <= 256; n *= 2) {
+    measured.add(n, speedup_deterministic(sortish, eta, n));
+  }
+  const DiagnosticReport report =
+      diagnose(WorkloadType::kFixedTime, measured);
+  std::cout << "\n" << report.summary;
+  return 0;
+}

@@ -1,0 +1,62 @@
+/// Spark event-log analysis — the paper's Spark methodology in miniature:
+/// run the simulated Collaborative Filtering job at several parallel
+/// degrees, dump a Spark-style JSON event log per run, parse stage
+/// timestamps back out of the logs (exactly how the paper extracted
+/// latencies), and watch the type-IVs pathology appear.
+///
+/// Build & run:  ./build/examples/spark_pathology
+
+#include "spark/engine.h"
+#include "spark/eventlog.h"
+#include "trace/report.h"
+#include "workloads/collab_filter.h"
+
+#include <iostream>
+
+using namespace ipso;
+
+int main() {
+  spark::SparkEngineParams params;
+  params.first_wave_overhead = 0.45;
+
+  // Sequential baseline (one executor, no broadcasts).
+  const auto app1 = wl::collab_filter_app(1);
+  spark::SparkEngine seq_engine(sim::default_emr_cluster(1), params);
+  spark::SparkJobConfig seq_job;
+  seq_job.total_tasks = 1;
+  seq_job.executors = 1;
+  const double t_seq =
+      seq_engine.run_sequential(app1, seq_job).makespan;
+
+  trace::print_banner(std::cout,
+                      "Collaborative Filtering from Spark event logs");
+  std::vector<std::vector<std::string>> rows;
+  std::string sample_log;
+  for (std::size_t m : {10u, 30u, 60u, 90u, 120u}) {
+    auto cfg = sim::default_emr_cluster(m);
+    spark::SparkEngine engine(cfg, params);
+    spark::SparkJobConfig job;
+    job.total_tasks = m;  // one CF task per node, fixed total workload
+    job.executors = m;
+    const auto result = engine.run(wl::collab_filter_app(m), job);
+
+    // The analysis pipeline sees only the event log, like the paper's did.
+    const std::string log = spark::to_event_log(result);
+    if (m == 60) sample_log = log.substr(0, 400);
+    const auto events = spark::parse_event_log(log);
+    const auto latency = spark::job_latency(events);
+
+    rows.push_back({std::to_string(m), std::to_string(events.size()),
+                    trace::fmt(latency.value_or(0.0), 1),
+                    trace::fmt(t_seq / result.makespan, 2)});
+  }
+  trace::print_table(std::cout,
+                     {"m", "stages in log", "job latency (s)", "speedup"},
+                     rows);
+
+  std::cout << "\nspeedup peaks near m = 60 and then falls: the broadcast "
+               "serialization at the driver grows with m (type IVs).\n";
+  std::cout << "\nsample of the event log at m = 60:\n"
+            << sample_log << "...\n";
+  return 0;
+}

@@ -1,0 +1,267 @@
+#include "core/classify.h"
+
+#include "core/model.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace ipso {
+
+std::string_view to_string(ScalingType t) noexcept {
+  switch (t) {
+    case ScalingType::kIt:
+      return "It";
+    case ScalingType::kIIt:
+      return "IIt";
+    case ScalingType::kIIIt1:
+      return "IIIt,1";
+    case ScalingType::kIIIt2:
+      return "IIIt,2";
+    case ScalingType::kIVt:
+      return "IVt";
+    case ScalingType::kIs:
+      return "Is";
+    case ScalingType::kIIs:
+      return "IIs";
+    case ScalingType::kIIIs1:
+      return "IIIs,1";
+    case ScalingType::kIIIs2:
+      return "IIIs,2";
+    case ScalingType::kIVs:
+      return "IVs";
+  }
+  return "?";
+}
+
+GrowthShape shape_of(ScalingType t) noexcept {
+  switch (t) {
+    case ScalingType::kIt:
+    case ScalingType::kIs:
+      return GrowthShape::kLinear;
+    case ScalingType::kIIt:
+    case ScalingType::kIIs:
+      return GrowthShape::kSublinear;
+    case ScalingType::kIIIt1:
+    case ScalingType::kIIIt2:
+    case ScalingType::kIIIs1:
+    case ScalingType::kIIIs2:
+      return GrowthShape::kBounded;
+    case ScalingType::kIVt:
+    case ScalingType::kIVs:
+      return GrowthShape::kPeaked;
+  }
+  return GrowthShape::kLinear;
+}
+
+namespace {
+
+/// One power-law term coeff·n^exp of the asymptotic numerator/denominator.
+struct Term {
+  double coeff = 0.0;
+  double exp = 0.0;
+  bool is_scale_out = false;  ///< true for the η·α·β·n^(δ-1+γ) term
+};
+
+/// Dominant exponent of a term list and the summed coefficient of every term
+/// within `tol` of it. Also reports whether the scale-out term participates.
+struct Dominant {
+  double exp = -std::numeric_limits<double>::infinity();
+  double coeff = 0.0;
+  bool scale_out_dominant = false;
+};
+
+Dominant dominant(const std::vector<Term>& terms, double tol) {
+  Dominant d;
+  for (const auto& t : terms) {
+    if (t.coeff <= 0.0) continue;
+    if (t.exp > d.exp + tol) d.exp = t.exp;
+  }
+  for (const auto& t : terms) {
+    if (t.coeff <= 0.0) continue;
+    if (std::abs(t.exp - d.exp) <= tol) {
+      d.coeff += t.coeff;
+      if (t.is_scale_out) d.scale_out_dominant = true;
+    }
+  }
+  return d;
+}
+
+ScalingType name_type(WorkloadType wt, GrowthShape shape,
+                      bool scale_out_in_bound) {
+  // Memory-bounded behaves like fixed-time for data-intensive workloads
+  // (paper Section IV: g(n) ≈ n), so it shares the *t names.
+  const bool fixed_size = wt == WorkloadType::kFixedSize;
+  switch (shape) {
+    case GrowthShape::kLinear:
+      return fixed_size ? ScalingType::kIs : ScalingType::kIt;
+    case GrowthShape::kSublinear:
+      return fixed_size ? ScalingType::kIIs : ScalingType::kIIt;
+    case GrowthShape::kBounded:
+      if (fixed_size) {
+        return scale_out_in_bound ? ScalingType::kIIIs2 : ScalingType::kIIIs1;
+      }
+      return scale_out_in_bound ? ScalingType::kIIIt2 : ScalingType::kIIIt1;
+    case GrowthShape::kPeaked:
+      return fixed_size ? ScalingType::kIVs : ScalingType::kIVt;
+  }
+  return ScalingType::kIt;
+}
+
+std::string make_rationale(const AsymptoticParams& p,
+                           const Classification& c) {
+  std::ostringstream os;
+  os << "workload=" << to_string(p.type) << ", type " << to_string(c.type)
+     << ": ";
+  switch (c.shape) {
+    case GrowthShape::kLinear:
+      os << "speedup grows linearly (slope " << c.slope
+         << "); no scale-out-induced workload dominates and ";
+      os << (p.eta >= 1.0 ? "there is no serial portion (eta=1)."
+                          : "the serial portion does not scale relative to "
+                            "the parallel portion (delta~1).");
+      break;
+    case GrowthShape::kSublinear:
+      os << "speedup is unbounded but sublinear; the scale-out-induced "
+            "factor q(n)~beta*n^gamma grows with gamma="
+         << p.gamma << " < 1.";
+      break;
+    case GrowthShape::kBounded:
+      os << "speedup is upper-bounded by " << c.bound << "; ";
+      if (c.type == ScalingType::kIIIt1) {
+        os << "in-proportion scaling (delta~0: the serial merge grows as "
+              "fast as the parallel portion) caps the speedup at "
+              "(eta*alpha+1-eta)/(1-eta).";
+      } else if (c.type == ScalingType::kIIIt2 ||
+                 c.type == ScalingType::kIIIs2) {
+        os << "linearly growing scale-out-induced workload (gamma~1) "
+              "enters the bound.";
+      } else {
+        os << "Amdahl-like: the constant serial fraction caps the speedup "
+              "(Amdahl's law is the special case gamma=0, alpha=1).";
+      }
+      break;
+    case GrowthShape::kPeaked:
+      os << "PATHOLOGICAL: q(n) grows superlinearly (gamma=" << p.gamma
+         << " > 1), so speedup peaks at n~" << c.peak_n << " (S~"
+         << c.peak_speedup
+         << ") and then falls toward zero; scaling out further only hurts.";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Peak find_peak(const AsymptoticParams& p, double n_max) {
+  if (n_max < 1.0) throw std::invalid_argument("find_peak: n_max must be >= 1");
+  // Golden-section search on log(n); S is unimodal in the asymptotic model.
+  const double golden = 0.5 * (std::sqrt(5.0) - 1.0);
+  double lo = 0.0, hi = std::log(n_max);
+  auto eval = [&](double logn) {
+    return speedup_asymptotic(p, std::exp(logn));
+  };
+  double x1 = hi - golden * (hi - lo);
+  double x2 = lo + golden * (hi - lo);
+  double f1 = eval(x1), f2 = eval(x2);
+  for (int iter = 0; iter < 200 && (hi - lo) > 1e-10; ++iter) {
+    if (f1 < f2) {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + golden * (hi - lo);
+      f2 = eval(x2);
+    } else {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - golden * (hi - lo);
+      f1 = eval(x1);
+    }
+  }
+  Peak peak;
+  peak.n = std::exp(0.5 * (lo + hi));
+  peak.speedup = speedup_asymptotic(p, peak.n);
+  // Endpoints can beat the interior probe for monotone curves.
+  const double s1 = speedup_asymptotic(p, 1.0);
+  const double sN = speedup_asymptotic(p, n_max);
+  if (s1 > peak.speedup) peak = {1.0, s1};
+  if (sN > peak.speedup) peak = {n_max, sN};
+  return peak;
+}
+
+Peak analytic_peak_eta_one(double beta, double gamma) {
+  if (gamma <= 1.0 || beta <= 0.0) {
+    throw std::invalid_argument(
+        "analytic_peak_eta_one: need gamma > 1 and beta > 0");
+  }
+  // d/dn [n/(1+beta n^gamma)] = 0  <=>  beta·n^gamma·(gamma-1) = 1.
+  Peak pk;
+  pk.n = std::pow(1.0 / (beta * (gamma - 1.0)), 1.0 / gamma);
+  pk.speedup = pk.n * (gamma - 1.0) / gamma;
+  return pk;
+}
+
+Classification classify(const AsymptoticParams& p, double tol) {
+  if (p.eta < 0.0 || p.eta > 1.0) {
+    throw std::invalid_argument("classify: eta must be in [0,1]");
+  }
+  if (p.alpha < 0.0 || p.beta < 0.0 || p.gamma < 0.0) {
+    throw std::invalid_argument("classify: negative coefficient");
+  }
+
+  // Build the power-law terms of Eq. 16's numerator and denominator. At
+  // η = 1 the ε-ratio is undefined (paper remark below Eq. 16); α then
+  // cancels, so any positive value works — use 1.
+  const double alpha = p.eta >= 1.0 ? 1.0 : p.alpha;
+  const double delta = p.type == WorkloadType::kFixedSize ? 0.0 : p.delta;
+  const double ea = p.eta * alpha;
+
+  std::vector<Term> num;
+  std::vector<Term> den;
+  if (ea > 0.0) {
+    num.push_back({ea, delta, false});
+    den.push_back({ea, delta - 1.0, false});
+    if (p.has_scale_out()) {
+      den.push_back({ea * p.beta, delta - 1.0 + p.gamma, true});
+    }
+  }
+  if (p.eta < 1.0) {
+    num.push_back({1.0 - p.eta, 0.0, false});
+    den.push_back({1.0 - p.eta, 0.0, false});
+  }
+
+  const Dominant dn = dominant(num, tol);
+  const Dominant dd = dominant(den, tol);
+  const double growth = dn.exp - dd.exp;
+
+  Classification c;
+  if (growth >= 1.0 - tol) {
+    c.shape = GrowthShape::kLinear;
+    c.slope = dn.coeff / dd.coeff;
+    c.bound = std::numeric_limits<double>::infinity();
+  } else if (growth > tol) {
+    c.shape = GrowthShape::kSublinear;
+    c.bound = std::numeric_limits<double>::infinity();
+  } else if (growth >= -tol) {
+    c.shape = GrowthShape::kBounded;
+    c.bound = dn.coeff / dd.coeff;
+  } else {
+    c.shape = GrowthShape::kPeaked;
+    const Peak pk = find_peak(p);
+    c.peak_n = pk.n;
+    c.peak_speedup = pk.speedup;
+    c.bound = pk.speedup;  // finite maximum, then decay
+  }
+  c.type = name_type(p.type, c.shape, dd.scale_out_dominant);
+  c.rationale = make_rationale(p, c);
+  return c;
+}
+
+double asymptotic_bound(const AsymptoticParams& p, double tol) {
+  return classify(p, tol).bound;
+}
+
+}  // namespace ipso

@@ -1,0 +1,84 @@
+#pragma once
+
+#include "core/scaling_factors.h"
+
+#include <string>
+#include <string_view>
+
+/// \file classify.h
+/// IPSO's taxonomy of scaling behaviours (paper Section IV, Figs. 2-3) and a
+/// classifier from the asymptotic parameters (η, α, δ, β, γ). The classifier
+/// works by dominant-exponent analysis of the asymptotic speedup (Eq. 16):
+/// the growth order of S(n) for large n is the difference between the
+/// dominant numerator and denominator exponents; ties in the denominator
+/// decide the subtype (III,1 vs III,2).
+
+namespace ipso {
+
+/// The growth shape of S(n) for large n.
+enum class GrowthShape {
+  kLinear,     ///< S(n) ~ c·n (types It / Is)
+  kSublinear,  ///< S(n) -> inf slower than n (types IIt / IIs)
+  kBounded,    ///< S(n) -> finite bound, monotone (types IIIt / IIIs)
+  kPeaked,     ///< S(n) peaks then falls toward 0 (types IVt / IVs)
+};
+
+/// The paper's named scaling types.
+enum class ScalingType {
+  kIt,      ///< Gustafson-like linear (fixed-time)
+  kIIt,     ///< sublinear unbounded (fixed-time)
+  kIIIt1,   ///< bounded, limit set by in-proportion scaling (γ < 1, δ = 0)
+  kIIIt2,   ///< bounded, limit set by linear scale-out scaling (γ = 1)
+  kIVt,     ///< pathological peak-and-fall (γ > 1)
+  kIs,      ///< S(n) = n (fixed-size, η = 1, q = 0)
+  kIIs,     ///< sublinear unbounded (fixed-size, η = 1, γ < 1)
+  kIIIs1,   ///< Amdahl-like bounded (γ < 1); Amdahl at γ = 0, α = 1
+  kIIIs2,   ///< bounded with scale-out term in the limit (γ = 1)
+  kIVs,     ///< pathological peak-and-fall (γ > 1)
+};
+
+/// Short name, e.g. "IIIt,1".
+std::string_view to_string(ScalingType t) noexcept;
+
+/// Shape of a named type.
+GrowthShape shape_of(ScalingType t) noexcept;
+
+/// Full classification result.
+struct Classification {
+  ScalingType type = ScalingType::kIt;
+  GrowthShape shape = GrowthShape::kLinear;
+  /// Asymptotic bound of S(n) for bounded types; +inf otherwise.
+  double bound = 0.0;
+  /// For linear types, the asymptotic slope of S(n) (e.g. η·α for It).
+  double slope = 0.0;
+  /// For peaked types, the scale-out degree maximizing S(n) and the peak value.
+  double peak_n = 0.0;
+  double peak_speedup = 0.0;
+  /// One-paragraph root-cause explanation in the paper's vocabulary.
+  std::string rationale;
+};
+
+/// Classifies an asymptotic parameter set. `tol` absorbs fitting noise when
+/// comparing exponents against the structural values 0 and 1 (a fitted
+/// γ = 0.98 is treated as γ = 1).
+Classification classify(const AsymptoticParams& p, double tol = 0.05);
+
+/// Asymptotic bound of S(n) under `p`; +inf for unbounded types.
+double asymptotic_bound(const AsymptoticParams& p, double tol = 0.05);
+
+/// Numerically locates the peak of the asymptotic speedup on [1, n_max]
+/// by golden-section search. Returns {argmax n, max S}.
+struct Peak {
+  double n = 1.0;
+  double speedup = 1.0;
+};
+Peak find_peak(const AsymptoticParams& p, double n_max = 1e6);
+
+/// Closed-form peak of Eq. 17 (eta = 1, S = n/(1 + beta·n^gamma)), valid
+/// for gamma > 1 and beta > 0:
+///   n* = (1 / (beta·(gamma-1)))^(1/gamma),   S* = n*·(gamma-1)/gamma.
+/// For the CF case (beta = 3.74e-4, gamma = 2) this gives n* ~ 51.7 — the
+/// paper's hard scale-out ceiling. Throws for gamma <= 1 or beta <= 0.
+Peak analytic_peak_eta_one(double beta, double gamma);
+
+}  // namespace ipso

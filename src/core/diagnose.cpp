@@ -1,0 +1,108 @@
+#include "core/diagnose.h"
+
+#include "core/sensitivity.h"
+
+#include <sstream>
+
+namespace ipso {
+
+namespace {
+
+ScalingType shape_to_type(WorkloadType wt, GrowthShape shape) {
+  const bool fs = wt == WorkloadType::kFixedSize;
+  switch (shape) {
+    case GrowthShape::kLinear:
+      return fs ? ScalingType::kIs : ScalingType::kIt;
+    case GrowthShape::kSublinear:
+      return fs ? ScalingType::kIIs : ScalingType::kIIt;
+    case GrowthShape::kBounded:
+      // Sub-type (1 vs 2) needs factor measurements; default to ,1.
+      return fs ? ScalingType::kIIIs1 : ScalingType::kIIIt1;
+    case GrowthShape::kPeaked:
+      return fs ? ScalingType::kIVs : ScalingType::kIVt;
+  }
+  return ScalingType::kIt;
+}
+
+}  // namespace
+
+EmpiricalShape judge_shape(const stats::Series& speedup, double linear_min,
+                           double bounded_max) {
+  EmpiricalShape out;
+  out.monotone = stats::is_monotone_nondecreasing(speedup, /*tol=*/0.02);
+  out.peaked = stats::is_peaked(speedup);
+  if (out.peaked) {
+    out.shape = GrowthShape::kPeaked;
+    out.tail_exponent = 0.0;
+    out.note = "speedup peaks and falls: superlinear scale-out-induced "
+               "workload (gamma > 1) is the only cause in the IPSO space";
+    return out;
+  }
+  const stats::PowerFit tail = fit_tail_growth(speedup);
+  out.tail_exponent = tail.exponent;
+  if (tail.exponent >= linear_min) {
+    out.shape = GrowthShape::kLinear;
+    out.note = "near-linear growth; more data at larger n would separate "
+               "type I from type II (paper, WordCount discussion)";
+  } else if (tail.exponent <= bounded_max) {
+    out.shape = GrowthShape::kBounded;
+    out.note = "growth has saturated: upper-bounded speedup";
+  } else {
+    out.shape = GrowthShape::kSublinear;
+    out.note = "sublinear but still growing; could be type II or the rise "
+               "of a type III curve - factor measurements would decide";
+  }
+  return out;
+}
+
+DiagnosticReport diagnose(WorkloadType workload, const stats::Series& speedup,
+                          const std::optional<FactorMeasurements>& factors) {
+  DiagnosticReport report;
+  report.workload = workload;
+
+  // Steps 1-4: workload type is given; judge the measured curve's shape.
+  report.empirical = judge_shape(speedup);
+  report.best_guess = shape_to_type(workload, report.empirical.shape);
+
+  // Steps 5-6: with factor measurements, fit (η, α, δ, β, γ) and classify
+  // exactly, which also pins down III sub-types.
+  if (factors) {
+    report.fits = fit_factors(workload, *factors);
+    report.matched = classify(report.fits->params);
+    report.best_guess = report.matched->type;
+  }
+
+  std::ostringstream os;
+  os << "IPSO diagnosis (" << to_string(workload) << " workload, "
+     << speedup.size() << " measured points: n in ["
+     << (speedup.empty() ? 0.0 : speedup[0].x) << ", "
+     << (speedup.empty() ? 0.0 : speedup[speedup.size() - 1].x) << "])\n";
+  os << "  curve: " << (report.empirical.monotone ? "monotone" : "non-monotone")
+     << (report.empirical.peaked ? ", PEAKED" : "")
+     << ", tail growth exponent " << report.empirical.tail_exponent << "\n";
+  os << "  empirical note: " << report.empirical.note << "\n";
+  if (report.matched) {
+    const auto& p = report.fits->params;
+    os << "  fitted factors: eta=" << p.eta << " alpha=" << p.alpha
+       << " delta=" << p.delta << " beta=" << p.beta << " gamma=" << p.gamma
+       << (report.fits->in_has_changepoint
+               ? " (IN(n) has a step-wise changepoint)"
+               : "")
+       << "\n";
+    os << "  matched type: " << to_string(report.matched->type) << "\n";
+    os << "  root cause: " << report.matched->rationale << "\n";
+    if (!speedup.empty()) {
+      os << "  "
+         << improvement_advice(report.fits->params,
+                               speedup[speedup.size() - 1].x)
+         << "\n";
+    }
+  } else {
+    os << "  best guess from shape alone: " << to_string(report.best_guess)
+       << " (run factor measurements to confirm sub-type)\n";
+  }
+  report.summary = os.str();
+  return report;
+}
+
+}  // namespace ipso

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "core/classify.h"
+#include "core/fit.h"
+#include "stats/series.h"
+
+#include <optional>
+#include <string>
+
+/// \file diagnose.h
+/// The six-step diagnostic procedure of paper Section V: given a measured
+/// speedup curve (and, when available, measured scaling factors), identify
+/// the scaling type and its root cause.
+
+namespace ipso {
+
+/// Empirical shape judgement from the speedup curve alone (steps 2-4).
+struct EmpiricalShape {
+  GrowthShape shape = GrowthShape::kLinear;
+  double tail_exponent = 1.0;  ///< fitted e in S(n) ≈ c·n^e on the tail
+  bool monotone = true;
+  bool peaked = false;
+  std::string note;  ///< e.g. "needs more data to separate It from IIt"
+};
+
+/// Judges the curve shape from data alone. Thresholds: e >= linear_min (0.9)
+/// -> linear; e <= bounded_max (0.15) -> saturating/bounded; in between ->
+/// sublinear; an interior peak with a falling tail -> peaked.
+EmpiricalShape judge_shape(const stats::Series& speedup,
+                           double linear_min = 0.9, double bounded_max = 0.15);
+
+/// Full diagnostic report (steps 1-6).
+struct DiagnosticReport {
+  WorkloadType workload = WorkloadType::kFixedTime;
+  EmpiricalShape empirical;                   ///< from the curve alone
+  std::optional<FactorFits> fits;             ///< step 6, when factors given
+  std::optional<Classification> matched;      ///< exact type, when available
+  ScalingType best_guess = ScalingType::kIt;  ///< final answer
+  std::string summary;                        ///< multi-line human report
+};
+
+/// Runs the diagnostic procedure. `factors` enables step 6 (pinning down
+/// III sub-types and exact parameters); without it the report is based on
+/// the curve shape only, exactly as the paper prescribes.
+DiagnosticReport diagnose(WorkloadType workload, const stats::Series& speedup,
+                          const std::optional<FactorMeasurements>& factors =
+                              std::nullopt);
+
+}  // namespace ipso

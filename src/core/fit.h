@@ -1,0 +1,63 @@
+#pragma once
+
+#include "core/scaling_factors.h"
+#include "stats/nonlinear.h"
+#include "stats/regression.h"
+#include "stats/series.h"
+
+#include <optional>
+
+/// \file fit.h
+/// Estimation of the IPSO scaling factors from measurements — the procedure
+/// of paper Section V ("Scaling Prediction"): measure per-phase times at
+/// small n, attribute them to Wp/Ws/Wo, then fit EX(n), IN(n) and q(n) by
+/// (segmented) linear and log-log regression.
+
+namespace ipso {
+
+/// Per-n factor measurements extracted from experiment traces. All series
+/// are indexed by the scale-out degree n and normalized so that
+/// EX(1) = IN(1) = 1 and q(1) = 0.
+struct FactorMeasurements {
+  double eta = 1.0;        ///< parallelizable fraction at n = 1 (Eq. 9)
+  stats::Series ex;        ///< measured EX(n) = Wp(n)/Wp(1)
+  stats::Series in;        ///< measured IN(n) = Ws(n)/Ws(1); empty if Ws = 0
+  stats::Series q;         ///< measured q(n) = Wo(n)·n/Wp(n); empty if Wo = 0
+};
+
+/// Result of fitting the asymptotic power laws to factor measurements.
+struct FactorFits {
+  AsymptoticParams params;              ///< fitted (η, α, δ, β, γ) + type
+  stats::PowerFit epsilon_fit;          ///< ε(n) ≈ α·n^δ (Eq. 14)
+  std::optional<stats::PowerFit> q_fit; ///< q(n) ≈ β·n^γ (Eq. 15); empty if q=0
+  std::optional<stats::LinearFit> in_linear;  ///< straight-line IN(n) (Fig. 6)
+  std::optional<stats::SegmentedFit> in_segmented;  ///< step-wise IN(n) (Fig. 5)
+  bool in_has_changepoint = false;      ///< true when IN(n) is step-wise
+};
+
+/// Builds the pointwise in-proportion ratio ε(n) = EX(n)/IN(n) from two
+/// measured factor series (x values must align; both must be positive).
+stats::Series epsilon_series(const stats::Series& ex, const stats::Series& in);
+
+/// Computes q(n) = Wo(n)·n / Wp(n) pointwise from measured workloads.
+stats::Series q_series_from_workloads(const stats::Series& wo,
+                                      const stats::Series& wp);
+
+/// Fits every scaling factor and assembles AsymptoticParams. `type` selects
+/// the external-scaling regime; δ is forced to 0 for fixed-size workloads
+/// (paper Section IV). Series may be restricted to small n by the caller
+/// (the paper fits on n <= 16, TeraSort on 16..64).
+FactorFits fit_factors(WorkloadType type, const FactorMeasurements& m);
+
+/// Detects a step-wise changepoint in IN(n) (Fig. 5: TeraSort's reducer
+/// memory overflow). Returns the segmented fit when the two segments differ
+/// enough to matter, std::nullopt otherwise. Requires >= 2*min_seg points.
+std::optional<stats::SegmentedFit> detect_in_changepoint(
+    const stats::Series& in, std::size_t min_seg = 3);
+
+/// Fits the empirical growth exponent of a measured speedup curve's tail:
+/// S(n) ≈ c·n^e over the upper half of the x-range. Used by the diagnostic
+/// procedure to judge linear/sublinear/saturating growth from data alone.
+stats::PowerFit fit_tail_growth(const stats::Series& speedup);
+
+}  // namespace ipso

@@ -1,0 +1,29 @@
+#include "core/laws.h"
+
+#include <limits>
+
+namespace ipso::laws {
+
+double amdahl(double eta, double n) noexcept {
+  return 1.0 / (eta / n + (1.0 - eta));
+}
+
+double gustafson(double eta, double n) noexcept {
+  return eta * n + (1.0 - eta);
+}
+
+double sun_ni(double eta, double n, const ScalingFn& g) {
+  const double gn = g(n);
+  return (eta * gn + (1.0 - eta)) / (eta * gn / n + (1.0 - eta));
+}
+
+double sun_ni(double eta, double n) noexcept {
+  return (eta * n + (1.0 - eta)) / (eta + (1.0 - eta));
+}
+
+double amdahl_bound(double eta) noexcept {
+  if (eta >= 1.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / (1.0 - eta);
+}
+
+}  // namespace ipso::laws

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "core/scaling_factors.h"
+
+/// \file laws.h
+/// The three classical speedup laws in the paper's notation (Eq. 12). These
+/// are both baselines for every experiment and special cases of IPSO
+/// (IN(n) = 1, q(n) = 0, EX(n) per Eq. 13) — a relation the test suite
+/// verifies exhaustively.
+
+namespace ipso::laws {
+
+/// Amdahl's law: S(n) = 1 / (η/n + (1-η)). `eta` is the parallelizable
+/// fraction at n = 1, `n` the scale-out degree (n >= 1).
+double amdahl(double eta, double n) noexcept;
+
+/// Gustafson's law: S(n) = η·n + (1-η).
+double gustafson(double eta, double n) noexcept;
+
+/// Sun-Ni's law: S(n) = (η·g(n) + (1-η)) / (η·g(n)/n + (1-η)) where g is the
+/// memory-bound external scaling function.
+double sun_ni(double eta, double n, const ScalingFn& g);
+
+/// Sun-Ni with the data-intensive approximation g(n) = n, which makes it
+/// coincide with Gustafson's law (paper Section IV).
+double sun_ni(double eta, double n) noexcept;
+
+/// Asymptotic upper bound of Amdahl's law, 1/(1-η); +inf at η = 1.
+double amdahl_bound(double eta) noexcept;
+
+}  // namespace ipso::laws

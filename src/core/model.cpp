@@ -1,0 +1,90 @@
+#include "core/model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ipso {
+
+namespace {
+
+void check_n(double n) {
+  if (n < 1.0) throw std::invalid_argument("IPSO model: n must be >= 1");
+}
+
+}  // namespace
+
+double speedup_statistical(const ScalingFactors& f, const StatisticalInputs& m,
+                           double n) {
+  check_n(n);
+  const double total1 = m.e_tp1 + m.e_ts1;
+  if (total1 <= 0.0) {
+    throw std::invalid_argument("speedup_statistical: zero baseline time");
+  }
+  const double eta = m.e_tp1 / total1;
+  const double ex = f.ex(n);
+  const double in = f.in(n);
+  const double num = eta * ex + (1.0 - eta) * in;
+  const double den =
+      m.e_max_tp / total1 + (1.0 - eta) * in + eta * ex * f.q(n) / n;
+  return num / den;
+}
+
+double speedup_deterministic(const ScalingFactors& f, double eta, double n) {
+  check_n(n);
+  if (eta < 0.0 || eta > 1.0) {
+    throw std::invalid_argument("speedup_deterministic: eta must be in [0,1]");
+  }
+  const double ex = f.ex(n);
+  const double in = f.in(n);
+  const double num = eta * ex + (1.0 - eta) * in;
+  const double den = eta * (ex / n) * (1.0 + f.q(n)) + (1.0 - eta) * in;
+  return num / den;
+}
+
+double speedup_asymptotic(const AsymptoticParams& p, double n) {
+  check_n(n);
+  // q(n) ≈ β n^γ, with γ = 0 meaning q = 0 (paper convention) and q(1) = 0
+  // by definition (sequential execution induces no scale-out workload).
+  const double q =
+      p.has_scale_out() && n > 1.0 ? p.beta * std::pow(n, p.gamma) : 0.0;
+  if (p.eta >= 1.0) {
+    // Eq. 17: no serial portion.
+    return n / (1.0 + q);
+  }
+  // Fixed-size workloads have delta = 0 by definition (paper Section IV:
+  // without external scaling the serial portion cannot scale either).
+  const double delta =
+      p.type == WorkloadType::kFixedSize ? 0.0 : p.delta;
+  const double ead = p.eta * p.alpha * std::pow(n, delta);
+  const double num = ead + (1.0 - p.eta);
+  const double den = ead / n * (1.0 + q) + (1.0 - p.eta);
+  return num / den;
+}
+
+double speedup_from_components(const WorkloadComponents& c) noexcept {
+  return c.speedup();
+}
+
+double eta_from_times(double tp1, double ts1) noexcept {
+  const double total = tp1 + ts1;
+  if (total <= 0.0) return 0.0;
+  return tp1 / total;
+}
+
+std::vector<double> speedup_curve(const ScalingFactors& f, double eta,
+                                  std::span<const double> ns) {
+  std::vector<double> out;
+  out.reserve(ns.size());
+  for (double n : ns) out.push_back(speedup_deterministic(f, eta, n));
+  return out;
+}
+
+std::vector<double> speedup_curve(const AsymptoticParams& p,
+                                  std::span<const double> ns) {
+  std::vector<double> out;
+  out.reserve(ns.size());
+  for (double n : ns) out.push_back(speedup_asymptotic(p, n));
+  return out;
+}
+
+}  // namespace ipso

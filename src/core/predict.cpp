@@ -1,0 +1,89 @@
+#include "core/predict.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ipso {
+
+SpeedupPredictor::SpeedupPredictor(ScalingFactors factors, double eta)
+    : factors_(std::move(factors)), eta_(eta) {
+  if (!factors_.ex || !factors_.in || !factors_.q) {
+    throw std::invalid_argument("SpeedupPredictor: incomplete factors");
+  }
+  if (eta_ < 0.0 || eta_ > 1.0) {
+    throw std::invalid_argument("SpeedupPredictor: eta must be in [0,1]");
+  }
+}
+
+SpeedupPredictor SpeedupPredictor::from_fits(const FactorFits& fits) {
+  ScalingFactors f;
+  f.ex = make_external(fits.params.type);
+  f.q = make_q(fits.params.beta, fits.params.gamma);
+
+  if (fits.params.eta >= 1.0) {
+    f.in = constant_factor(1.0);  // no serial portion; IN is irrelevant
+  } else if (fits.in_has_changepoint && fits.in_segmented) {
+    const auto& seg = *fits.in_segmented;
+    f.in = stepwise_linear_factor(seg.left.slope, seg.left.intercept, seg.knot,
+                                  seg.right.slope, seg.right.intercept);
+  } else if (fits.in_linear) {
+    f.in = linear_factor(fits.in_linear->slope, fits.in_linear->intercept);
+  } else {
+    // Fall back to the asymptotic power law IN(n) = n^(1-δ)/α.
+    f.in = power_factor(1.0 / fits.params.alpha, 1.0 - fits.params.delta);
+  }
+  return SpeedupPredictor(std::move(f), fits.params.eta);
+}
+
+double SpeedupPredictor::operator()(double n) const {
+  return speedup_deterministic(factors_, eta_, n);
+}
+
+stats::Series SpeedupPredictor::curve(std::span<const double> ns,
+                                      std::string name) const {
+  stats::Series out(std::move(name));
+  for (double n : ns) out.add(n, (*this)(n));
+  return out;
+}
+
+ProvisioningPlan plan_provisioning(const SpeedupPredictor& predictor,
+                                   std::span<const double> ns,
+                                   double knee_frac) {
+  if (ns.empty()) {
+    throw std::invalid_argument("plan_provisioning: empty sweep");
+  }
+  if (knee_frac <= 0.0 || knee_frac > 1.0) {
+    throw std::invalid_argument("plan_provisioning: knee_frac in (0,1]");
+  }
+  ProvisioningPlan plan;
+  plan.options.reserve(ns.size());
+  double best_speedup = -1.0, best_value = -1.0;
+  for (double n : ns) {
+    ProvisioningOption opt;
+    opt.n = n;
+    opt.speedup = predictor(n);
+    // Parallel run holds n nodes for T_seq/S(n); normalize T_seq = 1.
+    opt.cost = opt.speedup > 0.0 ? n / opt.speedup : 1e300;
+    opt.efficiency = opt.speedup / n;
+    opt.value = opt.cost > 0.0 ? opt.speedup / opt.cost : 0.0;
+    if (opt.speedup > best_speedup) {
+      best_speedup = opt.speedup;
+      plan.best_speedup_n = n;
+    }
+    if (opt.value > best_value) {
+      best_value = opt.value;
+      plan.best_value_n = n;
+    }
+    plan.options.push_back(opt);
+  }
+  plan.knee_n = plan.best_speedup_n;
+  for (const auto& opt : plan.options) {
+    if (opt.speedup >= knee_frac * best_speedup) {
+      plan.knee_n = opt.n;
+      break;  // options are in sweep order; the first hit is the cheapest
+    }
+  }
+  return plan;
+}
+
+}  // namespace ipso

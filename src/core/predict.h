@@ -1,0 +1,74 @@
+#pragma once
+
+#include "core/fit.h"
+#include "core/model.h"
+
+#include <vector>
+
+/// \file predict.h
+/// Speedup prediction from small-n fits and the speedup-versus-cost
+/// provisioning analysis the paper's conclusion motivates: "as long as the
+/// three scaling factors can be accurately estimated at small problem sizes,
+/// the speedups at large problem sizes may be predicted with high accuracy."
+
+namespace ipso {
+
+/// Predicts S(n) at arbitrary n from scaling factors fitted at small n.
+/// Wraps the deterministic IPSO model (Eq. 10) with the exact fitted factor
+/// curves (linear or step-wise IN(n), power-law q(n)), falling back to the
+/// asymptotic power laws where no exact fit exists.
+class SpeedupPredictor {
+ public:
+  /// Builds a predictor from factor fits. Uses the segmented IN(n) when a
+  /// changepoint was detected, the straight-line fit otherwise, and the
+  /// asymptotic power law as the last resort.
+  static SpeedupPredictor from_fits(const FactorFits& fits);
+
+  /// Builds a predictor directly from exact scaling factors.
+  SpeedupPredictor(ScalingFactors factors, double eta);
+
+  /// Predicted speedup at scale-out degree n (n >= 1).
+  double operator()(double n) const;
+
+  /// Predicted speedup over a sweep of n values, as a named series.
+  stats::Series curve(std::span<const double> ns,
+                      std::string name = "IPSO prediction") const;
+
+  /// The η used by the predictor.
+  double eta() const noexcept { return eta_; }
+
+  /// The underlying factors (for inspection / reports).
+  const ScalingFactors& factors() const noexcept { return factors_; }
+
+ private:
+  ScalingFactors factors_;
+  double eta_ = 1.0;
+};
+
+/// One provisioning option evaluated at scale-out degree n. Cost is measured
+/// in node-time units: n parallel nodes held for the parallel job duration
+/// (normalized so the sequential run at n = 1 costs 1).
+struct ProvisioningOption {
+  double n = 1.0;
+  double speedup = 1.0;
+  double cost = 1.0;        ///< n · T_par(n) / T_seq(1)
+  double efficiency = 1.0;  ///< speedup / n (classic parallel efficiency)
+  double value = 1.0;       ///< speedup / cost
+};
+
+/// Provisioning sweep result with the paper-motivated selections.
+struct ProvisioningPlan {
+  std::vector<ProvisioningOption> options;
+  double best_speedup_n = 1.0;  ///< n maximizing S(n) within the sweep
+  double best_value_n = 1.0;    ///< n maximizing speedup per unit cost
+  double knee_n = 1.0;  ///< smallest n reaching `knee_frac` of the max speedup
+};
+
+/// Evaluates provisioning options for n in `ns` under a predictor.
+/// `knee_frac` (default 0.9) defines the knee point: the cheapest n whose
+/// speedup is at least that fraction of the best achievable in the sweep.
+ProvisioningPlan plan_provisioning(const SpeedupPredictor& predictor,
+                                   std::span<const double> ns,
+                                   double knee_frac = 0.9);
+
+}  // namespace ipso

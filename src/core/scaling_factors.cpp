@@ -1,0 +1,76 @@
+#include "core/scaling_factors.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ipso {
+
+ScalingFn make_external(WorkloadType type, ScalingFn g) {
+  switch (type) {
+    case WorkloadType::kFixedSize:
+      return constant_factor(1.0);
+    case WorkloadType::kFixedTime:
+      return identity_factor();
+    case WorkloadType::kMemoryBounded:
+      if (g) return g;
+      // For data-intensive working sets g(n) ≈ n (paper Fig. 6).
+      return identity_factor();
+  }
+  throw std::invalid_argument("make_external: unknown workload type");
+}
+
+ScalingFn constant_factor(double value) {
+  return [value](double) { return value; };
+}
+
+ScalingFn identity_factor() {
+  return [](double n) { return n; };
+}
+
+ScalingFn linear_factor(double slope, double intercept) {
+  return [slope, intercept](double n) { return slope * n + intercept; };
+}
+
+ScalingFn power_factor(double coeff, double exponent) {
+  return [coeff, exponent](double n) { return coeff * std::pow(n, exponent); };
+}
+
+ScalingFn make_q(double beta, double gamma) {
+  if (beta < 0.0 || gamma < 0.0) {
+    throw std::invalid_argument("make_q: beta and gamma must be nonnegative");
+  }
+  // γ = 0 encodes "no scale-out-induced workload" (paper, below Eq. 15).
+  if (gamma == 0.0 || beta == 0.0) return constant_factor(0.0);
+  return [beta, gamma](double n) {
+    if (n <= 1.0) return 0.0;  // q(1) = 0 by definition (Eq. 6)
+    return beta * std::pow(n, gamma);
+  };
+}
+
+ScalingFn stepwise_linear_factor(double slope_lo, double intercept_lo,
+                                 double knot, double slope_hi,
+                                 double intercept_hi) {
+  return [=](double n) {
+    return n <= knot ? slope_lo * n + intercept_lo
+                     : slope_hi * n + intercept_hi;
+  };
+}
+
+ScalingFactors AsymptoticParams::materialize() const {
+  if (alpha <= 0.0) {
+    throw std::invalid_argument("materialize: alpha must be positive");
+  }
+  ScalingFactors f;
+  f.q = make_q(beta, gamma);
+  if (type == WorkloadType::kFixedSize) {
+    f.ex = constant_factor(1.0);
+    f.in = constant_factor(1.0 / alpha);
+  } else {
+    f.ex = identity_factor();
+    // IN(n) = EX(n)/ε(n) = n / (α n^δ) = n^(1-δ)/α.
+    f.in = power_factor(1.0 / alpha, 1.0 - delta);
+  }
+  return f;
+}
+
+}  // namespace ipso

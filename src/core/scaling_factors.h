@@ -1,0 +1,78 @@
+#pragma once
+
+#include "core/workload.h"
+
+#include <functional>
+
+/// \file scaling_factors.h
+/// The three scaling factors that fully determine IPSO's behaviour
+/// (paper Section III): EX(n) external, IN(n) internal, q(n) scale-out-induced.
+/// Two representations are provided — arbitrary callables for exact modeling,
+/// and the asymptotic power-law parameterization (Eqs. 14-15) used for
+/// classification and prediction.
+
+namespace ipso {
+
+/// Scalar function of the scale-out degree n.
+using ScalingFn = std::function<double(double)>;
+
+/// Exact scaling factors. Contract: ex(1) = in(1) = 1 and q(1) = 0.
+struct ScalingFactors {
+  ScalingFn ex;  ///< EX(n): Wp(n) = Wp(1)·EX(n)   (Eq. 3)
+  ScalingFn in;  ///< IN(n): Ws(n) = Ws(1)·IN(n)   (Eq. 4)
+  ScalingFn q;   ///< q(n):  Wo(n) = (Wp(n)/n)·q(n) (Eq. 6)
+
+  /// In-proportion scaling ratio ε(n) = EX(n)/IN(n) (Eq. 5).
+  double epsilon(double n) const { return ex(n) / in(n); }
+};
+
+/// EX(n) per workload type (Eq. 13). `g` is Sun-Ni's memory-bound function
+/// and is only used for kMemoryBounded; for data-intensive workloads the
+/// paper takes g(n) ≈ n.
+ScalingFn make_external(WorkloadType type, ScalingFn g = nullptr);
+
+/// Constant factor f(n) = value.
+ScalingFn constant_factor(double value);
+
+/// Identity factor f(n) = n.
+ScalingFn identity_factor();
+
+/// Linear factor f(n) = slope·n + intercept. With slope > 0 this is the
+/// in-proportion IN(n) the paper measures for Sort and TeraSort (Fig. 6).
+ScalingFn linear_factor(double slope, double intercept);
+
+/// Power-law factor f(n) = coeff·n^exponent.
+ScalingFn power_factor(double coeff, double exponent);
+
+/// q(n) = beta·n^gamma for n > 1 and exactly 0 at n = 1 (the paper requires
+/// q(1) = 0: sequential execution induces no scale-out workload).
+ScalingFn make_q(double beta, double gamma);
+
+/// Step-wise linear factor: slope/intercept change at the knot, as observed
+/// for TeraSort's IN(n) when the reducer memory overflows (paper Fig. 5).
+ScalingFn stepwise_linear_factor(double slope_lo, double intercept_lo,
+                                 double knot, double slope_hi,
+                                 double intercept_hi);
+
+/// Asymptotic parameterization of a workload's scaling behaviour:
+/// ε(n) ≈ alpha·n^delta (Eq. 14), q(n) ≈ beta·n^gamma (Eq. 15), plus eta,
+/// the parallelizable fraction at n = 1 (Eq. 9/11). These five numbers plus
+/// the workload type span the entire IPSO solution space (Section IV).
+struct AsymptoticParams {
+  WorkloadType type = WorkloadType::kFixedTime;
+  double eta = 1.0;    ///< η ∈ (0, 1]
+  double alpha = 1.0;  ///< α ≥ 0, coefficient of ε(n)
+  double delta = 1.0;  ///< δ; fixed-time: 0 ≤ δ ≤ 1, fixed-size: δ = 0
+  double beta = 0.0;   ///< β ≥ 0, coefficient of q(n)
+  double gamma = 0.0;  ///< γ ≥ 0; γ = 0 means q(n) = 0 (paper convention)
+
+  /// True when the model has a scale-out-induced component.
+  bool has_scale_out() const noexcept { return gamma > 0.0 && beta > 0.0; }
+
+  /// Materializes exact ScalingFactors consistent with these asymptotics:
+  /// fixed-time -> EX = n, IN = n^(1-δ)/α; fixed-size -> EX = 1, IN = 1/α
+  /// (IN is normalized so IN(1) = 1 when α = 1).
+  ScalingFactors materialize() const;
+};
+
+}  // namespace ipso

@@ -1,0 +1,110 @@
+#include "core/sensitivity.h"
+
+#include "core/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace ipso {
+
+namespace {
+
+/// Central difference of S(n) along one parameter accessor.
+template <typename Set>
+double partial(const AsymptoticParams& p, double n, double value,
+               double rel_step, Set&& set) {
+  const double h = value != 0.0 ? std::abs(value) * rel_step : rel_step;
+  AsymptoticParams lo = p, hi = p;
+  set(lo, value - h);
+  set(hi, value + h);
+  // Clamp into valid domains; fall back to one-sided when clamped.
+  auto clamp = [](AsymptoticParams& q) {
+    q.eta = std::clamp(q.eta, 0.0, 1.0);
+    q.alpha = std::max(q.alpha, 1e-12);
+    q.beta = std::max(q.beta, 0.0);
+    q.gamma = std::max(q.gamma, 0.0);
+  };
+  clamp(lo);
+  clamp(hi);
+  const double slo = speedup_asymptotic(lo, n);
+  const double shi = speedup_asymptotic(hi, n);
+  return (shi - slo) / (2.0 * h);
+}
+
+}  // namespace
+
+Sensitivities sensitivities(const AsymptoticParams& p, double n,
+                            double rel_step) {
+  if (n < 1.0) throw std::invalid_argument("sensitivities: n >= 1");
+  Sensitivities s;
+  s.n = n;
+  s.d_eta = partial(p, n, p.eta, rel_step,
+                    [](AsymptoticParams& q, double v) { q.eta = v; });
+  s.d_alpha = partial(p, n, p.alpha, rel_step,
+                      [](AsymptoticParams& q, double v) { q.alpha = v; });
+  s.d_delta = partial(p, n, p.delta, rel_step,
+                      [](AsymptoticParams& q, double v) { q.delta = v; });
+  s.d_beta = partial(p, n, p.beta, rel_step,
+                     [](AsymptoticParams& q, double v) { q.beta = v; });
+  s.d_gamma = partial(p, n, p.gamma, rel_step,
+                      [](AsymptoticParams& q, double v) { q.gamma = v; });
+  return s;
+}
+
+ImprovementGains improvement_gains(const AsymptoticParams& p, double n,
+                                   double improvement) {
+  if (improvement <= 0.0 || improvement >= 1.0) {
+    throw std::invalid_argument("improvement_gains: improvement in (0,1)");
+  }
+  const double base = speedup_asymptotic(p, n);
+  auto gain = [&](auto&& tweak) {
+    AsymptoticParams q = p;
+    tweak(q);
+    return speedup_asymptotic(q, n) / base - 1.0;
+  };
+  ImprovementGains g;
+  g.n = n;
+  g.eta = gain([&](AsymptoticParams& q) {
+    q.eta = std::min(1.0, q.eta * (1.0 + improvement));
+  });
+  g.alpha =
+      gain([&](AsymptoticParams& q) { q.alpha *= 1.0 + improvement; });
+  g.delta = gain([&](AsymptoticParams& q) {
+    q.delta = std::min(1.0, q.delta == 0.0 ? improvement
+                                           : q.delta * (1.0 + improvement));
+  });
+  g.beta = gain([&](AsymptoticParams& q) { q.beta *= 1.0 - improvement; });
+  g.gamma =
+      gain([&](AsymptoticParams& q) { q.gamma *= 1.0 - improvement; });
+  return g;
+}
+
+std::string improvement_advice(const AsymptoticParams& p, double n) {
+  const ImprovementGains g = improvement_gains(p, n);
+  struct Option {
+    const char* what;
+    double gain;
+  };
+  const Option options[] = {
+      {"raising the parallel fraction eta", g.eta},
+      {"raising the in-proportion coefficient alpha (shrink the merge)",
+       g.alpha},
+      {"raising delta (decouple the merge from the data growth)", g.delta},
+      {"cutting the overhead coefficient beta", g.beta},
+      {"cutting the overhead exponent gamma (fix the induced scaling)",
+       g.gamma},
+  };
+  const Option* best = &options[0];
+  for (const auto& o : options) {
+    if (o.gain > best->gain) best = &o;
+  }
+  std::ostringstream os;
+  os << "at n = " << n << ", the best 10% engineering investment is "
+     << best->what << ": +" << static_cast<int>(best->gain * 100.0 + 0.5)
+     << "% speedup";
+  return os.str();
+}
+
+}  // namespace ipso

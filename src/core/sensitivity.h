@@ -1,0 +1,50 @@
+#pragma once
+
+#include "core/scaling_factors.h"
+
+#include <string>
+
+/// \file sensitivity.h
+/// Sensitivity analysis on the asymptotic IPSO model: which scaling factor
+/// is the most valuable engineering target at a given scale? The paper's
+/// diagnosis names the root cause; this module quantifies the payoff of
+/// fixing it (e.g. "halving beta doubles the peak speedup of an IVs
+/// workload, improving eta does nearly nothing").
+
+namespace ipso {
+
+/// Partial derivatives of S(n) with respect to each asymptotic parameter,
+/// estimated by central differences.
+struct Sensitivities {
+  double n = 1.0;
+  double d_eta = 0.0;
+  double d_alpha = 0.0;
+  double d_delta = 0.0;
+  double d_beta = 0.0;
+  double d_gamma = 0.0;
+};
+
+/// Numerical sensitivities at scale-out degree n. `rel_step` is the
+/// relative perturbation (absolute for parameters at 0).
+Sensitivities sensitivities(const AsymptoticParams& p, double n,
+                            double rel_step = 1e-4);
+
+/// Relative speedup gain from improving one parameter by `improvement`
+/// (e.g. 0.1 = 10%) in its *beneficial* direction: eta/alpha/delta up
+/// (clamped to their domains), beta/gamma down. Returns S_new/S_old - 1.
+struct ImprovementGains {
+  double n = 1.0;
+  double eta = 0.0;
+  double alpha = 0.0;
+  double delta = 0.0;
+  double beta = 0.0;
+  double gamma = 0.0;
+};
+ImprovementGains improvement_gains(const AsymptoticParams& p, double n,
+                                   double improvement = 0.1);
+
+/// One-line engineering advice: the parameter whose 10% improvement buys
+/// the largest speedup gain at n, with the numbers.
+std::string improvement_advice(const AsymptoticParams& p, double n);
+
+}  // namespace ipso

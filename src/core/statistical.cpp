@@ -1,0 +1,103 @@
+#include "core/statistical.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ipso {
+
+double ExponentialTime::expected_max(std::size_t n) const {
+  // E[max of n iid Exp(1)] is the harmonic number H_n.
+  double h = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) h += 1.0 / static_cast<double>(k);
+  return h;
+}
+
+double ExponentialTime::sample(stats::Rng& rng) const {
+  return rng.exponential(1.0);
+}
+
+UniformTime::UniformTime(double half_width) : w_(half_width) {
+  if (w_ <= 0.0 || w_ > 1.0) {
+    throw std::invalid_argument("UniformTime: half_width in (0, 1]");
+  }
+}
+
+double UniformTime::expected_max(std::size_t n) const {
+  const auto nd = static_cast<double>(n);
+  return 1.0 + w_ * (nd - 1.0) / (nd + 1.0);
+}
+
+double UniformTime::sample(stats::Rng& rng) const {
+  return rng.uniform(1.0 - w_, 1.0 + w_);
+}
+
+CappedParetoTime::CappedParetoTime(double shape, double cap)
+    : shape_(shape), cap_(cap) {
+  if (shape_ <= 1.0) {
+    throw std::invalid_argument("CappedParetoTime: shape must be > 1");
+  }
+  if (cap_ <= 1.0) {
+    throw std::invalid_argument("CappedParetoTime: cap must be > 1");
+  }
+  // Mean of Pareto(x_m = 1, shape a) truncated at `cap` with the residual
+  // probability mass cap^-a concentrated at the cap:
+  //   E[Y] = a/(a-1) * (1 - cap^(1-a)) + cap^(1-a).
+  raw_mean_ = shape_ / (shape_ - 1.0) *
+                  (1.0 - std::pow(cap_, 1.0 - shape_)) +
+              std::pow(cap_, 1.0 - shape_);
+}
+
+double CappedParetoTime::cdf_raw(double x) const noexcept {
+  if (x < 1.0) return 0.0;
+  if (x >= cap_) return 1.0;
+  return 1.0 - std::pow(x, -shape_);
+}
+
+double CappedParetoTime::expected_max(std::size_t n) const {
+  // E[max] = integral over x of 1 - F(x)^n; the support is [1, cap] so
+  // E[max_raw] = 1 + int_1^cap (1 - F(x)^n) dx, by composite Simpson.
+  constexpr int kIntervals = 2048;  // even
+  const double a = 1.0, b = cap_;
+  const double h = (b - a) / kIntervals;
+  auto integrand = [&](double x) {
+    return 1.0 - std::pow(cdf_raw(x), static_cast<double>(n));
+  };
+  double acc = integrand(a) + integrand(b);
+  for (int i = 1; i < kIntervals; ++i) {
+    acc += integrand(a + i * h) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  const double raw = 1.0 + acc * h / 3.0;
+  return raw / raw_mean_;
+}
+
+double CappedParetoTime::sample(stats::Rng& rng) const {
+  return rng.heavy_tail(1.0, shape_, cap_) / raw_mean_;
+}
+
+double speedup_statistical(const ScalingFactors& f, double eta,
+                           const TaskTimeDistribution& dist, double n) {
+  if (n < 1.0) {
+    throw std::invalid_argument("speedup_statistical: n must be >= 1");
+  }
+  if (eta < 0.0 || eta > 1.0) {
+    throw std::invalid_argument("speedup_statistical: eta in [0, 1]");
+  }
+  const auto tasks = static_cast<std::size_t>(std::llround(n));
+  const double ex = f.ex(n);
+  const double in = f.in(n);
+  const double num = eta * ex + (1.0 - eta) * in;
+  const double den = eta * (ex / n) * dist.expected_max(tasks) +
+                     (1.0 - eta) * in + eta * ex * f.q(n) / n;
+  return num / den;
+}
+
+stats::Series speedup_statistical_curve(const ScalingFactors& f, double eta,
+                                        const TaskTimeDistribution& dist,
+                                        std::span<const double> ns,
+                                        std::string name) {
+  stats::Series out(std::move(name));
+  for (double n : ns) out.add(n, speedup_statistical(f, eta, dist, n));
+  return out;
+}
+
+}  // namespace ipso

@@ -1,0 +1,112 @@
+#pragma once
+
+#include "core/scaling_factors.h"
+#include "stats/random.h"
+#include "stats/series.h"
+
+#include <span>
+
+/// \file statistical.h
+/// The statistical form of IPSO (paper Eq. 8). The paper formulates the
+/// model statistically "to capture the impact of long-tail effects of task
+/// service time on the speedup performance, e.g., due to stragglers or
+/// task queuing", and argues (Section IV) that because E[max Tp,i(n)] is
+/// bounded when task-time tails are finite, the deterministic model
+/// preserves all qualitative conclusions. This module makes both the
+/// formula and that argument executable: task-time distributions with
+/// analytic or numeric order statistics, the Eq. 8 speedup under any of
+/// them, and the deterministic model as the degenerate case.
+
+namespace ipso {
+
+/// A nonnegative task-time distribution, normalized to mean 1 so that the
+/// absolute scale lives in the workload (Tp,i(n) = tp(n) · X_i, E[X] = 1).
+class TaskTimeDistribution {
+ public:
+  virtual ~TaskTimeDistribution() = default;
+
+  /// E[max of n i.i.d. draws]; >= 1 and non-decreasing in n.
+  virtual double expected_max(std::size_t n) const = 0;
+
+  /// One random draw (for simulation-side use).
+  virtual double sample(stats::Rng& rng) const = 0;
+
+  /// Human-readable name for reports.
+  virtual const char* name() const = 0;
+
+  /// True when expected_max(n) is bounded as n grows — the condition under
+  /// which the paper's deterministic-equals-statistical argument holds.
+  virtual bool has_bounded_max() const = 0;
+};
+
+/// Every task takes exactly its mean: the deterministic model of Eq. 10.
+class DeterministicTime final : public TaskTimeDistribution {
+ public:
+  double expected_max(std::size_t) const override { return 1.0; }
+  double sample(stats::Rng&) const override { return 1.0; }
+  const char* name() const override { return "deterministic"; }
+  bool has_bounded_max() const override { return true; }
+};
+
+/// Exponential(1): an *unbounded* tail — E[max] = H_n ~ ln n. Included to
+/// demonstrate what the paper's finite-tail caveat rules out: with this
+/// tail even a perfectly parallel fixed-time workload scales as n / ln n.
+class ExponentialTime final : public TaskTimeDistribution {
+ public:
+  double expected_max(std::size_t n) const override;
+  double sample(stats::Rng& rng) const override;
+  const char* name() const override { return "exponential"; }
+  bool has_bounded_max() const override { return false; }
+};
+
+/// Uniform on [1-w, 1+w] (0 < w <= 1): E[max] = 1 + w·(n-1)/(n+1) -> 1+w.
+class UniformTime final : public TaskTimeDistribution {
+ public:
+  explicit UniformTime(double half_width);
+  double expected_max(std::size_t n) const override;
+  double sample(stats::Rng& rng) const override;
+  const char* name() const override { return "uniform"; }
+  bool has_bounded_max() const override { return true; }
+
+ private:
+  double w_;
+};
+
+/// Pareto(shape) lower-bounded at x_m and capped at `cap·x_m`, rescaled to
+/// mean 1 — the straggler model the simulator uses. The cap keeps E[max]
+/// finite (paper: "the tail length of the task response time must be finite
+/// in practice"). expected_max integrates 1 - F(x)^n numerically.
+class CappedParetoTime final : public TaskTimeDistribution {
+ public:
+  /// shape > 1; cap > 1 is the max/min ratio of the support.
+  CappedParetoTime(double shape, double cap);
+  double expected_max(std::size_t n) const override;
+  double sample(stats::Rng& rng) const override;
+  const char* name() const override { return "capped-pareto"; }
+  bool has_bounded_max() const override { return true; }
+
+  /// Raw (pre-normalization) mean of the capped Pareto with x_m = 1.
+  double raw_mean() const noexcept { return raw_mean_; }
+
+ private:
+  double cdf_raw(double x) const noexcept;  ///< CDF with x_m = 1
+  double shape_;
+  double cap_;
+  double raw_mean_;
+};
+
+/// Statistical IPSO speedup (Eq. 8) at scale-out degree n: task times are
+/// tp(n)·X_i with X_i ~ dist (mean 1), so
+///   S(n) = [η·EX + (1-η)·IN] /
+///          [η·(EX/n)·E[max_n X] + (1-η)·IN + η·EX·q/n].
+/// With DeterministicTime this is exactly Eq. 10.
+double speedup_statistical(const ScalingFactors& f, double eta,
+                           const TaskTimeDistribution& dist, double n);
+
+/// Convenience curve over a sweep.
+stats::Series speedup_statistical_curve(const ScalingFactors& f, double eta,
+                                        const TaskTimeDistribution& dist,
+                                        std::span<const double> ns,
+                                        std::string name = "statistical");
+
+}  // namespace ipso

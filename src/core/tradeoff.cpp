@@ -1,0 +1,49 @@
+#include "core/tradeoff.h"
+
+#include "core/model.h"
+
+#include <stdexcept>
+
+namespace ipso {
+
+double scale_up_speedup(double k) noexcept { return k; }
+
+std::vector<ScaleChoice> compare_scaling(const ScalingFactors& f, double eta,
+                                         std::span<const double> ks) {
+  std::vector<ScaleChoice> out;
+  out.reserve(ks.size());
+  for (double k : ks) {
+    ScaleChoice c;
+    c.k = k;
+    c.scale_out = speedup_deterministic(f, eta, k);
+    c.scale_up = scale_up_speedup(k);
+    c.advantage_out = c.scale_out - c.scale_up;
+    out.push_back(c);
+  }
+  return out;
+}
+
+double scale_out_competitive_limit(const ScalingFactors& f, double eta,
+                                   double frac, double k_max) {
+  if (frac <= 0.0 || frac > 1.0) {
+    throw std::invalid_argument("scale_out_competitive_limit: frac in (0,1]");
+  }
+  if (k_max < 1.0) {
+    throw std::invalid_argument("scale_out_competitive_limit: k_max >= 1");
+  }
+  // S(k)/k is non-increasing for every IPSO curve (efficiency never
+  // improves with scale-out), so bisect on the predicate S(k) >= frac*k.
+  auto competitive = [&](double k) {
+    return speedup_deterministic(f, eta, k) >= frac * k;
+  };
+  if (!competitive(1.0)) return 1.0;
+  if (competitive(k_max)) return k_max;
+  double lo = 1.0, hi = k_max;
+  for (int iter = 0; iter < 100 && hi - lo > 1e-6; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (competitive(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace ipso

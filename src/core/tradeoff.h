@@ -1,0 +1,43 @@
+#pragma once
+
+#include "core/scaling_factors.h"
+#include "stats/series.h"
+
+/// \file tradeoff.h
+/// Scale-out versus scale-up under IPSO. The paper (Section II) blames "the
+/// lack of a sound scaling model" for the unsettled scale-up-vs-scale-out
+/// debate [Nutch/Lucene, Michael et al.]; IPSO settles it per workload:
+/// at equal resource multiple k, scale-UP yields speedup ~k (one k×-faster
+/// unit sees no scale-out-induced or in-proportion penalty), while
+/// scale-OUT yields S(k) from the IPSO model. This module computes both
+/// and finds the crossover.
+
+namespace ipso {
+
+/// Speedup of scaling UP by factor k: one unit k times faster runs every
+/// workload component k times faster, so S = k for any workload.
+double scale_up_speedup(double k) noexcept;
+
+/// Comparison of the two strategies at equal resource multiple k.
+struct ScaleChoice {
+  double k = 1.0;
+  double scale_out = 1.0;  ///< IPSO S(k)
+  double scale_up = 1.0;   ///< k
+  /// Positive when scaling out wins (it rarely does beyond small k for
+  /// bounded types; it never does for IVs past the peak).
+  double advantage_out = 0.0;
+};
+
+/// Evaluates both strategies over resource multiples `ks`.
+std::vector<ScaleChoice> compare_scaling(const ScalingFactors& f, double eta,
+                                         std::span<const double> ks);
+
+/// The largest resource multiple at which scaling out still achieves at
+/// least `frac` of the scale-up speedup, searched over [1, k_max]. For a
+/// Gustafson-like (It, alpha = 1) workload this is k_max (they tie);
+/// for bounded or peaked types it is finite — the "stop buying nodes"
+/// point of the paper's speedup-versus-cost discussion.
+double scale_out_competitive_limit(const ScalingFactors& f, double eta,
+                                   double frac = 0.5, double k_max = 4096.0);
+
+}  // namespace ipso

@@ -1,0 +1,17 @@
+#include "core/workload.h"
+
+namespace ipso {
+
+std::string_view to_string(WorkloadType t) noexcept {
+  switch (t) {
+    case WorkloadType::kFixedSize:
+      return "fixed-size";
+    case WorkloadType::kFixedTime:
+      return "fixed-time";
+    case WorkloadType::kMemoryBounded:
+      return "memory-bounded";
+  }
+  return "unknown";
+}
+
+}  // namespace ipso

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string_view>
+
+/// \file workload.h
+/// Workload-type vocabulary shared by the whole library (paper Section IV,
+/// Eq. 13): how the parallelizable portion of the workload scales as the
+/// system scales out.
+
+namespace ipso {
+
+/// External-scaling regime of the parallelizable workload (Eq. 13).
+enum class WorkloadType {
+  kFixedSize,      ///< EX(n) = 1   — Amdahl's regime (resource-abundant)
+  kFixedTime,      ///< EX(n) = n   — Gustafson's regime (resource-constrained)
+  kMemoryBounded,  ///< EX(n) = g(n) — Sun-Ni's regime; g(n) ≈ n for
+                   ///<                data-intensive workloads (paper Fig. 6)
+};
+
+/// Human-readable name for reports.
+std::string_view to_string(WorkloadType t) noexcept;
+
+/// Decomposition of one job execution at scale-out degree n into the three
+/// IPSO workload components, all in units of sequential processing time
+/// (paper Eqs. 1-6).
+struct WorkloadComponents {
+  double n = 1.0;    ///< scale-out degree
+  double wp = 0.0;   ///< Wp(n): total parallelizable workload
+  double ws = 0.0;   ///< Ws(n): serial (merge) workload
+  double wo = 0.0;   ///< Wo(n): scale-out-induced workload (0 at n = 1)
+  double max_tp = 0.0;  ///< E[max_i Tp,i(n)]: slowest parallel task
+
+  /// Total sequential execution time of the job (Eq. 7 numerator). The
+  /// sequential execution model never incurs Wo.
+  double sequential_time() const noexcept { return wp + ws; }
+
+  /// Parallel job response time (Eq. 7 denominator).
+  double parallel_time() const noexcept { return max_tp + ws + wo; }
+
+  /// Speedup by Eq. 7.
+  double speedup() const noexcept {
+    const double d = parallel_time();
+    return d > 0.0 ? sequential_time() / d : 0.0;
+  }
+};
+
+}  // namespace ipso

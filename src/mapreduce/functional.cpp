@@ -1,0 +1,50 @@
+#include "mapreduce/functional.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ipso::mr {
+
+FunctionalRunResult run_functional(MrEngine& engine, FunctionalMrJob& job,
+                                   MrWorkloadSpec spec,
+                                   const MrJobConfig& config,
+                                   std::size_t functional_cap) {
+  if (config.num_tasks == 0) {
+    throw std::invalid_argument("run_functional: need at least one task");
+  }
+  // Functional pass on down-sampled shards.
+  const auto functional_bytes = static_cast<std::size_t>(std::min(
+      config.shard_bytes, static_cast<double>(functional_cap)));
+  job.prepare(config.seed, config.num_tasks, functional_bytes);
+
+  double input_total = 0.0, inter_total = 0.0;
+  for (std::size_t i = 0; i < job.tasks(); ++i) {
+    input_total += job.input_bytes(i);
+    inter_total += job.run_map(i);
+  }
+  job.run_reduce();
+
+  FunctionalRunResult out;
+  out.verified = job.verify();
+  const auto tasks = static_cast<double>(job.tasks());
+  out.measured_ratio = input_total > 0.0 ? inter_total / input_total : 0.0;
+  out.measured_fixed_intermediate = inter_total / tasks;
+
+  // Ground the spec in the measured volumes. Ratio-style workloads (Sort:
+  // every byte forwarded) keep a per-byte ratio; combiner-style workloads
+  // (WordCount: constant histogram) keep a per-task constant. The spec's
+  // own shape (which field is nonzero) says which interpretation applies.
+  out.grounded_spec = std::move(spec);
+  if (out.grounded_spec.intermediate_ratio > 0.0) {
+    out.grounded_spec.intermediate_ratio = out.measured_ratio;
+    out.grounded_spec.fixed_intermediate_bytes = 0.0;
+  } else {
+    out.grounded_spec.fixed_intermediate_bytes =
+        out.measured_fixed_intermediate;
+  }
+
+  out.simulated = engine.run_parallel(out.grounded_spec, config);
+  return out;
+}
+
+}  // namespace ipso::mr

@@ -1,0 +1,73 @@
+#pragma once
+
+#include "mapreduce/engine.h"
+
+#include <memory>
+#include <string>
+
+/// \file functional.h
+/// The bridge between the *functional* kernels (which really compute) and
+/// the *simulated* cost models (which really scale). A FunctionalMrJob runs
+/// the actual map/reduce computation on (down-sampled) real data, measures
+/// the intermediate-data ratio it actually produced, folds that measurement
+/// into the workload spec, and only then simulates the timing — so the
+/// scaling behaviour is grounded in measured properties of the real
+/// computation rather than hand-picked constants (DESIGN.md §2).
+
+namespace ipso::mr {
+
+/// A real MapReduce computation, type-erased.
+class FunctionalMrJob {
+ public:
+  virtual ~FunctionalMrJob() = default;
+
+  /// Workload name (matches the paired spec's name).
+  virtual std::string name() const = 0;
+
+  /// Generates the input for `tasks` map tasks of `shard_bytes` each. The
+  /// functional layer may down-sample (compute on min(shard_bytes, cap))
+  /// as long as the measured ratios remain representative.
+  virtual void prepare(std::uint64_t seed, std::size_t tasks,
+                       std::size_t shard_bytes) = 0;
+
+  /// Number of prepared tasks.
+  virtual std::size_t tasks() const = 0;
+
+  /// Actually executes map task `i`; returns the intermediate bytes the
+  /// real computation produced for it.
+  virtual double run_map(std::size_t i) = 0;
+
+  /// Actual input bytes of task `i` (functional scale).
+  virtual double input_bytes(std::size_t i) const = 0;
+
+  /// Actually merges/reduces every map output; returns final output bytes.
+  virtual double run_reduce() = 0;
+
+  /// Checks the job's correctness invariant on the final result
+  /// (sortedness, conservation of counts, checksum, estimate accuracy...).
+  virtual bool verify() const = 0;
+};
+
+/// Result of a grounded run: the simulated timing, the functional
+/// verification verdict, and the measured data ratios that were folded
+/// into the spec.
+struct FunctionalRunResult {
+  MrJobResult simulated;       ///< timing from the calibrated simulation
+  bool verified = false;       ///< functional invariant held
+  double measured_ratio = 0.0; ///< per-task intermediate/input bytes (mean)
+  double measured_fixed_intermediate = 0.0;  ///< mean per-task bytes when
+                                             ///< the ratio is ~0 (combiner)
+  MrWorkloadSpec grounded_spec;  ///< the spec actually simulated
+};
+
+/// Executes the functional job, folds its measured intermediate volumes
+/// into `spec` (replacing intermediate_ratio / fixed_intermediate_bytes),
+/// then runs the simulated parallel job with the grounded spec.
+/// The functional computation runs on down-sampled shards of at most
+/// `functional_cap` bytes; the simulation uses the job's logical sizes.
+FunctionalRunResult run_functional(MrEngine& engine, FunctionalMrJob& job,
+                                   MrWorkloadSpec spec,
+                                   const MrJobConfig& config,
+                                   std::size_t functional_cap = 1 << 16);
+
+}  // namespace ipso::mr

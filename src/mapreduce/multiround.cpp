@@ -1,0 +1,37 @@
+#include "mapreduce/multiround.h"
+
+#include <stdexcept>
+
+namespace ipso::mr {
+
+MultiRoundResult run_multi_round(MrEngine& engine,
+                                 const std::vector<Round>& rounds,
+                                 bool parallel, std::uint64_t seed) {
+  if (rounds.empty()) {
+    throw std::invalid_argument("run_multi_round: no rounds");
+  }
+  MultiRoundResult out;
+  out.components.n =
+      parallel ? static_cast<double>(engine.config().workers) : 1.0;
+  std::uint64_t round_seed = seed;
+  for (const auto& round : rounds) {
+    MrJobConfig job;
+    job.num_tasks = engine.config().workers;
+    job.shard_bytes = round.shard_bytes;
+    job.seed = round_seed++;
+    const MrJobResult r = parallel
+                              ? engine.run_parallel(round.workload, job)
+                              : engine.run_sequential(round.workload, job);
+    out.makespan += r.makespan;
+    out.components.wp += r.components.wp;
+    out.components.ws += r.components.ws;
+    out.components.wo += r.components.wo;
+    // Rounds are serialized by the merge barrier, so the parallel-phase
+    // response times add across rounds.
+    out.components.max_tp += r.components.max_tp;
+    out.rounds.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace ipso::mr

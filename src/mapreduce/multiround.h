@@ -1,0 +1,37 @@
+#pragma once
+
+#include "mapreduce/engine.h"
+
+#include <vector>
+
+/// \file multiround.h
+/// Multi-round job execution. The paper (Section III): "This model can also
+/// be applied to the case where there are multiple rounds of the split and
+/// merge phases with the same number of processing units in each split
+/// phase" — Wp, Ws, Wo are the sums over rounds. This module chains rounds
+/// of (possibly different) MapReduce workloads at the same scale-out degree
+/// and aggregates the IPSO attribution, making that claim executable.
+
+namespace ipso::mr {
+
+/// One round: a workload spec plus its per-round job shape.
+struct Round {
+  MrWorkloadSpec workload;
+  double shard_bytes = 128e6;
+};
+
+/// Aggregate result of a multi-round job.
+struct MultiRoundResult {
+  double makespan = 0.0;             ///< sum of round makespans (barriered)
+  WorkloadComponents components;     ///< summed Wp/Ws/Wo; max_tp summed too
+  std::vector<MrJobResult> rounds;   ///< per-round detail
+};
+
+/// Runs the rounds back-to-back on the engine's cluster (the barrier at
+/// each merge serializes rounds). `parallel` selects the scale-out or the
+/// sequential execution model for every round.
+MultiRoundResult run_multi_round(MrEngine& engine,
+                                 const std::vector<Round>& rounds,
+                                 bool parallel, std::uint64_t seed = 1);
+
+}  // namespace ipso::mr

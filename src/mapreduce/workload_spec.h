@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+
+/// \file workload_spec.h
+/// Cost-model description of a MapReduce workload, consumed by the engine.
+/// The constants are *calibrated from the functional kernels* in
+/// src/workloads (each kernel measures its own ops-per-byte and
+/// intermediate-data ratio on real data at small scale), so the simulated
+/// scaling behaviour is grounded in the actual computation — see
+/// DESIGN.md section 2 for the substitution argument.
+
+namespace ipso::mr {
+
+/// Per-byte / per-task cost model of one MapReduce application.
+struct MrWorkloadSpec {
+  std::string name;
+
+  // --- split (map) phase
+  double map_ops_per_byte = 1.0;  ///< CPU ops per input byte in a map task
+
+  // --- intermediate data produced by one map task over `shard_bytes` input:
+  ///   intermediate = shard_bytes * intermediate_ratio + fixed_intermediate_bytes
+  /// Sort-like workloads have ratio ~1 (all data flows to the reducer,
+  /// giving in-proportion IN(n)); WordCount-like workloads have ratio ~0 and
+  /// a fixed histogram (combiner output), giving IN(n) ~ 1.
+  double intermediate_ratio = 1.0;
+  double fixed_intermediate_bytes = 0.0;
+
+  // --- merge stage (reducer merging intermediate results)
+  double merge_ops_per_byte = 1.0;  ///< CPU ops per intermediate byte
+  double fixed_merge_ops = 0.0;     ///< constant merge-stage work
+
+  // --- final reduce stage
+  double reduce_ops_per_byte = 0.0;
+  double fixed_reduce_ops = 0.0;
+
+  /// When true, intermediate data beyond the reducer's memory spills to
+  /// disk (write + read back), the mechanism behind TeraSort's step-wise
+  /// IN(n) (paper Fig. 5).
+  bool spill_enabled = true;
+
+  /// Intermediate bytes produced by one map task over `shard_bytes` input.
+  double intermediate_bytes(double shard_bytes) const noexcept {
+    return shard_bytes * intermediate_ratio + fixed_intermediate_bytes;
+  }
+
+  /// CPU ops of one map task over `shard_bytes` input.
+  double map_ops(double shard_bytes) const noexcept {
+    return shard_bytes * map_ops_per_byte;
+  }
+
+  /// CPU ops of the merge stage over the total intermediate volume.
+  double merge_ops(double total_intermediate) const noexcept {
+    return fixed_merge_ops + total_intermediate * merge_ops_per_byte;
+  }
+
+  /// CPU ops of the final reduce stage.
+  double reduce_ops(double total_intermediate) const noexcept {
+    return fixed_reduce_ops + total_intermediate * reduce_ops_per_byte;
+  }
+};
+
+}  // namespace ipso::mr

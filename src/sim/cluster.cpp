@@ -1,0 +1,21 @@
+#include "sim/cluster.h"
+
+namespace ipso::sim {
+
+ClusterConfig default_emr_cluster(std::size_t workers) {
+  ClusterConfig cfg;
+  cfg.workers = workers;
+  cfg.worker_cpu.ops_per_second = 1e8;
+  cfg.merge_cpu.ops_per_second = 1e8;
+  cfg.worker_memory.capacity_bytes = 8e9;    // m4.large: 8 GB
+  cfg.reducer_memory.capacity_bytes = 2e9;   // paper: ~2 GB reducer heap
+  cfg.disk.bytes_per_second = 120e6;
+  cfg.network.bytes_per_second = 56.25e6;    // >= 450 Mb/s per the paper
+  cfg.network.latency_seconds = 2e-4;
+  cfg.scheduler.base_cost_seconds = 5e-3;
+  cfg.scheduler.init_seconds = 1.0;
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace ipso::sim

@@ -1,0 +1,64 @@
+#pragma once
+
+#include "sim/queueing.h"
+#include "sim/resources.h"
+#include "sim/scheduler.h"
+#include "sim/straggler.h"
+
+#include <cstddef>
+#include <stdexcept>
+
+/// \file cluster.h
+/// The simulated homogeneous Split-Merge cluster of the paper's system model
+/// (Section III): n identical worker units for the split phase plus one
+/// merge unit, coordinated by a master. Mirrors the paper's EMR testbed
+/// (m4.4xlarge master, m4.large workers, one container per unit).
+
+namespace ipso::sim {
+
+/// Static description of the cluster and its resource models.
+struct ClusterConfig {
+  std::size_t workers = 1;     ///< n: scale-out degree (split-phase units)
+  CpuModel worker_cpu{};       ///< worker compute speed
+  CpuModel merge_cpu{};        ///< merge-unit compute speed (same by default)
+  MemoryModel worker_memory{};   ///< per-worker RAM
+  MemoryModel reducer_memory{};  ///< merge-unit RAM (paper: ~2 GB reducer)
+  DiskModel disk{};            ///< local disk used for spill traffic
+  NetworkModel network{};      ///< interconnect
+  SchedulerModel scheduler{};  ///< centralized dispatch costs
+  StragglerModel straggler{};  ///< task-duration dispersion (off by default)
+
+  /// Shared-resource contention among parallel tasks (paper's citation [9]:
+  /// contention induces an effective serial workload). `contention_phi` is
+  /// the fraction of each task's work routed through the shared resource;
+  /// 0 disables the model. `contention_capacity` is the resource capacity
+  /// in concurrent task-equivalents.
+  double contention_phi = 0.0;
+  double contention_capacity = 64.0;
+
+  /// Validates structural invariants; throws std::invalid_argument.
+  void validate() const {
+    if (contention_phi < 0.0 || contention_phi >= 1.0) {
+      throw std::invalid_argument("ClusterConfig: contention_phi in [0,1)");
+    }
+    if (contention_capacity <= 0.0) {
+      throw std::invalid_argument(
+          "ClusterConfig: contention_capacity must be positive");
+    }
+    if (workers == 0) {
+      throw std::invalid_argument("ClusterConfig: need at least one worker");
+    }
+    if (worker_cpu.ops_per_second <= 0 || merge_cpu.ops_per_second <= 0) {
+      throw std::invalid_argument("ClusterConfig: CPU rate must be positive");
+    }
+    if (disk.bytes_per_second <= 0 || network.bytes_per_second <= 0) {
+      throw std::invalid_argument("ClusterConfig: bandwidth must be positive");
+    }
+  }
+};
+
+/// A paper-faithful default cluster: EMR-like constants, no stragglers,
+/// mild constant dispatch cost, 2 GB reducer memory.
+ClusterConfig default_emr_cluster(std::size_t workers);
+
+}  // namespace ipso::sim

@@ -1,0 +1,46 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ipso::sim {
+
+void Simulation::schedule(double delay, Action action) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("Simulation::schedule: negative delay");
+  }
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void Simulation::schedule_at(double time, Action action) {
+  if (time < now_) {
+    throw std::invalid_argument("Simulation::schedule_at: time in the past");
+  }
+  queue_.push({time, seq_++, std::move(action)});
+}
+
+double Simulation::run() {
+  while (!queue_.empty()) {
+    // Move the action out before popping; the action may schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.action();
+  }
+  return now_;
+}
+
+double Simulation::run_until(double until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.action();
+  }
+  if (now_ < until) now_ = until;
+  return now_;
+}
+
+}  // namespace ipso::sim

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+/// \file event_queue.h
+/// Minimal discrete-event simulation core. Time is a double in simulated
+/// seconds. Events are closures executed in (time, insertion-order) order,
+/// so simultaneous events are deterministic.
+
+namespace ipso::sim {
+
+/// Discrete-event simulation driver.
+class Simulation {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time (seconds).
+  double now() const noexcept { return now_; }
+
+  /// Schedules `action` to run `delay` seconds from now (delay >= 0).
+  void schedule(double delay, Action action);
+
+  /// Schedules `action` at an absolute time (>= now()).
+  void schedule_at(double time, Action action);
+
+  /// Runs events until the queue is empty. Returns the final time.
+  double run();
+
+  /// Runs events up to and including `until`; later events stay queued.
+  double run_until(double until);
+
+  /// Number of events executed so far.
+  std::uint64_t executed() const noexcept { return executed_; }
+
+  /// True when no events are pending.
+  bool idle() const noexcept { return queue_.empty(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  ///< ties broken by insertion order
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ipso::sim

@@ -1,0 +1,57 @@
+#include "sim/queueing.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ipso::sim {
+
+double mm1_wait(double lambda, double mu) {
+  if (lambda < 0.0 || mu <= 0.0 || lambda >= mu) {
+    throw std::invalid_argument("mm1_wait: need 0 <= lambda < mu");
+  }
+  const double rho = lambda / mu;
+  return rho / (mu * (1.0 - rho));
+}
+
+double md1_wait(double lambda, double mu) {
+  // Pollaczek-Khinchine with zero service variance: half the M/M/1 wait.
+  return 0.5 * mm1_wait(lambda, mu);
+}
+
+double mm1_in_system(double lambda, double mu) {
+  if (lambda < 0.0 || mu <= 0.0 || lambda >= mu) {
+    throw std::invalid_argument("mm1_in_system: need 0 <= lambda < mu");
+  }
+  const double rho = lambda / mu;
+  return rho / (1.0 - rho);
+}
+
+SharedResourceContention::SharedResourceContention(double phi,
+                                                   double capacity)
+    : phi_(phi), capacity_(capacity) {
+  if (phi_ < 0.0 || phi_ >= 1.0) {
+    throw std::invalid_argument("SharedResourceContention: phi in [0, 1)");
+  }
+  if (capacity_ <= 0.0) {
+    throw std::invalid_argument(
+        "SharedResourceContention: capacity must be positive");
+  }
+}
+
+double SharedResourceContention::utilization(std::size_t n) const noexcept {
+  const double rho = static_cast<double>(n) * phi_ / capacity_;
+  return std::min(rho, kSaturation);
+}
+
+double SharedResourceContention::slowdown(std::size_t n) const noexcept {
+  if (phi_ == 0.0) return 1.0;
+  const double rho = utilization(n);
+  return (1.0 - phi_) + phi_ / (1.0 - rho);
+}
+
+double SharedResourceContention::saturation_n() const noexcept {
+  if (phi_ == 0.0) return 1e300;
+  return capacity_ / phi_;
+}
+
+}  // namespace ipso::sim

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+
+/// \file resources.h
+/// Resource cost models for the simulated cluster: CPU, memory (with
+/// spill-to-disk), disk and network. These are deliberately simple,
+/// deterministic throughput models — IPSO's scaling factors depend on how
+/// workload components *grow* with n, not on absolute hardware speeds
+/// (paper Section III: "idealized scaling models ... are generally adopted").
+
+namespace ipso::sim {
+
+/// CPU: converts abstract work units ("ops") to seconds.
+struct CpuModel {
+  double ops_per_second = 1e8;
+
+  /// Seconds to execute `ops` work units.
+  double time_for(double ops) const noexcept { return ops / ops_per_second; }
+};
+
+/// Disk: sequential bandwidth; used for spill traffic when memory overflows.
+struct DiskModel {
+  double bytes_per_second = 120e6;  ///< ~HDD-class EMR local disk
+
+  /// Seconds to stream `bytes` through the disk once.
+  double time_for(double bytes) const noexcept {
+    return bytes / bytes_per_second;
+  }
+};
+
+/// Memory at one processing unit. Tracks capacity; overflow_bytes() tells
+/// the caller how much of a working set must spill to disk — the mechanism
+/// behind TeraSort's step-wise IN(n) (paper Fig. 5).
+struct MemoryModel {
+  double capacity_bytes = 2e9;  ///< paper: reducer memory ~2 GB
+
+  /// Portion of `working_set` that does not fit and must be spilled.
+  double overflow_bytes(double working_set) const noexcept {
+    return working_set > capacity_bytes ? working_set - capacity_bytes : 0.0;
+  }
+
+  /// True when the working set exceeds memory.
+  bool overflows(double working_set) const noexcept {
+    return working_set > capacity_bytes;
+  }
+};
+
+/// Network: per-link bandwidth plus a TCP-incast penalty when many senders
+/// converge on one receiver (paper Section II cites incast as a known source
+/// of scale-out-induced workload).
+struct NetworkModel {
+  double bytes_per_second = 56.25e6;  ///< 450 Mb/s, the paper's EMR floor
+  double latency_seconds = 2e-4;      ///< per-transfer setup latency
+  /// Extra service time fraction per concurrent sender beyond the first;
+  /// 0 disables incast modeling.
+  double incast_penalty_per_sender = 0.0;
+
+  /// Seconds for one point-to-point transfer of `bytes` with `senders`
+  /// concurrent flows into the same receiver (senders >= 1).
+  double transfer_time(double bytes, std::size_t senders = 1) const noexcept {
+    const double penalty =
+        1.0 + incast_penalty_per_sender *
+                  static_cast<double>(senders > 0 ? senders - 1 : 0);
+    return latency_seconds + bytes * penalty / bytes_per_second;
+  }
+
+  /// Seconds for a master-serialized broadcast of `bytes` to `receivers`
+  /// nodes: the master's uplink sends each copy in turn. This linear-in-n
+  /// cost is what drives the Collaborative Filtering pathology (q ~ n^2).
+  double broadcast_time(double bytes, std::size_t receivers) const noexcept {
+    return static_cast<double>(receivers) *
+           (latency_seconds + bytes / bytes_per_second);
+  }
+};
+
+}  // namespace ipso::sim

@@ -1,0 +1,31 @@
+#include "sim/scheduler.h"
+
+#include <cmath>
+
+namespace ipso::sim {
+
+double SchedulerModel::per_task_cost(std::size_t n) const noexcept {
+  return base_cost_seconds +
+         contention_coeff *
+             std::pow(static_cast<double>(n), contention_exponent);
+}
+
+double SchedulerModel::dispatch_finish(std::size_t k,
+                                       std::size_t n) const noexcept {
+  return static_cast<double>(k + 1) * per_task_cost(n);
+}
+
+std::vector<double> SchedulerModel::dispatch_offsets(std::size_t count,
+                                                     std::size_t n) const {
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) out.push_back(dispatch_finish(k, n));
+  return out;
+}
+
+double SchedulerModel::total_dispatch_time(std::size_t count,
+                                           std::size_t n) const noexcept {
+  return static_cast<double>(count) * per_task_cost(n);
+}
+
+}  // namespace ipso::sim

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file scheduler.h
+/// Centralized job scheduler model. Popular frameworks dispatch tasks from a
+/// single master; the paper (citing Canary [7]) notes the task scheduling
+/// rate can grow quadratically with n and become the bottleneck. The model
+/// charges a serial per-task dispatch cost at the master:
+///
+///   dispatch cost of one task = base + contention · n^exponent
+///
+/// so dispatching all n first-wave tasks costs n·base + contention·n^(1+e):
+/// with e > 0 this is a superlinear collective overhead (IVt/IVs driver).
+
+namespace ipso::sim {
+
+/// Scheduler cost parameters.
+struct SchedulerModel {
+  double base_cost_seconds = 5e-3;     ///< per-task dispatch latency
+  double contention_coeff = 0.0;       ///< extra cost scaling with cluster size
+  double contention_exponent = 1.0;    ///< n-exponent of the contention term
+  double init_seconds = 1.0;           ///< one-off execution environment init
+
+  /// Serial cost to dispatch one task when the cluster has n workers.
+  double per_task_cost(std::size_t n) const noexcept;
+
+  /// Time at which the k-th of `count` tasks (0-based) finishes dispatching,
+  /// measured from the start of the dispatch phase (after init).
+  double dispatch_finish(std::size_t k, std::size_t n) const noexcept;
+
+  /// Dispatch completion offsets for `count` tasks on an n-worker cluster.
+  std::vector<double> dispatch_offsets(std::size_t count,
+                                       std::size_t n) const;
+
+  /// Total serial scheduling time for `count` tasks (excluding init).
+  double total_dispatch_time(std::size_t count, std::size_t n) const noexcept;
+};
+
+}  // namespace ipso::sim

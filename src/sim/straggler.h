@@ -1,0 +1,28 @@
+#pragma once
+
+#include "stats/random.h"
+
+/// \file straggler.h
+/// Task-duration dispersion model. The paper formulates IPSO statistically
+/// (E[max Tp,i(n)], Eq. 8) precisely to capture stragglers, then argues the
+/// deterministic model preserves the qualitative conclusions because task
+/// tails are finite. The simulator supports both; the ablation bench compares
+/// them.
+
+namespace ipso::sim {
+
+/// Multiplicative task-duration noise. A task's nominal duration is scaled
+/// by a factor >= 1 drawn from a capped heavy-tail distribution.
+struct StragglerModel {
+  bool enabled = false;
+  double tail_shape = 3.0;  ///< Pareto shape; smaller = heavier tail
+  double cap = 4.0;         ///< max slowdown factor (finite tail, per paper)
+
+  /// Duration multiplier for one task. Returns exactly 1 when disabled.
+  double factor(stats::Rng& rng) const noexcept {
+    if (!enabled) return 1.0;
+    return rng.heavy_tail(1.0, tail_shape, cap);
+  }
+};
+
+}  // namespace ipso::sim

@@ -1,0 +1,109 @@
+#pragma once
+
+#include "core/workload.h"
+#include "sim/cluster.h"
+#include "spark/stage.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file engine.h
+/// Execution of a Spark-like DAG on the simulated cluster. Mechanisms the
+/// paper's Fig. 9/10 phenomenology depends on, all modeled explicitly:
+///
+///  * per-task driver-side scheduling cost (serial at the driver, growing
+///    with the cluster size per the SchedulerModel),
+///  * a first-wave surcharge — "the scheduling and deserialization time
+///    (i.e., the communication cost) of the first wave of tasks outweigh
+///    the following waves" — so larger N/m amortizes induced overhead,
+///  * executor-memory pressure: when an executor's cached partitions exceed
+///    its RAM, "persistent RDDs [are] spilled to the local disk", slowing
+///    its tasks — why N/m = 8 underperforms N/m = 4,
+///  * driver-serialized broadcast per stage (cost ∝ m).
+
+namespace ipso::spark {
+
+/// Engine tunables beyond the cluster config.
+struct SparkEngineParams {
+  /// Extra seconds of scheduling + closure/jar deserialization added to
+  /// every task of a stage's *first* wave on each executor.
+  double first_wave_overhead = 0.8;
+  /// Same overhead for later waves (executor reuse makes it much smaller).
+  double steady_wave_overhead = 0.05;
+  /// Multiplier on task compute time when the executor's cached partitions
+  /// spill to disk (2-3x is typical for recomputed / disk-read partitions).
+  double spill_slowdown = 2.5;
+  /// Per-attempt task failure probability (0 disables failure injection).
+  /// Failed attempts are retried up to `max_task_retries`; each retry
+  /// reruns the task, and the wasted attempts count as scale-out-induced
+  /// work.
+  double task_failure_prob = 0.0;
+  /// Failure probability multiplier for tasks running on a spilled
+  /// executor — the paper: "insufficient RAM may ... even trigger
+  /// increased task failure rate, leading to the rollback to the previous
+  /// stage and hence poor performance".
+  double spill_failure_multiplier = 4.0;
+  /// Retry budget per task; a task that exhausts it triggers one full
+  /// stage re-execution (the rollback), after which it is forced through.
+  std::size_t max_task_retries = 3;
+};
+
+/// One job instance: the (N, m) pair of the paper.
+struct SparkJobConfig {
+  std::size_t total_tasks = 1;  ///< N: nominal tasks per stage
+  std::size_t executors = 1;    ///< m: parallel degree (= cfg.workers)
+  std::uint64_t seed = 1;
+};
+
+/// Timestamps of one executed stage (what the Spark event log records).
+struct StageMetrics {
+  std::string name;
+  std::size_t stage_id = 0;
+  double submission_time = 0.0;
+  double completion_time = 0.0;
+  std::size_t tasks = 0;
+  std::size_t waves = 0;
+  bool spilled = false;
+  double broadcast_time = 0.0;
+  std::size_t retries = 0;    ///< failed task attempts that were retried
+  bool rolled_back = false;   ///< stage was re-executed after retry exhaustion
+
+  /// Stage latency.
+  double latency() const noexcept { return completion_time - submission_time; }
+};
+
+/// Result of one simulated Spark job.
+struct SparkJobResult {
+  double makespan = 0.0;
+  std::vector<StageMetrics> stages;
+  /// IPSO attribution: wp = task compute, ws = serial driver work,
+  /// wo = broadcast + scheduling + first-wave + spill excess.
+  WorkloadComponents components;
+  bool any_spill = false;
+};
+
+/// Runs Spark-like applications on a simulated cluster.
+class SparkEngine {
+ public:
+  SparkEngine(sim::ClusterConfig cfg, SparkEngineParams params = {});
+
+  /// Runs the app at (N = job.total_tasks, m = job.executors). The engine
+  /// overrides the cluster's worker count with `executors`.
+  SparkJobResult run(const SparkAppSpec& app, const SparkJobConfig& job);
+
+  /// Sequential execution model: every task of every stage back-to-back on
+  /// one executor; no broadcast (data is local), no per-task dispatch, no
+  /// cache pressure (one-pass streaming). The Eq. 7 numerator.
+  SparkJobResult run_sequential(const SparkAppSpec& app,
+                                const SparkJobConfig& job);
+
+  const sim::ClusterConfig& config() const noexcept { return cfg_; }
+  const SparkEngineParams& params() const noexcept { return params_; }
+
+ private:
+  sim::ClusterConfig cfg_;
+  SparkEngineParams params_;
+};
+
+}  // namespace ipso::spark

@@ -1,0 +1,99 @@
+#include "spark/eventlog.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace ipso::spark {
+
+namespace {
+
+/// Extracts the raw text after `"key":` in a single-line JSON object.
+/// Handles the two value shapes we emit: numbers and quoted strings.
+std::optional<std::string> json_field(const std::string& line,
+                                      const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  std::size_t start = pos + needle.size();
+  if (start >= line.size()) return std::nullopt;
+  if (line[start] == '"') {
+    const auto end = line.find('"', start + 1);
+    if (end == std::string::npos) return std::nullopt;
+    return line.substr(start + 1, end - start - 1);
+  }
+  std::size_t end = start;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(start, end - start);
+}
+
+}  // namespace
+
+std::string to_event_log(const SparkJobResult& result) {
+  std::ostringstream os;
+  os << std::setprecision(15);
+  for (const auto& s : result.stages) {
+    os << "{\"Event\":\"StageCompleted\",\"Stage ID\":" << s.stage_id
+       << ",\"Stage Name\":\"" << s.name
+       << "\",\"Submission Time\":" << s.submission_time
+       << ",\"Completion Time\":" << s.completion_time
+       << ",\"Tasks\":" << s.tasks << ",\"Spilled\":" << (s.spilled ? 1 : 0)
+       << "}\n";
+  }
+  return os.str();
+}
+
+std::vector<StageEvent> parse_event_log(const std::string& log) {
+  std::vector<StageEvent> events;
+  std::istringstream is(log);
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto event = json_field(line, "Event");
+    if (!event || *event != "StageCompleted") continue;
+    StageEvent ev;
+    if (const auto v = json_field(line, "Stage ID")) {
+      ev.stage_id = static_cast<std::size_t>(std::stoul(*v));
+    }
+    if (const auto v = json_field(line, "Stage Name")) ev.stage_name = *v;
+    if (const auto v = json_field(line, "Submission Time")) {
+      ev.submission_time = std::stod(*v);
+    }
+    if (const auto v = json_field(line, "Completion Time")) {
+      ev.completion_time = std::stod(*v);
+    }
+    if (const auto v = json_field(line, "Tasks")) {
+      ev.tasks = static_cast<std::size_t>(std::stoul(*v));
+    }
+    if (const auto v = json_field(line, "Spilled")) ev.spilled = *v == "1";
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+std::optional<double> job_latency(const std::vector<StageEvent>& events) {
+  if (events.empty()) return std::nullopt;
+  double first = events.front().submission_time;
+  double last = events.front().completion_time;
+  for (const auto& ev : events) {
+    first = std::min(first, ev.submission_time);
+    last = std::max(last, ev.completion_time);
+  }
+  return last - first;
+}
+
+std::optional<double> speedup_from_logs(const std::string& sequential_log,
+                                        const std::string& parallel_log) {
+  const auto seq = job_latency(parse_event_log(sequential_log));
+  const auto par = job_latency(parse_event_log(parallel_log));
+  if (!seq || !par || *par <= 0.0) return std::nullopt;
+  return *seq / *par;
+}
+
+std::map<std::string, double> stage_latency_totals(
+    const std::vector<StageEvent>& events) {
+  std::map<std::string, double> totals;
+  for (const auto& ev : events) totals[ev.stage_name] += ev.latency();
+  return totals;
+}
+
+}  // namespace ipso::spark

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file stage.h
+/// Description of a Spark-like application as a DAG of stages. The paper's
+/// Spark case studies (Section V.B) configure a problem size N (nominal
+/// tasks per stage) and a parallel degree m (executors); each executor runs
+/// N/m tasks per stage in waves. Applications may iterate the stage list
+/// (iterative ML) and stages may begin with a driver->executors broadcast.
+
+namespace ipso::spark {
+
+/// One stage of the application.
+struct StageSpec {
+  std::string name;
+
+  /// CPU ops per task (at the nominal per-task data size).
+  double task_ops = 1e8;
+
+  /// Input bytes one task keeps cached in executor memory when the stage's
+  /// RDD is persisted (0 = nothing cached).
+  double cached_bytes_per_task = 0.0;
+
+  /// Shuffle-write bytes per task sent to the next stage (drives a shuffle
+  /// barrier cost at the stage boundary).
+  double shuffle_bytes_per_task = 0.0;
+
+  /// Broadcast payload sent from the driver to *every* executor before the
+  /// stage's first task can run. The driver uplink serializes the copies,
+  /// so the cost is m * bytes / bw: the scale-out-induced workload that
+  /// produces the Collaborative Filtering pathology (q ~ n^2, type IVs).
+  double broadcast_bytes = 0.0;
+
+  /// Tasks in this stage as a fraction of the nominal N (later stages of a
+  /// job often run fewer tasks, e.g. aggregations).
+  double task_count_factor = 1.0;
+};
+
+/// A Spark application: stages, executed `iterations` times.
+struct SparkAppSpec {
+  std::string name;
+  std::vector<StageSpec> stages;
+  std::size_t iterations = 1;
+
+  /// Fraction of eta at n = 1 that is serial driver-side work per job
+  /// (collect/aggregate at the driver after the last stage); 0 for pure
+  /// map-style apps like Collaborative Filtering (Ws = 0 in the paper).
+  double driver_ops_per_job = 0.0;
+};
+
+}  // namespace ipso::spark

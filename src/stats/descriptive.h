@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+/// \file descriptive.h
+/// Descriptive statistics over contiguous samples. All functions take
+/// std::span<const double> so callers can pass vectors, arrays or subranges
+/// without copies.
+
+namespace ipso::stats {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> xs) noexcept;
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+double variance(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Minimum; 0 for an empty span.
+double min(std::span<const double> xs) noexcept;
+
+/// Maximum; 0 for an empty span.
+double max(std::span<const double> xs) noexcept;
+
+/// Sum of all elements.
+double sum(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile, p in [0, 100]. Copies and sorts.
+double percentile(std::span<const double> xs, double p);
+
+/// Median (50th percentile).
+double median(std::span<const double> xs);
+
+/// Coefficient of variation (stddev / mean); 0 if mean is 0.
+double coeff_variation(std::span<const double> xs) noexcept;
+
+/// Running (streaming) mean/variance accumulator — Welford's algorithm.
+/// Used by the simulator's metrics collection so repeated runs don't have to
+/// keep every sample.
+class Accumulator {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Number of observations so far.
+  std::size_t count() const noexcept { return n_; }
+
+  /// Mean of observations (0 when empty).
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance (0 with fewer than 2 observations).
+  double variance() const noexcept;
+
+  /// Sample standard deviation.
+  double stddev() const noexcept;
+
+  /// Smallest observation (0 when empty).
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+
+  /// Largest observation (0 when empty).
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  /// Merges another accumulator (parallel Welford / Chan's method).
+  void merge(const Accumulator& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ipso::stats

@@ -1,0 +1,128 @@
+#include "stats/linalg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ipso::stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("Matrix: zero dimension");
+  }
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("Matrix::operator*: shape mismatch");
+  }
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double v = at(r, k);
+      if (v == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out.at(r, c) += v * other.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(std::span<const double> v) const {
+  if (v.size() != cols_) {
+    throw std::invalid_argument("Matrix::operator*: vector length mismatch");
+  }
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out[r] += at(r, c) * v[c];
+  }
+  return out;
+}
+
+std::vector<double> solve_linear_system(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("solve_linear_system: shape mismatch");
+  }
+  // Forward elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a.at(r, col)) > std::abs(a.at(pivot, col))) pivot = r;
+    }
+    if (std::abs(a.at(pivot, col)) < 1e-12) {
+      throw std::invalid_argument("solve_linear_system: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a.at(pivot, c), a.at(col, c));
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a.at(r, col) / a.at(col, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) {
+        a.at(r, c) -= factor * a.at(col, c);
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a.at(i, c) * x[c];
+    x[i] = acc / a.at(i, i);
+  }
+  return x;
+}
+
+std::vector<double> least_squares(const Matrix& x, std::span<const double> y) {
+  if (y.size() != x.rows()) {
+    throw std::invalid_argument("least_squares: y length mismatch");
+  }
+  if (x.rows() < x.cols()) {
+    throw std::invalid_argument("least_squares: underdetermined system");
+  }
+  const Matrix xt = x.transposed();
+  const Matrix xtx = xt * x;
+  const std::vector<double> xty = xt * y;
+  return solve_linear_system(xtx, xty);
+}
+
+std::vector<double> polyfit(std::span<const double> xs,
+                            std::span<const double> ys, std::size_t degree) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("polyfit: xs/ys length mismatch");
+  }
+  if (xs.size() < degree + 1) {
+    throw std::invalid_argument("polyfit: need > degree points");
+  }
+  Matrix vandermonde(xs.size(), degree + 1);
+  for (std::size_t r = 0; r < xs.size(); ++r) {
+    double p = 1.0;
+    for (std::size_t c = 0; c <= degree; ++c) {
+      vandermonde.at(r, c) = p;
+      p *= xs[r];
+    }
+  }
+  return least_squares(vandermonde, ys);
+}
+
+double polyval(std::span<const double> coeffs, double x) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+  return acc;
+}
+
+}  // namespace ipso::stats

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+/// \file linalg.h
+/// Small dense linear algebra: just enough to solve least-squares normal
+/// equations for the polynomial and bivariate-surface fits (the paper fits
+/// "matched two-dimensional surfaces as functions of N and m based on
+/// nonlinear regression" for Figs. 9-10).
+
+namespace ipso::stats {
+
+/// Dense row-major matrix.
+class Matrix {
+ public:
+  /// rows x cols zero matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  /// Element access.
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Transpose.
+  Matrix transposed() const;
+
+  /// Matrix product (cols must match other.rows).
+  Matrix operator*(const Matrix& other) const;
+
+  /// Matrix-vector product (vector length must equal cols).
+  std::vector<double> operator*(std::span<const double> v) const;
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting. A must be
+/// square and nonsingular (throws std::invalid_argument otherwise).
+std::vector<double> solve_linear_system(Matrix a, std::vector<double> b);
+
+/// Linear least squares: minimizes |X beta - y|^2 via the normal equations
+/// X^T X beta = X^T y. X has one row per observation.
+std::vector<double> least_squares(const Matrix& x, std::span<const double> y);
+
+/// Polynomial fit y = c0 + c1 x + ... + c_deg x^deg; returns deg+1
+/// coefficients, constant first. Requires more points than coefficients.
+std::vector<double> polyfit(std::span<const double> xs,
+                            std::span<const double> ys, std::size_t degree);
+
+/// Evaluates a polynomial with coefficients constant-first.
+double polyval(std::span<const double> coeffs, double x) noexcept;
+
+}  // namespace ipso::stats

@@ -1,0 +1,133 @@
+#include "stats/nonlinear.h"
+
+#include "stats/regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ipso::stats {
+
+namespace {
+
+/// One vertex of the simplex: parameters plus cached objective value.
+struct Vertex {
+  std::vector<double> x;
+  double f = 0.0;
+};
+
+std::vector<double> weighted_sum(const std::vector<double>& a, double wa,
+                                 const std::vector<double>& b, double wb) {
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = wa * a[i] + wb * b[i];
+  return out;
+}
+
+}  // namespace
+
+MinimizeResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const NelderMeadOptions& opts) {
+  const std::size_t dim = x0.size();
+  if (dim == 0) throw std::invalid_argument("nelder_mead: empty start point");
+
+  // Standard coefficients: reflection, expansion, contraction, shrink.
+  constexpr double kAlpha = 1.0, kGamma = 2.0, kRho = 0.5, kSigma = 0.5;
+
+  std::vector<Vertex> simplex(dim + 1);
+  simplex[0] = {x0, f(x0)};
+  for (std::size_t i = 0; i < dim; ++i) {
+    std::vector<double> xi = x0;
+    const double step =
+        xi[i] != 0.0 ? opts.initial_step * xi[i] : opts.initial_step;
+    xi[i] += step;
+    simplex[i + 1] = {xi, f(xi)};
+  }
+
+  MinimizeResult result;
+  for (std::size_t iter = 0; iter < opts.max_iters; ++iter) {
+    std::sort(simplex.begin(), simplex.end(),
+              [](const Vertex& a, const Vertex& b) { return a.f < b.f; });
+
+    const double spread = std::abs(simplex.back().f - simplex.front().f);
+    if (spread < opts.tolerance) {
+      result.converged = true;
+      result.iters = iter;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(dim, 0.0);
+    for (std::size_t i = 0; i < dim; ++i) {
+      for (std::size_t j = 0; j < dim; ++j) centroid[j] += simplex[i].x[j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(dim);
+
+    Vertex& worst = simplex.back();
+    const auto xr = weighted_sum(centroid, 1.0 + kAlpha, worst.x, -kAlpha);
+    const double fr = f(xr);
+
+    if (fr < simplex.front().f) {
+      // Try to expand further in the same direction.
+      const auto xe = weighted_sum(centroid, 1.0 - kGamma, xr, kGamma);
+      const double fe = f(xe);
+      worst = fe < fr ? Vertex{xe, fe} : Vertex{xr, fr};
+    } else if (fr < simplex[dim - 1].f) {
+      worst = {xr, fr};
+    } else {
+      // Contract toward the centroid.
+      const auto xc = weighted_sum(centroid, 1.0 - kRho, worst.x, kRho);
+      const double fc = f(xc);
+      if (fc < worst.f) {
+        worst = {xc, fc};
+      } else {
+        // Shrink everything toward the best vertex.
+        for (std::size_t i = 1; i <= dim; ++i) {
+          simplex[i].x =
+              weighted_sum(simplex[0].x, 1.0 - kSigma, simplex[i].x, kSigma);
+          simplex[i].f = f(simplex[i].x);
+        }
+      }
+    }
+    result.iters = iter + 1;
+  }
+
+  std::sort(simplex.begin(), simplex.end(),
+            [](const Vertex& a, const Vertex& b) { return a.f < b.f; });
+  result.params = simplex.front().x;
+  result.value = simplex.front().f;
+  return result;
+}
+
+MinimizeResult fit_curve(
+    const Series& s,
+    const std::function<double(const std::vector<double>&, double)>& model,
+    std::vector<double> initial, const NelderMeadOptions& opts) {
+  auto objective = [&](const std::vector<double>& p) {
+    double acc = 0.0;
+    for (const auto& pt : s) {
+      const double r = pt.y - model(p, pt.x);
+      acc += r * r;
+    }
+    return acc;
+  };
+  return nelder_mead(objective, std::move(initial), opts);
+}
+
+HyperbolicFit fit_hyperbolic(const Series& s) {
+  Series inv("1/x of " + s.name());
+  for (const auto& p : s) {
+    if (p.x > 0.0) inv.add(1.0 / p.x, p.y);
+  }
+  if (inv.size() < 2) {
+    throw std::invalid_argument("fit_hyperbolic: need >= 2 positive-x points");
+  }
+  const LinearFit lf = fit_linear(inv);
+  HyperbolicFit hf;
+  hf.a = lf.slope;
+  hf.c = lf.intercept;
+  hf.r_squared = r_squared(s, hf);
+  return hf;
+}
+
+}  // namespace ipso::stats

@@ -1,0 +1,57 @@
+#pragma once
+
+#include "stats/series.h"
+
+#include <functional>
+#include <vector>
+
+/// \file nonlinear.h
+/// Derivative-free nonlinear least squares (Nelder-Mead simplex). Used to fit
+/// the Collaborative Filtering timing model E[max Tp,i(n)] = a/n + c (Fig. 8
+/// of the paper) and any other non-power-law curve the experiments need.
+
+namespace ipso::stats {
+
+/// Options for the Nelder-Mead minimizer.
+struct NelderMeadOptions {
+  std::size_t max_iters = 2000;   ///< iteration cap
+  double tolerance = 1e-10;       ///< simplex spread convergence threshold
+  double initial_step = 0.5;      ///< relative size of the initial simplex
+};
+
+/// Result of a minimization.
+struct MinimizeResult {
+  std::vector<double> params;  ///< best parameter vector found
+  double value = 0.0;          ///< objective at `params`
+  std::size_t iters = 0;       ///< iterations used
+  bool converged = false;      ///< true when the spread fell under tolerance
+};
+
+/// Minimizes `f` starting from `x0` using Nelder-Mead. `f` must accept a
+/// parameter vector of the same length as `x0`.
+MinimizeResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const NelderMeadOptions& opts = {});
+
+/// Least-squares curve fit: minimizes sum_i (y_i - model(params, x_i))^2 over
+/// the series. Returns the best parameters (same length as `initial`).
+MinimizeResult fit_curve(
+    const Series& s,
+    const std::function<double(const std::vector<double>&, double)>& model,
+    std::vector<double> initial, const NelderMeadOptions& opts = {});
+
+/// Fit of the hyperbolic timing model y = a/x + c used for the CF case study.
+struct HyperbolicFit {
+  double a = 0.0;  ///< 1/x coefficient
+  double c = 0.0;  ///< constant floor
+  double r_squared = 0.0;
+
+  /// Evaluates the fitted curve.
+  double operator()(double x) const noexcept { return a / x + c; }
+};
+
+/// Fits y = a/x + c (requires >= 2 points with distinct positive x). This is
+/// linear in (1/x) so it reduces to OLS; exposed for convenience.
+HyperbolicFit fit_hyperbolic(const Series& s);
+
+}  // namespace ipso::stats

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+/// \file random.h
+/// Deterministic, seedable pseudo-random number generation for reproducible
+/// experiments. Provides SplitMix64 (for seeding) and xoshiro256** (the main
+/// generator), plus the distribution helpers the simulator and the workload
+/// generators need. The standard-library distributions are deliberately
+/// avoided because their output is implementation-defined; every result in
+/// this repository must be bit-reproducible across toolchains.
+
+namespace ipso::stats {
+
+/// SplitMix64: tiny generator used to expand a single 64-bit seed into the
+/// 256-bit state of xoshiro256**. Passes BigCrush when used standalone.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64-bit value.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// All distribution helpers are methods so call sites stay terse.
+class Rng {
+ public:
+  /// Seeds the full state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x1234abcd5678ef00ULL) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, bound) using Lemire's rejection method.
+  std::uint64_t uniform_below(std::uint64_t bound) noexcept;
+
+  /// Standard normal via Box-Muller (caches the spare variate).
+  double normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Exponential with the given rate (lambda > 0).
+  double exponential(double rate) noexcept;
+
+  /// Bounded Pareto-like heavy tail: min * U^(-1/shape); used for straggler
+  /// injection. The result is clamped to `cap` to keep E[max] finite, matching
+  /// the paper's observation that tails are finite in practice.
+  double heavy_tail(double min, double shape, double cap) noexcept;
+
+  /// Fisher-Yates shuffle of an index range [0, n) returned as a permutation.
+  /// (Utility for sampling-based partitioners.)
+  template <typename T>
+  void shuffle(T* data, std::size_t n) noexcept {
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_below(i));
+      T tmp = data[i - 1];
+      data[i - 1] = data[j];
+      data[j] = tmp;
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace ipso::stats

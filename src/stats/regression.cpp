@@ -1,0 +1,143 @@
+#include "stats/regression.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ipso::stats {
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("fit_linear: xs/ys size mismatch");
+  }
+  const std::size_t n = xs.size();
+  if (n < 2) throw std::invalid_argument("fit_linear: need >= 2 points");
+
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) throw std::invalid_argument("fit_linear: degenerate x");
+
+  LinearFit f;
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  if (syy == 0.0) {
+    f.r_squared = 1.0;
+  } else {
+    f.r_squared = (sxy * sxy) / (sxx * syy);
+  }
+  if (n > 2) {
+    // Residual variance and the classical OLS standard errors.
+    double sse_acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = ys[i] - f(xs[i]);
+      sse_acc += r * r;
+    }
+    const double sigma2 = sse_acc / static_cast<double>(n - 2);
+    f.slope_stderr = std::sqrt(sigma2 / sxx);
+    f.intercept_stderr =
+        std::sqrt(sigma2 * (1.0 / static_cast<double>(n) + mx * mx / sxx));
+  }
+  return f;
+}
+
+LinearFit fit_linear(const Series& s) {
+  const auto xs = s.xs();
+  const auto ys = s.ys();
+  return fit_linear(xs, ys);
+}
+
+double PowerFit::operator()(double x) const noexcept {
+  return coeff * std::pow(x, exponent);
+}
+
+PowerFit fit_power(const Series& s) {
+  Series logs("log " + s.name());
+  for (const auto& p : s) {
+    if (p.x > 0.0 && p.y > 0.0) logs.add(std::log(p.x), std::log(p.y));
+  }
+  if (logs.size() < 2) {
+    throw std::invalid_argument("fit_power: need >= 2 positive points");
+  }
+  const LinearFit lf = fit_linear(logs);
+  PowerFit pf;
+  pf.exponent = lf.slope;
+  pf.coeff = std::exp(lf.intercept);
+  pf.r_squared = lf.r_squared;
+  pf.exponent_stderr = lf.slope_stderr;
+  return pf;
+}
+
+bool SegmentedFit::has_breakpoint(double min_slope_ratio) const noexcept {
+  const double a = std::abs(left.slope);
+  const double b = std::abs(right.slope);
+  if (a == 0.0 && b == 0.0) {
+    // Two flats: a breakpoint exists only if the levels jump.
+    return std::abs(right.intercept - left.intercept) >
+           0.05 * std::max(1.0, std::abs(left.intercept));
+  }
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  if (lo == 0.0) return true;
+  if (hi / lo >= min_slope_ratio) return true;
+  // Same slope but a level jump at the knot also counts as step-wise.
+  const double jump = std::abs(right(knot) - left(knot));
+  return jump > 0.1 * std::max(1.0, std::abs(left(knot)));
+}
+
+SegmentedFit fit_segmented(const Series& s, std::size_t min_seg) {
+  if (min_seg < 2) min_seg = 2;
+  if (s.size() < 2 * min_seg) {
+    throw std::invalid_argument("fit_segmented: too few points");
+  }
+  SegmentedFit best;
+  best.sse = std::numeric_limits<double>::infinity();
+  const auto xs = s.xs();
+  const auto ys = s.ys();
+  for (std::size_t split = min_seg; split + min_seg <= s.size(); ++split) {
+    const std::span<const double> lx(xs.data(), split);
+    const std::span<const double> ly(ys.data(), split);
+    const std::span<const double> rx(xs.data() + split, xs.size() - split);
+    const std::span<const double> ry(ys.data() + split, ys.size() - split);
+    LinearFit lf, rf;
+    try {
+      lf = fit_linear(lx, ly);
+      rf = fit_linear(rx, ry);
+    } catch (const std::invalid_argument&) {
+      continue;  // degenerate segment (all same x)
+    }
+    double total = 0.0;
+    for (std::size_t i = 0; i < split; ++i) {
+      const double r = ly[i] - lf(lx[i]);
+      total += r * r;
+    }
+    for (std::size_t i = 0; i < rx.size(); ++i) {
+      const double r = ry[i] - rf(rx[i]);
+      total += r * r;
+    }
+    if (total < best.sse) {
+      best.left = lf;
+      best.right = rf;
+      best.knot = xs[split - 1];
+      best.sse = total;
+    }
+  }
+  if (!std::isfinite(best.sse)) {
+    throw std::invalid_argument("fit_segmented: no valid split found");
+  }
+  return best;
+}
+
+}  // namespace ipso::stats

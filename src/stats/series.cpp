@@ -1,0 +1,98 @@
+#include "stats/series.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ipso::stats {
+
+Series::Series(std::string name, std::span<const double> xs,
+               std::span<const double> ys)
+    : name_(std::move(name)) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("Series: xs and ys must have equal length");
+  }
+  points_.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) points_.push_back({xs[i], ys[i]});
+}
+
+std::vector<double> Series::xs() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.x);
+  return out;
+}
+
+std::vector<double> Series::ys() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.y);
+  return out;
+}
+
+Series Series::slice_x(double lo, double hi) const {
+  Series out(name_);
+  for (const auto& p : points_) {
+    if (p.x >= lo && p.x <= hi) out.add(p.x, p.y);
+  }
+  return out;
+}
+
+double Series::interpolate(double x) const {
+  if (points_.empty()) return 0.0;
+  if (x <= points_.front().x) return points_.front().y;
+  if (x >= points_.back().x) return points_.back().y;
+  // Find the bracketing segment.
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), x,
+      [](const Point& p, double v) { return p.x < v; });
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  if (hi.x == lo.x) return lo.y;
+  const double t = (x - lo.x) / (hi.x - lo.x);
+  return lo.y * (1.0 - t) + hi.y * t;
+}
+
+double Series::argmax_x() const noexcept {
+  if (points_.empty()) return 0.0;
+  const auto it = std::max_element(
+      points_.begin(), points_.end(),
+      [](const Point& a, const Point& b) { return a.y < b.y; });
+  return it->x;
+}
+
+double Series::max_y() const noexcept {
+  if (points_.empty()) return 0.0;
+  const auto it = std::max_element(
+      points_.begin(), points_.end(),
+      [](const Point& a, const Point& b) { return a.y < b.y; });
+  return it->y;
+}
+
+bool is_monotone_nondecreasing(const Series& s, double tol) noexcept {
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (s[i].y < s[i - 1].y - tol) return false;
+  }
+  return true;
+}
+
+bool is_peaked(const Series& s, double drop_frac) noexcept {
+  if (s.size() < 3) return false;
+  const double peak = s.max_y();
+  if (peak <= 0.0) return false;
+  // The peak must be interior and the tail must drop below the threshold.
+  std::size_t peak_idx = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i].y == peak) {
+      peak_idx = i;
+      break;
+    }
+  }
+  if (peak_idx + 1 >= s.size()) return false;  // still rising at the end
+  double tail_min = peak;
+  for (std::size_t i = peak_idx + 1; i < s.size(); ++i) {
+    tail_min = std::min(tail_min, s[i].y);
+  }
+  return tail_min < peak * (1.0 - drop_frac);
+}
+
+}  // namespace ipso::stats

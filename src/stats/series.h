@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+/// \file series.h
+/// A Series is the universal currency of this repository: a set of (x, y)
+/// points such as (scale-out degree n, speedup S(n)) or (n, IN(n)). All the
+/// fitters in regression.h / nonlinear.h consume Series, and all the bench
+/// printers emit them.
+
+namespace ipso::stats {
+
+/// One (x, y) observation.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Ordered collection of (x, y) points with a name, e.g. "TeraSort IN(n)".
+class Series {
+ public:
+  Series() = default;
+
+  /// Creates an empty named series.
+  explicit Series(std::string name) : name_(std::move(name)) {}
+
+  /// Creates a named series from parallel x/y ranges (sizes must match).
+  Series(std::string name, std::span<const double> xs,
+         std::span<const double> ys);
+
+  /// Appends one point.
+  void add(double x, double y) { points_.push_back({x, y}); }
+
+  /// Number of points.
+  std::size_t size() const noexcept { return points_.size(); }
+
+  /// True when the series has no points.
+  bool empty() const noexcept { return points_.empty(); }
+
+  /// Point access.
+  const Point& operator[](std::size_t i) const { return points_[i]; }
+
+  /// All points.
+  const std::vector<Point>& points() const noexcept { return points_; }
+
+  /// Series name (used by report printers).
+  const std::string& name() const noexcept { return name_; }
+
+  /// Renames the series.
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// All x values, in order.
+  std::vector<double> xs() const;
+
+  /// All y values, in order.
+  std::vector<double> ys() const;
+
+  /// Restricts to points with lo <= x <= hi (used to fit on small n only).
+  Series slice_x(double lo, double hi) const;
+
+  /// Applies y -> f(y) pointwise and returns the transformed series.
+  template <typename F>
+  Series map_y(F&& f) const {
+    Series out(name_);
+    out.points_.reserve(points_.size());
+    for (const auto& p : points_) out.add(p.x, f(p.y));
+    return out;
+  }
+
+  /// Linear interpolation of y at the given x; clamps outside the x-range.
+  /// Requires points sorted by x (the experiment sweeps always are).
+  double interpolate(double x) const;
+
+  /// The x value whose y is largest; 0 for an empty series.
+  double argmax_x() const noexcept;
+
+  /// The largest y value; 0 for an empty series.
+  double max_y() const noexcept;
+
+  /// Iterators so range-for works.
+  auto begin() const noexcept { return points_.begin(); }
+  auto end() const noexcept { return points_.end(); }
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+/// True when ys are non-decreasing along the series (tolerance for noise).
+bool is_monotone_nondecreasing(const Series& s, double tol = 1e-9) noexcept;
+
+/// True when the series rises to an interior maximum and then falls by more
+/// than `drop_frac` of the peak — the signature of type-IV (peaked) scaling.
+bool is_peaked(const Series& s, double drop_frac = 0.05) noexcept;
+
+}  // namespace ipso::stats

@@ -1,0 +1,56 @@
+#include "stats/surface.h"
+
+#include "stats/linalg.h"
+
+#include <stdexcept>
+
+namespace ipso::stats {
+
+QuadraticSurface QuadraticSurface::fit(std::span<const SurfacePoint> samples) {
+  if (samples.size() < 6) {
+    throw std::invalid_argument("QuadraticSurface::fit: need >= 6 samples");
+  }
+  Matrix design(samples.size(), 6);
+  std::vector<double> z(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto& p = samples[i];
+    design.at(i, 0) = 1.0;
+    design.at(i, 1) = p.x;
+    design.at(i, 2) = p.y;
+    design.at(i, 3) = p.x * p.x;
+    design.at(i, 4) = p.x * p.y;
+    design.at(i, 5) = p.y * p.y;
+    z[i] = p.z;
+  }
+  const auto beta = least_squares(design, z);
+
+  QuadraticSurface s;
+  for (std::size_t i = 0; i < 6; ++i) s.c_[i] = beta[i];
+
+  // R^2 on the fitting samples.
+  double mean = 0.0;
+  for (double v : z) mean += v;
+  mean /= static_cast<double>(z.size());
+  double sse = 0.0, sst = 0.0;
+  for (const auto& p : samples) {
+    const double r = p.z - s(p.x, p.y);
+    sse += r * r;
+    sst += (p.z - mean) * (p.z - mean);
+  }
+  s.r2_ = sst > 0.0 ? 1.0 - sse / sst : 1.0;
+  return s;
+}
+
+double QuadraticSurface::operator()(double x, double y) const noexcept {
+  return c_[0] + c_[1] * x + c_[2] * y + c_[3] * x * x + c_[4] * x * y +
+         c_[5] * y * y;
+}
+
+Series QuadraticSurface::slice_fixed_x(double x, std::span<const double> ys,
+                                       std::string name) const {
+  Series out(std::move(name));
+  for (double y : ys) out.add(y, (*this)(x, y));
+  return out;
+}
+
+}  // namespace ipso::stats

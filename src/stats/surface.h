@@ -1,0 +1,59 @@
+#pragma once
+
+#include "stats/series.h"
+
+#include <array>
+#include <span>
+
+/// \file surface.h
+/// Bivariate quadratic surface fitting. The paper plots Figs. 9-10 as "the
+/// projected curves of the matched two-dimensional surfaces as functions of
+/// N and m based on nonlinear regression" — this is that surface: a full
+/// quadratic z ~ c0 + c1 x + c2 y + c3 x^2 + c4 x y + c5 y^2 fitted by
+/// least squares, with slice helpers producing the projections.
+
+namespace ipso::stats {
+
+/// One (x, y, z) observation, e.g. (N, m, speedup).
+struct SurfacePoint {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+};
+
+/// Fitted quadratic surface.
+class QuadraticSurface {
+ public:
+  /// Least-squares fit over the samples (needs >= 6 in general position;
+  /// throws std::invalid_argument otherwise).
+  static QuadraticSurface fit(std::span<const SurfacePoint> samples);
+
+  /// Evaluates the surface.
+  double operator()(double x, double y) const noexcept;
+
+  /// Coefficients (c0..c5) of 1, x, y, x^2, xy, y^2.
+  const std::array<double, 6>& coeffs() const noexcept { return c_; }
+
+  /// Coefficient of determination on the fitting samples.
+  double r_squared() const noexcept { return r2_; }
+
+  /// Projection y -> f(g(y), y): slice along a curve x = g(y). Used for
+  /// the fixed-time dimension (x = N = k·m with y = m).
+  template <typename G>
+  Series slice(std::span<const double> ys, G&& g,
+               std::string name = "slice") const {
+    Series out(std::move(name));
+    for (double y : ys) out.add(y, (*this)(g(y), y));
+    return out;
+  }
+
+  /// Slice at constant x (the fixed-size dimension: N fixed, sweep m).
+  Series slice_fixed_x(double x, std::span<const double> ys,
+                       std::string name = "fixed-x slice") const;
+
+ private:
+  std::array<double, 6> c_{};
+  double r2_ = 0.0;
+};
+
+}  // namespace ipso::stats

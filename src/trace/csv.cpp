@@ -1,0 +1,131 @@
+#include "trace/csv.h"
+
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace ipso::trace {
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, ',')) {
+    // Trim surrounding whitespace.
+    const auto b = cell.find_first_not_of(" \t\r");
+    const auto e = cell.find_last_not_of(" \t\r");
+    cells.push_back(b == std::string::npos ? ""
+                                           : cell.substr(b, e - b + 1));
+  }
+  return cells;
+}
+
+bool is_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool skippable(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;  // all whitespace
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const std::string& x_label,
+               const std::vector<stats::Series>& series, int precision) {
+  std::set<double> grid;
+  for (const auto& s : series) {
+    for (const auto& p : s) grid.insert(p.x);
+  }
+  os << x_label;
+  for (const auto& s : series) os << "," << s.name();
+  os << "\n";
+  os << std::setprecision(precision);
+  for (double x : grid) {
+    os << x;
+    for (const auto& s : series) os << "," << s.interpolate(x);
+    os << "\n";
+  }
+}
+
+stats::Series read_series_csv(std::istream& is, std::string name) {
+  stats::Series out(std::move(name));
+  std::string line;
+  bool first_content = true;
+  while (std::getline(is, line)) {
+    if (skippable(line)) continue;
+    const auto cells = split_commas(line);
+    if (cells.size() < 2) {
+      throw std::invalid_argument("read_series_csv: need two columns: " +
+                                  line);
+    }
+    if (first_content && (!is_numeric(cells[0]) || !is_numeric(cells[1]))) {
+      first_content = false;  // header line
+      continue;
+    }
+    first_content = false;
+    if (!is_numeric(cells[0]) || !is_numeric(cells[1])) {
+      throw std::invalid_argument("read_series_csv: malformed row: " + line);
+    }
+    out.add(std::stod(cells[0]), std::stod(cells[1]));
+  }
+  return out;
+}
+
+std::vector<stats::Series> read_table_csv(std::istream& is) {
+  std::vector<stats::Series> out;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    if (skippable(line)) continue;
+    const auto cells = split_commas(line);
+    if (cells.size() < 2) {
+      throw std::invalid_argument("read_table_csv: need >= 2 columns");
+    }
+    if (out.empty()) {
+      // First content line: header or data.
+      if (!is_numeric(cells[0])) {
+        saw_header = true;
+        for (std::size_t c = 1; c < cells.size(); ++c) {
+          out.emplace_back(cells[c]);
+        }
+        continue;
+      }
+      for (std::size_t c = 1; c < cells.size(); ++c) {
+        out.emplace_back("col" + std::to_string(c));
+      }
+    }
+    if (cells.size() != out.size() + 1) {
+      throw std::invalid_argument("read_table_csv: ragged row: " + line);
+    }
+    if (!is_numeric(cells[0])) {
+      if (saw_header) {
+        throw std::invalid_argument("read_table_csv: malformed row: " + line);
+      }
+      continue;
+    }
+    const double x = std::stod(cells[0]);
+    for (std::size_t c = 1; c < cells.size(); ++c) {
+      if (!is_numeric(cells[c])) {
+        throw std::invalid_argument("read_table_csv: malformed cell: " +
+                                    cells[c]);
+      }
+      out[c - 1].add(x, std::stod(cells[c]));
+    }
+  }
+  return out;
+}
+
+}  // namespace ipso::trace

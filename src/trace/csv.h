@@ -1,0 +1,30 @@
+#pragma once
+
+#include "stats/series.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file csv.h
+/// CSV import/export for measurement series, so the diagnostic pipeline can
+/// consume speedup curves measured on real clusters (the intended
+/// downstream use of IPSO) and benches can emit plot-ready data.
+
+namespace ipso::trace {
+
+/// Writes series sharing an x grid as CSV: header "x,<name1>,<name2>,...",
+/// one row per x in the union grid (linear interpolation for gaps).
+void write_csv(std::ostream& os, const std::string& x_label,
+               const std::vector<stats::Series>& series, int precision = 6);
+
+/// Parses a two-column CSV ("n,value"; a header line is auto-detected and
+/// skipped; blank lines and '#' comments ignored). Throws
+/// std::invalid_argument on malformed numeric rows.
+stats::Series read_series_csv(std::istream& is, std::string name = "csv");
+
+/// Parses a multi-column CSV into one series per column (first column is
+/// x). Column names come from the header when present, else "col<i>".
+std::vector<stats::Series> read_table_csv(std::istream& is);
+
+}  // namespace ipso::trace

@@ -1,0 +1,98 @@
+#include "trace/json.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace ipso::trace {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void append_series(std::ostringstream& os, const stats::Series& s) {
+  os << "{\"name\":\"" << escape(s.name()) << "\",\"points\":[";
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) os << ",";
+    os << "[" << s[i].x << "," << s[i].y << "]";
+  }
+  os << "]}";
+}
+
+void append_components(std::ostringstream& os, const WorkloadComponents& c) {
+  os << "{\"n\":" << c.n << ",\"wp\":" << c.wp << ",\"ws\":" << c.ws
+     << ",\"wo\":" << c.wo << ",\"max_tp\":" << c.max_tp << "}";
+}
+
+}  // namespace
+
+std::string to_json(const stats::Series& series) {
+  std::ostringstream os;
+  os << std::setprecision(12);
+  append_series(os, series);
+  return os.str();
+}
+
+std::string to_json(const MrSweepResult& result) {
+  std::ostringstream os;
+  os << std::setprecision(12);
+  os << "{\"kind\":\"mr_sweep\",\"eta\":" << result.factors.eta
+     << ",\"tp1\":" << result.tp1 << ",\"ts1\":" << result.ts1
+     << ",\"speedup\":";
+  append_series(os, result.speedup);
+  os << ",\"ex\":";
+  append_series(os, result.factors.ex);
+  os << ",\"in\":";
+  append_series(os, result.factors.in);
+  os << ",\"q\":";
+  append_series(os, result.factors.q);
+  os << ",\"points\":[";
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    if (i) os << ",";
+    const auto& p = result.points[i];
+    os << "{\"n\":" << p.n << ",\"parallel_time\":" << p.parallel_time
+       << ",\"sequential_time\":" << p.sequential_time
+       << ",\"speedup\":" << p.speedup
+       << ",\"spilled\":" << (p.spilled ? "true" : "false")
+       << ",\"components\":";
+    append_components(os, p.components);
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string to_json(const SparkSweepResult& result) {
+  std::ostringstream os;
+  os << std::setprecision(12);
+  os << "{\"kind\":\"spark_sweep\",\"eta\":" << result.factors.eta
+     << ",\"tp1\":" << result.tp1 << ",\"ts1\":" << result.ts1
+     << ",\"speedup\":";
+  append_series(os, result.speedup);
+  os << ",\"q\":";
+  append_series(os, result.factors.q);
+  os << ",\"points\":[";
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    if (i) os << ",";
+    const auto& p = result.points[i];
+    os << "{\"m\":" << p.m << ",\"total_tasks\":" << p.total_tasks
+       << ",\"parallel_time\":" << p.parallel_time
+       << ",\"sequential_time\":" << p.sequential_time
+       << ",\"speedup\":" << p.speedup
+       << ",\"spilled\":" << (p.spilled ? "true" : "false")
+       << ",\"components\":";
+    append_components(os, p.components);
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace ipso::trace

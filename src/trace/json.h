@@ -1,0 +1,24 @@
+#pragma once
+
+#include "trace/experiment.h"
+
+#include <string>
+
+/// \file json.h
+/// JSON export of experiment results, so downstream plotting/analysis
+/// tooling (the usual notebook) can consume sweeps without parsing the
+/// human-readable tables.
+
+namespace ipso::trace {
+
+/// One series as {"name": "...", "points": [[x, y], ...]}.
+std::string to_json(const stats::Series& series);
+
+/// A MapReduce sweep: speedup + factor series + eta/tp1/ts1 + per-point
+/// component attribution.
+std::string to_json(const MrSweepResult& result);
+
+/// A Spark sweep: speedup + factor series + per-point attribution.
+std::string to_json(const SparkSweepResult& result);
+
+}  // namespace ipso::trace

@@ -1,0 +1,17 @@
+#include "trace/reference_data.h"
+
+namespace ipso::trace::reference {
+
+stats::Series cf_max_tp_series() {
+  stats::Series s("CF E[max Tp,i(n)]");
+  for (const auto& row : kCollabFilteringTable) s.add(row.n, row.e_max_tp);
+  return s;
+}
+
+stats::Series cf_wo_series() {
+  stats::Series s("CF Wo(n)");
+  for (const auto& row : kCollabFilteringTable) s.add(row.n, row.wo);
+  return s;
+}
+
+}  // namespace ipso::trace::reference

@@ -1,0 +1,55 @@
+#pragma once
+
+#include "stats/series.h"
+
+/// \file reference_data.h
+/// Measurement data published in the paper, embedded as reference datasets.
+/// Used (a) to run IPSO's fitting pipeline on the exact numbers the authors
+/// used, and (b) as pass/fail anchors for the reproduction benches.
+
+namespace ipso::trace::reference {
+
+/// Paper Table I: Collaborative Filtering (from Orchestra [12]).
+/// Columns: n, E[max Tp,i(n)] seconds, Wo(n) seconds.
+struct CfRow {
+  double n;
+  double e_max_tp;
+  double wo;
+};
+
+/// The four published rows of Table I.
+inline constexpr CfRow kCollabFilteringTable[] = {
+    {10.0, 209.0, 5.5},
+    {30.0, 79.3, 17.7},
+    {60.0, 43.7, 36.0},
+    {90.0, 31.1, 54.3},
+};
+
+/// E[Tp,1(1)] the paper extrapolates from the matched curve (Section V).
+inline constexpr double kCfTp1 = 1602.5;
+
+/// The paper's peak speedup observation for CF ("the dismal speedup, 21,
+/// at its peak") and the scale-out degree beyond which scaling only hurts.
+inline constexpr double kCfPeakSpeedup = 21.0;
+inline constexpr double kCfPeakN = 60.0;
+
+/// E[max Tp,i(n)] as a series.
+stats::Series cf_max_tp_series();
+
+/// Wo(n) as a series.
+stats::Series cf_wo_series();
+
+/// Paper Fig. 6 linear fits of the internal scaling factor.
+inline constexpr double kSortInSlope = 0.36;
+inline constexpr double kSortInIntercept = -0.11;
+inline constexpr double kTeraSortInSlope = 0.23;     // n > 16
+inline constexpr double kTeraSortInIntercept = 2.72;
+inline constexpr double kTeraSortPreSpillSlope = 0.15;   // Fig. 5 IN'(n)
+inline constexpr double kTeraSortPostSpillSlope = 0.25;  // Fig. 5 IN(n)
+inline constexpr double kTeraSortSpillOnsetN = 15.0;
+
+/// Paper's in-proportion ratio and speedup bound for TeraSort (Section V).
+inline constexpr double kTeraSortEpsilon = 4.3;
+inline constexpr double kTeraSortSpeedupBound = 3.0;
+
+}  // namespace ipso::trace::reference

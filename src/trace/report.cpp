@@ -1,0 +1,64 @@
+#include "trace/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace ipso::trace {
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n==== " << title << " ====\n";
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void print_table(std::ostream& os, const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      os << std::setw(static_cast<int>(widths[c]) + 2) << cell;
+    }
+    os << "\n";
+  };
+  print_row(header);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows) print_row(row);
+}
+
+void print_series_table(std::ostream& os, const std::string& x_label,
+                        const std::vector<stats::Series>& series,
+                        int precision) {
+  std::set<double> grid;
+  for (const auto& s : series) {
+    for (const auto& p : s) grid.insert(p.x);
+  }
+  std::vector<std::string> header{x_label};
+  for (const auto& s : series) header.push_back(s.name());
+
+  std::vector<std::vector<std::string>> rows;
+  for (double x : grid) {
+    std::vector<std::string> row{fmt(x, x == std::floor(x) ? 0 : 2)};
+    for (const auto& s : series) row.push_back(fmt(s.interpolate(x), precision));
+    rows.push_back(std::move(row));
+  }
+  print_table(os, header, rows);
+}
+
+}  // namespace ipso::trace

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "stats/series.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file report.h
+/// Plain-text table and series printers used by every bench binary to emit
+/// the paper's tables and figure data as aligned columns (one row per n,
+/// one column per curve).
+
+namespace ipso::trace {
+
+/// Prints a banner like "==== Fig. 4: ... ====".
+void print_banner(std::ostream& os, const std::string& title);
+
+/// Prints several series sharing the same x grid as one aligned table. The
+/// first column is x (labelled `x_label`); each series contributes a column
+/// titled with its name. Series are sampled at the union of all x values
+/// (linear interpolation for missing points).
+void print_series_table(std::ostream& os, const std::string& x_label,
+                        const std::vector<stats::Series>& series,
+                        int precision = 3);
+
+/// Prints a generic table: `header` cells, then rows. Column widths adapt.
+void print_table(std::ostream& os, const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows);
+
+/// Formats a double with fixed precision.
+std::string fmt(double v, int precision = 3);
+
+}  // namespace ipso::trace

@@ -1,0 +1,155 @@
+#include "workloads/bayes.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ipso::wl {
+
+namespace {
+constexpr double kVarianceFloor = 1e-6;
+}
+
+BayesModel bayes_train(const std::vector<LabeledPoint>& data,
+                       std::size_t classes) {
+  if (data.empty()) throw std::invalid_argument("bayes_train: empty data");
+  const std::size_t dims = data.front().features.size();
+  BayesModel m;
+  m.classes = classes;
+  m.dims = dims;
+  m.prior.assign(classes, 0.0);
+  m.mean.assign(classes * dims, 0.0);
+  m.variance.assign(classes * dims, 0.0);
+
+  std::vector<double> count(classes, 0.0);
+  for (const auto& p : data) {
+    const auto c = static_cast<std::size_t>(p.label);
+    if (c >= classes || p.features.size() != dims) {
+      throw std::invalid_argument("bayes_train: inconsistent sample");
+    }
+    count[c] += 1.0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      m.mean[c * dims + d] += p.features[d];
+    }
+  }
+  for (std::size_t c = 0; c < classes; ++c) {
+    if (count[c] > 0.0) {
+      for (std::size_t d = 0; d < dims; ++d) m.mean[c * dims + d] /= count[c];
+    }
+    m.prior[c] = count[c] / static_cast<double>(data.size());
+  }
+  for (const auto& p : data) {
+    const auto c = static_cast<std::size_t>(p.label);
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double diff = p.features[d] - m.mean[c * dims + d];
+      m.variance[c * dims + d] += diff * diff;
+    }
+  }
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      double& v = m.variance[c * dims + d];
+      v = count[c] > 1.0 ? v / count[c] : 1.0;
+      if (v < kVarianceFloor) v = kVarianceFloor;
+    }
+  }
+  return m;
+}
+
+int bayes_predict(const BayesModel& m, const std::vector<double>& x) {
+  if (x.size() != m.dims) {
+    throw std::invalid_argument("bayes_predict: dimension mismatch");
+  }
+  double best = -1e300;
+  int best_class = 0;
+  for (std::size_t c = 0; c < m.classes; ++c) {
+    if (m.prior[c] <= 0.0) continue;
+    double ll = std::log(m.prior[c]);
+    for (std::size_t d = 0; d < m.dims; ++d) {
+      const double var = m.variance[c * m.dims + d];
+      const double diff = x[d] - m.mean[c * m.dims + d];
+      ll += -0.5 * (std::log(2.0 * M_PI * var) + diff * diff / var);
+    }
+    if (ll > best) {
+      best = ll;
+      best_class = static_cast<int>(c);
+    }
+  }
+  return best_class;
+}
+
+double bayes_accuracy(const BayesModel& m,
+                      const std::vector<LabeledPoint>& data) {
+  if (data.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& p : data) {
+    if (bayes_predict(m, p.features) == p.label) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+BayesModel bayes_merge(const BayesModel& a, std::size_t count_a,
+                       const BayesModel& b, std::size_t count_b) {
+  if (a.classes != b.classes || a.dims != b.dims) {
+    throw std::invalid_argument("bayes_merge: shape mismatch");
+  }
+  const double na = static_cast<double>(count_a);
+  const double nb = static_cast<double>(count_b);
+  const double total = na + nb;
+  if (total <= 0.0) throw std::invalid_argument("bayes_merge: empty inputs");
+
+  BayesModel m;
+  m.classes = a.classes;
+  m.dims = a.dims;
+  m.prior.resize(a.prior.size());
+  m.mean.resize(a.mean.size());
+  m.variance.resize(a.variance.size());
+  for (std::size_t c = 0; c < m.classes; ++c) {
+    const double ca = a.prior[c] * na;
+    const double cb = b.prior[c] * nb;
+    const double cc = ca + cb;
+    m.prior[c] = cc / total;
+    for (std::size_t d = 0; d < m.dims; ++d) {
+      const std::size_t i = c * m.dims + d;
+      if (cc <= 0.0) {
+        m.mean[i] = 0.0;
+        m.variance[i] = 1.0;
+        continue;
+      }
+      m.mean[i] = (a.mean[i] * ca + b.mean[i] * cb) / cc;
+      // Combine within-shard variance with the between-shard mean shift
+      // (parallel variance merge), as a reducer would.
+      const double da = a.mean[i] - m.mean[i];
+      const double db = b.mean[i] - m.mean[i];
+      m.variance[i] = (ca * (a.variance[i] + da * da) +
+                       cb * (b.variance[i] + db * db)) /
+                      cc;
+      if (m.variance[i] < kVarianceFloor) m.variance[i] = kVarianceFloor;
+    }
+  }
+  return m;
+}
+
+spark::SparkAppSpec bayes_app() {
+  spark::SparkAppSpec app;
+  app.name = "Bayes";
+  app.iterations = 1;
+
+  // Stage 1: featurize + per-class counting over cached training partitions.
+  spark::StageSpec featurize;
+  featurize.name = "featurize";
+  featurize.task_ops = 2e8;               // ~2 s per task
+  featurize.cached_bytes_per_task = 1.5e9;  // spills past N/m ~ 5 on 8 GB
+  featurize.shuffle_bytes_per_task = 2e5;  // partial model per task
+
+  // Stage 2: aggregate partial models (few tasks).
+  spark::StageSpec aggregate;
+  aggregate.name = "aggregateModel";
+  aggregate.task_ops = 1e8;
+  aggregate.task_count_factor = 0.25;
+  aggregate.broadcast_bytes = 5e5;  // model redistribution
+
+  app.stages = {featurize, aggregate};
+  app.driver_ops_per_job = 5e7;  // final model assembly at the driver
+  return app;
+}
+
+}  // namespace ipso::wl

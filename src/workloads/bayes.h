@@ -1,0 +1,47 @@
+#pragma once
+
+#include "spark/stage.h"
+#include "workloads/datagen.h"
+
+#include <cstdint>
+#include <vector>
+
+/// \file bayes.h
+/// Bayes Classifier — one of the paper's four Spark benchmarks (Figs. 9-10).
+/// The functional kernel is a real Gaussian naive Bayes: per-class feature
+/// means/variances estimated in a map-style pass, classification by maximum
+/// log-likelihood. The Spark DAG models HiBench's two-stage job
+/// (featurize/count, then aggregate the model).
+
+namespace ipso::wl {
+
+/// Trained Gaussian naive Bayes model.
+struct BayesModel {
+  std::size_t classes = 0;
+  std::size_t dims = 0;
+  std::vector<double> prior;     ///< classes
+  std::vector<double> mean;      ///< classes x dims
+  std::vector<double> variance;  ///< classes x dims (floored for stability)
+};
+
+/// Trains the model by a single counting pass (the "map" work).
+BayesModel bayes_train(const std::vector<LabeledPoint>& data,
+                       std::size_t classes);
+
+/// Predicts the class of one sample.
+int bayes_predict(const BayesModel& model, const std::vector<double>& x);
+
+/// Fraction of correctly classified samples.
+double bayes_accuracy(const BayesModel& model,
+                      const std::vector<LabeledPoint>& data);
+
+/// Merges two partial models trained on disjoint shards (the reduce step);
+/// both must have identical shape. Sample counts are carried via priors
+/// weighted by `count_a` / `count_b`.
+BayesModel bayes_merge(const BayesModel& a, std::size_t count_a,
+                       const BayesModel& b, std::size_t count_b);
+
+/// Spark DAG for the simulated Bayes job (HiBench-like two stages).
+spark::SparkAppSpec bayes_app();
+
+}  // namespace ipso::wl

@@ -1,0 +1,113 @@
+#include "workloads/collab_filter.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ipso::wl {
+
+CfModel cf_init(std::uint64_t seed, std::size_t users, std::size_t items,
+                std::size_t rank) {
+  if (rank == 0) throw std::invalid_argument("cf_init: rank must be >= 1");
+  stats::Rng rng(seed);
+  CfModel m;
+  m.users = users;
+  m.items = items;
+  m.rank = rank;
+  m.u.resize(users * rank);
+  m.v.resize(items * rank);
+  for (auto& x : m.u) x = rng.normal(0.0, 0.1);
+  for (auto& x : m.v) x = rng.normal(0.0, 0.1);
+  return m;
+}
+
+namespace {
+
+double predict(const CfModel& m, std::uint32_t user, std::uint32_t item) {
+  double dot = 0.0;
+  for (std::size_t k = 0; k < m.rank; ++k) {
+    dot += m.u[user * m.rank + k] * m.v[item * m.rank + k];
+  }
+  return dot;
+}
+
+/// One half-iteration: gradient step on `target` factors with the other
+/// side fixed — the "map over one side with the other side broadcast".
+void half_step(CfModel& m, const std::vector<Rating>& ratings,
+               bool update_users, double lr, double reg) {
+  for (const auto& r : ratings) {
+    const double err = r.value - predict(m, r.user, r.item);
+    for (std::size_t k = 0; k < m.rank; ++k) {
+      double& uk = m.u[r.user * m.rank + k];
+      double& vk = m.v[r.item * m.rank + k];
+      if (update_users) {
+        uk += lr * (err * vk - reg * uk);
+      } else {
+        vk += lr * (err * uk - reg * vk);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+double cf_rmse(const CfModel& m, const std::vector<Rating>& ratings) {
+  if (ratings.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& r : ratings) {
+    const double err = r.value - predict(m, r.user, r.item);
+    acc += err * err;
+  }
+  return std::sqrt(acc / static_cast<double>(ratings.size()));
+}
+
+double cf_iterate(CfModel& model, const std::vector<Rating>& ratings,
+                  double learning_rate, double regularization) {
+  const double before = cf_rmse(model, ratings);
+  half_step(model, ratings, /*update_users=*/true, learning_rate,
+            regularization);
+  half_step(model, ratings, /*update_users=*/false, learning_rate,
+            regularization);
+  return before;
+}
+
+double cf_train(CfModel& model, const std::vector<Rating>& ratings,
+                std::size_t iterations) {
+  for (std::size_t i = 0; i < iterations; ++i) {
+    cf_iterate(model, ratings);
+  }
+  return cf_rmse(model, ratings);
+}
+
+spark::SparkAppSpec collab_filter_app(std::size_t total_tasks) {
+  if (total_tasks == 0) {
+    throw std::invalid_argument("collab_filter_app: need >= 1 task");
+  }
+  spark::SparkAppSpec app;
+  app.name = "CollaborativeFiltering";
+  app.iterations = 10;  // 10 alternating iterations = 20 map stages
+  app.driver_ops_per_job = 0.0;  // no reduce phase: Ws = 0, eta = 1
+
+  // Total parallel compute across the whole job ~2000 s (paper Table I
+  // extrapolates E[Tp,1(1)] ~ 1602.5 s of map work plus per-stage floors),
+  // split evenly over 20 stages x N tasks.
+  const double ops_per_stage = 1e10;  // 100 s of work per stage
+  const double task_ops = ops_per_stage / static_cast<double>(total_tasks);
+
+  // Each broadcast copy is ~1.7 MB of feature vectors: at the 56.25 MB/s
+  // driver uplink one copy costs 0.03 s, so 20 broadcasts cost 0.6·n s of
+  // driver serialization — the paper's measured Wo(n) (Table I).
+  const double broadcast_bytes = 1.6875e6;
+
+  spark::StageSpec update_users;
+  update_users.name = "updateUserFactors";
+  update_users.task_ops = task_ops;
+  update_users.broadcast_bytes = broadcast_bytes;
+
+  spark::StageSpec update_items = update_users;
+  update_items.name = "updateItemFactors";
+
+  app.stages = {update_users, update_items};
+  return app;
+}
+
+}  // namespace ipso::wl

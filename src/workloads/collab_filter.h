@@ -1,0 +1,52 @@
+#pragma once
+
+#include "spark/stage.h"
+#include "workloads/datagen.h"
+
+#include <cstdint>
+#include <vector>
+
+/// \file collab_filter.h
+/// Collaborative Filtering — the paper's fixed-size case study (Table I,
+/// Fig. 8, data from Orchestra [12]). An iterative matrix-factorization job:
+/// "in each iteration, there are two feature vectors to be updated
+/// alternately, involving two rounds of broadcast and two Map phases with
+/// barrier synchronization", no reduce phase (Ws = 0, eta = 1). Each
+/// broadcast is driver-serialized, so its cost grows linearly with n —
+/// Wo ∝ n, q(n) ∝ n², the type-IVs pathology.
+
+namespace ipso::wl {
+
+/// Model state: user and item factor matrices (row-major, rank columns).
+struct CfModel {
+  std::size_t users = 0;
+  std::size_t items = 0;
+  std::size_t rank = 0;
+  std::vector<double> u;  ///< users x rank
+  std::vector<double> v;  ///< items x rank
+};
+
+/// Initializes factors with small random values.
+CfModel cf_init(std::uint64_t seed, std::size_t users, std::size_t items,
+                std::size_t rank);
+
+/// One alternating iteration: gradient step on U with V fixed ("broadcast
+/// V, map over users"), then on V with U fixed. Returns the RMSE *before*
+/// the update, so callers can watch it decrease.
+double cf_iterate(CfModel& model, const std::vector<Rating>& ratings,
+                  double learning_rate = 0.02, double regularization = 0.05);
+
+/// Root-mean-square prediction error of the model on the ratings.
+double cf_rmse(const CfModel& model, const std::vector<Rating>& ratings);
+
+/// Runs `iterations` alternating updates; returns the final RMSE.
+double cf_train(CfModel& model, const std::vector<Rating>& ratings,
+                std::size_t iterations);
+
+/// Spark DAG for the simulated CF job, calibrated against the paper's
+/// Table I: total parallel compute ~2000 s split across N tasks, ~9 s of
+/// per-stage floor, and per-iteration broadcasts whose driver-side
+/// serialization makes Wo(n) ~ 0.6·n s (gamma = 2, peak near n = 60).
+spark::SparkAppSpec collab_filter_app(std::size_t total_tasks);
+
+}  // namespace ipso::wl

@@ -1,0 +1,69 @@
+#include "workloads/datagen.h"
+
+namespace ipso::wl {
+
+std::vector<LabeledPoint> make_gaussian_classes(std::uint64_t seed,
+                                                std::size_t count,
+                                                std::size_t dims,
+                                                std::size_t classes) {
+  stats::Rng rng(seed);
+  std::vector<std::vector<double>> means(classes,
+                                         std::vector<double>(dims, 0.0));
+  for (std::size_t c = 0; c < classes; ++c) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      // Well-separated means: +-4 per coordinate keeps classes learnable.
+      means[c][d] = rng.uniform(-4.0, 4.0);
+    }
+  }
+  std::vector<LabeledPoint> out(count);
+  for (auto& p : out) {
+    const std::size_t c = rng.uniform_below(classes);
+    p.label = static_cast<int>(c);
+    p.features.resize(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      p.features[d] = means[c][d] + rng.normal();
+    }
+  }
+  return out;
+}
+
+std::vector<Rating> make_ratings(std::uint64_t seed, std::size_t users,
+                                 std::size_t items, std::size_t rank,
+                                 double density) {
+  stats::Rng rng(seed);
+  std::vector<double> u(users * rank), v(items * rank);
+  for (auto& x : u) x = rng.normal(0.0, 1.0);
+  for (auto& x : v) x = rng.normal(0.0, 1.0);
+  std::vector<Rating> out;
+  out.reserve(static_cast<std::size_t>(
+      static_cast<double>(users) * static_cast<double>(items) * density));
+  for (std::uint32_t i = 0; i < users; ++i) {
+    for (std::uint32_t j = 0; j < items; ++j) {
+      if (rng.uniform() >= density) continue;
+      double dot = 0.0;
+      for (std::size_t k = 0; k < rank; ++k) {
+        dot += u[i * rank + k] * v[j * rank + k];
+      }
+      out.push_back({i, j, dot + rng.normal(0.0, 0.1)});
+    }
+  }
+  return out;
+}
+
+std::vector<Edge> make_graph(std::uint64_t seed, std::size_t nodes,
+                             double out_degree) {
+  stats::Rng rng(seed);
+  std::vector<Edge> edges;
+  const auto total = static_cast<std::size_t>(
+      static_cast<double>(nodes) * out_degree);
+  edges.reserve(total);
+  for (std::size_t e = 0; e < total; ++e) {
+    const auto src = static_cast<std::uint32_t>(rng.uniform_below(nodes));
+    auto dst = static_cast<std::uint32_t>(rng.uniform_below(nodes));
+    if (dst == src) dst = (dst + 1) % static_cast<std::uint32_t>(nodes);
+    edges.push_back({src, dst, rng.uniform(0.0, 1.0) + 1e-9});
+  }
+  return edges;
+}
+
+}  // namespace ipso::wl

@@ -1,0 +1,147 @@
+#include "workloads/functional_jobs.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipso::wl {
+
+// --- WordCount
+
+void WordCountJob::prepare(std::uint64_t seed, std::size_t tasks,
+                           std::size_t shard_bytes) {
+  shards_.clear();
+  partials_.clear();
+  merged_.clear();
+  expected_tokens_ = 0;
+  shards_.reserve(tasks);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    shards_.push_back(generate_text(dict_, seed + t, shard_bytes));
+    expected_tokens_ += tokenize(shards_.back()).size();
+  }
+  partials_.resize(tasks);
+}
+
+double WordCountJob::run_map(std::size_t i) {
+  partials_[i] = wordcount_map(shards_[i]);
+  return wordcount_histogram_bytes(partials_[i]);
+}
+
+double WordCountJob::input_bytes(std::size_t i) const {
+  return static_cast<double>(shards_[i].size());
+}
+
+double WordCountJob::run_reduce() {
+  merged_.clear();
+  for (const auto& p : partials_) wordcount_merge(merged_, p);
+  return wordcount_histogram_bytes(merged_);
+}
+
+bool WordCountJob::verify() const {
+  return wordcount_total(merged_) == expected_tokens_;
+}
+
+// --- Sort
+
+void SortJob::prepare(std::uint64_t seed, std::size_t tasks,
+                      std::size_t shard_bytes) {
+  shards_.clear();
+  runs_.clear();
+  output_.clear();
+  expected_words_ = 0;
+  for (std::size_t t = 0; t < tasks; ++t) {
+    shards_.push_back(generate_text(dict_, seed + t, shard_bytes));
+    expected_words_ += tokenize(shards_.back()).size();
+  }
+  runs_.resize(tasks);
+}
+
+double SortJob::run_map(std::size_t i) {
+  runs_[i] = sort_map(shards_[i]);
+  double bytes = 0.0;
+  for (const auto& w : runs_[i]) bytes += static_cast<double>(w.size()) + 1.0;
+  return bytes;
+}
+
+double SortJob::input_bytes(std::size_t i) const {
+  return static_cast<double>(shards_[i].size());
+}
+
+double SortJob::run_reduce() {
+  output_ = sort_merge(runs_);
+  double bytes = 0.0;
+  for (const auto& w : output_) bytes += static_cast<double>(w.size()) + 1.0;
+  return bytes;
+}
+
+bool SortJob::verify() const {
+  return output_.size() == expected_words_ && is_sorted_output(output_);
+}
+
+// --- TeraSort
+
+void TeraSortJob::prepare(std::uint64_t seed, std::size_t tasks,
+                          std::size_t shard_bytes) {
+  shards_.clear();
+  runs_.clear();
+  output_.clear();
+  input_checksum_ = 0;
+  const std::size_t records = std::max<std::size_t>(1, shard_bytes / 100);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    shards_.push_back(teragen(seed + t, records));
+    input_checksum_ ^= tera_checksum(shards_.back());
+  }
+  runs_.resize(tasks);
+}
+
+double TeraSortJob::run_map(std::size_t i) {
+  runs_[i] = terasort_map(shards_[i]);
+  return static_cast<double>(runs_[i].size()) * 100.0;
+}
+
+double TeraSortJob::input_bytes(std::size_t i) const {
+  return static_cast<double>(shards_[i].size()) * 100.0;
+}
+
+double TeraSortJob::run_reduce() {
+  output_ = terasort_merge(runs_);
+  return static_cast<double>(output_.size()) * 100.0;
+}
+
+bool TeraSortJob::verify() const {
+  return std::is_sorted(output_.begin(), output_.end()) &&
+         tera_checksum(output_) == input_checksum_;
+}
+
+// --- QMC Pi
+
+void QmcPiJob::prepare(std::uint64_t /*seed*/, std::size_t tasks,
+                       std::size_t shard_bytes) {
+  // One "byte" of the logical shard corresponds to one sample's footprint;
+  // the functional layer evaluates the down-sampled count for real.
+  tallies_.assign(tasks, {});
+  samples_per_task_ = std::max<std::uint64_t>(1, shard_bytes);
+  estimate_ = 0.0;
+}
+
+double QmcPiJob::run_map(std::size_t i) {
+  tallies_[i] =
+      qmc_map(static_cast<std::uint64_t>(i) * samples_per_task_,
+              samples_per_task_);
+  return 16.0;  // two 8-byte counters
+}
+
+double QmcPiJob::input_bytes(std::size_t i) const {
+  (void)i;
+  return static_cast<double>(samples_per_task_);
+}
+
+double QmcPiJob::run_reduce() {
+  estimate_ = qmc_estimate(tallies_.data(), tallies_.size());
+  return 8.0;
+}
+
+bool QmcPiJob::verify() const {
+  return std::abs(estimate_ - M_PI) < tolerance_;
+}
+
+}  // namespace ipso::wl

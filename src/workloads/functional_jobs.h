@@ -1,0 +1,100 @@
+#pragma once
+
+#include "mapreduce/functional.h"
+#include "workloads/qmc_pi.h"
+#include "workloads/sort.h"
+#include "workloads/terasort.h"
+#include "workloads/wordcount.h"
+
+#include <memory>
+#include <vector>
+
+/// \file functional_jobs.h
+/// FunctionalMrJob adapters for the four MapReduce case-study workloads:
+/// each really computes (counts, sorts, merges, estimates pi) and verifies
+/// a correctness invariant, providing the measured intermediate volumes the
+/// grounded simulation consumes (see mapreduce/functional.h).
+
+namespace ipso::wl {
+
+/// WordCount: invariant — total counted occurrences equal total tokens.
+class WordCountJob final : public mr::FunctionalMrJob {
+ public:
+  std::string name() const override { return "WordCount"; }
+  void prepare(std::uint64_t seed, std::size_t tasks,
+               std::size_t shard_bytes) override;
+  std::size_t tasks() const override { return shards_.size(); }
+  double run_map(std::size_t i) override;
+  double input_bytes(std::size_t i) const override;
+  double run_reduce() override;
+  bool verify() const override;
+
+ private:
+  Dictionary dict_;
+  std::vector<std::string> shards_;
+  std::vector<WordHistogram> partials_;
+  WordHistogram merged_;
+  std::uint64_t expected_tokens_ = 0;
+};
+
+/// Sort: invariant — output is sorted and a permutation of the input.
+class SortJob final : public mr::FunctionalMrJob {
+ public:
+  std::string name() const override { return "Sort"; }
+  void prepare(std::uint64_t seed, std::size_t tasks,
+               std::size_t shard_bytes) override;
+  std::size_t tasks() const override { return shards_.size(); }
+  double run_map(std::size_t i) override;
+  double input_bytes(std::size_t i) const override;
+  double run_reduce() override;
+  bool verify() const override;
+
+ private:
+  Dictionary dict_;
+  std::vector<std::string> shards_;
+  std::vector<std::vector<std::string>> runs_;
+  std::vector<std::string> output_;
+  std::size_t expected_words_ = 0;
+};
+
+/// TeraSort: invariant — output sorted, permutation via XOR checksum.
+class TeraSortJob final : public mr::FunctionalMrJob {
+ public:
+  std::string name() const override { return "TeraSort"; }
+  void prepare(std::uint64_t seed, std::size_t tasks,
+               std::size_t shard_bytes) override;
+  std::size_t tasks() const override { return shards_.size(); }
+  double run_map(std::size_t i) override;
+  double input_bytes(std::size_t i) const override;
+  double run_reduce() override;
+  bool verify() const override;
+
+ private:
+  std::vector<std::vector<TeraRecord>> shards_;
+  std::vector<std::vector<TeraRecord>> runs_;
+  std::vector<TeraRecord> output_;
+  std::uint64_t input_checksum_ = 0;
+};
+
+/// QMC Pi: invariant — the estimate lands within tolerance of pi.
+class QmcPiJob final : public mr::FunctionalMrJob {
+ public:
+  /// `tolerance` on |estimate - pi| for verify().
+  explicit QmcPiJob(double tolerance = 5e-3) : tolerance_(tolerance) {}
+  std::string name() const override { return "QMC"; }
+  void prepare(std::uint64_t seed, std::size_t tasks,
+               std::size_t shard_bytes) override;
+  std::size_t tasks() const override { return tallies_.size(); }
+  double run_map(std::size_t i) override;
+  double input_bytes(std::size_t i) const override;
+  double run_reduce() override;
+  bool verify() const override;
+
+ private:
+  double tolerance_;
+  std::uint64_t samples_per_task_ = 0;
+  std::vector<QmcTally> tallies_;
+  double estimate_ = 0.0;
+};
+
+}  // namespace ipso::wl

@@ -1,0 +1,56 @@
+#pragma once
+
+#include "spark/stage.h"
+#include "workloads/datagen.h"
+
+#include <cstdint>
+#include <vector>
+
+/// \file nweight.h
+/// NWeight — the paper's graph Spark benchmark. Computes, for every vertex,
+/// the aggregated weight of paths to vertices within `hops` hops (HiBench's
+/// NWeight computes n-hop neighbor weights by iterative sparse
+/// vector-matrix products). Functional kernel: iterative weighted
+/// propagation over an adjacency list. The Spark DAG is iterative with a
+/// shuffle per hop (edge messages).
+
+namespace ipso::wl {
+
+/// Compressed adjacency built from an edge list.
+class Adjacency {
+ public:
+  /// Builds adjacency for `nodes` vertices from directed edges.
+  Adjacency(std::size_t nodes, const std::vector<Edge>& edges);
+
+  /// Number of vertices.
+  std::size_t nodes() const noexcept { return offsets_.size() - 1; }
+
+  /// Out-neighbors (dst, weight) of `v` as index range into the edge arrays.
+  std::pair<std::size_t, std::size_t> out_range(std::size_t v) const {
+    return {offsets_[v], offsets_[v + 1]};
+  }
+
+  std::uint32_t dst(std::size_t i) const { return dsts_[i]; }
+  double weight(std::size_t i) const { return weights_[i]; }
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::vector<std::uint32_t> dsts_;
+  std::vector<double> weights_;
+};
+
+/// n-hop weights from a source: result[v] = sum over all paths of length
+/// <= hops from src to v of the product of edge weights along the path.
+std::vector<double> nweight_from(const Adjacency& adj, std::size_t src,
+                                 std::size_t hops);
+
+/// Aggregate n-hop weight per vertex: total outgoing n-hop weight mass
+/// (sum of nweight_from(v)), computed for every vertex. The real kernel the
+/// simulated job's map tasks perform.
+std::vector<double> nweight_all(const Adjacency& adj, std::size_t hops);
+
+/// Spark DAG for the simulated NWeight job (one stage per hop, heavy
+/// shuffle: edge messages dominate).
+spark::SparkAppSpec nweight_app(std::size_t hops = 3);
+
+}  // namespace ipso::wl

@@ -1,0 +1,200 @@
+#include "workloads/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ipso::wl {
+
+namespace {
+
+/// Majority class of an index subset.
+int majority(const std::vector<LabeledPoint>& data,
+             const std::vector<std::size_t>& idx, std::size_t classes) {
+  std::vector<std::size_t> counts(classes, 0);
+  for (auto i : idx) ++counts[static_cast<std::size_t>(data[i].label)];
+  return static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+/// Gini impurity of an index subset.
+double gini(const std::vector<LabeledPoint>& data,
+            const std::vector<std::size_t>& idx, std::size_t classes) {
+  if (idx.empty()) return 0.0;
+  std::vector<double> counts(classes, 0.0);
+  for (auto i : idx) counts[static_cast<std::size_t>(data[i].label)] += 1.0;
+  double g = 1.0;
+  for (double c : counts) {
+    const double p = c / static_cast<double>(idx.size());
+    g -= p * p;
+  }
+  return g;
+}
+
+struct Split {
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  double impurity = 1e300;
+  bool valid = false;
+};
+
+/// Best split over a random subset of sqrt(dims) features, thresholds from
+/// sampled midpoints.
+Split best_split(const std::vector<LabeledPoint>& data,
+                 const std::vector<std::size_t>& idx, std::size_t classes,
+                 stats::Rng& rng) {
+  Split best;
+  const std::size_t dims = data.front().features.size();
+  const auto features_to_try = static_cast<std::size_t>(
+      std::max(1.0, std::sqrt(static_cast<double>(dims))));
+  for (std::size_t f = 0; f < features_to_try; ++f) {
+    const std::size_t feature = rng.uniform_below(dims);
+    // Candidate thresholds: a handful of sample values.
+    for (int c = 0; c < 8; ++c) {
+      const std::size_t pick = idx[rng.uniform_below(idx.size())];
+      const double threshold = data[pick].features[feature];
+      std::vector<std::size_t> left, right;
+      for (auto i : idx) {
+        (data[i].features[feature] <= threshold ? left : right).push_back(i);
+      }
+      if (left.empty() || right.empty()) continue;
+      const double wl = static_cast<double>(left.size());
+      const double wr = static_cast<double>(right.size());
+      const double impurity = (wl * gini(data, left, classes) +
+                               wr * gini(data, right, classes)) /
+                              (wl + wr);
+      if (impurity < best.impurity) {
+        best = {feature, threshold, impurity, true};
+      }
+    }
+  }
+  return best;
+}
+
+int build_node(DecisionTree& tree, const std::vector<LabeledPoint>& data,
+               std::vector<std::size_t> idx, std::size_t classes,
+               std::size_t depth, std::size_t max_depth, stats::Rng& rng) {
+  const int me = static_cast<int>(tree.nodes.size());
+  tree.nodes.emplace_back();
+  tree.nodes[me].label = majority(data, idx, classes);
+
+  if (depth >= max_depth || idx.size() < 4 ||
+      gini(data, idx, classes) < 1e-12) {
+    return me;
+  }
+  const Split split = best_split(data, idx, classes, rng);
+  if (!split.valid) return me;
+
+  std::vector<std::size_t> left, right;
+  for (auto i : idx) {
+    (data[i].features[split.feature] <= split.threshold ? left : right)
+        .push_back(i);
+  }
+  if (left.empty() || right.empty()) return me;
+
+  tree.nodes[me].leaf = false;
+  tree.nodes[me].feature = split.feature;
+  tree.nodes[me].threshold = split.threshold;
+  const int l =
+      build_node(tree, data, std::move(left), classes, depth + 1, max_depth,
+                 rng);
+  tree.nodes[me].left = l;
+  const int r =
+      build_node(tree, data, std::move(right), classes, depth + 1, max_depth,
+                 rng);
+  tree.nodes[me].right = r;
+  return me;
+}
+
+}  // namespace
+
+int DecisionTree::predict(const std::vector<double>& x) const {
+  if (nodes.empty()) return 0;
+  int cur = 0;
+  while (!nodes[static_cast<std::size_t>(cur)].leaf) {
+    const TreeNode& node = nodes[static_cast<std::size_t>(cur)];
+    const int next = x[node.feature] <= node.threshold ? node.left : node.right;
+    if (next < 0) break;
+    cur = next;
+  }
+  return nodes[static_cast<std::size_t>(cur)].label;
+}
+
+DecisionTree tree_train(const std::vector<LabeledPoint>& data,
+                        std::size_t classes, std::size_t max_depth,
+                        stats::Rng& rng) {
+  if (data.empty()) throw std::invalid_argument("tree_train: empty data");
+  std::vector<std::size_t> idx(data.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  DecisionTree tree;
+  build_node(tree, data, std::move(idx), classes, 0, max_depth, rng);
+  return tree;
+}
+
+int Forest::predict(const std::vector<double>& x) const {
+  std::vector<std::size_t> votes(classes, 0);
+  for (const auto& t : trees) {
+    const int label = t.predict(x);
+    if (label >= 0 && static_cast<std::size_t>(label) < classes) {
+      ++votes[static_cast<std::size_t>(label)];
+    }
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) -
+                          votes.begin());
+}
+
+Forest forest_train(const std::vector<LabeledPoint>& data,
+                    std::size_t classes, std::size_t trees,
+                    std::size_t max_depth, std::uint64_t seed) {
+  if (data.empty()) throw std::invalid_argument("forest_train: empty data");
+  stats::Rng rng(seed);
+  Forest forest;
+  forest.classes = classes;
+  forest.trees.reserve(trees);
+  for (std::size_t t = 0; t < trees; ++t) {
+    // Bootstrap resample.
+    std::vector<LabeledPoint> sample;
+    sample.reserve(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      sample.push_back(data[rng.uniform_below(data.size())]);
+    }
+    forest.trees.push_back(tree_train(sample, classes, max_depth, rng));
+  }
+  return forest;
+}
+
+double forest_accuracy(const Forest& forest,
+                       const std::vector<LabeledPoint>& data) {
+  if (data.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& p : data) {
+    if (forest.predict(p.features) == p.label) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+spark::SparkAppSpec random_forest_app() {
+  spark::SparkAppSpec app;
+  app.name = "RandomForest";
+  app.iterations = 1;
+
+  // Tree construction over bootstrap partitions (heaviest stage).
+  spark::StageSpec grow;
+  grow.name = "growTrees";
+  grow.task_ops = 3e8;
+  grow.cached_bytes_per_task = 1.5e9;
+  grow.shuffle_bytes_per_task = 3e5;  // serialized trees
+  grow.broadcast_bytes = 1e6;         // sampling plan / feature metadata
+
+  // Forest aggregation.
+  spark::StageSpec aggregate;
+  aggregate.name = "aggregateForest";
+  aggregate.task_ops = 5e7;
+  aggregate.task_count_factor = 0.1;
+
+  app.stages = {grow, aggregate};
+  app.driver_ops_per_job = 3e7;
+  return app;
+}
+
+}  // namespace ipso::wl

@@ -1,0 +1,62 @@
+#pragma once
+
+#include "spark/stage.h"
+#include "workloads/datagen.h"
+
+#include <cstdint>
+#include <vector>
+
+/// \file random_forest.h
+/// Random Forest — one of the paper's four Spark benchmarks. Functional
+/// kernel: bagged axis-aligned decision trees (recursive greedy splits on
+/// Gini impurity, random feature subsets), majority-vote prediction. The
+/// Spark DAG maps tree construction over bootstrap partitions and
+/// aggregates the forest.
+
+namespace ipso::wl {
+
+/// A binary decision-tree node stored in a flat vector.
+struct TreeNode {
+  bool leaf = true;
+  int label = 0;           ///< majority class at a leaf
+  std::size_t feature = 0; ///< split feature (internal nodes)
+  double threshold = 0.0;  ///< go left when x[feature] <= threshold
+  int left = -1;           ///< child indices (-1 for none)
+  int right = -1;
+};
+
+/// One decision tree.
+struct DecisionTree {
+  std::vector<TreeNode> nodes;  ///< nodes[0] is the root
+
+  /// Predicted class for one sample.
+  int predict(const std::vector<double>& x) const;
+};
+
+/// Trains one tree on `data` with depth limit and random feature subsets.
+DecisionTree tree_train(const std::vector<LabeledPoint>& data,
+                        std::size_t classes, std::size_t max_depth,
+                        stats::Rng& rng);
+
+/// A forest of trees.
+struct Forest {
+  std::vector<DecisionTree> trees;
+  std::size_t classes = 0;
+
+  /// Majority vote over trees.
+  int predict(const std::vector<double>& x) const;
+};
+
+/// Trains `trees` trees on bootstrap resamples of the data.
+Forest forest_train(const std::vector<LabeledPoint>& data,
+                    std::size_t classes, std::size_t trees,
+                    std::size_t max_depth, std::uint64_t seed);
+
+/// Classification accuracy of the forest.
+double forest_accuracy(const Forest& forest,
+                       const std::vector<LabeledPoint>& data);
+
+/// Spark DAG for the simulated Random Forest job.
+spark::SparkAppSpec random_forest_app();
+
+}  // namespace ipso::wl

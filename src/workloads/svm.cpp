@@ -1,0 +1,98 @@
+#include "workloads/svm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ipso::wl {
+
+namespace {
+double label_pm1(int label) { return label > 0 ? 1.0 : -1.0; }
+}  // namespace
+
+SvmModel svm_train(const std::vector<LabeledPoint>& data, std::size_t epochs,
+                   double learning_rate, double lambda) {
+  if (data.empty()) throw std::invalid_argument("svm_train: empty data");
+  const std::size_t dims = data.front().features.size();
+  SvmModel m;
+  m.weights.assign(dims, 0.0);
+
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    // Decaying step size keeps late epochs from oscillating.
+    const double lr = learning_rate / (1.0 + 0.1 * static_cast<double>(epoch));
+    for (const auto& p : data) {
+      if (p.features.size() != dims) {
+        throw std::invalid_argument("svm_train: dimension mismatch");
+      }
+      const double y = label_pm1(p.label);
+      const double margin = y * (svm_margin(m, p.features));
+      for (std::size_t d = 0; d < dims; ++d) {
+        double grad = lambda * m.weights[d];
+        if (margin < 1.0) grad -= y * p.features[d];
+        m.weights[d] -= lr * grad;
+      }
+      if (margin < 1.0) m.bias += lr * y;
+    }
+  }
+  return m;
+}
+
+double svm_margin(const SvmModel& m, const std::vector<double>& x) {
+  if (x.size() != m.weights.size()) {
+    throw std::invalid_argument("svm_margin: dimension mismatch");
+  }
+  double dot = m.bias;
+  for (std::size_t d = 0; d < x.size(); ++d) dot += m.weights[d] * x[d];
+  return dot;
+}
+
+int svm_predict(const SvmModel& m, const std::vector<double>& x) {
+  return svm_margin(m, x) >= 0.0 ? 1 : 0;
+}
+
+double svm_accuracy(const SvmModel& m, const std::vector<LabeledPoint>& data) {
+  if (data.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& p : data) {
+    if (svm_predict(m, p.features) == (p.label > 0 ? 1 : 0)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+double svm_objective(const SvmModel& m, const std::vector<LabeledPoint>& data,
+                     double lambda) {
+  double loss = 0.0;
+  for (const auto& p : data) {
+    const double y = label_pm1(p.label);
+    loss += std::max(0.0, 1.0 - y * svm_margin(m, p.features));
+  }
+  loss /= static_cast<double>(data.empty() ? 1 : data.size());
+  double reg = 0.0;
+  for (double w : m.weights) reg += w * w;
+  return loss + 0.5 * lambda * reg;
+}
+
+spark::SparkAppSpec svm_app() {
+  spark::SparkAppSpec app;
+  app.name = "SVM";
+  app.iterations = 5;  // five SGD epochs
+
+  // Per-epoch gradient pass over cached partitions, weights broadcast first.
+  spark::StageSpec gradient;
+  gradient.name = "gradientPass";
+  gradient.task_ops = 1.5e8;
+  gradient.cached_bytes_per_task = 1.5e9;
+  gradient.broadcast_bytes = 8e5;          // weight vector to every executor
+  gradient.shuffle_bytes_per_task = 1e5;   // partial gradients
+
+  // Driver-side weight update (cheap, few tasks).
+  spark::StageSpec update;
+  update.name = "updateWeights";
+  update.task_ops = 2e7;
+  update.task_count_factor = 0.05;
+
+  app.stages = {gradient, update};
+  app.driver_ops_per_job = 2e7;
+  return app;
+}
+
+}  // namespace ipso::wl

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "spark/stage.h"
+#include "workloads/datagen.h"
+
+#include <cstdint>
+#include <vector>
+
+/// \file svm.h
+/// Support Vector Machine — one of the paper's four Spark benchmarks.
+/// Functional kernel: linear SVM trained by mini-batch subgradient descent
+/// on the hinge loss (what Spark MLlib's SVMWithSGD does). The Spark DAG is
+/// iterative: each epoch broadcasts the weight vector and maps a gradient
+/// pass over the cached training partitions.
+
+namespace ipso::wl {
+
+/// Linear model: weights + bias. Labels are 0/1 externally, -1/+1 inside.
+struct SvmModel {
+  std::vector<double> weights;
+  double bias = 0.0;
+};
+
+/// Trains for `epochs` full passes; `lambda` is the L2 regularizer.
+SvmModel svm_train(const std::vector<LabeledPoint>& data, std::size_t epochs,
+                   double learning_rate = 0.05, double lambda = 1e-3);
+
+/// Decision value w·x + b.
+double svm_margin(const SvmModel& model, const std::vector<double>& x);
+
+/// Predicted label in {0, 1}.
+int svm_predict(const SvmModel& model, const std::vector<double>& x);
+
+/// Classification accuracy on labeled data.
+double svm_accuracy(const SvmModel& model,
+                    const std::vector<LabeledPoint>& data);
+
+/// Mean hinge loss + L2 penalty (the training objective; must decrease).
+double svm_objective(const SvmModel& model,
+                     const std::vector<LabeledPoint>& data, double lambda);
+
+/// Spark DAG for the simulated SVM job (iterative, broadcast per epoch).
+spark::SparkAppSpec svm_app();
+
+}  // namespace ipso::wl

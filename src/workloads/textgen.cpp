@@ -1,0 +1,90 @@
+#include "workloads/textgen.h"
+
+#include <cmath>
+
+namespace ipso::wl {
+
+Dictionary::Dictionary() {
+  // Deterministic pseudo-words: pronounceable consonant-vowel patterns with
+  // lengths 3..12, seeded independently of any experiment RNG.
+  static constexpr char kConsonants[] = "bcdfghjklmnprstvwz";
+  static constexpr char kVowels[] = "aeiou";
+  stats::Rng rng(0xd1c7100a7e57ULL);
+  words_.reserve(1000);
+  while (words_.size() < 1000) {
+    const std::size_t len =
+        3 + static_cast<std::size_t>(rng.uniform_below(10));
+    std::string w;
+    w.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      if (i % 2 == 0) {
+        w.push_back(kConsonants[rng.uniform_below(sizeof(kConsonants) - 1)]);
+      } else {
+        w.push_back(kVowels[rng.uniform_below(sizeof(kVowels) - 1)]);
+      }
+    }
+    // Keep duplicates out so the dictionary has exactly 1000 distinct words.
+    bool dup = false;
+    for (const auto& existing : words_) {
+      if (existing == w) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) words_.push_back(std::move(w));
+  }
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+}
+
+std::size_t ZipfSampler::sample(stats::Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  // Binary search the CDF.
+  std::size_t lo = 0, hi = cdf_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo < cdf_.size() ? lo : cdf_.size() - 1;
+}
+
+std::string generate_text(const Dictionary& dict, std::uint64_t seed,
+                          std::size_t bytes) {
+  stats::Rng rng(seed);
+  const ZipfSampler zipf(dict.size());
+  std::string out;
+  out.reserve(bytes + 16);
+  while (out.size() < bytes) {
+    const std::string& w = dict.word(zipf.sample(rng));
+    out += w;
+    out.push_back(' ');
+  }
+  return out;
+}
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && text[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < text.size() && text[j] != ' ') ++j;
+    if (j > i) out.emplace_back(text.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace ipso::wl

@@ -1,0 +1,58 @@
+#pragma once
+
+#include "stats/random.h"
+
+#include <string>
+#include <vector>
+
+/// \file textgen.h
+/// Synthetic text generation for WordCount and Sort. The paper's working
+/// data sets are "randomly generated text, drawn from a UNIX dictionary that
+/// contains 1000 words"; we build a deterministic 1000-word dictionary with
+/// realistic word-length distribution and draw words Zipf-distributed (real
+/// text is Zipfian; a uniform draw would make WordCount's combiner output
+/// trivially uniform).
+
+namespace ipso::wl {
+
+/// Deterministic 1000-word dictionary.
+class Dictionary {
+ public:
+  /// Builds the canonical 1000-word dictionary (always the same content).
+  Dictionary();
+
+  /// Number of words (always 1000).
+  std::size_t size() const noexcept { return words_.size(); }
+
+  /// Word by index.
+  const std::string& word(std::size_t i) const { return words_.at(i); }
+
+  /// All words.
+  const std::vector<std::string>& words() const noexcept { return words_; }
+
+ private:
+  std::vector<std::string> words_;
+};
+
+/// Zipf(s ~ 1) sampler over [0, n): P(k) ∝ 1/(k+1)^s.
+class ZipfSampler {
+ public:
+  /// Prepares the CDF for `n` ranks with exponent `s`.
+  ZipfSampler(std::size_t n, double s = 1.0);
+
+  /// Draws one rank in [0, n).
+  std::size_t sample(stats::Rng& rng) const noexcept;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Generates approximately `bytes` of space-separated dictionary words.
+/// Deterministic for a given seed.
+std::string generate_text(const Dictionary& dict, std::uint64_t seed,
+                          std::size_t bytes);
+
+/// Splits text into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& text);
+
+}  // namespace ipso::wl

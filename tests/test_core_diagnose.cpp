@@ -1,0 +1,122 @@
+#include "core/diagnose.h"
+
+#include "core/model.h"
+
+#include <gtest/gtest.h>
+
+namespace ipso {
+namespace {
+
+stats::Series curve_from(const AsymptoticParams& p, double n_hi) {
+  stats::Series s("S(n)");
+  for (double n = 1; n <= n_hi; n *= 2) s.add(n, speedup_asymptotic(p, n));
+  return s;
+}
+
+TEST(JudgeShape, LinearCurve) {
+  AsymptoticParams p;  // Gustafson-like, eta = 1
+  p.eta = 1.0;
+  const auto shape = judge_shape(curve_from(p, 256));
+  EXPECT_EQ(shape.shape, GrowthShape::kLinear);
+  EXPECT_TRUE(shape.monotone);
+  EXPECT_FALSE(shape.peaked);
+}
+
+TEST(JudgeShape, SublinearCurve) {
+  AsymptoticParams p;
+  p.eta = 1.0;
+  p.beta = 0.3;
+  p.gamma = 0.5;
+  const auto shape = judge_shape(curve_from(p, 4096));
+  EXPECT_EQ(shape.shape, GrowthShape::kSublinear);
+}
+
+TEST(JudgeShape, SaturatedCurve) {
+  AsymptoticParams p;
+  p.type = WorkloadType::kFixedSize;
+  p.eta = 0.9;
+  p.alpha = 1.0;
+  p.delta = 0.0;
+  const auto shape = judge_shape(curve_from(p, 4096));
+  EXPECT_EQ(shape.shape, GrowthShape::kBounded);
+}
+
+TEST(JudgeShape, PeakedCurve) {
+  AsymptoticParams p;
+  p.eta = 1.0;
+  p.beta = 3.74e-4;
+  p.gamma = 2.0;
+  const auto shape = judge_shape(curve_from(p, 512));
+  EXPECT_EQ(shape.shape, GrowthShape::kPeaked);
+  EXPECT_TRUE(shape.peaked);
+}
+
+TEST(Diagnose, ShapeOnlyGivesBestGuess) {
+  AsymptoticParams p;
+  p.eta = 1.0;
+  const auto report = diagnose(WorkloadType::kFixedTime, curve_from(p, 256));
+  EXPECT_EQ(report.best_guess, ScalingType::kIt);
+  EXPECT_FALSE(report.matched.has_value());
+  EXPECT_NE(report.summary.find("best guess"), std::string::npos);
+}
+
+TEST(Diagnose, FactorsPinDownSubtype) {
+  // Sort-like: bounded fixed-time curve; only factor analysis can say IIIt,1.
+  FactorMeasurements m;
+  m.eta = 0.7;
+  stats::Series speedup("S");
+  const ScalingFactors truth{identity_factor(), linear_factor(0.36, 0.64),
+                             constant_factor(0.0)};
+  for (double n = 1; n <= 160; n *= 2) {
+    speedup.add(n, speedup_deterministic(truth, 0.7, n));
+    m.ex.add(n, truth.ex(n));
+    m.in.add(n, truth.in(n));
+  }
+  const auto report = diagnose(WorkloadType::kFixedTime, speedup, m);
+  ASSERT_TRUE(report.matched.has_value());
+  EXPECT_EQ(report.best_guess, ScalingType::kIIIt1);
+  EXPECT_NE(report.summary.find("root cause"), std::string::npos);
+}
+
+TEST(Diagnose, CollaborativeFilteringIsIVs) {
+  FactorMeasurements m;
+  m.eta = 1.0;
+  stats::Series speedup("S");
+  AsymptoticParams truth;
+  truth.type = WorkloadType::kFixedSize;
+  truth.eta = 1.0;
+  truth.beta = 3.74e-4;
+  truth.gamma = 2.0;
+  for (double n : {1.0, 10.0, 30.0, 60.0, 90.0, 120.0}) {
+    speedup.add(n, speedup_asymptotic(truth, n));
+    m.ex.add(n, 1.0);
+    m.q.add(n, n > 1 ? truth.beta * n * n : 0.0);
+  }
+  const auto report = diagnose(WorkloadType::kFixedSize, speedup, m);
+  EXPECT_EQ(report.best_guess, ScalingType::kIVs);
+  ASSERT_TRUE(report.matched.has_value());
+  EXPECT_NEAR(report.fits->params.gamma, 2.0, 0.01);
+}
+
+TEST(Diagnose, WorkloadTypeControlsNaming) {
+  AsymptoticParams p;
+  p.eta = 1.0;
+  p.beta = 0.01;
+  p.gamma = 2.0;
+  const auto curve = curve_from(p, 512);
+  EXPECT_EQ(diagnose(WorkloadType::kFixedTime, curve).best_guess,
+            ScalingType::kIVt);
+  EXPECT_EQ(diagnose(WorkloadType::kFixedSize, curve).best_guess,
+            ScalingType::kIVs);
+}
+
+TEST(Diagnose, SummaryMentionsWorkloadAndRange) {
+  AsymptoticParams p;
+  p.eta = 1.0;
+  const auto report = diagnose(WorkloadType::kFixedTime, curve_from(p, 64));
+  EXPECT_NE(report.summary.find("fixed-time"), std::string::npos);
+  EXPECT_NE(report.summary.find("monotone"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipso

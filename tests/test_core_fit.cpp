@@ -1,0 +1,192 @@
+#include "core/fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ipso {
+namespace {
+
+stats::Series sweep(const char* name, std::initializer_list<double> ns,
+                    double (*f)(double)) {
+  stats::Series s(name);
+  for (double n : ns) s.add(n, f(n));
+  return s;
+}
+
+const std::initializer_list<double> kSmallNs{1, 2, 4, 8, 12, 16};
+
+TEST(EpsilonSeries, PointwiseRatio) {
+  const auto ex = sweep("EX", kSmallNs, +[](double n) { return n; });
+  const auto in = sweep("IN", kSmallNs, +[](double n) { return n / 2.0; });
+  const auto eps = epsilon_series(ex, in);
+  for (const auto& p : eps) EXPECT_DOUBLE_EQ(p.y, 2.0);
+}
+
+TEST(EpsilonSeries, RejectsMismatchedLengths) {
+  const auto ex = sweep("EX", {1, 2, 4}, +[](double n) { return n; });
+  const auto in = sweep("IN", {1, 2}, +[](double n) { return n; });
+  EXPECT_THROW(epsilon_series(ex, in), std::invalid_argument);
+}
+
+TEST(EpsilonSeries, RejectsMisalignedX) {
+  const auto ex = sweep("EX", {1, 2, 4}, +[](double n) { return n; });
+  const auto in = sweep("IN", {1, 2, 5}, +[](double n) { return n; });
+  EXPECT_THROW(epsilon_series(ex, in), std::invalid_argument);
+}
+
+TEST(EpsilonSeries, RejectsNonPositiveIN) {
+  const auto ex = sweep("EX", {1, 2}, +[](double n) { return n; });
+  auto in = stats::Series("IN");
+  in.add(1, 1.0);
+  in.add(2, 0.0);
+  EXPECT_THROW(epsilon_series(ex, in), std::invalid_argument);
+}
+
+TEST(QSeries, ComputesFromWorkloads) {
+  // Wo(n) = Wp(n)/n * q(n) => q(n) = Wo*n/Wp. With Wp = 100 (fixed-size)
+  // and Wo = 0.6 n, q(n) = 0.006 n^2.
+  stats::Series wo("Wo"), wp("Wp");
+  for (double n : {10.0, 30.0, 60.0, 90.0}) {
+    wo.add(n, 0.6 * n);
+    wp.add(n, 100.0);
+  }
+  const auto q = q_series_from_workloads(wo, wp);
+  for (const auto& p : q) EXPECT_NEAR(p.y, 0.006 * p.x * p.x, 1e-12);
+}
+
+TEST(FitFactors, RecoversSortLikeInProportionScaling) {
+  // The paper's Sort: EX(n) = n, IN(n) = 0.36 n - 0.11 => delta ~ 0 at
+  // large n but the log-log fit over n in [1,16] sees epsilon ~ alpha n^d
+  // with a small d; classification tolerance handles the rest.
+  FactorMeasurements m;
+  m.eta = 0.7;
+  for (double n : {1.0, 2.0, 4.0, 8.0, 12.0, 16.0}) {
+    m.ex.add(n, n);
+    m.in.add(n, n == 1.0 ? 1.0 : 0.36 * n - 0.11);
+  }
+  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m);
+  EXPECT_DOUBLE_EQ(fits.params.eta, 0.7);
+  // epsilon(n) = n/(0.36n - 0.11) tends to 1/0.36 = 2.78: nearly flat.
+  EXPECT_LT(fits.params.delta, 0.4);
+  EXPECT_GT(fits.params.alpha, 1.0);
+  ASSERT_TRUE(fits.in_linear.has_value());
+  EXPECT_NEAR(fits.in_linear->slope, 0.36, 0.05);
+  EXPECT_FALSE(fits.q_fit.has_value());
+  EXPECT_DOUBLE_EQ(fits.params.gamma, 0.0);
+}
+
+TEST(FitFactors, RecoversPowerLawOverhead) {
+  FactorMeasurements m;
+  m.eta = 1.0;
+  for (double n : {1.0, 10.0, 30.0, 60.0, 90.0}) {
+    m.ex.add(n, 1.0);
+    m.q.add(n, n == 1.0 ? 0.0 : 3.74e-4 * n * n);
+  }
+  const FactorFits fits = fit_factors(WorkloadType::kFixedSize, m);
+  ASSERT_TRUE(fits.q_fit.has_value());
+  EXPECT_NEAR(fits.params.gamma, 2.0, 1e-6);
+  EXPECT_NEAR(fits.params.beta, 3.74e-4, 1e-7);
+  EXPECT_DOUBLE_EQ(fits.params.delta, 0.0);
+}
+
+TEST(FitFactors, EtaOneSkipsEpsilon) {
+  FactorMeasurements m;
+  m.eta = 1.0;
+  for (double n : {1.0, 2.0, 4.0}) m.ex.add(n, n);
+  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m);
+  EXPECT_DOUBLE_EQ(fits.params.alpha, 1.0);
+  EXPECT_DOUBLE_EQ(fits.params.delta, 1.0);
+}
+
+TEST(FitFactors, FixedSizeForcesDeltaZero) {
+  FactorMeasurements m;
+  m.eta = 0.8;
+  for (double n : {1.0, 2.0, 4.0, 8.0}) {
+    m.ex.add(n, 1.0);
+    m.in.add(n, 1.0);
+  }
+  const FactorFits fits = fit_factors(WorkloadType::kFixedSize, m);
+  EXPECT_DOUBLE_EQ(fits.params.delta, 0.0);
+}
+
+TEST(FitFactors, NegligibleQIsTreatedAsZero) {
+  FactorMeasurements m;
+  m.eta = 0.9;
+  for (double n : {1.0, 2.0, 4.0, 8.0}) {
+    m.ex.add(n, n);
+    m.in.add(n, 1.0);
+    m.q.add(n, 1e-9 * n);  // measurement noise, not real overhead
+  }
+  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m);
+  EXPECT_FALSE(fits.q_fit.has_value());
+  EXPECT_DOUBLE_EQ(fits.params.beta, 0.0);
+}
+
+TEST(FitFactors, ClampsDeltaIntoPaperDomain) {
+  // A step-wise IN(n) makes the raw epsilon-tail exponent negative; the
+  // fit must clamp delta to [0, 1] and refit alpha as the tail level so
+  // the classified bound stays meaningful.
+  FactorMeasurements m;
+  m.eta = 1.0 / 3.0;
+  for (double n = 1; n <= 24; ++n) {
+    m.ex.add(n, n);
+    m.in.add(n, n <= 15 ? 0.15 * n + 0.85 : 0.25 * n + 0.85);
+  }
+  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m);
+  EXPECT_GE(fits.params.delta, 0.0);
+  EXPECT_LE(fits.params.delta, 1.0);
+  // alpha ~ the epsilon level of the tail: n / (0.25 n + 0.85) ~ 3.6-3.8.
+  EXPECT_GT(fits.params.alpha, 3.0);
+  EXPECT_LT(fits.params.alpha, 4.5);
+}
+
+TEST(DetectChangepoint, FindsTeraSortStep) {
+  stats::Series in("IN terasort");
+  for (int n = 1; n <= 40; ++n) {
+    // Paper Fig. 5: slope 0.15 before overflow at ~15, then 0.23n + 2.72.
+    in.add(n, n <= 15 ? 0.15 * n + 0.85 : 0.23 * n + 2.72);
+  }
+  const auto seg = detect_in_changepoint(in);
+  ASSERT_TRUE(seg.has_value());
+  EXPECT_NEAR(seg->knot, 15.0, 2.0);
+  EXPECT_NEAR(seg->left.slope, 0.15, 0.02);
+  EXPECT_NEAR(seg->right.slope, 0.23, 0.02);
+}
+
+TEST(DetectChangepoint, NoFalsePositiveOnStraightLine) {
+  stats::Series in("IN linear");
+  for (int n = 1; n <= 40; ++n) in.add(n, 0.36 * n - 0.11);
+  EXPECT_FALSE(detect_in_changepoint(in).has_value());
+}
+
+TEST(DetectChangepoint, TooFewPointsIsNullopt) {
+  stats::Series in("short");
+  for (int n = 1; n <= 4; ++n) in.add(n, n);
+  EXPECT_FALSE(detect_in_changepoint(in).has_value());
+}
+
+TEST(FitTailGrowth, LinearCurveExponentNearOne) {
+  stats::Series s("S");
+  for (int n = 1; n <= 64; n *= 2) s.add(n, 0.9 * n + 0.1);
+  const auto f = fit_tail_growth(s);
+  EXPECT_NEAR(f.exponent, 1.0, 0.05);
+}
+
+TEST(FitTailGrowth, SaturatedCurveExponentNearZero) {
+  stats::Series s("S");
+  for (int n = 1; n <= 256; n *= 2) s.add(n, 5.0 - 4.0 / n);
+  const auto f = fit_tail_growth(s);
+  EXPECT_LT(f.exponent, 0.1);
+}
+
+TEST(FitTailGrowth, ThrowsOnTinySeries) {
+  stats::Series s("S");
+  s.add(1, 1);
+  s.add(2, 2);
+  EXPECT_THROW(fit_tail_growth(s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ipso

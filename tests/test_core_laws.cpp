@@ -1,0 +1,109 @@
+#include "core/laws.h"
+
+#include "core/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace ipso {
+namespace {
+
+TEST(Amdahl, UnitAtNOne) { EXPECT_DOUBLE_EQ(laws::amdahl(0.5, 1.0), 1.0); }
+
+TEST(Amdahl, FullyParallelIsLinear) {
+  EXPECT_DOUBLE_EQ(laws::amdahl(1.0, 64.0), 64.0);
+}
+
+TEST(Amdahl, FullySerialIsFlat) {
+  EXPECT_DOUBLE_EQ(laws::amdahl(0.0, 64.0), 1.0);
+}
+
+TEST(Amdahl, ApproachesBound) {
+  const double eta = 0.95;
+  EXPECT_NEAR(laws::amdahl(eta, 1e9), laws::amdahl_bound(eta), 1e-6);
+}
+
+TEST(Amdahl, BoundFormula) {
+  EXPECT_DOUBLE_EQ(laws::amdahl_bound(0.9), 10.0);
+  EXPECT_TRUE(std::isinf(laws::amdahl_bound(1.0)));
+}
+
+TEST(Amdahl, MonotoneInN) {
+  double prev = 0.0;
+  for (double n = 1; n <= 1024; n *= 2) {
+    const double s = laws::amdahl(0.8, n);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(Gustafson, UnitAtNOne) {
+  EXPECT_DOUBLE_EQ(laws::gustafson(0.5, 1.0), 1.0);
+}
+
+TEST(Gustafson, LinearUnbounded) {
+  EXPECT_DOUBLE_EQ(laws::gustafson(0.9, 100.0), 90.1);
+  EXPECT_DOUBLE_EQ(laws::gustafson(1.0, 100.0), 100.0);
+}
+
+TEST(SunNi, WithIdentityGEqualsGustafson) {
+  for (double n : {1.0, 4.0, 16.0, 64.0}) {
+    EXPECT_NEAR(laws::sun_ni(0.7, n), laws::gustafson(0.7, n), 1e-12);
+    EXPECT_NEAR(laws::sun_ni(0.7, n, identity_factor()),
+                laws::gustafson(0.7, n), 1e-12);
+  }
+}
+
+TEST(SunNi, WithConstantGEqualsAmdahl) {
+  // g(n) = 1 reduces Sun-Ni to Amdahl (fixed-size workload).
+  for (double n : {1.0, 4.0, 16.0, 64.0}) {
+    EXPECT_NEAR(laws::sun_ni(0.7, n, constant_factor(1.0)),
+                laws::amdahl(0.7, n), 1e-12);
+  }
+}
+
+TEST(SunNi, SuperlinearGBeatsGustafson) {
+  const auto g = power_factor(1.0, 1.5);
+  EXPECT_GT(laws::sun_ni(0.9, 64.0, g), laws::gustafson(0.9, 64.0));
+}
+
+// --- IPSO degeneration: the laws are special cases of Eq. 10 (paper Eq. 12-13)
+
+class IpsoDegeneratesToLaws : public ::testing::TestWithParam<double> {};
+
+TEST_P(IpsoDegeneratesToLaws, AmdahlIsFixedSizeNoOverheadIpso) {
+  const double eta = GetParam();
+  ScalingFactors f{constant_factor(1.0), constant_factor(1.0),
+                   constant_factor(0.0)};
+  for (double n : {1.0, 2.0, 8.0, 64.0, 512.0}) {
+    EXPECT_NEAR(speedup_deterministic(f, eta, n), laws::amdahl(eta, n), 1e-12);
+  }
+}
+
+TEST_P(IpsoDegeneratesToLaws, GustafsonIsFixedTimeNoOverheadIpso) {
+  const double eta = GetParam();
+  ScalingFactors f{identity_factor(), constant_factor(1.0),
+                   constant_factor(0.0)};
+  for (double n : {1.0, 2.0, 8.0, 64.0, 512.0}) {
+    EXPECT_NEAR(speedup_deterministic(f, eta, n), laws::gustafson(eta, n),
+                1e-12);
+  }
+}
+
+TEST_P(IpsoDegeneratesToLaws, SunNiIsMemoryBoundedNoOverheadIpso) {
+  const double eta = GetParam();
+  const auto g = power_factor(1.0, 1.3);
+  ScalingFactors f{g, constant_factor(1.0), constant_factor(0.0)};
+  for (double n : {1.0, 2.0, 8.0, 64.0}) {
+    EXPECT_NEAR(speedup_deterministic(f, eta, n), laws::sun_ni(eta, n, g),
+                1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EtaSweep, IpsoDegeneratesToLaws,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 1.0));
+
+}  // namespace
+}  // namespace ipso

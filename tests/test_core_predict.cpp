@@ -1,0 +1,159 @@
+#include "core/predict.h"
+
+#include "core/laws.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ipso {
+namespace {
+
+/// Ground-truth TeraSort-like factors for prediction round-trips.
+ScalingFactors terasort_like() {
+  return {identity_factor(), linear_factor(0.23, 0.77), constant_factor(0.0)};
+}
+
+TEST(Predictor, DirectConstructionEvaluatesModel) {
+  SpeedupPredictor p(terasort_like(), 0.8);
+  EXPECT_DOUBLE_EQ(p(1.0), 1.0);
+  EXPECT_GT(p(16.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.eta(), 0.8);
+}
+
+TEST(Predictor, RejectsIncompleteFactors) {
+  ScalingFactors f;
+  f.ex = identity_factor();
+  EXPECT_THROW(SpeedupPredictor(f, 0.5), std::invalid_argument);
+}
+
+TEST(Predictor, RejectsBadEta) {
+  EXPECT_THROW(SpeedupPredictor(terasort_like(), -0.1), std::invalid_argument);
+}
+
+TEST(Predictor, SmallNFitPredictsLargeN) {
+  // Fit factors from n <= 16 measurements of a known system, then check the
+  // prediction at n = 160 against ground truth (the paper's Fig. 7 claim).
+  const ScalingFactors truth = terasort_like();
+  const double eta = 0.75;
+
+  FactorMeasurements m;
+  m.eta = eta;
+  for (double n : {1.0, 2.0, 4.0, 8.0, 12.0, 16.0}) {
+    m.ex.add(n, truth.ex(n));
+    m.in.add(n, truth.in(n));
+  }
+  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m);
+  const SpeedupPredictor pred = SpeedupPredictor::from_fits(fits);
+
+  const double predicted = pred(160.0);
+  const double actual = speedup_deterministic(truth, eta, 160.0);
+  EXPECT_NEAR(predicted, actual, 0.05 * actual);
+}
+
+TEST(Predictor, FromFitsUsesSegmentedINWhenDetected) {
+  FactorMeasurements m;
+  m.eta = 0.75;
+  for (int n = 1; n <= 40; ++n) {
+    m.ex.add(n, n);
+    m.in.add(n, n <= 15 ? 0.15 * n + 0.85 : 0.23 * n + 2.72);
+  }
+  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m);
+  ASSERT_TRUE(fits.in_has_changepoint);
+  const SpeedupPredictor pred = SpeedupPredictor::from_fits(fits);
+  // The segmented predictor must track the post-knot IN, which a single
+  // straight line through all 40 points would misestimate.
+  ScalingFactors truth{identity_factor(),
+                       stepwise_linear_factor(0.15, 0.85, 15, 0.23, 2.72),
+                       constant_factor(0.0)};
+  const double actual = speedup_deterministic(truth, 0.75, 100.0);
+  EXPECT_NEAR(pred(100.0), actual, 0.03 * actual);
+}
+
+TEST(Predictor, EtaOneIgnoresIN) {
+  FactorMeasurements m;
+  m.eta = 1.0;
+  for (double n : {1.0, 2.0, 4.0, 8.0}) m.ex.add(n, n);
+  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m);
+  const SpeedupPredictor pred = SpeedupPredictor::from_fits(fits);
+  EXPECT_NEAR(pred(64.0), 64.0, 1e-9);  // Gustafson with eta=1
+}
+
+TEST(Predictor, CurveProducesNamedSeries) {
+  SpeedupPredictor p(terasort_like(), 0.8);
+  const std::vector<double> ns{1, 2, 4};
+  const auto s = p.curve(ns, "pred");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.name(), "pred");
+  EXPECT_DOUBLE_EQ(s[0].y, 1.0);
+}
+
+// --- Provisioning
+
+std::vector<double> sweep_1_to(double hi) {
+  std::vector<double> ns;
+  for (double n = 1; n <= hi; ++n) ns.push_back(n);
+  return ns;
+}
+
+TEST(Provisioning, PeakedWorkloadHasInteriorOptimum) {
+  // CF-like pathology: best n must be well inside the sweep.
+  ScalingFactors f{constant_factor(1.0), constant_factor(1.0),
+                   make_q(3.74e-4, 2.0)};
+  SpeedupPredictor pred(f, 1.0);
+  const auto ns = sweep_1_to(120);
+  const ProvisioningPlan plan = plan_provisioning(pred, ns);
+  EXPECT_GT(plan.best_speedup_n, 30.0);
+  EXPECT_LT(plan.best_speedup_n, 80.0);
+  EXPECT_LE(plan.knee_n, plan.best_speedup_n);
+}
+
+TEST(Provisioning, KneeIsCheaperThanPeakForSaturatingCurves) {
+  // Amdahl-like curve: 90% of the bound is reached at modest n.
+  ScalingFactors f{constant_factor(1.0), constant_factor(1.0),
+                   constant_factor(0.0)};
+  SpeedupPredictor pred(f, 0.95);
+  const auto ns = sweep_1_to(256);
+  const ProvisioningPlan plan = plan_provisioning(pred, ns, 0.9);
+  EXPECT_EQ(plan.best_speedup_n, 256.0);
+  EXPECT_LT(plan.knee_n, 256.0);
+}
+
+TEST(Provisioning, OptionsCarryConsistentMetrics) {
+  SpeedupPredictor pred(terasort_like(), 0.8);
+  const auto ns = sweep_1_to(16);
+  const ProvisioningPlan plan = plan_provisioning(pred, ns);
+  ASSERT_EQ(plan.options.size(), 16u);
+  for (const auto& opt : plan.options) {
+    EXPECT_NEAR(opt.cost * opt.speedup, opt.n, 1e-9);
+    EXPECT_NEAR(opt.efficiency * opt.n, opt.speedup, 1e-9);
+    EXPECT_NEAR(opt.value, opt.speedup / opt.cost, 1e-9);
+  }
+}
+
+TEST(Provisioning, RejectsEmptySweep) {
+  SpeedupPredictor pred(terasort_like(), 0.8);
+  EXPECT_THROW(plan_provisioning(pred, {}), std::invalid_argument);
+}
+
+TEST(Provisioning, RejectsBadKneeFraction) {
+  SpeedupPredictor pred(terasort_like(), 0.8);
+  const std::vector<double> ns{1, 2};
+  EXPECT_THROW(plan_provisioning(pred, ns, 0.0), std::invalid_argument);
+  EXPECT_THROW(plan_provisioning(pred, ns, 1.5), std::invalid_argument);
+}
+
+TEST(Provisioning, SequentialIsNeverBetterValueThanIdealParallel) {
+  // With S(n) = n, value = S/cost = S^2/n = n: grows with n.
+  ScalingFactors f{identity_factor(), constant_factor(1.0),
+                   constant_factor(0.0)};
+  SpeedupPredictor pred(f, 1.0);
+  const auto ns = sweep_1_to(32);
+  const ProvisioningPlan plan = plan_provisioning(pred, ns);
+  EXPECT_EQ(plan.best_value_n, 32.0);
+}
+
+}  // namespace
+}  // namespace ipso

@@ -1,0 +1,173 @@
+#include "mapreduce/engine.h"
+
+#include "workloads/sort.h"
+#include "workloads/terasort.h"
+#include "workloads/wordcount.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ipso::mr {
+namespace {
+
+MrWorkloadSpec simple_spec() {
+  MrWorkloadSpec s;
+  s.name = "simple";
+  s.map_ops_per_byte = 10.0;
+  s.intermediate_ratio = 1.0;
+  s.merge_ops_per_byte = 1.0;
+  s.spill_enabled = false;
+  return s;
+}
+
+MrJobConfig job_of(std::size_t tasks, double shard_bytes = 1e8) {
+  MrJobConfig j;
+  j.num_tasks = tasks;
+  j.shard_bytes = shard_bytes;
+  return j;
+}
+
+TEST(MrEngine, RejectsZeroTasks) {
+  MrEngine engine(sim::default_emr_cluster(2));
+  EXPECT_THROW(engine.run_parallel(simple_spec(), job_of(0)),
+               std::invalid_argument);
+  EXPECT_THROW(engine.run_sequential(simple_spec(), job_of(0)),
+               std::invalid_argument);
+}
+
+TEST(MrEngine, SequentialMapTimeScalesWithTasks) {
+  MrEngine engine(sim::default_emr_cluster(1));
+  const auto one = engine.run_sequential(simple_spec(), job_of(1));
+  const auto four = engine.run_sequential(simple_spec(), job_of(4));
+  EXPECT_NEAR(four.phases.map, 4.0 * one.phases.map, 1e-9);
+  EXPECT_DOUBLE_EQ(four.components.wo, 0.0);  // paper fn. 1
+}
+
+TEST(MrEngine, ParallelMapIsBarrierBound) {
+  MrEngine engine(sim::default_emr_cluster(4));
+  const auto r = engine.run_parallel(simple_spec(), job_of(4));
+  // All four identical tasks run concurrently: map wall ~ one task time
+  // (small dispatch stagger aside).
+  const double one_task = 10.0 * 1e8 / 1e8;
+  EXPECT_NEAR(r.max_task_time, one_task, 1e-9);
+  EXPECT_NEAR(r.sum_task_time, 4.0 * one_task, 1e-9);
+  EXPECT_LT(r.phases.map, one_task + 0.1);
+}
+
+TEST(MrEngine, SpeedupNearOneAtSingleWorker) {
+  MrEngine engine(sim::default_emr_cluster(1));
+  const auto par = engine.run_parallel(simple_spec(), job_of(1));
+  const auto seq = engine.run_sequential(simple_spec(), job_of(1));
+  const double speedup = seq.makespan / par.makespan;
+  EXPECT_GT(speedup, 0.95);
+  EXPECT_LE(speedup, 1.0 + 1e-9);
+}
+
+TEST(MrEngine, MoreTasksThanWorkersRunInWaves) {
+  MrEngine engine(sim::default_emr_cluster(2));
+  const auto r = engine.run_parallel(simple_spec(), job_of(4));
+  // 4 tasks of 10 s on 2 workers: map wall ~ 2 task durations.
+  const double one_task = 10.0;
+  EXPECT_GT(r.phases.map + r.phases.init, 2.0 * one_task);
+  EXPECT_NEAR(r.sum_task_time, 4.0 * one_task, 1e-9);
+}
+
+TEST(MrEngine, WsMatchesBetweenParallelAndSequential) {
+  // The merge-phase workload must be identical in both execution models —
+  // that is what makes it Ws by the paper's definition.
+  MrEngine engine(sim::default_emr_cluster(8));
+  const auto spec = simple_spec();
+  const auto par = engine.run_parallel(spec, job_of(8));
+  const auto seq = engine.run_sequential(spec, job_of(8));
+  EXPECT_NEAR(par.components.ws, seq.components.ws, 1e-9);
+  EXPECT_NEAR(par.components.wp, seq.components.wp, 1e-9);
+}
+
+TEST(MrEngine, SpillTriggersAtReducerMemoryBoundary) {
+  sim::ClusterConfig cfg = sim::default_emr_cluster(16);
+  MrEngine engine(cfg);
+  MrWorkloadSpec spec = simple_spec();
+  spec.spill_enabled = true;
+  // 16 x 128 MB = 2.048 GB > 2 GB reducer memory: spills.
+  const auto spilled = engine.run_parallel(spec, job_of(16, 128e6));
+  EXPECT_TRUE(spilled.spilled);
+  EXPECT_DOUBLE_EQ(spilled.spill_bytes, 16.0 * 128e6);
+  // 15 x 128 MB = 1.92 GB: no spill.
+  MrEngine engine15(sim::default_emr_cluster(15));
+  const auto clean = engine15.run_parallel(spec, job_of(15, 128e6));
+  EXPECT_FALSE(clean.spilled);
+  EXPECT_DOUBLE_EQ(clean.phases.spill, 0.0);
+}
+
+TEST(MrEngine, SpillAddsDiskTimeToWs) {
+  MrEngine engine(sim::default_emr_cluster(32));
+  MrWorkloadSpec with_spill = simple_spec();
+  with_spill.spill_enabled = true;
+  MrWorkloadSpec without = simple_spec();
+  const auto a = engine.run_parallel(with_spill, job_of(32, 128e6));
+  const auto b = engine.run_parallel(without, job_of(32, 128e6));
+  EXPECT_GT(a.components.ws, b.components.ws);
+  EXPECT_NEAR(a.components.ws - b.components.ws,
+              2.0 * 32 * 128e6 / 120e6, 1e-6);
+}
+
+TEST(MrEngine, DispatchOverheadGrowsWithTasks) {
+  MrEngine e64(sim::default_emr_cluster(64));
+  MrEngine e2(sim::default_emr_cluster(2));
+  const auto big = e64.run_parallel(simple_spec(), job_of(64));
+  const auto small = e2.run_parallel(simple_spec(), job_of(2));
+  EXPECT_GT(big.components.wo, small.components.wo);
+}
+
+TEST(MrEngine, StragglersStretchMaxNotSum) {
+  sim::ClusterConfig cfg = sim::default_emr_cluster(16);
+  cfg.straggler.enabled = true;
+  cfg.straggler.cap = 3.0;
+  MrEngine engine(cfg);
+  const auto r = engine.run_parallel(simple_spec(), job_of(16));
+  const double mean_task = r.sum_task_time / 16.0;
+  EXPECT_GT(r.max_task_time, mean_task);
+  EXPECT_LE(r.max_task_time, 3.0 * 10.0 + 1e-9);  // cap x 10 s nominal task
+}
+
+TEST(MrEngine, QuantizationZeroesSubSecondPhases) {
+  MrEngine engine(sim::default_emr_cluster(4));
+  MrJobConfig job = job_of(4, 1e6);  // tiny shards: sub-second everything
+  job.measurement_precision = 1.0;
+  const auto r = engine.run_parallel(simple_spec(), job);
+  EXPECT_DOUBLE_EQ(r.phases.map, 0.0);  // unmeasurable, as in the paper
+}
+
+TEST(MrEngine, WordCountIntermediateIsConstantPerTask) {
+  MrEngine e4(sim::default_emr_cluster(4));
+  MrEngine e8(sim::default_emr_cluster(8));
+  const auto spec = wl::wordcount_spec();
+  const auto a = e4.run_parallel(spec, job_of(4, 128e6));
+  const auto b = e8.run_parallel(spec, job_of(8, 128e6));
+  EXPECT_NEAR(b.intermediate_bytes / a.intermediate_bytes, 2.0, 1e-9);
+  EXPECT_LT(a.intermediate_bytes, 1e6);  // histograms, not data
+}
+
+TEST(MrEngine, SortForwardsAllData) {
+  MrEngine engine(sim::default_emr_cluster(4));
+  const auto r = engine.run_parallel(wl::sort_spec(), job_of(4, 128e6));
+  EXPECT_DOUBLE_EQ(r.intermediate_bytes, 4.0 * 128e6);
+}
+
+TEST(MrEngine, ComponentSpeedupTracksMakespanSpeedup) {
+  // Eq. 7 evaluated from the attributed components must approximate the
+  // measured makespan ratio (they differ only by the constant init).
+  MrEngine engine(sim::default_emr_cluster(8));
+  const auto spec = wl::terasort_spec();
+  const auto par = engine.run_parallel(spec, job_of(8, 128e6));
+  const auto seq = engine.run_sequential(spec, job_of(8, 128e6));
+  const double measured = seq.makespan / par.makespan;
+  const double eq7 = (par.components.wp + par.components.ws) /
+                     (par.components.max_tp + par.components.ws +
+                      par.components.wo);
+  EXPECT_NEAR(eq7, measured, 0.1 * measured);
+}
+
+}  // namespace
+}  // namespace ipso::mr

@@ -1,0 +1,100 @@
+#include "mapreduce/functional.h"
+
+#include "workloads/functional_jobs.h"
+
+#include <gtest/gtest.h>
+
+namespace ipso::mr {
+namespace {
+
+MrJobConfig job_of(std::size_t tasks) {
+  MrJobConfig j;
+  j.num_tasks = tasks;
+  j.shard_bytes = 128e6;  // logical size; functional layer down-samples
+  j.seed = 11;
+  return j;
+}
+
+TEST(Functional, WordCountVerifiesAndMeasuresConstantIntermediate) {
+  MrEngine engine(sim::default_emr_cluster(4));
+  wl::WordCountJob job;
+  const auto r =
+      run_functional(engine, job, wl::wordcount_spec(), job_of(4));
+  EXPECT_TRUE(r.verified);
+  // A combiner histogram over a 1000-word dictionary: kilobytes per task.
+  EXPECT_GT(r.measured_fixed_intermediate, 1e3);
+  EXPECT_LT(r.measured_fixed_intermediate, 64e3);
+  EXPECT_DOUBLE_EQ(r.grounded_spec.fixed_intermediate_bytes,
+                   r.measured_fixed_intermediate);
+  EXPECT_GT(r.simulated.makespan, 0.0);
+}
+
+TEST(Functional, SortForwardsAllDataAndSorts) {
+  MrEngine engine(sim::default_emr_cluster(4));
+  wl::SortJob job;
+  const auto r = run_functional(engine, job, wl::sort_spec(), job_of(4));
+  EXPECT_TRUE(r.verified);
+  // Sorted words re-serialize to ~the input size (token + separator).
+  EXPECT_NEAR(r.measured_ratio, 1.0, 0.05);
+  EXPECT_NEAR(r.grounded_spec.intermediate_ratio, r.measured_ratio, 1e-12);
+  // The grounded simulation carries the measured ratio into the
+  // intermediate volume.
+  EXPECT_NEAR(r.simulated.intermediate_bytes,
+              4.0 * 128e6 * r.measured_ratio, 1.0);
+}
+
+TEST(Functional, TeraSortChecksumSurvivesTheMerge) {
+  MrEngine engine(sim::default_emr_cluster(8));
+  wl::TeraSortJob job;
+  const auto r =
+      run_functional(engine, job, wl::terasort_spec(), job_of(8));
+  EXPECT_TRUE(r.verified);
+  EXPECT_NEAR(r.measured_ratio, 1.0, 1e-9);  // binary records: exact
+}
+
+TEST(Functional, QmcEstimatesPi) {
+  MrEngine engine(sim::default_emr_cluster(8));
+  wl::QmcPiJob job(/*tolerance=*/5e-3);
+  const auto r = run_functional(engine, job, wl::qmc_pi_spec(), job_of(8));
+  EXPECT_TRUE(r.verified);
+  // Counter output only: ~16 bytes per task regardless of samples.
+  EXPECT_NEAR(r.measured_fixed_intermediate, 16.0, 1e-9);
+}
+
+TEST(Functional, RejectsZeroTasks) {
+  MrEngine engine(sim::default_emr_cluster(1));
+  wl::WordCountJob job;
+  EXPECT_THROW(run_functional(engine, job, wl::wordcount_spec(), job_of(0)),
+               std::invalid_argument);
+}
+
+TEST(Functional, GroundedSpeedupMatchesSpecSpeedup) {
+  // The grounded spec (measured ratios) must yield nearly the same scaling
+  // behaviour as the calibrated spec — evidence that the hand-written
+  // constants agree with the real computation.
+  wl::SortJob job;
+  for (std::size_t n : {2u, 8u}) {
+    MrEngine engine(sim::default_emr_cluster(n));
+    MrJobConfig cfg = job_of(n);
+    const auto grounded =
+        run_functional(engine, job, wl::sort_spec(), cfg);
+    const auto pure = engine.run_parallel(wl::sort_spec(), cfg);
+    EXPECT_NEAR(grounded.simulated.makespan, pure.makespan,
+                0.05 * pure.makespan);
+  }
+}
+
+TEST(Functional, DownsamplingCapRespected) {
+  MrEngine engine(sim::default_emr_cluster(2));
+  wl::SortJob job;
+  MrJobConfig cfg = job_of(2);
+  const auto r = run_functional(engine, job, wl::sort_spec(), cfg,
+                                /*functional_cap=*/4096);
+  // The functional layer computed on at most 4 KiB per shard...
+  EXPECT_LE(job.input_bytes(0), 4200.0);
+  // ...while the simulation ran at the logical 128 MB scale.
+  EXPECT_GT(r.simulated.intermediate_bytes, 1e8);
+}
+
+}  // namespace
+}  // namespace ipso::mr

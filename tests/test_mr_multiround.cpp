@@ -1,0 +1,81 @@
+#include "mapreduce/multiround.h"
+
+#include "workloads/sort.h"
+#include "workloads/wordcount.h"
+
+#include <gtest/gtest.h>
+
+namespace ipso::mr {
+namespace {
+
+std::vector<Round> two_rounds() {
+  return {{wl::wordcount_spec(), 64e6}, {wl::sort_spec(), 64e6}};
+}
+
+TEST(MultiRound, RejectsEmpty) {
+  MrEngine engine(sim::default_emr_cluster(4));
+  EXPECT_THROW(run_multi_round(engine, {}, true), std::invalid_argument);
+}
+
+TEST(MultiRound, ComponentsAreSums) {
+  MrEngine engine(sim::default_emr_cluster(4));
+  const auto rounds = two_rounds();
+  const auto multi = run_multi_round(engine, rounds, /*parallel=*/true);
+  ASSERT_EQ(multi.rounds.size(), 2u);
+  double wp = 0, ws = 0, wo = 0, makespan = 0;
+  for (const auto& r : multi.rounds) {
+    wp += r.components.wp;
+    ws += r.components.ws;
+    wo += r.components.wo;
+    makespan += r.makespan;
+  }
+  EXPECT_NEAR(multi.components.wp, wp, 1e-9);
+  EXPECT_NEAR(multi.components.ws, ws, 1e-9);
+  EXPECT_NEAR(multi.components.wo, wo, 1e-9);
+  EXPECT_NEAR(multi.makespan, makespan, 1e-9);
+}
+
+TEST(MultiRound, SequentialHasNoInducedWork) {
+  MrEngine engine(sim::default_emr_cluster(4));
+  const auto multi = run_multi_round(engine, two_rounds(), false);
+  EXPECT_DOUBLE_EQ(multi.components.wo, 0.0);
+  EXPECT_DOUBLE_EQ(multi.components.n, 1.0);
+}
+
+TEST(MultiRound, IpsoAppliesToSummedWorkloads) {
+  // The paper's claim: viewing Wp/Ws/Wo as sums over rounds, Eq. 7 applies
+  // to the multi-round job. The Eq. 7 speedup from summed components must
+  // track the measured makespan ratio.
+  MrEngine engine(sim::default_emr_cluster(8));
+  const auto rounds = two_rounds();
+  const auto par = run_multi_round(engine, rounds, true);
+  const auto seq = run_multi_round(engine, rounds, false);
+  const double measured = seq.makespan / par.makespan;
+  const double eq7 = par.components.speedup();
+  EXPECT_NEAR(eq7, measured, 0.1 * measured);
+}
+
+TEST(MultiRound, SpeedupBetweenRoundSpeedups) {
+  // The combined speedup must lie between the two per-round speedups.
+  MrEngine engine(sim::default_emr_cluster(8));
+  const auto rounds = two_rounds();
+  const auto par = run_multi_round(engine, rounds, true);
+  const auto seq = run_multi_round(engine, rounds, false);
+  const double combined = seq.makespan / par.makespan;
+  const double s0 = seq.rounds[0].makespan / par.rounds[0].makespan;
+  const double s1 = seq.rounds[1].makespan / par.rounds[1].makespan;
+  EXPECT_GE(combined, std::min(s0, s1) - 1e-9);
+  EXPECT_LE(combined, std::max(s0, s1) + 1e-9);
+}
+
+TEST(MultiRound, MaxTpAddsAcrossBarriers) {
+  MrEngine engine(sim::default_emr_cluster(4));
+  const auto multi = run_multi_round(engine, two_rounds(), true);
+  EXPECT_NEAR(multi.components.max_tp,
+              multi.rounds[0].components.max_tp +
+                  multi.rounds[1].components.max_tp,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace ipso::mr

@@ -1,0 +1,134 @@
+#include "core/classify.h"
+#include "core/model.h"
+#include "core/statistical.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+/// Property-based sweeps over the IPSO parameter space: invariants that
+/// must hold for EVERY parameter combination, not just hand-picked cases.
+
+namespace ipso {
+namespace {
+
+using Params = std::tuple<double /*eta*/, double /*alpha*/, double /*delta*/,
+                          double /*beta*/, double /*gamma*/>;
+
+AsymptoticParams from_tuple(const Params& t, WorkloadType type) {
+  AsymptoticParams p;
+  p.type = type;
+  p.eta = std::get<0>(t);
+  p.alpha = std::get<1>(t);
+  p.delta = type == WorkloadType::kFixedSize ? 0.0 : std::get<2>(t);
+  p.beta = std::get<3>(t);
+  p.gamma = std::get<4>(t);
+  return p;
+}
+
+class IpsoSpace : public ::testing::TestWithParam<Params> {};
+
+TEST_P(IpsoSpace, SpeedupAtOneIsOne) {
+  for (auto type : {WorkloadType::kFixedTime, WorkloadType::kFixedSize}) {
+    const auto p = from_tuple(GetParam(), type);
+    EXPECT_NEAR(speedup_asymptotic(p, 1.0), 1.0, 1e-9);
+  }
+}
+
+TEST_P(IpsoSpace, SpeedupIsPositive) {
+  for (auto type : {WorkloadType::kFixedTime, WorkloadType::kFixedSize}) {
+    const auto p = from_tuple(GetParam(), type);
+    for (double n = 1; n <= 1e5; n *= 10) {
+      EXPECT_GT(speedup_asymptotic(p, n), 0.0);
+    }
+  }
+}
+
+TEST_P(IpsoSpace, EfficiencyNeverImproves) {
+  // S(n)/n is non-increasing: parallel efficiency cannot grow with
+  // scale-out in the IPSO space (no superlinear effects are modeled).
+  for (auto type : {WorkloadType::kFixedTime, WorkloadType::kFixedSize}) {
+    const auto p = from_tuple(GetParam(), type);
+    double prev = speedup_asymptotic(p, 1.0) / 1.0;
+    for (double n = 2; n <= 4096; n *= 2) {
+      const double eff = speedup_asymptotic(p, n) / n;
+      EXPECT_LE(eff, prev + 1e-12) << "type=" << to_string(type)
+                                   << " n=" << n;
+      prev = eff;
+    }
+  }
+}
+
+TEST_P(IpsoSpace, OverheadOnlyHurts) {
+  // Adding scale-out-induced workload can only lower the speedup.
+  for (auto type : {WorkloadType::kFixedTime, WorkloadType::kFixedSize}) {
+    auto with = from_tuple(GetParam(), type);
+    auto without = with;
+    without.beta = 0.0;
+    without.gamma = 0.0;
+    for (double n = 2; n <= 4096; n *= 4) {
+      EXPECT_LE(speedup_asymptotic(with, n),
+                speedup_asymptotic(without, n) + 1e-12);
+    }
+  }
+}
+
+TEST_P(IpsoSpace, ClassifiedBoundIsAnUpperBound) {
+  for (auto type : {WorkloadType::kFixedTime, WorkloadType::kFixedSize}) {
+    const auto p = from_tuple(GetParam(), type);
+    const Classification c = classify(p);
+    if (!std::isfinite(c.bound)) continue;
+    for (double n = 1; n <= 1e6; n *= 4) {
+      EXPECT_LE(speedup_asymptotic(p, n), c.bound * (1.0 + 1e-6))
+          << to_string(c.type) << " n=" << n;
+    }
+  }
+}
+
+TEST_P(IpsoSpace, BoundedTypesApproachTheirBound) {
+  for (auto type : {WorkloadType::kFixedTime, WorkloadType::kFixedSize}) {
+    const auto p = from_tuple(GetParam(), type);
+    const Classification c = classify(p);
+    if (c.shape != GrowthShape::kBounded) continue;
+    // The bound is the actual supremum: the curve gets within 5% of it.
+    EXPECT_GT(speedup_asymptotic(p, 1e9), 0.95 * c.bound)
+        << to_string(c.type);
+  }
+}
+
+TEST_P(IpsoSpace, PeakedTypesActuallyPeak) {
+  for (auto type : {WorkloadType::kFixedTime, WorkloadType::kFixedSize}) {
+    const auto p = from_tuple(GetParam(), type);
+    const Classification c = classify(p);
+    if (c.shape != GrowthShape::kPeaked) continue;
+    const double at_peak = speedup_asymptotic(p, c.peak_n);
+    EXPECT_GT(at_peak, speedup_asymptotic(p, c.peak_n * 64.0))
+        << "must decline after the peak";
+    EXPECT_NEAR(at_peak, c.peak_speedup, 0.01 * c.peak_speedup);
+  }
+}
+
+TEST_P(IpsoSpace, StatisticalNeverBeatsDeterministic) {
+  // E[max X] >= E[X] = 1, so any task-time dispersion slows the barrier.
+  const auto tup = GetParam();
+  const auto p = from_tuple(tup, WorkloadType::kFixedTime);
+  if (p.alpha <= 0.0) return;
+  const ScalingFactors f = p.materialize();
+  CappedParetoTime noisy(2.5, 4.0);
+  for (double n = 2; n <= 512; n *= 4) {
+    EXPECT_LE(speedup_statistical(f, p.eta, noisy, n),
+              speedup_deterministic(f, p.eta, n) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IpsoSpace,
+    ::testing::Combine(::testing::Values(0.3, 0.9, 1.0),       // eta
+                       ::testing::Values(0.5, 1.0, 4.0),       // alpha
+                       ::testing::Values(0.0, 0.5, 1.0),       // delta
+                       ::testing::Values(0.0, 0.01),           // beta
+                       ::testing::Values(0.0, 0.5, 1.0, 2.0)));  // gamma
+
+}  // namespace
+}  // namespace ipso

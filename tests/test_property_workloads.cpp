@@ -1,0 +1,66 @@
+#include "mapreduce/functional.h"
+#include "workloads/functional_jobs.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+/// Property sweeps over the functional workloads: every (task count, shard
+/// size, seed) combination must preserve the correctness invariants — the
+/// failure-injection-free core of the functional layer.
+
+namespace ipso::wl {
+namespace {
+
+using Shape = std::tuple<std::size_t /*tasks*/, std::size_t /*bytes*/,
+                         std::uint64_t /*seed*/>;
+
+class FunctionalShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(FunctionalShapes, WordCountConservesTokens) {
+  const auto [tasks, bytes, seed] = GetParam();
+  WordCountJob job;
+  job.prepare(seed, tasks, bytes);
+  for (std::size_t i = 0; i < job.tasks(); ++i) job.run_map(i);
+  job.run_reduce();
+  EXPECT_TRUE(job.verify());
+}
+
+TEST_P(FunctionalShapes, SortProducesSortedPermutation) {
+  const auto [tasks, bytes, seed] = GetParam();
+  SortJob job;
+  job.prepare(seed, tasks, bytes);
+  double inter = 0.0;
+  for (std::size_t i = 0; i < job.tasks(); ++i) inter += job.run_map(i);
+  const double out = job.run_reduce();
+  EXPECT_TRUE(job.verify());
+  // The merge neither creates nor destroys data.
+  EXPECT_NEAR(out, inter, 1e-6);
+}
+
+TEST_P(FunctionalShapes, TeraSortChecksumInvariant) {
+  const auto [tasks, bytes, seed] = GetParam();
+  TeraSortJob job;
+  job.prepare(seed, tasks, bytes);
+  for (std::size_t i = 0; i < job.tasks(); ++i) job.run_map(i);
+  job.run_reduce();
+  EXPECT_TRUE(job.verify());
+}
+
+TEST_P(FunctionalShapes, QmcWithinTolerance) {
+  const auto [tasks, bytes, seed] = GetParam();
+  QmcPiJob job(/*tolerance=*/2e-2);  // small sample counts: looser bound
+  job.prepare(seed, tasks, bytes);
+  for (std::size_t i = 0; i < job.tasks(); ++i) job.run_map(i);
+  job.run_reduce();
+  EXPECT_TRUE(job.verify());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FunctionalShapes,
+    ::testing::Combine(::testing::Values(1u, 2u, 7u, 16u),   // tasks
+                       ::testing::Values(512u, 4096u, 20000u),  // bytes
+                       ::testing::Values(1u, 42u)));            // seed
+
+}  // namespace
+}  // namespace ipso::wl

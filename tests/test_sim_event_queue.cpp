@@ -1,0 +1,94 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace ipso::sim {
+namespace {
+
+TEST(Simulation, StartsAtZero) {
+  Simulation des;
+  EXPECT_DOUBLE_EQ(des.now(), 0.0);
+  EXPECT_TRUE(des.idle());
+}
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  Simulation des;
+  std::vector<int> order;
+  des.schedule(3.0, [&] { order.push_back(3); });
+  des.schedule(1.0, [&] { order.push_back(1); });
+  des.schedule(2.0, [&] { order.push_back(2); });
+  des.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(des.now(), 3.0);
+}
+
+TEST(Simulation, SimultaneousEventsKeepInsertionOrder) {
+  Simulation des;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    des.schedule(5.0, [&, i] { order.push_back(i); });
+  }
+  des.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, EventsCanScheduleMoreEvents) {
+  Simulation des;
+  int fired = 0;
+  des.schedule(1.0, [&] {
+    ++fired;
+    des.schedule(1.0, [&] { ++fired; });
+  });
+  des.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(des.now(), 2.0);
+}
+
+TEST(Simulation, RejectsNegativeDelay) {
+  Simulation des;
+  EXPECT_THROW(des.schedule(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, RejectsPastAbsoluteTime) {
+  Simulation des;
+  des.schedule(2.0, [] {});
+  des.run();
+  EXPECT_THROW(des.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation des;
+  int fired = 0;
+  des.schedule(1.0, [&] { ++fired; });
+  des.schedule(5.0, [&] { ++fired; });
+  des.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(des.now(), 3.0);
+  EXPECT_FALSE(des.idle());
+  des.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, CountsExecutedEvents) {
+  Simulation des;
+  for (int i = 0; i < 7; ++i) des.schedule(i, [] {});
+  des.run();
+  EXPECT_EQ(des.executed(), 7u);
+}
+
+TEST(Simulation, ZeroDelayRunsImmediatelyInOrder) {
+  Simulation des;
+  std::vector<int> order;
+  des.schedule(0.0, [&] {
+    order.push_back(1);
+    des.schedule(0.0, [&] { order.push_back(2); });
+  });
+  des.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace ipso::sim

@@ -1,0 +1,204 @@
+#include "spark/engine.h"
+
+#include "spark/eventlog.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ipso::spark {
+namespace {
+
+SparkAppSpec two_stage_app() {
+  SparkAppSpec app;
+  app.name = "test";
+  StageSpec a;
+  a.name = "map";
+  a.task_ops = 1e8;  // 1 s per task on the default cluster
+  StageSpec b;
+  b.name = "agg";
+  b.task_ops = 5e7;
+  b.task_count_factor = 0.5;
+  app.stages = {a, b};
+  return app;
+}
+
+SparkJobConfig job_of(std::size_t n_tasks, std::size_t executors) {
+  SparkJobConfig j;
+  j.total_tasks = n_tasks;
+  j.executors = executors;
+  return j;
+}
+
+TEST(SparkEngine, RejectsZeroConfig) {
+  SparkEngine engine(sim::default_emr_cluster(2));
+  EXPECT_THROW(engine.run(two_stage_app(), job_of(0, 2)),
+               std::invalid_argument);
+  EXPECT_THROW(engine.run(two_stage_app(), job_of(2, 0)),
+               std::invalid_argument);
+}
+
+TEST(SparkEngine, RejectsInvalidParams) {
+  SparkEngineParams params;
+  params.spill_slowdown = 0.5;
+  EXPECT_THROW(SparkEngine(sim::default_emr_cluster(1), params),
+               std::invalid_argument);
+}
+
+TEST(SparkEngine, StageCountIsStagesTimesIterations) {
+  SparkEngine engine(sim::default_emr_cluster(4));
+  SparkAppSpec app = two_stage_app();
+  app.iterations = 3;
+  const auto r = engine.run(app, job_of(8, 4));
+  EXPECT_EQ(r.stages.size(), 6u);
+  for (std::size_t i = 0; i < r.stages.size(); ++i) {
+    EXPECT_EQ(r.stages[i].stage_id, i);
+  }
+}
+
+TEST(SparkEngine, StagesAreSequentialInTime) {
+  SparkEngine engine(sim::default_emr_cluster(4));
+  const auto r = engine.run(two_stage_app(), job_of(8, 4));
+  ASSERT_EQ(r.stages.size(), 2u);
+  EXPECT_GE(r.stages[1].submission_time,
+            r.stages[0].completion_time - 1e-9);
+  EXPECT_NEAR(r.makespan, r.stages.back().completion_time, 1e-9);
+}
+
+TEST(SparkEngine, WaveCountMatchesTasksOverExecutors) {
+  SparkEngine engine(sim::default_emr_cluster(4));
+  const auto r = engine.run(two_stage_app(), job_of(10, 4));
+  EXPECT_EQ(r.stages[0].tasks, 10u);
+  EXPECT_EQ(r.stages[0].waves, 3u);  // ceil(10/4)
+  EXPECT_EQ(r.stages[1].tasks, 5u);  // factor 0.5
+}
+
+TEST(SparkEngine, FirstWaveOverheadExceedsLaterWaves) {
+  SparkEngineParams params;
+  params.first_wave_overhead = 1.0;
+  params.steady_wave_overhead = 0.0;
+  SparkEngine engine(sim::default_emr_cluster(2), params);
+  SparkAppSpec app;
+  app.name = "waves";
+  StageSpec s;
+  s.name = "s";
+  s.task_ops = 1e8;
+  app.stages = {s};
+  // 2 executors, 4 tasks: 2 waves. Stage wall = (1+1) + 1 = 3 s + dispatch.
+  const auto r = engine.run(app, job_of(4, 2));
+  EXPECT_NEAR(r.stages[0].latency(), 3.0, 0.1);
+}
+
+TEST(SparkEngine, BroadcastCostScalesWithExecutors) {
+  SparkAppSpec app;
+  app.name = "bcast";
+  StageSpec s;
+  s.name = "s";
+  s.task_ops = 1e8;
+  s.broadcast_bytes = 56.25e6;  // 1 s per copy on the default network
+  app.stages = {s};
+  SparkEngine e2(sim::default_emr_cluster(2));
+  SparkEngine e8(sim::default_emr_cluster(8));
+  const auto r2 = e2.run(app, job_of(2, 2));
+  const auto r8 = e8.run(app, job_of(8, 8));
+  EXPECT_NEAR(r2.stages[0].broadcast_time, 2.0, 0.01);
+  EXPECT_NEAR(r8.stages[0].broadcast_time, 8.0, 0.01);
+  EXPECT_GT(r8.components.wo, r2.components.wo);
+}
+
+TEST(SparkEngine, CachePressureSpillsAndSlowsTasks) {
+  SparkAppSpec app;
+  app.name = "cache";
+  StageSpec s;
+  s.name = "s";
+  s.task_ops = 1e8;
+  s.cached_bytes_per_task = 1.5e9;
+  app.stages = {s};
+  SparkEngine engine(sim::default_emr_cluster(2));
+  // 2 executors, 16 tasks: 8 x 1.5 GB = 12 GB per executor > 8 GB: spill.
+  const auto spilled = engine.run(app, job_of(16, 2));
+  EXPECT_TRUE(spilled.any_spill);
+  // 2 executors, 8 tasks: 6 GB per executor: fits.
+  const auto clean = engine.run(app, job_of(8, 2));
+  EXPECT_FALSE(clean.any_spill);
+  // Spilled tasks are slower per task.
+  const double spilled_per_task = spilled.components.wp +
+                                  spilled.components.wo;
+  EXPECT_GT(spilled_per_task / 16.0, (clean.components.wp / 8.0) - 1e-9);
+}
+
+TEST(SparkEngine, SequentialHasNoInducedWork) {
+  SparkEngine engine(sim::default_emr_cluster(8));
+  SparkAppSpec app = two_stage_app();
+  app.stages[0].broadcast_bytes = 1e7;
+  const auto seq = engine.run_sequential(app, job_of(8, 8));
+  EXPECT_DOUBLE_EQ(seq.components.wo, 0.0);
+  EXPECT_DOUBLE_EQ(seq.components.n, 1.0);
+}
+
+TEST(SparkEngine, SequentialComputeMatchesParallelWp) {
+  SparkEngine engine(sim::default_emr_cluster(4));
+  const auto app = two_stage_app();
+  const auto par = engine.run(app, job_of(8, 4));
+  const auto seq = engine.run_sequential(app, job_of(8, 4));
+  EXPECT_NEAR(par.components.wp, seq.components.wp, 1e-9);
+}
+
+TEST(SparkEngine, DriverWorkIsSerial) {
+  SparkAppSpec app = two_stage_app();
+  app.driver_ops_per_job = 2e8;
+  SparkEngine engine(sim::default_emr_cluster(4));
+  const auto r = engine.run(app, job_of(8, 4));
+  EXPECT_NEAR(r.components.ws, 2.0, 0.5);  // ~2 s of driver work (+shuffle 0)
+}
+
+// --- Event log round trip
+
+TEST(EventLog, RoundTripsStages) {
+  SparkEngine engine(sim::default_emr_cluster(4));
+  SparkAppSpec app = two_stage_app();
+  app.iterations = 2;
+  const auto r = engine.run(app, job_of(8, 4));
+  const std::string log = to_event_log(r);
+  const auto events = parse_event_log(log);
+  ASSERT_EQ(events.size(), r.stages.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].stage_id, r.stages[i].stage_id);
+    EXPECT_EQ(events[i].stage_name, r.stages[i].name);
+    EXPECT_NEAR(events[i].submission_time, r.stages[i].submission_time, 1e-6);
+    EXPECT_NEAR(events[i].completion_time, r.stages[i].completion_time, 1e-6);
+    EXPECT_EQ(events[i].tasks, r.stages[i].tasks);
+  }
+}
+
+TEST(EventLog, JobLatencySpansAllStages) {
+  SparkEngine engine(sim::default_emr_cluster(4));
+  const auto r = engine.run(two_stage_app(), job_of(8, 4));
+  const auto events = parse_event_log(to_event_log(r));
+  const auto latency = job_latency(events);
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_NEAR(*latency,
+              r.stages.back().completion_time - r.stages[0].submission_time,
+              1e-6);
+}
+
+TEST(EventLog, ToleratesForeignLines) {
+  const std::string log =
+      "{\"Event\":\"SparkListenerApplicationStart\",\"App Name\":\"x\"}\n"
+      "not json at all\n"
+      "{\"Event\":\"StageCompleted\",\"Stage ID\":7,\"Stage Name\":\"m\","
+      "\"Submission Time\":1.5,\"Completion Time\":2.5,\"Tasks\":4,"
+      "\"Spilled\":1}\n";
+  const auto events = parse_event_log(log);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].stage_id, 7u);
+  EXPECT_TRUE(events[0].spilled);
+  EXPECT_DOUBLE_EQ(events[0].latency(), 1.0);
+}
+
+TEST(EventLog, EmptyLogHasNoLatency) {
+  EXPECT_FALSE(job_latency({}).has_value());
+}
+
+}  // namespace
+}  // namespace ipso::spark

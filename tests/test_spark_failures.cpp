@@ -1,0 +1,104 @@
+#include "spark/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace ipso::spark {
+namespace {
+
+SparkAppSpec one_stage(double cached_bytes = 0.0) {
+  SparkAppSpec app;
+  app.name = "failtest";
+  StageSpec s;
+  s.name = "work";
+  s.task_ops = 1e8;
+  s.cached_bytes_per_task = cached_bytes;
+  app.stages = {s};
+  return app;
+}
+
+SparkJobConfig job_of(std::size_t tasks, std::size_t executors,
+                      std::uint64_t seed = 1) {
+  SparkJobConfig j;
+  j.total_tasks = tasks;
+  j.executors = executors;
+  j.seed = seed;
+  return j;
+}
+
+TEST(Failures, ZeroProbabilityIsNoop) {
+  SparkEngine engine(sim::default_emr_cluster(4));
+  const auto r = engine.run(one_stage(), job_of(16, 4));
+  for (const auto& s : r.stages) {
+    EXPECT_EQ(s.retries, 0u);
+    EXPECT_FALSE(s.rolled_back);
+  }
+}
+
+TEST(Failures, RetriesAppearAndSlowTheJob) {
+  SparkEngineParams clean;
+  SparkEngineParams faulty;
+  faulty.task_failure_prob = 0.3;
+  SparkEngine a(sim::default_emr_cluster(8), clean);
+  SparkEngine b(sim::default_emr_cluster(8), faulty);
+  const auto app = one_stage();
+  const auto ra = a.run(app, job_of(64, 8));
+  const auto rb = b.run(app, job_of(64, 8));
+  std::size_t total_retries = 0;
+  for (const auto& s : rb.stages) total_retries += s.retries;
+  EXPECT_GT(total_retries, 0u);
+  EXPECT_GT(rb.makespan, ra.makespan);
+  EXPECT_GT(rb.components.wo, ra.components.wo);
+}
+
+TEST(Failures, RetryWasteIsInducedNotParallelWork) {
+  SparkEngineParams faulty;
+  faulty.task_failure_prob = 0.3;
+  SparkEngine clean_engine(sim::default_emr_cluster(8));
+  SparkEngine faulty_engine(sim::default_emr_cluster(8), faulty);
+  const auto app = one_stage();
+  const auto ra = clean_engine.run(app, job_of(64, 8));
+  const auto rb = faulty_engine.run(app, job_of(64, 8));
+  // Wp counts first attempts only: identical across engines.
+  EXPECT_NEAR(ra.components.wp, rb.components.wp, 1e-9);
+}
+
+TEST(Failures, SpillAmplifiesFailureRate) {
+  SparkEngineParams params;
+  params.task_failure_prob = 0.05;
+  params.spill_failure_multiplier = 8.0;
+  SparkEngine engine(sim::default_emr_cluster(2), params);
+  // Spilled config: 16 tasks x 1.5 GB on 2 executors = 12 GB > 8 GB.
+  std::size_t spilled_retries = 0, clean_retries = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto spilled =
+        engine.run(one_stage(1.5e9), job_of(16, 2, seed));
+    const auto clean = engine.run(one_stage(0.0), job_of(16, 2, seed));
+    for (const auto& s : spilled.stages) spilled_retries += s.retries;
+    for (const auto& s : clean.stages) clean_retries += s.retries;
+  }
+  EXPECT_GT(spilled_retries, 2 * clean_retries);
+}
+
+TEST(Failures, RollbackDoublesStageWall) {
+  SparkEngineParams params;
+  params.task_failure_prob = 0.9;  // retry exhaustion near-certain
+  params.max_task_retries = 2;
+  SparkEngine engine(sim::default_emr_cluster(4), params);
+  const auto r = engine.run(one_stage(), job_of(16, 4));
+  bool any_rollback = false;
+  for (const auto& s : r.stages) any_rollback |= s.rolled_back;
+  EXPECT_TRUE(any_rollback);
+}
+
+TEST(Failures, DeterministicForSeed) {
+  SparkEngineParams params;
+  params.task_failure_prob = 0.2;
+  SparkEngine engine(sim::default_emr_cluster(4), params);
+  const auto a = engine.run(one_stage(), job_of(32, 4, 7));
+  const auto b = engine.run(one_stage(), job_of(32, 4, 7));
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.stages[0].retries, b.stages[0].retries);
+}
+
+}  // namespace
+}  // namespace ipso::spark

@@ -1,0 +1,112 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ipso::stats {
+namespace {
+
+const std::vector<double> kSample{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(Descriptive, MeanOfKnownSample) { EXPECT_DOUBLE_EQ(mean(kSample), 5.0); }
+
+TEST(Descriptive, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::span<const double>{}), 0.0);
+}
+
+TEST(Descriptive, VarianceUnbiased) {
+  // Population variance of kSample is 4; sample variance = 32/7.
+  EXPECT_NEAR(variance(kSample), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Descriptive, VarianceOfSingletonIsZero) {
+  const std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+}
+
+TEST(Descriptive, StddevIsSqrtVariance) {
+  EXPECT_NEAR(stddev(kSample) * stddev(kSample), variance(kSample), 1e-12);
+}
+
+TEST(Descriptive, MinMax) {
+  EXPECT_DOUBLE_EQ(min(kSample), 2.0);
+  EXPECT_DOUBLE_EQ(max(kSample), 9.0);
+}
+
+TEST(Descriptive, SumKahan) {
+  std::vector<double> xs(10000, 0.1);
+  EXPECT_NEAR(sum(xs), 1000.0, 1e-9);
+}
+
+TEST(Descriptive, PercentileEndpoints) {
+  EXPECT_DOUBLE_EQ(percentile(kSample, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(kSample, 100.0), 9.0);
+}
+
+TEST(Descriptive, MedianInterpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Descriptive, PercentileUnsortedInput) {
+  const std::vector<double> xs{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(median(xs), 5.0);
+}
+
+TEST(Descriptive, CoeffVariation) {
+  const std::vector<double> xs{10.0, 10.0, 10.0};
+  EXPECT_DOUBLE_EQ(coeff_variation(xs), 0.0);
+}
+
+TEST(Accumulator, MatchesBatchStatistics) {
+  Accumulator acc;
+  for (double x : kSample) acc.add(x);
+  EXPECT_EQ(acc.count(), kSample.size());
+  EXPECT_DOUBLE_EQ(acc.mean(), mean(kSample));
+  EXPECT_NEAR(acc.variance(), variance(kSample), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, MergeEqualsSinglePass) {
+  Accumulator a, b, whole;
+  for (std::size_t i = 0; i < kSample.size(); ++i) {
+    (i < 3 ? a : b).add(kSample[i]);
+    whole.add(kSample[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptyIsNoop) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double m = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), m);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Accumulator, MergeIntoEmptyCopies) {
+  Accumulator a, b;
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+}
+
+}  // namespace
+}  // namespace ipso::stats

@@ -1,0 +1,199 @@
+#include "stats/linalg.h"
+
+#include "stats/random.h"
+#include "stats/surface.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ipso::stats {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  m.at(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_THROW(Matrix(0, 2), std::invalid_argument);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m(2, 3);
+  m.at(0, 1) = 7.0;
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 7.0);
+}
+
+TEST(Matrix, Product) {
+  Matrix a(2, 2), b(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(Matrix, ProductShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 2);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, VectorProduct) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  const std::vector<double> v{1.0, 1.0};
+  const auto out = a * std::span<const double>(v);
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 7.0);
+}
+
+TEST(Solve, TwoByTwo) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  const auto x = solve_linear_system(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solve, RequiresPivoting) {
+  // Zero on the diagonal: naive elimination would divide by zero.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 0;
+  const auto x = solve_linear_system(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Solve, SingularThrows) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  EXPECT_THROW(solve_linear_system(a, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Solve, RandomRoundTrip) {
+  Rng rng(5);
+  const std::size_t n = 8;
+  Matrix a(n, n);
+  std::vector<double> truth(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    truth[r] = rng.uniform(-2, 2);
+    for (std::size_t c = 0; c < n; ++c) a.at(r, c) = rng.uniform(-1, 1);
+    a.at(r, r) += 4.0;  // diagonally dominant: well-conditioned
+  }
+  const auto b = a * std::span<const double>(truth);
+  const auto x = solve_linear_system(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], truth[i], 1e-9);
+}
+
+TEST(LeastSquares, ExactLineThroughPoints) {
+  Matrix x(4, 2);
+  std::vector<double> y(4);
+  for (int i = 0; i < 4; ++i) {
+    x.at(i, 0) = 1.0;
+    x.at(i, 1) = i;
+    y[static_cast<std::size_t>(i)] = 3.0 + 2.0 * i;
+  }
+  const auto beta = least_squares(x, y);
+  EXPECT_NEAR(beta[0], 3.0, 1e-12);
+  EXPECT_NEAR(beta[1], 2.0, 1e-12);
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  Matrix x(2, 3);
+  std::vector<double> y{1.0, 2.0};
+  EXPECT_THROW(least_squares(x, y), std::invalid_argument);
+}
+
+TEST(Polyfit, RecoversQuadratic) {
+  std::vector<double> xs, ys;
+  for (int i = -5; i <= 5; ++i) {
+    xs.push_back(i);
+    ys.push_back(1.0 - 2.0 * i + 0.5 * i * i);
+  }
+  const auto c = polyfit(xs, ys, 2);
+  EXPECT_NEAR(c[0], 1.0, 1e-9);
+  EXPECT_NEAR(c[1], -2.0, 1e-9);
+  EXPECT_NEAR(c[2], 0.5, 1e-9);
+  EXPECT_NEAR(polyval(c, 2.0), 1.0 - 4.0 + 2.0, 1e-9);
+}
+
+TEST(Polyfit, TooFewPointsThrows) {
+  std::vector<double> xs{1.0, 2.0}, ys{1.0, 2.0};
+  EXPECT_THROW(polyfit(xs, ys, 2), std::invalid_argument);
+}
+
+// --- quadratic surface
+
+TEST(Surface, RecoversExactQuadratic) {
+  std::vector<SurfacePoint> pts;
+  auto truth = [](double x, double y) {
+    return 2.0 + 0.5 * x - y + 0.25 * x * x - 0.1 * x * y + 0.05 * y * y;
+  };
+  for (double x = 0; x <= 4; ++x) {
+    for (double y = 0; y <= 4; ++y) pts.push_back({x, y, truth(x, y)});
+  }
+  const auto s = QuadraticSurface::fit(pts);
+  EXPECT_NEAR(s.r_squared(), 1.0, 1e-9);
+  EXPECT_NEAR(s(2.5, 1.5), truth(2.5, 1.5), 1e-9);
+  EXPECT_NEAR(s.coeffs()[4], -0.1, 1e-9);
+}
+
+TEST(Surface, TooFewSamplesThrows) {
+  std::vector<SurfacePoint> pts(5);
+  EXPECT_THROW(QuadraticSurface::fit(pts), std::invalid_argument);
+}
+
+TEST(Surface, SlicesProject) {
+  std::vector<SurfacePoint> pts;
+  for (double x = 0; x <= 4; ++x) {
+    for (double y = 0; y <= 4; ++y) pts.push_back({x, y, x * y});
+  }
+  const auto s = QuadraticSurface::fit(pts);
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  // Fixed-x slice: z = 2y.
+  const auto fixed = s.slice_fixed_x(2.0, ys);
+  EXPECT_NEAR(fixed[1].y, 4.0, 1e-9);
+  // Curve slice x = 2y: z = 2y^2.
+  const auto diag = s.slice(ys, [](double y) { return 2.0 * y; });
+  EXPECT_NEAR(diag[2].y, 18.0, 1e-9);
+}
+
+TEST(Surface, NoisyFitStillCloses) {
+  Rng rng(9);
+  std::vector<SurfacePoint> pts;
+  for (double x = 0; x <= 8; ++x) {
+    for (double y = 0; y <= 8; ++y) {
+      pts.push_back({x, y, 3.0 + x + 0.5 * y * y + rng.normal(0, 0.05)});
+    }
+  }
+  const auto s = QuadraticSurface::fit(pts);
+  EXPECT_GT(s.r_squared(), 0.999);
+  EXPECT_NEAR(s(4, 4), 3.0 + 4.0 + 8.0, 0.2);
+}
+
+}  // namespace
+}  // namespace ipso::stats

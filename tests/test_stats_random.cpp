@@ -1,0 +1,155 @@
+#include "stats/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace ipso::stats {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-5.0, 3.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformBelowStaysBelow) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_below(17), 17u);
+  }
+}
+
+TEST(Rng, UniformBelowZeroBoundIsZero) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_below(0), 0u);
+}
+
+TEST(Rng, UniformBelowCoversAllResidues) {
+  Rng rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(7);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(8);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(9);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, HeavyTailRespectsMinAndCap) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.heavy_tail(1.0, 2.0, 50.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 50.0);
+  }
+}
+
+TEST(Rng, HeavyTailProducesTail) {
+  Rng rng(12);
+  int above = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.heavy_tail(1.0, 1.5, 100.0) > 5.0) ++above;
+  }
+  // P(X > 5) = 5^-1.5 ~ 8.9%, so expect thousands of exceedances.
+  EXPECT_GT(above, 5000);
+  EXPECT_LT(above, 15000);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(13);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto orig = v;
+  rng.shuffle(v.data(), v.size());
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ShuffleChangesOrderEventually) {
+  Rng rng(14);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto orig = v;
+  rng.shuffle(v.data(), v.size());
+  EXPECT_NE(v, orig);  // probability 1/10! of spurious failure
+}
+
+}  // namespace
+}  // namespace ipso::stats

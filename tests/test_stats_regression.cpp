@@ -1,0 +1,182 @@
+#include "stats/regression.h"
+
+#include "stats/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ipso::stats {
+namespace {
+
+TEST(LinearFit, RecoversExactLine) {
+  Series s("line");
+  for (int n = 1; n <= 20; ++n) s.add(n, 3.0 * n - 7.0);
+  const LinearFit f = fit_linear(s);
+  EXPECT_NEAR(f.slope, 3.0, 1e-12);
+  EXPECT_NEAR(f.intercept, -7.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, RecoversNoisyLine) {
+  Rng rng(1);
+  Series s("noisy");
+  for (int n = 1; n <= 200; ++n) s.add(n, 0.36 * n - 0.11 + rng.normal(0, 0.5));
+  const LinearFit f = fit_linear(s);
+  EXPECT_NEAR(f.slope, 0.36, 0.01);
+  EXPECT_NEAR(f.intercept, -0.11, 0.6);
+  EXPECT_GT(f.r_squared, 0.99);
+}
+
+TEST(LinearFit, EvaluatesAtX) {
+  const LinearFit f{2.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(f(3.0), 7.0);
+}
+
+TEST(LinearFit, ThrowsOnTooFewPoints) {
+  Series s("one");
+  s.add(1, 1);
+  EXPECT_THROW(fit_linear(s), std::invalid_argument);
+}
+
+TEST(LinearFit, ThrowsOnDegenerateX) {
+  Series s("same-x");
+  s.add(2, 1);
+  s.add(2, 5);
+  EXPECT_THROW(fit_linear(s), std::invalid_argument);
+}
+
+TEST(LinearFit, SpanOverloadMatchesSeries) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+}
+
+TEST(PowerFit, RecoversExactPowerLaw) {
+  Series s("pow");
+  for (int n = 1; n <= 50; ++n) s.add(n, 2.5 * std::pow(n, 1.7));
+  const PowerFit f = fit_power(s);
+  EXPECT_NEAR(f.coeff, 2.5, 1e-9);
+  EXPECT_NEAR(f.exponent, 1.7, 1e-9);
+}
+
+TEST(PowerFit, SkipsNonPositivePoints) {
+  Series s("pow0");
+  s.add(1, 0.0);  // q(1) = 0 style point
+  for (int n = 2; n <= 20; ++n) s.add(n, 0.5 * n * n);
+  const PowerFit f = fit_power(s);
+  EXPECT_NEAR(f.exponent, 2.0, 1e-9);
+  EXPECT_NEAR(f.coeff, 0.5, 1e-9);
+}
+
+TEST(PowerFit, ThrowsWhenAllNonPositive) {
+  Series s("zeros");
+  s.add(1, 0.0);
+  s.add(2, 0.0);
+  EXPECT_THROW(fit_power(s), std::invalid_argument);
+}
+
+TEST(PowerFit, GammaTwoFromQuadraticOverhead) {
+  // The CF case study: q(n) = beta*n^2 must be recovered with gamma ~ 2.
+  Series s("q");
+  for (double n : {10.0, 30.0, 60.0, 90.0}) s.add(n, 3.74e-4 * n * n);
+  const PowerFit f = fit_power(s);
+  EXPECT_NEAR(f.exponent, 2.0, 1e-6);
+  EXPECT_NEAR(f.coeff, 3.74e-4, 1e-8);
+}
+
+TEST(SegmentedFit, FindsKnownBreakpoint) {
+  // Fig. 5 shape: slope 0.15 below n=15, slope 0.25 above.
+  Series s("IN");
+  for (int n = 1; n <= 40; ++n) {
+    const double y = n <= 15 ? 0.15 * n + 0.85 : 0.25 * n + 2.72 - 1.5;
+    s.add(n, y);
+  }
+  const SegmentedFit f = fit_segmented(s);
+  EXPECT_NEAR(f.knot, 15.0, 2.0);
+  EXPECT_NEAR(f.left.slope, 0.15, 0.02);
+  EXPECT_NEAR(f.right.slope, 0.25, 0.02);
+  EXPECT_TRUE(f.has_breakpoint());
+}
+
+TEST(SegmentedFit, StraightLineHasNoBreakpoint) {
+  Series s("line");
+  for (int n = 1; n <= 30; ++n) s.add(n, 2.0 * n + 1.0);
+  const SegmentedFit f = fit_segmented(s);
+  EXPECT_FALSE(f.has_breakpoint());
+}
+
+TEST(SegmentedFit, ThrowsOnTooFewPoints) {
+  Series s("few");
+  for (int n = 1; n <= 4; ++n) s.add(n, n);
+  EXPECT_THROW(fit_segmented(s, 3), std::invalid_argument);
+}
+
+TEST(SegmentedFit, EvaluatesPiecewise) {
+  SegmentedFit f;
+  f.left = {1.0, 0.0, 1.0};
+  f.right = {2.0, -5.0, 1.0};
+  f.knot = 5.0;
+  EXPECT_DOUBLE_EQ(f(4.0), 4.0);
+  EXPECT_DOUBLE_EQ(f(6.0), 7.0);
+}
+
+TEST(LinearFit, StandardErrorsShrinkWithMorePoints) {
+  Rng rng(21);
+  auto noisy_fit = [&](int n) {
+    Series s("noisy");
+    for (int i = 1; i <= n; ++i) s.add(i, 2.0 * i + rng.normal(0, 1.0));
+    return fit_linear(s);
+  };
+  const LinearFit small = noisy_fit(10);
+  const LinearFit big = noisy_fit(1000);
+  EXPECT_GT(small.slope_stderr, 0.0);
+  EXPECT_LT(big.slope_stderr, small.slope_stderr);
+  // The true slope must be within a few standard errors.
+  EXPECT_NEAR(big.slope, 2.0, 5.0 * big.slope_stderr);
+}
+
+TEST(LinearFit, ExactFitHasZeroStderr) {
+  Series s("exact");
+  for (int i = 1; i <= 10; ++i) s.add(i, 3.0 * i + 1.0);
+  const LinearFit f = fit_linear(s);
+  EXPECT_NEAR(f.slope_stderr, 0.0, 1e-10);
+  EXPECT_NEAR(f.intercept_stderr, 0.0, 1e-9);
+}
+
+TEST(PowerFit, ExponentStderrPropagates) {
+  Rng rng(22);
+  Series s("q");
+  for (double n = 2; n <= 256; n *= 2) {
+    s.add(n, 1e-3 * n * n * std::exp(rng.normal(0, 0.05)));
+  }
+  const PowerFit f = fit_power(s);
+  EXPECT_GT(f.exponent_stderr, 0.0);
+  EXPECT_NEAR(f.exponent, 2.0, 4.0 * f.exponent_stderr);
+}
+
+TEST(GoodnessOfFit, SseOfPerfectFitIsZero) {
+  Series s("line");
+  for (int n = 1; n <= 10; ++n) s.add(n, 4.0 * n);
+  EXPECT_NEAR(sse(s, [](double x) { return 4.0 * x; }), 0.0, 1e-18);
+}
+
+TEST(GoodnessOfFit, RSquaredOfMeanModelIsZero) {
+  Series s("var");
+  s.add(1, 1.0);
+  s.add(2, 3.0);
+  const double m = 2.0;
+  EXPECT_NEAR(r_squared(s, [m](double) { return m; }), 0.0, 1e-12);
+}
+
+TEST(GoodnessOfFit, RSquaredConstantSeriesIsOne) {
+  Series s("const");
+  s.add(1, 5.0);
+  s.add(2, 5.0);
+  EXPECT_DOUBLE_EQ(r_squared(s, [](double) { return 5.0; }), 1.0);
+}
+
+}  // namespace
+}  // namespace ipso::stats

@@ -1,0 +1,143 @@
+#include "stats/series.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace ipso::stats {
+namespace {
+
+Series make_linear() {
+  Series s("linear");
+  for (int n = 1; n <= 10; ++n) s.add(n, 2.0 * n);
+  return s;
+}
+
+TEST(Series, ConstructFromSpansChecksLength) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0};
+  EXPECT_THROW(Series("bad", xs, ys), std::invalid_argument);
+}
+
+TEST(Series, ConstructFromSpans) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{10.0, 20.0, 30.0};
+  Series s("ok", xs, ys);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[1].y, 20.0);
+  EXPECT_EQ(s.name(), "ok");
+}
+
+TEST(Series, AddAndAccess) {
+  Series s("t");
+  s.add(1.0, 5.0);
+  ASSERT_FALSE(s.empty());
+  EXPECT_DOUBLE_EQ(s[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(s[0].y, 5.0);
+}
+
+TEST(Series, XsYsRoundTrip) {
+  const Series s = make_linear();
+  const auto xs = s.xs();
+  const auto ys = s.ys();
+  ASSERT_EQ(xs.size(), 10u);
+  EXPECT_DOUBLE_EQ(xs[4], 5.0);
+  EXPECT_DOUBLE_EQ(ys[4], 10.0);
+}
+
+TEST(Series, SliceXKeepsRange) {
+  const Series s = make_linear();
+  const Series mid = s.slice_x(3.0, 6.0);
+  ASSERT_EQ(mid.size(), 4u);
+  EXPECT_DOUBLE_EQ(mid[0].x, 3.0);
+  EXPECT_DOUBLE_EQ(mid[3].x, 6.0);
+}
+
+TEST(Series, MapYTransforms) {
+  const Series s = make_linear();
+  const Series half = s.map_y([](double y) { return y / 2.0; });
+  EXPECT_DOUBLE_EQ(half[9].y, 10.0);
+}
+
+TEST(Series, InterpolateInside) {
+  const Series s = make_linear();
+  EXPECT_DOUBLE_EQ(s.interpolate(2.5), 5.0);
+}
+
+TEST(Series, InterpolateClampsOutside) {
+  const Series s = make_linear();
+  EXPECT_DOUBLE_EQ(s.interpolate(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.interpolate(99.0), 20.0);
+}
+
+TEST(Series, InterpolateEmptyIsZero) {
+  const Series s("empty");
+  EXPECT_DOUBLE_EQ(s.interpolate(1.0), 0.0);
+}
+
+TEST(Series, ArgmaxAndMax) {
+  Series s("peak");
+  s.add(1, 1.0);
+  s.add(2, 9.0);
+  s.add(3, 4.0);
+  EXPECT_DOUBLE_EQ(s.argmax_x(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max_y(), 9.0);
+}
+
+TEST(Series, RangeForIteration) {
+  const Series s = make_linear();
+  double total = 0.0;
+  for (const auto& p : s) total += p.y;
+  EXPECT_DOUBLE_EQ(total, 110.0);
+}
+
+TEST(Monotone, DetectsMonotone) {
+  EXPECT_TRUE(is_monotone_nondecreasing(make_linear()));
+}
+
+TEST(Monotone, ToleratesSmallNoise) {
+  Series s("noisy");
+  s.add(1, 1.0);
+  s.add(2, 2.0);
+  s.add(3, 1.9999999999);
+  EXPECT_TRUE(is_monotone_nondecreasing(s));
+}
+
+TEST(Monotone, DetectsDecrease) {
+  Series s("down");
+  s.add(1, 2.0);
+  s.add(2, 1.0);
+  EXPECT_FALSE(is_monotone_nondecreasing(s));
+}
+
+TEST(Peaked, LinearIsNotPeaked) { EXPECT_FALSE(is_peaked(make_linear())); }
+
+TEST(Peaked, DetectsPeakAndFall) {
+  Series s("peak");
+  s.add(1, 1.0);
+  s.add(2, 5.0);
+  s.add(3, 10.0);
+  s.add(4, 6.0);
+  s.add(5, 2.0);
+  EXPECT_TRUE(is_peaked(s));
+}
+
+TEST(Peaked, PeakAtEndIsNotPeaked) {
+  Series s("rising");
+  s.add(1, 1.0);
+  s.add(2, 5.0);
+  s.add(3, 10.0);
+  EXPECT_FALSE(is_peaked(s));
+}
+
+TEST(Peaked, TinyDipBelowThresholdIgnored) {
+  Series s("dip");
+  s.add(1, 1.0);
+  s.add(2, 10.0);
+  s.add(3, 9.9);  // 1% dip < 5% default threshold
+  EXPECT_FALSE(is_peaked(s));
+}
+
+}  // namespace
+}  // namespace ipso::stats

@@ -1,0 +1,98 @@
+#include "trace/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ipso::trace {
+namespace {
+
+TEST(CsvWrite, HeaderAndRows) {
+  stats::Series a("S");
+  a.add(1, 1.0);
+  a.add(2, 1.9);
+  std::ostringstream os;
+  write_csv(os, "n", {a});
+  EXPECT_EQ(os.str(), "n,S\n1,1\n2,1.9\n");
+}
+
+TEST(CsvWrite, UnionGridInterpolates) {
+  stats::Series a("A");
+  a.add(1, 1.0);
+  a.add(3, 3.0);
+  stats::Series b("B");
+  b.add(2, 10.0);
+  std::ostringstream os;
+  write_csv(os, "x", {a, b});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("2,2,10"), std::string::npos);
+}
+
+TEST(CsvReadSeries, ParsesPlainRows) {
+  std::istringstream is("1,1.0\n2,1.9\n4,3.5\n");
+  const auto s = read_series_csv(is, "S");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[2].x, 4.0);
+  EXPECT_DOUBLE_EQ(s[2].y, 3.5);
+  EXPECT_EQ(s.name(), "S");
+}
+
+TEST(CsvReadSeries, SkipsHeaderCommentsBlanks) {
+  std::istringstream is(
+      "n,speedup\n"
+      "# measured on cluster A\n"
+      "\n"
+      "1, 1.0\n"
+      "2, 1.8\n");
+  const auto s = read_series_csv(is);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[1].y, 1.8);
+}
+
+TEST(CsvReadSeries, ThrowsOnMalformedRow) {
+  std::istringstream one_col("1\n");
+  EXPECT_THROW(read_series_csv(one_col), std::invalid_argument);
+  std::istringstream bad_num("1,1.0\n2,abc\n");
+  EXPECT_THROW(read_series_csv(bad_num), std::invalid_argument);
+}
+
+TEST(CsvReadSeries, RoundTripsWithWriter) {
+  stats::Series a("S");
+  for (int n = 1; n <= 10; ++n) a.add(n, 0.5 * n + 0.1);
+  std::ostringstream os;
+  write_csv(os, "n", {a});
+  std::istringstream is(os.str());
+  const auto back = read_series_csv(is);
+  ASSERT_EQ(back.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(back[i].x, a[i].x, 1e-9);
+    EXPECT_NEAR(back[i].y, a[i].y, 1e-9);
+  }
+}
+
+TEST(CsvReadTable, HeaderNamesColumns) {
+  std::istringstream is(
+      "n,EX,IN,q\n"
+      "1,1,1,0\n"
+      "2,2,1.36,0\n");
+  const auto cols = read_table_csv(is);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0].name(), "EX");
+  EXPECT_EQ(cols[1].name(), "IN");
+  EXPECT_DOUBLE_EQ(cols[1][1].y, 1.36);
+}
+
+TEST(CsvReadTable, HeaderlessGetsDefaultNames) {
+  std::istringstream is("1,1,1\n2,2,1.5\n");
+  const auto cols = read_table_csv(is);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0].name(), "col1");
+}
+
+TEST(CsvReadTable, ThrowsOnRaggedRow) {
+  std::istringstream is("1,1,1\n2,2\n");
+  EXPECT_THROW(read_table_csv(is), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ipso::trace

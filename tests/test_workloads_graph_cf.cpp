@@ -1,0 +1,147 @@
+#include "workloads/collab_filter.h"
+#include "workloads/nweight.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ipso::wl {
+namespace {
+
+// --- Collaborative Filtering
+
+TEST(Cf, InitShapes) {
+  const CfModel m = cf_init(1, 20, 30, 4);
+  EXPECT_EQ(m.u.size(), 80u);
+  EXPECT_EQ(m.v.size(), 120u);
+  EXPECT_THROW(cf_init(1, 2, 2, 0), std::invalid_argument);
+}
+
+TEST(Cf, TrainingReducesRmse) {
+  const auto ratings = make_ratings(2, 60, 40, 3, 0.3);
+  ASSERT_GT(ratings.size(), 200u);
+  CfModel m = cf_init(3, 60, 40, 3);
+  const double before = cf_rmse(m, ratings);
+  const double after = cf_train(m, ratings, 40);
+  EXPECT_LT(after, 0.5 * before);
+}
+
+TEST(Cf, IterateReturnsPreUpdateRmse) {
+  const auto ratings = make_ratings(4, 30, 20, 2, 0.4);
+  CfModel m = cf_init(5, 30, 20, 2);
+  const double rmse0 = cf_rmse(m, ratings);
+  const double reported = cf_iterate(m, ratings);
+  EXPECT_DOUBLE_EQ(reported, rmse0);
+  EXPECT_LT(cf_rmse(m, ratings), rmse0);
+}
+
+TEST(Cf, RmseOfEmptyRatingsIsZero) {
+  const CfModel m = cf_init(6, 5, 5, 2);
+  EXPECT_DOUBLE_EQ(cf_rmse(m, {}), 0.0);
+}
+
+TEST(CfApp, TwoBroadcastStagesPerIteration) {
+  const auto app = collab_filter_app(60);
+  EXPECT_EQ(app.stages.size(), 2u);
+  EXPECT_EQ(app.iterations, 10u);
+  for (const auto& s : app.stages) EXPECT_GT(s.broadcast_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(app.driver_ops_per_job, 0.0);  // Ws = 0: eta = 1
+}
+
+TEST(CfApp, TotalWorkIndependentOfTaskCount) {
+  const auto a = collab_filter_app(10);
+  const auto b = collab_filter_app(100);
+  EXPECT_NEAR(a.stages[0].task_ops * 10, b.stages[0].task_ops * 100, 1e-3);
+  EXPECT_THROW(collab_filter_app(0), std::invalid_argument);
+}
+
+// --- NWeight
+
+TEST(Adjacency, BuildsAndIndexes) {
+  const std::vector<Edge> edges{{0, 1, 0.5}, {0, 2, 0.25}, {1, 2, 1.0}};
+  const Adjacency adj(3, edges);
+  EXPECT_EQ(adj.nodes(), 3u);
+  const auto [lo, hi] = adj.out_range(0);
+  EXPECT_EQ(hi - lo, 2u);
+  const auto [lo1, hi1] = adj.out_range(2);
+  EXPECT_EQ(hi1 - lo1, 0u);
+}
+
+TEST(Adjacency, RejectsOutOfRangeEdges) {
+  const std::vector<Edge> edges{{0, 9, 1.0}};
+  EXPECT_THROW(Adjacency(3, edges), std::invalid_argument);
+}
+
+TEST(NWeight, OneHopIsDirectEdgeWeights) {
+  const std::vector<Edge> edges{{0, 1, 0.5}, {0, 2, 0.25}};
+  const Adjacency adj(3, edges);
+  const auto w = nweight_from(adj, 0, 1);
+  EXPECT_DOUBLE_EQ(w[1], 0.5);
+  EXPECT_DOUBLE_EQ(w[2], 0.25);
+  EXPECT_DOUBLE_EQ(w[0], 0.0);
+}
+
+TEST(NWeight, TwoHopMultipliesAlongPaths) {
+  // 0 ->(0.5) 1 ->(0.4) 2 : two-hop weight at 2 = 0.2 plus direct 0.1.
+  const std::vector<Edge> edges{{0, 1, 0.5}, {1, 2, 0.4}, {0, 2, 0.1}};
+  const Adjacency adj(3, edges);
+  const auto w = nweight_from(adj, 0, 2);
+  EXPECT_NEAR(w[2], 0.1 + 0.5 * 0.4, 1e-12);
+  EXPECT_NEAR(w[1], 0.5, 1e-12);
+}
+
+TEST(NWeight, SourcePathsExcluded) {
+  // Cycle 0 -> 1 -> 0: the source must not count as its own neighbor.
+  const std::vector<Edge> edges{{0, 1, 0.5}, {1, 0, 0.5}};
+  const Adjacency adj(2, edges);
+  const auto w = nweight_from(adj, 0, 3);
+  EXPECT_DOUBLE_EQ(w[0], 0.0);
+}
+
+TEST(NWeight, AllVerticesAggregate) {
+  const auto edges = make_graph(7, 40, 4.0);
+  const Adjacency adj(40, edges);
+  const auto mass = nweight_all(adj, 2);
+  ASSERT_EQ(mass.size(), 40u);
+  double total = 0.0;
+  for (double m : mass) {
+    EXPECT_GE(m, 0.0);
+    total += m;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(NWeight, RejectsBadSource) {
+  const Adjacency adj(3, {});
+  EXPECT_THROW(nweight_from(adj, 5, 2), std::invalid_argument);
+}
+
+TEST(NWeightApp, OneStagePerHop) {
+  const auto app = nweight_app(3);
+  EXPECT_EQ(app.iterations, 3u);
+  EXPECT_EQ(app.stages.size(), 1u);
+  EXPECT_GT(app.stages[0].shuffle_bytes_per_task, 0.0);
+  EXPECT_THROW(nweight_app(0), std::invalid_argument);
+}
+
+// --- graph/ratings generators
+
+TEST(MakeGraph, RespectsSizeAndNoSelfLoops) {
+  const auto edges = make_graph(8, 50, 3.0);
+  EXPECT_EQ(edges.size(), 150u);
+  for (const auto& e : edges) {
+    EXPECT_LT(e.src, 50u);
+    EXPECT_LT(e.dst, 50u);
+    EXPECT_NE(e.src, e.dst);
+    EXPECT_GT(e.weight, 0.0);
+  }
+}
+
+TEST(MakeRatings, DensityApproximatelyRespected) {
+  const auto ratings = make_ratings(9, 100, 100, 2, 0.1);
+  EXPECT_GT(ratings.size(), 700u);
+  EXPECT_LT(ratings.size(), 1300u);
+}
+
+}  // namespace
+}  // namespace ipso::wl

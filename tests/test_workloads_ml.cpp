@@ -1,0 +1,163 @@
+#include "workloads/bayes.h"
+#include "workloads/random_forest.h"
+#include "workloads/svm.h"
+
+#include <gtest/gtest.h>
+
+namespace ipso::wl {
+namespace {
+
+// --- data generation
+
+TEST(DataGen, GaussianClassesShapeAndLabels) {
+  const auto data = make_gaussian_classes(1, 500, 8, 3);
+  ASSERT_EQ(data.size(), 500u);
+  for (const auto& p : data) {
+    EXPECT_EQ(p.features.size(), 8u);
+    EXPECT_GE(p.label, 0);
+    EXPECT_LT(p.label, 3);
+  }
+}
+
+TEST(DataGen, Deterministic) {
+  const auto a = make_gaussian_classes(7, 50, 4, 2);
+  const auto b = make_gaussian_classes(7, 50, 4, 2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].label, b[i].label);
+    EXPECT_EQ(a[i].features, b[i].features);
+  }
+}
+
+// --- naive Bayes
+
+TEST(Bayes, LearnsSeparableClasses) {
+  const auto train = make_gaussian_classes(1, 2000, 6, 3);
+  const auto test = make_gaussian_classes(2, 500, 6, 3);
+  // Same seed-derived means? No: different seed means different clusters.
+  // Train/test must share clusters, so split one generated set instead.
+  const auto all = make_gaussian_classes(3, 2500, 6, 3);
+  const std::vector<LabeledPoint> tr(all.begin(), all.begin() + 2000);
+  const std::vector<LabeledPoint> te(all.begin() + 2000, all.end());
+  const BayesModel m = bayes_train(tr, 3);
+  EXPECT_GT(bayes_accuracy(m, te), 0.9);
+  (void)train;
+  (void)test;
+}
+
+TEST(Bayes, PriorsSumToOne) {
+  const auto data = make_gaussian_classes(4, 1000, 4, 4);
+  const BayesModel m = bayes_train(data, 4);
+  double sum = 0.0;
+  for (double p : m.prior) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Bayes, MergeEqualsWholeTraining) {
+  const auto all = make_gaussian_classes(5, 1200, 4, 2);
+  const std::vector<LabeledPoint> a(all.begin(), all.begin() + 500);
+  const std::vector<LabeledPoint> b(all.begin() + 500, all.end());
+  const BayesModel whole = bayes_train(all, 2);
+  const BayesModel merged =
+      bayes_merge(bayes_train(a, 2), a.size(), bayes_train(b, 2), b.size());
+  for (std::size_t i = 0; i < whole.mean.size(); ++i) {
+    EXPECT_NEAR(merged.mean[i], whole.mean[i], 1e-9);
+    EXPECT_NEAR(merged.variance[i], whole.variance[i], 1e-6);
+  }
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_NEAR(merged.prior[c], whole.prior[c], 1e-12);
+  }
+}
+
+TEST(Bayes, RejectsBadInput) {
+  EXPECT_THROW(bayes_train({}, 2), std::invalid_argument);
+  const auto data = make_gaussian_classes(6, 10, 4, 2);
+  const BayesModel m = bayes_train(data, 2);
+  EXPECT_THROW(bayes_predict(m, {1.0}), std::invalid_argument);
+}
+
+// --- SVM
+
+TEST(Svm, LearnsLinearlySeparableData) {
+  const auto all = make_gaussian_classes(8, 2000, 6, 2);
+  const std::vector<LabeledPoint> tr(all.begin(), all.begin() + 1600);
+  const std::vector<LabeledPoint> te(all.begin() + 1600, all.end());
+  const SvmModel m = svm_train(tr, 5);
+  EXPECT_GT(svm_accuracy(m, te), 0.9);
+}
+
+TEST(Svm, ObjectiveDecreasesWithEpochs) {
+  const auto data = make_gaussian_classes(9, 1000, 4, 2);
+  const SvmModel early = svm_train(data, 1);
+  const SvmModel late = svm_train(data, 10);
+  EXPECT_LT(svm_objective(late, data, 1e-3),
+            svm_objective(early, data, 1e-3) + 1e-9);
+}
+
+TEST(Svm, PredictIsSignOfMargin) {
+  const auto data = make_gaussian_classes(10, 500, 4, 2);
+  const SvmModel m = svm_train(data, 3);
+  for (const auto& p : data) {
+    const int pred = svm_predict(m, p.features);
+    EXPECT_EQ(pred, svm_margin(m, p.features) >= 0.0 ? 1 : 0);
+  }
+}
+
+TEST(Svm, RejectsEmptyAndMismatched) {
+  EXPECT_THROW(svm_train({}, 1), std::invalid_argument);
+  const auto data = make_gaussian_classes(11, 10, 4, 2);
+  const SvmModel m = svm_train(data, 1);
+  EXPECT_THROW(svm_margin(m, {1.0, 2.0}), std::invalid_argument);
+}
+
+// --- Random Forest
+
+TEST(Forest, LearnsSeparableClasses) {
+  const auto all = make_gaussian_classes(12, 1500, 6, 3);
+  const std::vector<LabeledPoint> tr(all.begin(), all.begin() + 1200);
+  const std::vector<LabeledPoint> te(all.begin() + 1200, all.end());
+  const Forest f = forest_train(tr, 3, /*trees=*/15, /*max_depth=*/6, 99);
+  EXPECT_GT(forest_accuracy(f, te), 0.85);
+}
+
+TEST(Forest, MoreTreesAtLeastAsGoodOnTrain) {
+  const auto data = make_gaussian_classes(13, 800, 4, 2);
+  const Forest one = forest_train(data, 2, 1, 4, 7);
+  const Forest many = forest_train(data, 2, 21, 4, 7);
+  EXPECT_GE(forest_accuracy(many, data) + 0.05, forest_accuracy(one, data));
+}
+
+TEST(Forest, SingleTreePredictConsistent) {
+  const auto data = make_gaussian_classes(14, 400, 4, 2);
+  stats::Rng rng(5);
+  const DecisionTree tree = tree_train(data, 2, 5, rng);
+  // A tree must fit its own training data far better than chance.
+  std::size_t hits = 0;
+  for (const auto& p : data) {
+    if (tree.predict(p.features) == p.label) ++hits;
+  }
+  EXPECT_GT(static_cast<double>(hits) / data.size(), 0.8);
+}
+
+TEST(Forest, RejectsEmptyData) {
+  EXPECT_THROW(forest_train({}, 2, 3, 4, 1), std::invalid_argument);
+}
+
+// --- Spark app specs sanity
+
+TEST(SparkApps, HaveStagesAndNames) {
+  for (const auto& app :
+       {bayes_app(), svm_app(), random_forest_app()}) {
+    EXPECT_FALSE(app.name.empty());
+    EXPECT_FALSE(app.stages.empty());
+    EXPECT_GE(app.iterations, 1u);
+  }
+}
+
+TEST(SparkApps, IterativeAppsBroadcastEachEpoch) {
+  const auto app = svm_app();
+  EXPECT_GT(app.iterations, 1u);
+  EXPECT_GT(app.stages[0].broadcast_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace ipso::wl
