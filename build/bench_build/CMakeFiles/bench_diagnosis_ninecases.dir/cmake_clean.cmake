@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_diagnosis_ninecases"
+  "../bench/bench_diagnosis_ninecases.pdb"
+  "CMakeFiles/bench_diagnosis_ninecases.dir/bench_diagnosis_ninecases.cpp.o"
+  "CMakeFiles/bench_diagnosis_ninecases.dir/bench_diagnosis_ninecases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diagnosis_ninecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1_models.cpp" "bench_build/CMakeFiles/bench_fig1_models.dir/bench_fig1_models.cpp.o" "gcc" "bench_build/CMakeFiles/bench_fig1_models.dir/bench_fig1_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/ipso_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ipso_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/ipso_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/ipso_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ipso_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ipso_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

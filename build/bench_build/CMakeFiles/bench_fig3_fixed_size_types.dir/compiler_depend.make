@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig3_fixed_size_types.
+# This may be replaced when dependencies are built.

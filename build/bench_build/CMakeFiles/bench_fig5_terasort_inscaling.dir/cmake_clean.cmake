@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_terasort_inscaling"
+  "../bench/bench_fig5_terasort_inscaling.pdb"
+  "CMakeFiles/bench_fig5_terasort_inscaling.dir/bench_fig5_terasort_inscaling.cpp.o"
+  "CMakeFiles/bench_fig5_terasort_inscaling.dir/bench_fig5_terasort_inscaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_terasort_inscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

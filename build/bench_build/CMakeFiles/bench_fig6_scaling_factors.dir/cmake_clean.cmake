@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_scaling_factors"
+  "../bench/bench_fig6_scaling_factors.pdb"
+  "CMakeFiles/bench_fig6_scaling_factors.dir/bench_fig6_scaling_factors.cpp.o"
+  "CMakeFiles/bench_fig6_scaling_factors.dir/bench_fig6_scaling_factors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_scaling_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

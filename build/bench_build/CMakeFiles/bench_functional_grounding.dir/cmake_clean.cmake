@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_functional_grounding"
+  "../bench/bench_functional_grounding.pdb"
+  "CMakeFiles/bench_functional_grounding.dir/bench_functional_grounding.cpp.o"
+  "CMakeFiles/bench_functional_grounding.dir/bench_functional_grounding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_functional_grounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

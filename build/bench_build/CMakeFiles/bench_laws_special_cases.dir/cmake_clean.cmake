@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_laws_special_cases"
+  "../bench/bench_laws_special_cases.pdb"
+  "CMakeFiles/bench_laws_special_cases.dir/bench_laws_special_cases.cpp.o"
+  "CMakeFiles/bench_laws_special_cases.dir/bench_laws_special_cases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_laws_special_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

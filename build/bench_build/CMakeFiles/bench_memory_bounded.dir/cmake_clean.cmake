@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_memory_bounded"
+  "../bench/bench_memory_bounded.pdb"
+  "CMakeFiles/bench_memory_bounded.dir/bench_memory_bounded.cpp.o"
+  "CMakeFiles/bench_memory_bounded.dir/bench_memory_bounded.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_bounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_reproduction_scoreboard"
+  "../bench/bench_reproduction_scoreboard.pdb"
+  "CMakeFiles/bench_reproduction_scoreboard.dir/bench_reproduction_scoreboard.cpp.o"
+  "CMakeFiles/bench_reproduction_scoreboard.dir/bench_reproduction_scoreboard.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reproduction_scoreboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scaleout_vs_scaleup"
+  "../bench/bench_scaleout_vs_scaleup.pdb"
+  "CMakeFiles/bench_scaleout_vs_scaleup.dir/bench_scaleout_vs_scaleup.cpp.o"
+  "CMakeFiles/bench_scaleout_vs_scaleup.dir/bench_scaleout_vs_scaleup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaleout_vs_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

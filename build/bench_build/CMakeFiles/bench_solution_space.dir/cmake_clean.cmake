@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_solution_space"
+  "../bench/bench_solution_space.pdb"
+  "CMakeFiles/bench_solution_space.dir/bench_solution_space.cpp.o"
+  "CMakeFiles/bench_solution_space.dir/bench_solution_space.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_solution_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_statistical_stragglers"
+  "../bench/bench_statistical_stragglers.pdb"
+  "CMakeFiles/bench_statistical_stragglers.dir/bench_statistical_stragglers.cpp.o"
+  "CMakeFiles/bench_statistical_stragglers.dir/bench_statistical_stragglers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_statistical_stragglers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_terasort.dir/diagnose_terasort.cpp.o"
+  "CMakeFiles/diagnose_terasort.dir/diagnose_terasort.cpp.o.d"
+  "diagnose_terasort"
+  "diagnose_terasort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_terasort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

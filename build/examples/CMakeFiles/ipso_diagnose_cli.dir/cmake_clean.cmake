@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipso_diagnose_cli.dir/ipso_diagnose_cli.cpp.o"
+  "CMakeFiles/ipso_diagnose_cli.dir/ipso_diagnose_cli.cpp.o.d"
+  "ipso_diagnose_cli"
+  "ipso_diagnose_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipso_diagnose_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

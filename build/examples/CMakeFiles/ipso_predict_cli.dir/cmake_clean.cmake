@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipso_predict_cli.dir/ipso_predict_cli.cpp.o"
+  "CMakeFiles/ipso_predict_cli.dir/ipso_predict_cli.cpp.o.d"
+  "ipso_predict_cli"
+  "ipso_predict_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipso_predict_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spark_pathology.dir/spark_pathology.cpp.o"
+  "CMakeFiles/spark_pathology.dir/spark_pathology.cpp.o.d"
+  "spark_pathology"
+  "spark_pathology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spark_pathology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordcount_app.dir/wordcount_app.cpp.o"
+  "CMakeFiles/wordcount_app.dir/wordcount_app.cpp.o.d"
+  "wordcount_app"
+  "wordcount_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordcount_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classify.cpp" "src/core/CMakeFiles/ipso_core.dir/classify.cpp.o" "gcc" "src/core/CMakeFiles/ipso_core.dir/classify.cpp.o.d"
+  "/root/repo/src/core/diagnose.cpp" "src/core/CMakeFiles/ipso_core.dir/diagnose.cpp.o" "gcc" "src/core/CMakeFiles/ipso_core.dir/diagnose.cpp.o.d"
+  "/root/repo/src/core/fit.cpp" "src/core/CMakeFiles/ipso_core.dir/fit.cpp.o" "gcc" "src/core/CMakeFiles/ipso_core.dir/fit.cpp.o.d"
+  "/root/repo/src/core/laws.cpp" "src/core/CMakeFiles/ipso_core.dir/laws.cpp.o" "gcc" "src/core/CMakeFiles/ipso_core.dir/laws.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/ipso_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/ipso_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/predict.cpp" "src/core/CMakeFiles/ipso_core.dir/predict.cpp.o" "gcc" "src/core/CMakeFiles/ipso_core.dir/predict.cpp.o.d"
+  "/root/repo/src/core/scaling_factors.cpp" "src/core/CMakeFiles/ipso_core.dir/scaling_factors.cpp.o" "gcc" "src/core/CMakeFiles/ipso_core.dir/scaling_factors.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/ipso_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/ipso_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/statistical.cpp" "src/core/CMakeFiles/ipso_core.dir/statistical.cpp.o" "gcc" "src/core/CMakeFiles/ipso_core.dir/statistical.cpp.o.d"
+  "/root/repo/src/core/tradeoff.cpp" "src/core/CMakeFiles/ipso_core.dir/tradeoff.cpp.o" "gcc" "src/core/CMakeFiles/ipso_core.dir/tradeoff.cpp.o.d"
+  "/root/repo/src/core/workload.cpp" "src/core/CMakeFiles/ipso_core.dir/workload.cpp.o" "gcc" "src/core/CMakeFiles/ipso_core.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/ipso_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipso_core.dir/classify.cpp.o"
+  "CMakeFiles/ipso_core.dir/classify.cpp.o.d"
+  "CMakeFiles/ipso_core.dir/diagnose.cpp.o"
+  "CMakeFiles/ipso_core.dir/diagnose.cpp.o.d"
+  "CMakeFiles/ipso_core.dir/fit.cpp.o"
+  "CMakeFiles/ipso_core.dir/fit.cpp.o.d"
+  "CMakeFiles/ipso_core.dir/laws.cpp.o"
+  "CMakeFiles/ipso_core.dir/laws.cpp.o.d"
+  "CMakeFiles/ipso_core.dir/model.cpp.o"
+  "CMakeFiles/ipso_core.dir/model.cpp.o.d"
+  "CMakeFiles/ipso_core.dir/predict.cpp.o"
+  "CMakeFiles/ipso_core.dir/predict.cpp.o.d"
+  "CMakeFiles/ipso_core.dir/scaling_factors.cpp.o"
+  "CMakeFiles/ipso_core.dir/scaling_factors.cpp.o.d"
+  "CMakeFiles/ipso_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/ipso_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/ipso_core.dir/statistical.cpp.o"
+  "CMakeFiles/ipso_core.dir/statistical.cpp.o.d"
+  "CMakeFiles/ipso_core.dir/tradeoff.cpp.o"
+  "CMakeFiles/ipso_core.dir/tradeoff.cpp.o.d"
+  "CMakeFiles/ipso_core.dir/workload.cpp.o"
+  "CMakeFiles/ipso_core.dir/workload.cpp.o.d"
+  "libipso_core.a"
+  "libipso_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipso_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

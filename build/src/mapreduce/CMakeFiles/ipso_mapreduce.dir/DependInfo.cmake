@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/engine.cpp" "src/mapreduce/CMakeFiles/ipso_mapreduce.dir/engine.cpp.o" "gcc" "src/mapreduce/CMakeFiles/ipso_mapreduce.dir/engine.cpp.o.d"
+  "/root/repo/src/mapreduce/functional.cpp" "src/mapreduce/CMakeFiles/ipso_mapreduce.dir/functional.cpp.o" "gcc" "src/mapreduce/CMakeFiles/ipso_mapreduce.dir/functional.cpp.o.d"
+  "/root/repo/src/mapreduce/multiround.cpp" "src/mapreduce/CMakeFiles/ipso_mapreduce.dir/multiround.cpp.o" "gcc" "src/mapreduce/CMakeFiles/ipso_mapreduce.dir/multiround.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ipso_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ipso_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ipso_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipso_mapreduce.dir/engine.cpp.o"
+  "CMakeFiles/ipso_mapreduce.dir/engine.cpp.o.d"
+  "CMakeFiles/ipso_mapreduce.dir/functional.cpp.o"
+  "CMakeFiles/ipso_mapreduce.dir/functional.cpp.o.d"
+  "CMakeFiles/ipso_mapreduce.dir/multiround.cpp.o"
+  "CMakeFiles/ipso_mapreduce.dir/multiround.cpp.o.d"
+  "libipso_mapreduce.a"
+  "libipso_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipso_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

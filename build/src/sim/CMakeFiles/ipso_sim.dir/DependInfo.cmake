@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cluster.cpp" "src/sim/CMakeFiles/ipso_sim.dir/cluster.cpp.o" "gcc" "src/sim/CMakeFiles/ipso_sim.dir/cluster.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/ipso_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/ipso_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/ipso_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/ipso_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/queueing.cpp" "src/sim/CMakeFiles/ipso_sim.dir/queueing.cpp.o" "gcc" "src/sim/CMakeFiles/ipso_sim.dir/queueing.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/sim/CMakeFiles/ipso_sim.dir/scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/ipso_sim.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/ipso_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

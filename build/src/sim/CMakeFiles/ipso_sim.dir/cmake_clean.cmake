@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipso_sim.dir/cluster.cpp.o"
+  "CMakeFiles/ipso_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/ipso_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ipso_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ipso_sim.dir/metrics.cpp.o"
+  "CMakeFiles/ipso_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/ipso_sim.dir/queueing.cpp.o"
+  "CMakeFiles/ipso_sim.dir/queueing.cpp.o.d"
+  "CMakeFiles/ipso_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/ipso_sim.dir/scheduler.cpp.o.d"
+  "libipso_sim.a"
+  "libipso_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipso_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipso_spark.dir/engine.cpp.o"
+  "CMakeFiles/ipso_spark.dir/engine.cpp.o.d"
+  "CMakeFiles/ipso_spark.dir/eventlog.cpp.o"
+  "CMakeFiles/ipso_spark.dir/eventlog.cpp.o.d"
+  "libipso_spark.a"
+  "libipso_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipso_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

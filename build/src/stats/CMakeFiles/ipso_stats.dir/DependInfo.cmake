@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/ipso_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/ipso_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/linalg.cpp" "src/stats/CMakeFiles/ipso_stats.dir/linalg.cpp.o" "gcc" "src/stats/CMakeFiles/ipso_stats.dir/linalg.cpp.o.d"
+  "/root/repo/src/stats/nonlinear.cpp" "src/stats/CMakeFiles/ipso_stats.dir/nonlinear.cpp.o" "gcc" "src/stats/CMakeFiles/ipso_stats.dir/nonlinear.cpp.o.d"
+  "/root/repo/src/stats/random.cpp" "src/stats/CMakeFiles/ipso_stats.dir/random.cpp.o" "gcc" "src/stats/CMakeFiles/ipso_stats.dir/random.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/ipso_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/ipso_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/series.cpp" "src/stats/CMakeFiles/ipso_stats.dir/series.cpp.o" "gcc" "src/stats/CMakeFiles/ipso_stats.dir/series.cpp.o.d"
+  "/root/repo/src/stats/surface.cpp" "src/stats/CMakeFiles/ipso_stats.dir/surface.cpp.o" "gcc" "src/stats/CMakeFiles/ipso_stats.dir/surface.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipso_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/ipso_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/ipso_stats.dir/linalg.cpp.o"
+  "CMakeFiles/ipso_stats.dir/linalg.cpp.o.d"
+  "CMakeFiles/ipso_stats.dir/nonlinear.cpp.o"
+  "CMakeFiles/ipso_stats.dir/nonlinear.cpp.o.d"
+  "CMakeFiles/ipso_stats.dir/random.cpp.o"
+  "CMakeFiles/ipso_stats.dir/random.cpp.o.d"
+  "CMakeFiles/ipso_stats.dir/regression.cpp.o"
+  "CMakeFiles/ipso_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/ipso_stats.dir/series.cpp.o"
+  "CMakeFiles/ipso_stats.dir/series.cpp.o.d"
+  "CMakeFiles/ipso_stats.dir/surface.cpp.o"
+  "CMakeFiles/ipso_stats.dir/surface.cpp.o.d"
+  "libipso_stats.a"
+  "libipso_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipso_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/csv.cpp" "src/trace/CMakeFiles/ipso_trace.dir/csv.cpp.o" "gcc" "src/trace/CMakeFiles/ipso_trace.dir/csv.cpp.o.d"
+  "/root/repo/src/trace/experiment.cpp" "src/trace/CMakeFiles/ipso_trace.dir/experiment.cpp.o" "gcc" "src/trace/CMakeFiles/ipso_trace.dir/experiment.cpp.o.d"
+  "/root/repo/src/trace/json.cpp" "src/trace/CMakeFiles/ipso_trace.dir/json.cpp.o" "gcc" "src/trace/CMakeFiles/ipso_trace.dir/json.cpp.o.d"
+  "/root/repo/src/trace/reference_data.cpp" "src/trace/CMakeFiles/ipso_trace.dir/reference_data.cpp.o" "gcc" "src/trace/CMakeFiles/ipso_trace.dir/reference_data.cpp.o.d"
+  "/root/repo/src/trace/report.cpp" "src/trace/CMakeFiles/ipso_trace.dir/report.cpp.o" "gcc" "src/trace/CMakeFiles/ipso_trace.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/ipso_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/ipso_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ipso_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ipso_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ipso_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

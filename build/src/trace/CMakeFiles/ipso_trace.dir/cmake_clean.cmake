@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipso_trace.dir/csv.cpp.o"
+  "CMakeFiles/ipso_trace.dir/csv.cpp.o.d"
+  "CMakeFiles/ipso_trace.dir/experiment.cpp.o"
+  "CMakeFiles/ipso_trace.dir/experiment.cpp.o.d"
+  "CMakeFiles/ipso_trace.dir/json.cpp.o"
+  "CMakeFiles/ipso_trace.dir/json.cpp.o.d"
+  "CMakeFiles/ipso_trace.dir/reference_data.cpp.o"
+  "CMakeFiles/ipso_trace.dir/reference_data.cpp.o.d"
+  "CMakeFiles/ipso_trace.dir/report.cpp.o"
+  "CMakeFiles/ipso_trace.dir/report.cpp.o.d"
+  "libipso_trace.a"
+  "libipso_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipso_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

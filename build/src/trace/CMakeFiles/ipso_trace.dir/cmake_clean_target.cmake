@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libipso_trace.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bayes.cpp" "src/workloads/CMakeFiles/ipso_workloads.dir/bayes.cpp.o" "gcc" "src/workloads/CMakeFiles/ipso_workloads.dir/bayes.cpp.o.d"
+  "/root/repo/src/workloads/collab_filter.cpp" "src/workloads/CMakeFiles/ipso_workloads.dir/collab_filter.cpp.o" "gcc" "src/workloads/CMakeFiles/ipso_workloads.dir/collab_filter.cpp.o.d"
+  "/root/repo/src/workloads/datagen.cpp" "src/workloads/CMakeFiles/ipso_workloads.dir/datagen.cpp.o" "gcc" "src/workloads/CMakeFiles/ipso_workloads.dir/datagen.cpp.o.d"
+  "/root/repo/src/workloads/functional_jobs.cpp" "src/workloads/CMakeFiles/ipso_workloads.dir/functional_jobs.cpp.o" "gcc" "src/workloads/CMakeFiles/ipso_workloads.dir/functional_jobs.cpp.o.d"
+  "/root/repo/src/workloads/nweight.cpp" "src/workloads/CMakeFiles/ipso_workloads.dir/nweight.cpp.o" "gcc" "src/workloads/CMakeFiles/ipso_workloads.dir/nweight.cpp.o.d"
+  "/root/repo/src/workloads/qmc_pi.cpp" "src/workloads/CMakeFiles/ipso_workloads.dir/qmc_pi.cpp.o" "gcc" "src/workloads/CMakeFiles/ipso_workloads.dir/qmc_pi.cpp.o.d"
+  "/root/repo/src/workloads/random_forest.cpp" "src/workloads/CMakeFiles/ipso_workloads.dir/random_forest.cpp.o" "gcc" "src/workloads/CMakeFiles/ipso_workloads.dir/random_forest.cpp.o.d"
+  "/root/repo/src/workloads/sort.cpp" "src/workloads/CMakeFiles/ipso_workloads.dir/sort.cpp.o" "gcc" "src/workloads/CMakeFiles/ipso_workloads.dir/sort.cpp.o.d"
+  "/root/repo/src/workloads/svm.cpp" "src/workloads/CMakeFiles/ipso_workloads.dir/svm.cpp.o" "gcc" "src/workloads/CMakeFiles/ipso_workloads.dir/svm.cpp.o.d"
+  "/root/repo/src/workloads/terasort.cpp" "src/workloads/CMakeFiles/ipso_workloads.dir/terasort.cpp.o" "gcc" "src/workloads/CMakeFiles/ipso_workloads.dir/terasort.cpp.o.d"
+  "/root/repo/src/workloads/textgen.cpp" "src/workloads/CMakeFiles/ipso_workloads.dir/textgen.cpp.o" "gcc" "src/workloads/CMakeFiles/ipso_workloads.dir/textgen.cpp.o.d"
+  "/root/repo/src/workloads/wordcount.cpp" "src/workloads/CMakeFiles/ipso_workloads.dir/wordcount.cpp.o" "gcc" "src/workloads/CMakeFiles/ipso_workloads.dir/wordcount.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/ipso_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/ipso_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ipso_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ipso_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ipso_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

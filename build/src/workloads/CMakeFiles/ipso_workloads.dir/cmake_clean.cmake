@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipso_workloads.dir/bayes.cpp.o"
+  "CMakeFiles/ipso_workloads.dir/bayes.cpp.o.d"
+  "CMakeFiles/ipso_workloads.dir/collab_filter.cpp.o"
+  "CMakeFiles/ipso_workloads.dir/collab_filter.cpp.o.d"
+  "CMakeFiles/ipso_workloads.dir/datagen.cpp.o"
+  "CMakeFiles/ipso_workloads.dir/datagen.cpp.o.d"
+  "CMakeFiles/ipso_workloads.dir/functional_jobs.cpp.o"
+  "CMakeFiles/ipso_workloads.dir/functional_jobs.cpp.o.d"
+  "CMakeFiles/ipso_workloads.dir/nweight.cpp.o"
+  "CMakeFiles/ipso_workloads.dir/nweight.cpp.o.d"
+  "CMakeFiles/ipso_workloads.dir/qmc_pi.cpp.o"
+  "CMakeFiles/ipso_workloads.dir/qmc_pi.cpp.o.d"
+  "CMakeFiles/ipso_workloads.dir/random_forest.cpp.o"
+  "CMakeFiles/ipso_workloads.dir/random_forest.cpp.o.d"
+  "CMakeFiles/ipso_workloads.dir/sort.cpp.o"
+  "CMakeFiles/ipso_workloads.dir/sort.cpp.o.d"
+  "CMakeFiles/ipso_workloads.dir/svm.cpp.o"
+  "CMakeFiles/ipso_workloads.dir/svm.cpp.o.d"
+  "CMakeFiles/ipso_workloads.dir/terasort.cpp.o"
+  "CMakeFiles/ipso_workloads.dir/terasort.cpp.o.d"
+  "CMakeFiles/ipso_workloads.dir/textgen.cpp.o"
+  "CMakeFiles/ipso_workloads.dir/textgen.cpp.o.d"
+  "CMakeFiles/ipso_workloads.dir/wordcount.cpp.o"
+  "CMakeFiles/ipso_workloads.dir/wordcount.cpp.o.d"
+  "libipso_workloads.a"
+  "libipso_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipso_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

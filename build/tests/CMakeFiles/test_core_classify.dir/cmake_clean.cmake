@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_classify.dir/test_core_classify.cpp.o"
+  "CMakeFiles/test_core_classify.dir/test_core_classify.cpp.o.d"
+  "test_core_classify"
+  "test_core_classify.pdb"
+  "test_core_classify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_diagnose.dir/test_core_diagnose.cpp.o"
+  "CMakeFiles/test_core_diagnose.dir/test_core_diagnose.cpp.o.d"
+  "test_core_diagnose"
+  "test_core_diagnose.pdb"
+  "test_core_diagnose[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_diagnose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

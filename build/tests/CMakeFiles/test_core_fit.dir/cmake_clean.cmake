@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_fit.dir/test_core_fit.cpp.o"
+  "CMakeFiles/test_core_fit.dir/test_core_fit.cpp.o.d"
+  "test_core_fit"
+  "test_core_fit.pdb"
+  "test_core_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

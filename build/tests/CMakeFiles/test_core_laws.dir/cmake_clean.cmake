@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_laws.dir/test_core_laws.cpp.o"
+  "CMakeFiles/test_core_laws.dir/test_core_laws.cpp.o.d"
+  "test_core_laws"
+  "test_core_laws.pdb"
+  "test_core_laws[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_laws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

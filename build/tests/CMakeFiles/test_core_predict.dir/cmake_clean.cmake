@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_predict.dir/test_core_predict.cpp.o"
+  "CMakeFiles/test_core_predict.dir/test_core_predict.cpp.o.d"
+  "test_core_predict"
+  "test_core_predict.pdb"
+  "test_core_predict[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

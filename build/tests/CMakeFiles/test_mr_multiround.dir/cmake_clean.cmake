@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mr_multiround.dir/test_mr_multiround.cpp.o"
+  "CMakeFiles/test_mr_multiround.dir/test_mr_multiround.cpp.o.d"
+  "test_mr_multiround"
+  "test_mr_multiround.pdb"
+  "test_mr_multiround[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mr_multiround.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

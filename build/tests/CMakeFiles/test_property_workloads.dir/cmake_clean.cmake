@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_workloads.dir/test_property_workloads.cpp.o"
+  "CMakeFiles/test_property_workloads.dir/test_property_workloads.cpp.o.d"
+  "test_property_workloads"
+  "test_property_workloads.pdb"
+  "test_property_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

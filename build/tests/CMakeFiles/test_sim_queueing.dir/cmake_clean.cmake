@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_queueing.dir/test_sim_queueing.cpp.o"
+  "CMakeFiles/test_sim_queueing.dir/test_sim_queueing.cpp.o.d"
+  "test_sim_queueing"
+  "test_sim_queueing.pdb"
+  "test_sim_queueing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spark_engine.dir/test_spark_engine.cpp.o"
+  "CMakeFiles/test_spark_engine.dir/test_spark_engine.cpp.o.d"
+  "test_spark_engine"
+  "test_spark_engine.pdb"
+  "test_spark_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spark_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

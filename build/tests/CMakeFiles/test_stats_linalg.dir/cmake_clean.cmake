@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_linalg.dir/test_stats_linalg.cpp.o"
+  "CMakeFiles/test_stats_linalg.dir/test_stats_linalg.cpp.o.d"
+  "test_stats_linalg"
+  "test_stats_linalg.pdb"
+  "test_stats_linalg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

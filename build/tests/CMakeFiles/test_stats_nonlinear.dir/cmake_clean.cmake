@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_nonlinear.dir/test_stats_nonlinear.cpp.o"
+  "CMakeFiles/test_stats_nonlinear.dir/test_stats_nonlinear.cpp.o.d"
+  "test_stats_nonlinear"
+  "test_stats_nonlinear.pdb"
+  "test_stats_nonlinear[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_nonlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

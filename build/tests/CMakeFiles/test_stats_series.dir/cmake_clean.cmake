@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_series.dir/test_stats_series.cpp.o"
+  "CMakeFiles/test_stats_series.dir/test_stats_series.cpp.o.d"
+  "test_stats_series"
+  "test_stats_series.pdb"
+  "test_stats_series[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_json.dir/test_trace_json.cpp.o"
+  "CMakeFiles/test_trace_json.dir/test_trace_json.cpp.o.d"
+  "test_trace_json"
+  "test_trace_json.pdb"
+  "test_trace_json[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

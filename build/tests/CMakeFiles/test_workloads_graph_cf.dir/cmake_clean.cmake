@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads_graph_cf.dir/test_workloads_graph_cf.cpp.o"
+  "CMakeFiles/test_workloads_graph_cf.dir/test_workloads_graph_cf.cpp.o.d"
+  "test_workloads_graph_cf"
+  "test_workloads_graph_cf.pdb"
+  "test_workloads_graph_cf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads_graph_cf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads_ml.dir/test_workloads_ml.cpp.o"
+  "CMakeFiles/test_workloads_ml.dir/test_workloads_ml.cpp.o.d"
+  "test_workloads_ml"
+  "test_workloads_ml.pdb"
+  "test_workloads_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

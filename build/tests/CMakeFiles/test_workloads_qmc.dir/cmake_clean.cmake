@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads_qmc.dir/test_workloads_qmc.cpp.o"
+  "CMakeFiles/test_workloads_qmc.dir/test_workloads_qmc.cpp.o.d"
+  "test_workloads_qmc"
+  "test_workloads_qmc.pdb"
+  "test_workloads_qmc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads_qmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

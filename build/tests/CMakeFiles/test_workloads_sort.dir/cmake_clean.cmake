@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads_sort.dir/test_workloads_sort.cpp.o"
+  "CMakeFiles/test_workloads_sort.dir/test_workloads_sort.cpp.o.d"
+  "test_workloads_sort"
+  "test_workloads_sort.pdb"
+  "test_workloads_sort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

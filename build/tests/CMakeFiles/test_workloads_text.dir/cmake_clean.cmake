@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads_text.dir/test_workloads_text.cpp.o"
+  "CMakeFiles/test_workloads_text.dir/test_workloads_text.cpp.o.d"
+  "test_workloads_text"
+  "test_workloads_text.pdb"
+  "test_workloads_text[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
