@@ -12,6 +12,7 @@
 #include "core/classify.h"
 #include "core/fit.h"
 #include "trace/experiment.h"
+#include "trace/runner.h"
 #include "trace/report.h"
 #include "workloads/bayes.h"
 #include "workloads/qmc_pi.h"
@@ -24,7 +25,7 @@ using namespace ipso;
 
 namespace {
 
-void ablation_stragglers() {
+void ablation_stragglers(trace::ExperimentRunner& runner) {
   trace::print_banner(std::cout,
                       "Ablation (i): stragglers — statistical vs "
                       "deterministic speedup");
@@ -40,9 +41,9 @@ void ablation_stragglers() {
   noisy.straggler.cap = 3.0;
 
   const auto det =
-      trace::run_mr_sweep(wl::terasort_spec(), clean, sweep);
+      runner.run_mr_sweep(wl::terasort_spec(), clean, sweep);
   const auto stat =
-      trace::run_mr_sweep(wl::terasort_spec(), noisy, sweep);
+      runner.run_mr_sweep(wl::terasort_spec(), noisy, sweep);
   auto a = det.speedup;
   a.set_name("deterministic");
   auto b = stat.speedup;
@@ -52,7 +53,7 @@ void ablation_stragglers() {
                "constant, not the scaling type (paper Section IV)\n";
 }
 
-void ablation_scheduler() {
+void ablation_scheduler(trace::ExperimentRunner& runner) {
   trace::print_banner(std::cout,
                       "Ablation (ii): scheduler contention exponent vs "
                       "scaling type");
@@ -65,8 +66,9 @@ void ablation_scheduler() {
     sweep.type = WorkloadType::kFixedTime;
     sweep.ns = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
     sweep.repetitions = 1;
-    const auto r = trace::run_mr_sweep(wl::qmc_pi_spec(), cfg, sweep);
-    const auto fits = fit_factors(WorkloadType::kFixedTime, r.factors);
+    const auto r = runner.run_mr_sweep(wl::qmc_pi_spec(), cfg, sweep);
+    const auto fits =
+        fit_factors(WorkloadType::kFixedTime, r.factors).value();
     const auto cls = classify(fits.params);
     // Dispatch is serial per task: total ~ n^(1+exponent), so q ~ n^(1+e).
     rows.push_back({trace::fmt(exponent, 1),
@@ -81,7 +83,7 @@ void ablation_scheduler() {
                "gamma > 1\n";
 }
 
-void ablation_spill() {
+void ablation_spill(trace::ExperimentRunner& runner) {
   trace::print_banner(std::cout,
                       "Ablation (iii): TeraSort with and without the "
                       "reducer-memory spill");
@@ -94,8 +96,8 @@ void ablation_spill() {
   auto with = wl::terasort_spec();
   auto without = wl::terasort_spec();
   without.spill_enabled = false;
-  const auto r_with = trace::run_mr_sweep(with, base, sweep);
-  const auto r_without = trace::run_mr_sweep(without, base, sweep);
+  const auto r_with = runner.run_mr_sweep(with, base, sweep);
+  const auto r_without = runner.run_mr_sweep(without, base, sweep);
 
   const auto seg_with = detect_in_changepoint(r_with.factors.in);
   const auto seg_without = detect_in_changepoint(r_without.factors.in);
@@ -143,7 +145,7 @@ void ablation_quantization() {
                "to sub-seconds past n = 8 and cannot be measured\n";
 }
 
-void ablation_incast() {
+void ablation_incast(trace::ExperimentRunner& runner) {
   trace::print_banner(std::cout,
                       "Ablation (v): TCP-incast at the single reducer "
                       "(paper Section II cites incast as a speedup killer)");
@@ -159,15 +161,16 @@ void ablation_incast() {
   auto incast = clean;
   incast.network.incast_penalty_per_sender = 0.004;  // +0.4% per extra flow
 
-  const auto r_clean = trace::run_mr_sweep(wl::sort_spec(), clean, sweep);
-  const auto r_incast = trace::run_mr_sweep(wl::sort_spec(), incast, sweep);
+  const auto r_clean = runner.run_mr_sweep(wl::sort_spec(), clean, sweep);
+  const auto r_incast = runner.run_mr_sweep(wl::sort_spec(), incast, sweep);
   auto a = r_clean.speedup;
   a.set_name("no incast");
   auto b = r_incast.speedup;
   b.set_name("with incast");
   trace::print_series_table(std::cout, "n", {a, b}, 2);
 
-  const auto fits = fit_factors(WorkloadType::kFixedTime, r_incast.factors);
+  const auto fits =
+      fit_factors(WorkloadType::kFixedTime, r_incast.factors).value();
   const auto cls = classify(fits.params);
   std::cout << "with incast: fitted gamma = "
             << trace::fmt(fits.params.gamma, 2) << ", type "
@@ -178,7 +181,7 @@ void ablation_incast() {
             << "\n";
 }
 
-void ablation_failures() {
+void ablation_failures(trace::ExperimentRunner& runner) {
   trace::print_banner(std::cout,
                       "Ablation (vi): task-failure injection in Spark "
                       "(paper: RAM pressure raises failure rates and forces "
@@ -194,8 +197,8 @@ void ablation_failures() {
 
   const auto base = sim::default_emr_cluster(1);
   const auto app = [](std::size_t) { return wl::bayes_app(); };
-  const auto r_clean = trace::run_spark_sweep(app, base, sweep);
-  const auto r_faulty = trace::run_spark_sweep(app, base, faulty);
+  const auto r_clean = runner.run_spark_sweep(app, base, sweep);
+  const auto r_faulty = runner.run_spark_sweep(app, base, faulty);
   auto a = r_clean.speedup;
   a.set_name("no failures");
   auto b = r_faulty.speedup;
@@ -206,7 +209,7 @@ void ablation_failures() {
                "N/m=4\n";
 }
 
-void ablation_contention() {
+void ablation_contention(trace::ExperimentRunner& runner) {
   trace::print_banner(std::cout,
                       "Ablation (vii): shared-resource contention "
                       "(paper's citation [9]: contention induces an "
@@ -221,7 +224,7 @@ void ablation_contention() {
     auto cfg = sim::default_emr_cluster(1);
     cfg.contention_phi = phi;
     cfg.contention_capacity = 64.0;
-    auto r = trace::run_mr_sweep(wl::qmc_pi_spec(), cfg, sweep);
+    auto r = runner.run_mr_sweep(wl::qmc_pi_spec(), cfg, sweep);
     auto s = r.speedup;
     s.set_name("phi=" + trace::fmt(phi, 1));
     curves.push_back(std::move(s));
@@ -236,13 +239,14 @@ void ablation_contention() {
 
 }  // namespace
 
-int main() {
-  ablation_stragglers();
-  ablation_scheduler();
-  ablation_spill();
+int main(int argc, char** argv) {
+  trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
+  ablation_stragglers(runner);
+  ablation_scheduler(runner);
+  ablation_spill(runner);
   ablation_quantization();
-  ablation_incast();
-  ablation_failures();
-  ablation_contention();
+  ablation_incast(runner);
+  ablation_failures(runner);
+  ablation_contention(runner);
   return 0;
 }

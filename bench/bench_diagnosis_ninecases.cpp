@@ -6,6 +6,7 @@
 
 #include "core/diagnose.h"
 #include "trace/experiment.h"
+#include "trace/runner.h"
 #include "trace/report.h"
 #include "workloads/bayes.h"
 #include "workloads/collab_filter.h"
@@ -21,7 +22,8 @@
 
 using namespace ipso;
 
-int main() {
+int main(int argc, char** argv) {
+  trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   std::vector<std::vector<std::string>> rows;
 
   // --- four MapReduce cases (fixed-time) with factor measurements
@@ -32,8 +34,9 @@ int main() {
     sweep.ns = {1, 2, 4, 8, 16, 32, 64, 96, 128, 160};
     sweep.repetitions = 1;
     const auto r =
-        trace::run_mr_sweep(spec, sim::default_emr_cluster(1), sweep);
-    const auto d = diagnose(WorkloadType::kFixedTime, r.speedup, r.factors);
+        runner.run_mr_sweep(spec, sim::default_emr_cluster(1), sweep);
+    const auto d =
+        diagnose(WorkloadType::kFixedTime, r.speedup, r.factors).value();
     trace::print_banner(std::cout, "Case: " + spec.name + " (MapReduce)");
     std::cout << d.summary;
     rows.push_back({spec.name, "MapReduce/fixed-time",
@@ -47,11 +50,11 @@ int main() {
     sweep.tasks_per_executor = 1;
     sweep.ms = {1, 10, 30, 60, 90, 120};
     sweep.params.first_wave_overhead = 0.45;
-    const auto r = trace::run_spark_sweep(
+    const auto r = runner.run_spark_sweep(
         [](std::size_t n) { return wl::collab_filter_app(n); },
         sim::default_emr_cluster(1), sweep);
     const auto d =
-        diagnose(WorkloadType::kFixedSize, r.speedup, r.factors);
+        diagnose(WorkloadType::kFixedSize, r.speedup, r.factors).value();
     trace::print_banner(std::cout, "Case: CollaborativeFiltering (Spark)");
     std::cout << d.summary;
     rows.push_back({"CollaborativeFiltering", "Spark/fixed-size",
@@ -67,9 +70,9 @@ int main() {
     sweep.type = WorkloadType::kFixedSize;
     sweep.total_tasks = 192;
     sweep.ms = {1, 4, 16, 48, 64, 96, 128, 160, 192};
-    const auto r = trace::run_spark_sweep(
+    const auto r = runner.run_spark_sweep(
         [&](std::size_t) { return app; }, cluster, sweep);
-    const auto d = diagnose(WorkloadType::kFixedSize, r.speedup);
+    const auto d = diagnose(WorkloadType::kFixedSize, r.speedup).value();
     trace::print_banner(std::cout, "Case: " + app.name + " (Spark)");
     std::cout << d.summary;
     rows.push_back({app.name, "Spark/fixed-size",

@@ -8,6 +8,7 @@
 #include "core/diagnose.h"
 #include "stats/linalg.h"
 #include "trace/experiment.h"
+#include "trace/runner.h"
 #include "trace/report.h"
 #include "workloads/bayes.h"
 #include "workloads/nweight.h"
@@ -29,7 +30,8 @@ sim::ClusterConfig spark_cluster() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   const auto base = spark_cluster();
   trace::SparkSweepConfig sweep;
   sweep.type = WorkloadType::kFixedSize;
@@ -41,11 +43,11 @@ int main() {
   std::vector<std::vector<std::string>> verdicts;
   for (const auto& app : {wl::bayes_app(), wl::random_forest_app(),
                           wl::svm_app(), wl::nweight_app()}) {
-    auto r = trace::run_spark_sweep([&](std::size_t) { return app; }, base,
+    auto r = runner.run_spark_sweep([&](std::size_t) { return app; }, base,
                                     sweep);
     auto s = r.speedup;
     s.set_name(app.name);
-    const auto d = diagnose(WorkloadType::kFixedSize, s);
+    const auto d = diagnose(WorkloadType::kFixedSize, s).value();
     verdicts.push_back({app.name, std::string(to_string(d.best_guess)),
                         trace::fmt(s.argmax_x(), 0),
                         trace::fmt(s.max_y(), 2)});

@@ -5,6 +5,7 @@
 /// Sort bounded by ~5 and TeraSort bounded by ~3 (IIIt,1).
 
 #include "trace/experiment.h"
+#include "trace/runner.h"
 #include "trace/report.h"
 #include "workloads/qmc_pi.h"
 #include "workloads/sort.h"
@@ -15,7 +16,8 @@
 
 using namespace ipso;
 
-int main() {
+int main(int argc, char** argv) {
+  trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   trace::MrSweepConfig sweep;
   sweep.type = WorkloadType::kFixedTime;
   sweep.ns = {1, 2, 4, 8, 16, 32, 64, 96, 128, 160, 200};
@@ -24,7 +26,7 @@ int main() {
 
   for (const auto& spec : {wl::qmc_pi_spec(), wl::wordcount_spec(),
                            wl::sort_spec(), wl::terasort_spec()}) {
-    const auto r = trace::run_mr_sweep(spec, base, sweep);
+    const auto r = runner.run_mr_sweep(spec, base, sweep);
     trace::print_banner(std::cout, "Fig. 4: " + spec.name +
                                        " (fixed-time, eta = " +
                                        trace::fmt(r.factors.eta, 3) + ")");

@@ -6,6 +6,7 @@
 
 #include "core/fit.h"
 #include "trace/experiment.h"
+#include "trace/runner.h"
 #include "trace/reference_data.h"
 #include "trace/report.h"
 #include "workloads/terasort.h"
@@ -14,12 +15,13 @@
 
 using namespace ipso;
 
-int main() {
+int main(int argc, char** argv) {
+  trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   trace::MrSweepConfig sweep;
   sweep.type = WorkloadType::kFixedTime;
   sweep.repetitions = 1;
   for (double n = 1; n <= 40; ++n) sweep.ns.push_back(n);
-  const auto r = trace::run_mr_sweep(wl::terasort_spec(),
+  const auto r = runner.run_mr_sweep(wl::terasort_spec(),
                                      sim::default_emr_cluster(1), sweep);
 
   trace::print_banner(std::cout, "Fig. 5: TeraSort IN(n) step-wise property");

@@ -6,6 +6,7 @@
 
 #include "core/fit.h"
 #include "trace/experiment.h"
+#include "trace/runner.h"
 #include "trace/reference_data.h"
 #include "trace/report.h"
 #include "workloads/qmc_pi.h"
@@ -17,7 +18,8 @@
 
 using namespace ipso;
 
-int main() {
+int main(int argc, char** argv) {
+  trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   trace::MrSweepConfig sweep;
   sweep.type = WorkloadType::kFixedTime;
   sweep.ns = {1, 2, 4, 8, 16, 24, 32, 48, 64, 96, 128, 160};
@@ -28,7 +30,7 @@ int main() {
   std::vector<std::vector<std::string>> fits;
   for (const auto& spec : {wl::sort_spec(), wl::terasort_spec(),
                            wl::wordcount_spec(), wl::qmc_pi_spec()}) {
-    const auto r = trace::run_mr_sweep(spec, base, sweep);
+    const auto r = runner.run_mr_sweep(spec, base, sweep);
     auto ex = r.factors.ex;
     ex.set_name(spec.name + " EX");
     ex_curves.push_back(std::move(ex));

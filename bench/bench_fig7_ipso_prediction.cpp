@@ -6,6 +6,7 @@
 
 #include "core/predict.h"
 #include "trace/experiment.h"
+#include "trace/runner.h"
 #include "trace/report.h"
 #include "workloads/qmc_pi.h"
 #include "workloads/sort.h"
@@ -16,7 +17,8 @@
 
 using namespace ipso;
 
-int main() {
+int main(int argc, char** argv) {
+  trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   const auto base = sim::default_emr_cluster(1);
   const std::vector<double> eval_ns{1,  2,  4,  8,  16, 32,
                                     64, 96, 128, 160, 200};
@@ -30,8 +32,9 @@ int main() {
     fit_sweep.ns = spec.name == "TeraSort"
                        ? std::vector<double>{16, 24, 32, 40, 48, 56, 64}
                        : std::vector<double>{1, 2, 4, 6, 8, 10, 12, 14, 16};
-    const auto small = trace::run_mr_sweep(spec, base, fit_sweep);
-    const auto fits = fit_factors(WorkloadType::kFixedTime, small.factors);
+    const auto small = runner.run_mr_sweep(spec, base, fit_sweep);
+    const auto fits =
+        fit_factors(WorkloadType::kFixedTime, small.factors).value();
     const auto predictor = SpeedupPredictor::from_fits(fits);
 
     // Measured curve over the full range.
@@ -39,7 +42,7 @@ int main() {
     eval_sweep.type = WorkloadType::kFixedTime;
     eval_sweep.repetitions = 3;
     eval_sweep.ns = eval_ns;
-    const auto measured = trace::run_mr_sweep(spec, base, eval_sweep);
+    const auto measured = runner.run_mr_sweep(spec, base, eval_sweep);
 
     trace::print_banner(std::cout,
                         "Fig. 7: " + spec.name + " — IPSO vs measured vs "

@@ -10,6 +10,7 @@
 #include "core/fit.h"
 #include "stats/nonlinear.h"
 #include "trace/experiment.h"
+#include "trace/runner.h"
 #include "trace/reference_data.h"
 #include "trace/report.h"
 #include "workloads/collab_filter.h"
@@ -18,14 +19,15 @@
 
 using namespace ipso;
 
-int main() {
+int main(int argc, char** argv) {
+  trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   // --- Part 1: re-simulated Table I.
   trace::SparkSweepConfig sweep;
   sweep.type = WorkloadType::kFixedTime;  // one task per node...
   sweep.tasks_per_executor = 1;           // ...of a fixed total workload
   sweep.ms = {1, 10, 30, 60, 90, 120};
   sweep.params.first_wave_overhead = 0.45;
-  const auto r = trace::run_spark_sweep(
+  const auto r = runner.run_spark_sweep(
       [](std::size_t n) { return wl::collab_filter_app(n); },
       sim::default_emr_cluster(1), sweep);
 
@@ -63,7 +65,7 @@ int main() {
 
   stats::Series wp("Wp");
   for (const auto& p : wo) wp.add(p.x, tp_fit(1.0));
-  const auto q = q_series_from_workloads(wo, wp);
+  const auto q = q_series_from_workloads(wo, wp).value();
   const auto q_fit = stats::fit_power(q);
   std::cout << "q(n) ~ " << trace::fmt(q_fit.coeff, 6) << " * n^"
             << trace::fmt(q_fit.exponent, 2) << "  => gamma = "

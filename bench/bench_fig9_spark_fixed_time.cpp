@@ -7,6 +7,7 @@
 
 #include "stats/surface.h"
 #include "trace/experiment.h"
+#include "trace/runner.h"
 #include "trace/report.h"
 #include "workloads/bayes.h"
 #include "workloads/nweight.h"
@@ -30,7 +31,8 @@ sim::ClusterConfig spark_cluster() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   const auto base = spark_cluster();
   const std::vector<double> ms{1, 2, 4, 8, 16, 24, 32, 48, 64};
 
@@ -45,7 +47,7 @@ int main() {
       sweep.type = WorkloadType::kFixedTime;
       sweep.tasks_per_executor = k;
       sweep.ms = ms;
-      auto r = trace::run_spark_sweep(
+      auto r = runner.run_spark_sweep(
           [&](std::size_t) { return app; }, base, sweep);
       for (const auto& p : r.points) {
         samples.push_back({static_cast<double>(p.total_tasks), p.m,

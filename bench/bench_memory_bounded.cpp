@@ -9,6 +9,7 @@
 
 #include "stats/regression.h"
 #include "trace/experiment.h"
+#include "trace/runner.h"
 #include "trace/report.h"
 #include "workloads/sort.h"
 #include "workloads/wordcount.h"
@@ -17,7 +18,8 @@
 
 using namespace ipso;
 
-int main() {
+int main(int argc, char** argv) {
+  trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   const auto base = sim::default_emr_cluster(1);
   // A working set big enough that 200 blocks never exhaust it: the
   // memory bound, not the data, limits each unit's share.
@@ -32,8 +34,8 @@ int main() {
   ft_sweep.bytes = 128e6;
 
   for (const auto& spec : {wl::wordcount_spec(), wl::sort_spec()}) {
-    const auto mem = trace::run_mr_sweep(spec, base, mem_sweep);
-    const auto ft = trace::run_mr_sweep(spec, base, ft_sweep);
+    const auto mem = runner.run_mr_sweep(spec, base, mem_sweep);
+    const auto ft = runner.run_mr_sweep(spec, base, ft_sweep);
 
     trace::print_banner(std::cout, "Memory-bounded (Sun-Ni) vs fixed-time "
                                    "(Gustafson): " + spec.name);

@@ -111,7 +111,7 @@ void BM_FitAndPredictPipeline(benchmark::State& state) {
   sweep.repetitions = 1;
   const auto r = trace::run_mr_sweep(spec, base, sweep);
   for (auto _ : state) {
-    const auto fits = fit_factors(WorkloadType::kFixedTime, r.factors);
+    const auto fits = fit_factors(WorkloadType::kFixedTime, r.factors).value();
     const auto predictor = SpeedupPredictor::from_fits(fits);
     benchmark::DoNotOptimize(predictor(160.0));
   }

@@ -7,6 +7,7 @@
 #include "core/laws.h"
 #include "core/predict.h"
 #include "trace/experiment.h"
+#include "trace/runner.h"
 #include "trace/reference_data.h"
 #include "trace/report.h"
 #include "workloads/bayes.h"
@@ -39,9 +40,13 @@ struct Scoreboard {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Scoreboard board;
   const auto base = sim::default_emr_cluster(1);
+
+  // One pool serves every sweep below; results are bit-identical to serial
+  // execution at any thread count (--threads / IPSO_THREADS override).
+  trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
 
   // --- MapReduce fixed-time sweeps (Figs. 4-6).
   trace::MrSweepConfig sweep;
@@ -50,7 +55,7 @@ int main() {
   sweep.repetitions = 1;
 
   {
-    const auto r = trace::run_mr_sweep(wl::qmc_pi_spec(), base, sweep);
+    const auto r = runner.run_mr_sweep(wl::qmc_pi_spec(), base, sweep);
     const double gust = laws::gustafson(r.factors.eta, 160.0);
     const double rel = std::abs(r.speedup[9].y - gust) / gust;
     board.check("QMC follows Gustafson (It)", rel < 0.15,
@@ -58,7 +63,7 @@ int main() {
                     trace::fmt(gust, 1));
   }
   {
-    const auto r = trace::run_mr_sweep(wl::sort_spec(), base, sweep);
+    const auto r = runner.run_mr_sweep(wl::sort_spec(), base, sweep);
     const auto fit = stats::fit_linear(r.factors.in);
     board.check("Sort IN(n) slope ~0.36 (paper Fig. 6)",
                 std::abs(fit.slope - 0.36) < 0.02,
@@ -71,7 +76,7 @@ int main() {
     trace::MrSweepConfig fine = sweep;
     fine.ns.clear();
     for (double n = 1; n <= 40; ++n) fine.ns.push_back(n);
-    const auto r = trace::run_mr_sweep(wl::terasort_spec(), base, fine);
+    const auto r = runner.run_mr_sweep(wl::terasort_spec(), base, fine);
     const auto seg = detect_in_changepoint(r.factors.in);
     board.check("TeraSort IN(n) changepoint at n~15 (Fig. 5)",
                 seg && std::abs(seg->knot - 15.0) <= 3.0,
@@ -89,7 +94,7 @@ int main() {
                 "+" + trace::fmt(100 * (burst - 1), 0) + "%");
   }
   {
-    const auto r = trace::run_mr_sweep(wl::terasort_spec(), base, sweep);
+    const auto r = runner.run_mr_sweep(wl::terasort_spec(), base, sweep);
     board.check("TeraSort speedup bounded ~3 (Fig. 4d)",
                 r.speedup.max_y() > 2.4 && r.speedup.max_y() < 3.3,
                 "max S=" + trace::fmt(r.speedup.max_y(), 2));
@@ -99,12 +104,13 @@ int main() {
   {
     trace::MrSweepConfig fit_sweep = sweep;
     fit_sweep.ns = {1, 2, 4, 6, 8, 10, 12, 14, 16};
-    const auto small = trace::run_mr_sweep(wl::sort_spec(), base, fit_sweep);
-    const auto fits = fit_factors(WorkloadType::kFixedTime, small.factors);
+    const auto small = runner.run_mr_sweep(wl::sort_spec(), base, fit_sweep);
+    const auto fits =
+        fit_factors(WorkloadType::kFixedTime, small.factors).value();
     const auto pred = SpeedupPredictor::from_fits(fits);
     trace::MrSweepConfig big = sweep;
     big.ns = {160};
-    const auto truth = trace::run_mr_sweep(wl::sort_spec(), base, big);
+    const auto truth = runner.run_mr_sweep(wl::sort_spec(), base, big);
     const double rel =
         std::abs(pred(160.0) - truth.speedup[0].y) / truth.speedup[0].y;
     board.check("IPSO fit at n<=16 predicts Sort S(160) (Fig. 7)",
@@ -116,7 +122,7 @@ int main() {
     const auto wo = trace::reference::cf_wo_series();
     stats::Series wp("Wp");
     for (const auto& p : wo) wp.add(p.x, trace::reference::kCfTp1);
-    const auto qfit = stats::fit_power(q_series_from_workloads(wo, wp));
+    const auto qfit = stats::fit_power(q_series_from_workloads(wo, wp).value());
     board.check("CF Table I yields gamma ~ 2",
                 std::abs(qfit.exponent - 2.0) < 0.1,
                 "gamma=" + trace::fmt(qfit.exponent, 2));
@@ -126,7 +132,7 @@ int main() {
     cf.tasks_per_executor = 1;
     cf.ms = {1, 10, 30, 50, 60, 70, 90, 120};
     cf.params.first_wave_overhead = 0.45;
-    const auto r = trace::run_spark_sweep(
+    const auto r = runner.run_spark_sweep(
         [](std::size_t n) { return wl::collab_filter_app(n); }, base, cf);
     board.check("CF speedup peaks ~21 near n=60 then falls (IVs, Fig. 8)",
                 stats::is_peaked(r.speedup) &&
@@ -145,7 +151,7 @@ int main() {
       cfg.type = WorkloadType::kFixedTime;
       cfg.tasks_per_executor = k;
       cfg.ms = {32};
-      return trace::run_spark_sweep(
+      return runner.run_spark_sweep(
                  [](std::size_t) { return wl::bayes_app(); }, spark_base,
                  cfg)
           .speedup[0]
@@ -165,7 +171,7 @@ int main() {
     bool all_peaked = true;
     for (const auto& app : {wl::bayes_app(), wl::random_forest_app(),
                             wl::svm_app(), wl::nweight_app()}) {
-      const auto r = trace::run_spark_sweep(
+      const auto r = runner.run_spark_sweep(
           [&](std::size_t) { return app; }, spark_base, cfg);
       all_peaked = all_peaked && stats::is_peaked(r.speedup);
     }
@@ -197,6 +203,17 @@ int main() {
 
   trace::print_banner(std::cout, "IPSO reproduction scoreboard");
   trace::print_table(std::cout, {"claim", "verdict", "detail"}, board.rows);
+  const auto metrics = runner.metrics();
+  std::cout << "\nsweep engine: " << runner.threads() << " threads, "
+            << metrics.sweeps_run << " sweeps, " << metrics.tasks_completed
+            << " tasks, " << trace::fmt(metrics.busy_seconds, 2)
+            << "s task time in " << trace::fmt(metrics.wall_seconds, 2)
+            << "s wall ("
+            << trace::fmt(metrics.wall_seconds > 0.0
+                              ? metrics.busy_seconds / metrics.wall_seconds
+                              : 0.0,
+                          1)
+            << "x parallelism)\n";
   std::cout << (board.all_pass ? "\nALL CLAIMS REPRODUCED\n"
                                : "\nSOME CLAIMS FAILED\n");
   return board.all_pass ? 0 : 1;

@@ -4,11 +4,12 @@
 ///   detect the memory-overflow changepoint in IN(n) -> fit (eta, alpha,
 ///   delta, beta, gamma) -> classify -> predict large-n speedups.
 ///
-/// Build & run:  ./build/examples/diagnose_terasort
+/// Build & run:  ./build/examples/diagnose_terasort [--threads N]
 
 #include "core/diagnose.h"
 #include "core/predict.h"
 #include "trace/experiment.h"
+#include "trace/runner.h"
 #include "trace/report.h"
 #include "workloads/terasort.h"
 
@@ -16,13 +17,17 @@
 
 using namespace ipso;
 
-int main() {
+int main(int argc, char** argv) {
+  // Sweeps run on a shared thread pool; --threads / IPSO_THREADS override
+  // the worker count without changing any result bit.
+  trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
+
   // Step 1-2: fixed-time workload, measure the speedup as n scales.
   trace::MrSweepConfig sweep;
   sweep.type = WorkloadType::kFixedTime;
   for (double n = 1; n <= 64; n += (n < 16 ? 1 : 4)) sweep.ns.push_back(n);
   sweep.repetitions = 3;
-  const auto measured = trace::run_mr_sweep(wl::terasort_spec(),
+  const auto measured = runner.run_mr_sweep(wl::terasort_spec(),
                                             sim::default_emr_cluster(1),
                                             sweep);
 
@@ -35,7 +40,8 @@ int main() {
 
   // Step 3-6: diagnose with factor measurements (pins down the sub-type).
   const auto report =
-      diagnose(WorkloadType::kFixedTime, measured.speedup, measured.factors);
+      diagnose(WorkloadType::kFixedTime, measured.speedup, measured.factors)
+          .value();
   trace::print_banner(std::cout, "Diagnosis");
   std::cout << report.summary;
 

@@ -19,6 +19,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 using namespace ipso;
@@ -104,7 +105,12 @@ int main(int argc, char** argv) {
     std::cerr << "need at least 3 measured points\n";
     return 1;
   }
-  const DiagnosticReport report = diagnose(type, speedup, factors);
-  std::cout << report.summary;
+  const auto report = factors ? diagnose(type, speedup, *factors)
+                              : diagnose(type, speedup);
+  if (!report) {
+    std::cerr << "diagnosis failed: " << to_string(report.error()) << "\n";
+    return 1;
+  }
+  std::cout << report->summary;
   return 0;
 }

@@ -88,7 +88,13 @@ int main(int argc, char** argv) {
     return usage();
   }
 
-  const FactorFits fits = fit_factors(type, measurements);
+  const auto fit_result = fit_factors(type, measurements);
+  if (!fit_result) {
+    std::cerr << "factor fit failed: " << to_string(fit_result.error())
+              << "\n";
+    return 1;
+  }
+  const FactorFits& fits = *fit_result;
   const Classification verdict = classify(fits.params);
   std::cout << "fitted: eta=" << trace::fmt(fits.params.eta, 3)
             << " alpha=" << trace::fmt(fits.params.alpha, 3)

@@ -7,10 +7,11 @@
 ///   * Collaborative Filtering (IVs): peaked — past the peak you pay more
 ///     for *less* performance.
 ///
-/// Build & run:  ./build/examples/provisioning
+/// Build & run:  ./build/examples/provisioning [--threads N]
 
 #include "core/predict.h"
 #include "trace/experiment.h"
+#include "trace/runner.h"
 #include "trace/report.h"
 #include "workloads/terasort.h"
 
@@ -49,16 +50,19 @@ void plan_and_print(const std::string& name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
+
   // --- TeraSort: fit IPSO on a cheap probe sweep (n <= 24).
   trace::MrSweepConfig probe;
   probe.type = WorkloadType::kFixedTime;
   for (double n = 1; n <= 24; ++n) probe.ns.push_back(n);
   probe.repetitions = 1;
-  const auto measured = trace::run_mr_sweep(wl::terasort_spec(),
+  const auto measured = runner.run_mr_sweep(wl::terasort_spec(),
                                             sim::default_emr_cluster(1),
                                             probe);
-  const auto fits = fit_factors(WorkloadType::kFixedTime, measured.factors);
+  const auto fits =
+      fit_factors(WorkloadType::kFixedTime, measured.factors).value();
   plan_and_print("TeraSort (fixed-time, type IIIt,1)",
                  SpeedupPredictor::from_fits(fits), 256);
 

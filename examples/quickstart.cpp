@@ -49,7 +49,7 @@ int main() {
     measured.add(n, speedup_deterministic(sortish, eta, n));
   }
   const DiagnosticReport report =
-      diagnose(WorkloadType::kFixedTime, measured);
+      diagnose(WorkloadType::kFixedTime, measured).value();
   std::cout << "\n" << report.summary;
   return 0;
 }

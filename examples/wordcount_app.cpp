@@ -3,12 +3,13 @@
 /// in the measured data volumes, sweep the cluster size, diagnose the
 /// scaling, and get engineering advice from the sensitivity analysis.
 ///
-/// Build & run:  ./build/examples/wordcount_app
+/// Build & run:  ./build/examples/wordcount_app [--threads N]
 
 #include "core/diagnose.h"
 #include "core/sensitivity.h"
 #include "mapreduce/functional.h"
 #include "trace/experiment.h"
+#include "trace/runner.h"
 #include "trace/json.h"
 #include "trace/report.h"
 #include "workloads/functional_jobs.h"
@@ -17,7 +18,9 @@
 
 using namespace ipso;
 
-int main() {
+int main(int argc, char** argv) {
+  trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
+
   // --- 1. Real computation with verification, grounding the cost model.
   wl::WordCountJob job;
   mr::MrEngine engine8(sim::default_emr_cluster(8));
@@ -39,7 +42,7 @@ int main() {
   sweep.type = WorkloadType::kFixedTime;
   sweep.ns = {1, 2, 4, 8, 16, 32, 64, 96, 128, 160};
   sweep.repetitions = 3;
-  const auto r = trace::run_mr_sweep(grounded.grounded_spec,
+  const auto r = runner.run_mr_sweep(grounded.grounded_spec,
                                      sim::default_emr_cluster(1), sweep);
 
   trace::print_banner(std::cout, "WordCount scaling (grounded simulation)");
@@ -49,8 +52,8 @@ int main() {
   trace::print_series_table(std::cout, "n", {measured, gustafson}, 2);
 
   // --- 3. Diagnosis with measured factors.
-  const auto report = diagnose(WorkloadType::kFixedTime, r.speedup,
-                               r.factors);
+  const auto report =
+      diagnose(WorkloadType::kFixedTime, r.speedup, r.factors).value();
   trace::print_banner(std::cout, "Diagnosis");
   std::cout << report.summary;
 

@@ -24,52 +24,29 @@ ScalingType shape_to_type(WorkloadType wt, GrowthShape shape) {
   return ScalingType::kIt;
 }
 
-}  // namespace
-
-EmpiricalShape judge_shape(const stats::Series& speedup, double linear_min,
-                           double bounded_max) {
-  EmpiricalShape out;
-  out.monotone = stats::is_monotone_nondecreasing(speedup, /*tol=*/0.02);
-  out.peaked = stats::is_peaked(speedup);
-  if (out.peaked) {
-    out.shape = GrowthShape::kPeaked;
-    out.tail_exponent = 0.0;
-    out.note = "speedup peaks and falls: superlinear scale-out-induced "
-               "workload (gamma > 1) is the only cause in the IPSO space";
-    return out;
-  }
-  const stats::PowerFit tail = fit_tail_growth(speedup);
-  out.tail_exponent = tail.exponent;
-  if (tail.exponent >= linear_min) {
-    out.shape = GrowthShape::kLinear;
-    out.note = "near-linear growth; more data at larger n would separate "
-               "type I from type II (paper, WordCount discussion)";
-  } else if (tail.exponent <= bounded_max) {
-    out.shape = GrowthShape::kBounded;
-    out.note = "growth has saturated: upper-bounded speedup";
-  } else {
-    out.shape = GrowthShape::kSublinear;
-    out.note = "sublinear but still growing; could be type II or the rise "
-               "of a type III curve - factor measurements would decide";
-  }
-  return out;
-}
-
-DiagnosticReport diagnose(WorkloadType workload, const stats::Series& speedup,
-                          const std::optional<FactorMeasurements>& factors) {
+Expected<DiagnosticReport> diagnose_impl(WorkloadType workload,
+                                         const stats::Series& speedup,
+                                         const FactorMeasurements* factors) {
   DiagnosticReport report;
   report.workload = workload;
 
   // Steps 1-4: workload type is given; judge the measured curve's shape.
-  report.empirical = judge_shape(speedup);
+  const Expected<EmpiricalShape> shape = judge_shape(speedup);
+  if (!shape) return shape.error();
+  report.empirical = *shape;
   report.best_guess = shape_to_type(workload, report.empirical.shape);
 
   // Steps 5-6: with factor measurements, fit (η, α, δ, β, γ) and classify
-  // exactly, which also pins down III sub-types.
-  if (factors) {
+  // exactly, which also pins down III sub-types. A failed fit leaves the
+  // shape-based guess in place and records the reason in report.fits.
+  if (factors != nullptr) {
     report.fits = fit_factors(workload, *factors);
-    report.matched = classify(report.fits->params);
-    report.best_guess = report.matched->type;
+    if (report.fits) {
+      report.matched = classify(report.fits->params);
+      report.best_guess = report.matched->type;
+    } else {
+      report.matched = report.fits.error();
+    }
   }
 
   std::ostringstream os;
@@ -98,11 +75,58 @@ DiagnosticReport diagnose(WorkloadType workload, const stats::Series& speedup,
          << "\n";
     }
   } else {
+    if (factors != nullptr) {
+      os << "  factor fit unavailable: " << to_string(report.fits.error())
+         << "\n";
+    }
     os << "  best guess from shape alone: " << to_string(report.best_guess)
        << " (run factor measurements to confirm sub-type)\n";
   }
   report.summary = os.str();
   return report;
+}
+
+}  // namespace
+
+Expected<EmpiricalShape> judge_shape(const stats::Series& speedup,
+                                     double linear_min, double bounded_max) {
+  EmpiricalShape out;
+  out.monotone = stats::is_monotone_nondecreasing(speedup, /*tol=*/0.02);
+  out.peaked = stats::is_peaked(speedup);
+  if (out.peaked) {
+    out.shape = GrowthShape::kPeaked;
+    out.tail_exponent = 0.0;
+    out.note = "speedup peaks and falls: superlinear scale-out-induced "
+               "workload (gamma > 1) is the only cause in the IPSO space";
+    return out;
+  }
+  const Expected<stats::PowerFit> tail = fit_tail_growth(speedup);
+  if (!tail) return tail.error();
+  out.tail_exponent = tail->exponent;
+  if (tail->exponent >= linear_min) {
+    out.shape = GrowthShape::kLinear;
+    out.note = "near-linear growth; more data at larger n would separate "
+               "type I from type II (paper, WordCount discussion)";
+  } else if (tail->exponent <= bounded_max) {
+    out.shape = GrowthShape::kBounded;
+    out.note = "growth has saturated: upper-bounded speedup";
+  } else {
+    out.shape = GrowthShape::kSublinear;
+    out.note = "sublinear but still growing; could be type II or the rise "
+               "of a type III curve - factor measurements would decide";
+  }
+  return out;
+}
+
+Expected<DiagnosticReport> diagnose(WorkloadType workload,
+                                    const stats::Series& speedup) {
+  return diagnose_impl(workload, speedup, nullptr);
+}
+
+Expected<DiagnosticReport> diagnose(WorkloadType workload,
+                                    const stats::Series& speedup,
+                                    const FactorMeasurements& factors) {
+  return diagnose_impl(workload, speedup, &factors);
 }
 
 }  // namespace ipso

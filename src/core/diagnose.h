@@ -1,16 +1,19 @@
 #pragma once
 
 #include "core/classify.h"
+#include "core/expected.h"
 #include "core/fit.h"
 #include "stats/series.h"
 
-#include <optional>
 #include <string>
 
 /// \file diagnose.h
 /// The six-step diagnostic procedure of paper Section V: given a measured
 /// speedup curve (and, when available, measured scaling factors), identify
-/// the scaling type and its root cause.
+/// the scaling type and its root cause. Entry points return Expected so a
+/// caller can tell an unusable curve (too few points) from a usable one,
+/// and a report's absent factor analysis carries the reason (factors never
+/// measured vs. the fit failed).
 
 namespace ipso {
 
@@ -25,25 +28,37 @@ struct EmpiricalShape {
 
 /// Judges the curve shape from data alone. Thresholds: e >= linear_min (0.9)
 /// -> linear; e <= bounded_max (0.15) -> saturating/bounded; in between ->
-/// sublinear; an interior peak with a falling tail -> peaked.
-EmpiricalShape judge_shape(const stats::Series& speedup,
-                           double linear_min = 0.9, double bounded_max = 0.15);
+/// sublinear; an interior peak with a falling tail -> peaked. Errors:
+/// kInsufficientData (< 3 points), kFitFailed.
+Expected<EmpiricalShape> judge_shape(const stats::Series& speedup,
+                                     double linear_min = 0.9,
+                                     double bounded_max = 0.15);
 
 /// Full diagnostic report (steps 1-6).
 struct DiagnosticReport {
   WorkloadType workload = WorkloadType::kFixedTime;
-  EmpiricalShape empirical;                   ///< from the curve alone
-  std::optional<FactorFits> fits;             ///< step 6, when factors given
-  std::optional<Classification> matched;      ///< exact type, when available
+  EmpiricalShape empirical;  ///< from the curve alone
+  /// Step 6 factor fits. kNotMeasured when no factors were supplied;
+  /// otherwise carries fit_factors' error when the fit failed.
+  Expected<FactorFits> fits = FitError::kNotMeasured;
+  /// Exact type match; absent for the same reasons as `fits`.
+  Expected<Classification> matched = FitError::kNotMeasured;
   ScalingType best_guess = ScalingType::kIt;  ///< final answer
   std::string summary;                        ///< multi-line human report
 };
 
-/// Runs the diagnostic procedure. `factors` enables step 6 (pinning down
-/// III sub-types and exact parameters); without it the report is based on
-/// the curve shape only, exactly as the paper prescribes.
-DiagnosticReport diagnose(WorkloadType workload, const stats::Series& speedup,
-                          const std::optional<FactorMeasurements>& factors =
-                              std::nullopt);
+/// Runs the diagnostic procedure from the curve shape only, exactly as the
+/// paper prescribes when no factor measurements exist. Errors:
+/// kInsufficientData (< 3 speedup points), kFitFailed.
+Expected<DiagnosticReport> diagnose(WorkloadType workload,
+                                    const stats::Series& speedup);
+
+/// Runs the full procedure: `factors` enables step 6 (pinning down III
+/// sub-types and exact parameters). A failed factor fit is not fatal — the
+/// report falls back to the shape-based guess and `report.fits` carries the
+/// reason.
+Expected<DiagnosticReport> diagnose(WorkloadType workload,
+                                    const stats::Series& speedup,
+                                    const FactorMeasurements& factors);
 
 }  // namespace ipso

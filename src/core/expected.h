@@ -1,0 +1,112 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+/// \file expected.h
+/// A minimal `Expected<T, E>` result type used by the fitting and diagnosis
+/// entry points. Historically those APIs mixed `std::optional` with
+/// silently-empty series, so a caller could not tell "no q(n) was measured"
+/// apart from "q(n) was measured but the fit failed". `Expected` carries the
+/// reason on the error path while keeping the optional-like observer surface
+/// (`has_value`, `operator bool`, `operator*`, `operator->`, `value_or`) so
+/// call sites read the same as before.
+
+namespace ipso {
+
+/// Why a fit (or a whole diagnosis) did not produce a value.
+enum class FitError {
+  kNotMeasured,        ///< the input series was never measured (absent)
+  kInsufficientData,   ///< too few points for the requested fit
+  kLengthMismatch,     ///< paired series have different lengths
+  kMisalignedSeries,   ///< paired series have different x values
+  kNonPositiveValue,   ///< a ratio denominator or log-fit input was <= 0
+  kNegligibleOverhead, ///< q(n) measured but below the paper's threshold
+  kNoSerialComponent,  ///< eta = 1: IN(n) is undefined (Eq. 16 remark)
+  kNoChangepoint,      ///< segmented fit does not beat a single line
+  kFitFailed,          ///< the underlying regression rejected the data
+};
+
+/// Human-readable error name (used in exception messages and reports).
+constexpr const char* to_string(FitError e) noexcept {
+  switch (e) {
+    case FitError::kNotMeasured: return "not measured";
+    case FitError::kInsufficientData: return "insufficient data";
+    case FitError::kLengthMismatch: return "series length mismatch";
+    case FitError::kMisalignedSeries: return "series x values differ";
+    case FitError::kNonPositiveValue: return "non-positive value";
+    case FitError::kNegligibleOverhead: return "negligible overhead";
+    case FitError::kNoSerialComponent: return "no serial component (eta = 1)";
+    case FitError::kNoChangepoint: return "no changepoint";
+    case FitError::kFitFailed: return "fit failed";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+inline std::string expected_error_text(FitError e) {
+  return std::string("Expected: value requested but holds error: ") +
+         to_string(e);
+}
+
+template <typename E>
+std::string expected_error_text(const E&) {
+  return "Expected: value requested but holds an error";
+}
+
+}  // namespace detail
+
+/// Either a value of type T or an error of type E (default FitError).
+/// Accessing the value while holding an error throws std::runtime_error
+/// naming the error, so misuse fails loudly instead of reading garbage.
+template <typename T, typename E = FitError>
+class [[nodiscard]] Expected {
+  static_assert(!std::is_same_v<T, E>, "Expected<T, E> requires T != E");
+
+ public:
+  /// Implicit from a value or an error, so `return fit;` and
+  /// `return FitError::kInsufficientData;` both work.
+  Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Expected(E error) : state_(std::in_place_index<1>, std::move(error)) {}
+
+  bool has_value() const noexcept { return state_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  T& value() & { ensure(); return std::get<0>(state_); }
+  const T& value() const& { ensure(); return std::get<0>(state_); }
+  T&& value() && { ensure(); return std::get<0>(std::move(state_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// The error; throws std::logic_error when a value is held.
+  const E& error() const {
+    if (has_value()) {
+      throw std::logic_error("Expected::error: holds a value");
+    }
+    return std::get<1>(state_);
+  }
+
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return has_value() ? std::get<0>(state_)
+                       : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  void ensure() const {
+    if (!has_value()) {
+      throw std::runtime_error(
+          detail::expected_error_text(std::get<1>(state_)));
+    }
+  }
+
+  std::variant<T, E> state_;
+};
+
+}  // namespace ipso

@@ -10,52 +10,40 @@ namespace ipso {
 /// geometric sweep).
 stats::Series tail_half(const stats::Series& s, std::size_t min_points);
 
-stats::Series epsilon_series(const stats::Series& ex,
-                             const stats::Series& in) {
-  if (ex.size() != in.size()) {
-    throw std::invalid_argument("epsilon_series: EX/IN length mismatch");
-  }
+Expected<stats::Series> epsilon_series(const stats::Series& ex,
+                                       const stats::Series& in) {
+  if (ex.size() != in.size()) return FitError::kLengthMismatch;
   stats::Series out("epsilon(n)");
   for (std::size_t i = 0; i < ex.size(); ++i) {
-    if (ex[i].x != in[i].x) {
-      throw std::invalid_argument("epsilon_series: EX/IN x values differ");
-    }
-    if (in[i].y <= 0.0) {
-      throw std::invalid_argument("epsilon_series: IN(n) must be positive");
-    }
+    if (ex[i].x != in[i].x) return FitError::kMisalignedSeries;
+    if (in[i].y <= 0.0) return FitError::kNonPositiveValue;
     out.add(ex[i].x, ex[i].y / in[i].y);
   }
   return out;
 }
 
-stats::Series q_series_from_workloads(const stats::Series& wo,
-                                      const stats::Series& wp) {
-  if (wo.size() != wp.size()) {
-    throw std::invalid_argument("q_series: Wo/Wp length mismatch");
-  }
+Expected<stats::Series> q_series_from_workloads(const stats::Series& wo,
+                                                const stats::Series& wp) {
+  if (wo.size() != wp.size()) return FitError::kLengthMismatch;
   stats::Series out("q(n)");
   for (std::size_t i = 0; i < wo.size(); ++i) {
-    if (wo[i].x != wp[i].x) {
-      throw std::invalid_argument("q_series: Wo/Wp x values differ");
-    }
-    if (wp[i].y <= 0.0) {
-      throw std::invalid_argument("q_series: Wp(n) must be positive");
-    }
+    if (wo[i].x != wp[i].x) return FitError::kMisalignedSeries;
+    if (wp[i].y <= 0.0) return FitError::kNonPositiveValue;
     out.add(wo[i].x, wo[i].y * wo[i].x / wp[i].y);
   }
   return out;
 }
 
-std::optional<stats::SegmentedFit> detect_in_changepoint(
-    const stats::Series& in, std::size_t min_seg) {
-  if (in.size() < 2 * min_seg) return std::nullopt;
+Expected<stats::SegmentedFit> detect_in_changepoint(const stats::Series& in,
+                                                    std::size_t min_seg) {
+  if (in.size() < 2 * min_seg) return FitError::kInsufficientData;
   stats::SegmentedFit seg;
   try {
     seg = stats::fit_segmented(in, min_seg);
   } catch (const std::invalid_argument&) {
-    return std::nullopt;
+    return FitError::kFitFailed;
   }
-  if (!seg.has_breakpoint()) return std::nullopt;
+  if (!seg.has_breakpoint()) return FitError::kNoChangepoint;
   // The segmented model must beat a single line by a clear margin, or the
   // "changepoint" is just noise.
   stats::LinearFit single;
@@ -66,23 +54,26 @@ std::optional<stats::SegmentedFit> detect_in_changepoint(
   }
   const double single_sse = stats::sse(in, single);
   if (seg.sse < 0.5 * single_sse) return seg;
-  return std::nullopt;
+  return FitError::kNoChangepoint;
 }
 
-FactorFits fit_factors(WorkloadType type, const FactorMeasurements& m) {
+Expected<FactorFits> fit_factors(WorkloadType type,
+                                 const FactorMeasurements& m) {
   FactorFits out;
   out.params.type = type;
   out.params.eta = m.eta;
 
   if (m.eta < 1.0 && !m.in.empty()) {
-    if (m.ex.size() != m.in.size()) {
-      throw std::invalid_argument("fit_factors: EX/IN length mismatch");
-    }
     // ε(n) = α·n^δ only asymptotically; fitting the tail of the measured
     // ratio keeps a saturating ε (δ -> 0) from reading as a growing one.
-    const stats::Series eps = epsilon_series(m.ex, m.in);
-    const stats::Series eps_tail = tail_half(eps, 3);
-    out.epsilon_fit = stats::fit_power(eps_tail);
+    const Expected<stats::Series> eps = epsilon_series(m.ex, m.in);
+    if (!eps) return eps.error();
+    const stats::Series eps_tail = tail_half(*eps, 3);
+    try {
+      out.epsilon_fit = stats::fit_power(eps_tail);
+    } catch (const std::invalid_argument&) {
+      return FitError::kFitFailed;
+    }
     out.params.alpha = out.epsilon_fit.coeff;
     out.params.delta = out.epsilon_fit.exponent;
 
@@ -100,16 +91,21 @@ FactorFits fit_factors(WorkloadType type, const FactorMeasurements& m) {
       out.params.alpha = acc / static_cast<double>(eps_tail.size());
     }
 
-    out.in_linear = stats::fit_linear(m.in);
-    if (auto seg = detect_in_changepoint(m.in)) {
-      out.in_segmented = *seg;
-      out.in_has_changepoint = true;
+    try {
+      out.in_linear = stats::fit_linear(m.in);
+    } catch (const std::invalid_argument&) {
+      out.in_linear = FitError::kFitFailed;
     }
+    out.in_segmented = detect_in_changepoint(m.in);
+    out.in_has_changepoint = out.in_segmented.has_value();
   } else {
     // η = 1: ε is undefined (paper remark under Eq. 16); α cancels.
     out.params.alpha = 1.0;
     out.params.delta = type == WorkloadType::kFixedSize ? 0.0 : 1.0;
     out.epsilon_fit = {1.0, out.params.delta, 1.0};
+    out.in_linear = m.in.empty() ? FitError::kNotMeasured
+                                 : FitError::kNoSerialComponent;
+    out.in_segmented = FitError::kNoSerialComponent;
   }
 
   if (type == WorkloadType::kFixedSize) {
@@ -136,10 +132,18 @@ FactorFits fit_factors(WorkloadType type, const FactorMeasurements& m) {
   if (q_pos.size() >= 2 && q_max > kNegligibleQ) {
     // Fit gamma on the tail: q(n) = beta*n^gamma holds asymptotically
     // (Eq. 15), and small-n points distort the exponent.
-    out.q_fit = stats::fit_power(tail_half(q_pos, 3));
+    try {
+      out.q_fit = stats::fit_power(tail_half(q_pos, 3));
+    } catch (const std::invalid_argument&) {
+      return FitError::kFitFailed;
+    }
     out.params.beta = out.q_fit->coeff;
     out.params.gamma = out.q_fit->exponent;
   } else {
+    // Distinguish "Wo was never measured" from "measured and negligible" —
+    // the paper's MapReduce cases are all the latter.
+    out.q_fit = m.q.empty() ? FitError::kNotMeasured
+                            : FitError::kNegligibleOverhead;
     out.params.beta = 0.0;
     out.params.gamma = 0.0;
   }
@@ -156,14 +160,16 @@ stats::Series tail_half(const stats::Series& s, std::size_t min_points) {
   return tail;
 }
 
-stats::PowerFit fit_tail_growth(const stats::Series& speedup) {
-  if (speedup.size() < 3) {
-    throw std::invalid_argument("fit_tail_growth: need >= 3 points");
-  }
+Expected<stats::PowerFit> fit_tail_growth(const stats::Series& speedup) {
+  if (speedup.size() < 3) return FitError::kInsufficientData;
   // Experiment sweeps are usually geometric in n, so "the tail" is the last
   // half of the points, not the upper half of the x-range (which would keep
   // a single point).
-  return stats::fit_power(tail_half(speedup, 3));
+  try {
+    return stats::fit_power(tail_half(speedup, 3));
+  } catch (const std::invalid_argument&) {
+    return FitError::kFitFailed;
+  }
 }
 
 }  // namespace ipso

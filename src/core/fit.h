@@ -1,17 +1,21 @@
 #pragma once
 
+#include "core/expected.h"
 #include "core/scaling_factors.h"
 #include "stats/nonlinear.h"
 #include "stats/regression.h"
 #include "stats/series.h"
-
-#include <optional>
 
 /// \file fit.h
 /// Estimation of the IPSO scaling factors from measurements — the procedure
 /// of paper Section V ("Scaling Prediction"): measure per-phase times at
 /// small n, attribute them to Wp/Ws/Wo, then fit EX(n), IN(n) and q(n) by
 /// (segmented) linear and log-log regression.
+///
+/// Every entry point returns Expected instead of throwing or yielding a
+/// bare std::optional, so callers can distinguish the reasons a fit is
+/// absent — e.g. q(n) was never measured (FitError::kNotMeasured) versus
+/// measured-but-negligible (kNegligibleOverhead) versus a failed regression.
 
 namespace ipso {
 
@@ -26,38 +30,50 @@ struct FactorMeasurements {
 };
 
 /// Result of fitting the asymptotic power laws to factor measurements.
+/// The Expected members carry the reason when a component fit is absent:
+///  - q_fit:        kNotMeasured (no q series) or kNegligibleOverhead
+///                  (below the paper's threshold — beta is set to 0).
+///  - in_linear:    kNoSerialComponent (eta = 1) or kNotMeasured.
+///  - in_segmented: kNoChangepoint when IN(n) is adequately straight.
 struct FactorFits {
   AsymptoticParams params;              ///< fitted (η, α, δ, β, γ) + type
   stats::PowerFit epsilon_fit;          ///< ε(n) ≈ α·n^δ (Eq. 14)
-  std::optional<stats::PowerFit> q_fit; ///< q(n) ≈ β·n^γ (Eq. 15); empty if q=0
-  std::optional<stats::LinearFit> in_linear;  ///< straight-line IN(n) (Fig. 6)
-  std::optional<stats::SegmentedFit> in_segmented;  ///< step-wise IN(n) (Fig. 5)
+  Expected<stats::PowerFit> q_fit = FitError::kNotMeasured;  ///< q(n) ≈ β·n^γ (Eq. 15)
+  Expected<stats::LinearFit> in_linear = FitError::kNotMeasured;  ///< straight-line IN(n) (Fig. 6)
+  Expected<stats::SegmentedFit> in_segmented = FitError::kNotMeasured;  ///< step-wise IN(n) (Fig. 5)
   bool in_has_changepoint = false;      ///< true when IN(n) is step-wise
 };
 
 /// Builds the pointwise in-proportion ratio ε(n) = EX(n)/IN(n) from two
-/// measured factor series (x values must align; both must be positive).
-stats::Series epsilon_series(const stats::Series& ex, const stats::Series& in);
+/// measured factor series. Errors: kLengthMismatch, kMisalignedSeries,
+/// kNonPositiveValue (an IN(n) sample <= 0).
+Expected<stats::Series> epsilon_series(const stats::Series& ex,
+                                       const stats::Series& in);
 
 /// Computes q(n) = Wo(n)·n / Wp(n) pointwise from measured workloads.
-stats::Series q_series_from_workloads(const stats::Series& wo,
-                                      const stats::Series& wp);
+/// Errors: kLengthMismatch, kMisalignedSeries, kNonPositiveValue.
+Expected<stats::Series> q_series_from_workloads(const stats::Series& wo,
+                                                const stats::Series& wp);
 
 /// Fits every scaling factor and assembles AsymptoticParams. `type` selects
 /// the external-scaling regime; δ is forced to 0 for fixed-size workloads
 /// (paper Section IV). Series may be restricted to small n by the caller
-/// (the paper fits on n <= 16, TeraSort on 16..64).
-FactorFits fit_factors(WorkloadType type, const FactorMeasurements& m);
+/// (the paper fits on n <= 16, TeraSort on 16..64). Errors: kLengthMismatch
+/// (EX vs IN), kMisalignedSeries, kNonPositiveValue, kInsufficientData,
+/// kFitFailed (a regression rejected its input).
+Expected<FactorFits> fit_factors(WorkloadType type,
+                                 const FactorMeasurements& m);
 
 /// Detects a step-wise changepoint in IN(n) (Fig. 5: TeraSort's reducer
-/// memory overflow). Returns the segmented fit when the two segments differ
-/// enough to matter, std::nullopt otherwise. Requires >= 2*min_seg points.
-std::optional<stats::SegmentedFit> detect_in_changepoint(
-    const stats::Series& in, std::size_t min_seg = 3);
+/// memory overflow). Errors: kInsufficientData (< 2*min_seg points),
+/// kNoChangepoint (the two segments do not beat a single line).
+Expected<stats::SegmentedFit> detect_in_changepoint(const stats::Series& in,
+                                                    std::size_t min_seg = 3);
 
 /// Fits the empirical growth exponent of a measured speedup curve's tail:
 /// S(n) ≈ c·n^e over the upper half of the x-range. Used by the diagnostic
 /// procedure to judge linear/sublinear/saturating growth from data alone.
-stats::PowerFit fit_tail_growth(const stats::Series& speedup);
+/// Errors: kInsufficientData (< 3 points), kFitFailed.
+Expected<stats::PowerFit> fit_tail_growth(const stats::Series& speedup);
 
 }  // namespace ipso

@@ -1,0 +1,119 @@
+#include "runtime/exec_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+namespace ipso::runtime {
+
+std::size_t default_thread_count(std::size_t requested) noexcept {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("IPSO_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 1024) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ExecPool::ExecPool(std::size_t threads) {
+  const std::size_t n = default_thread_count(threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ExecPool::~ExecPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ExecPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ExecPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ExecPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ExecPool::parallel_for(std::size_t count,
+                            const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto shared = std::make_shared<Shared>();
+  const auto* body_ptr = &body;
+
+  // Helpers and the caller all run the same drain loop. A helper that gets
+  // scheduled after the range is exhausted claims an out-of-range index and
+  // exits immediately, so stale queue entries are harmless.
+  auto drain = [shared, body_ptr, count] {
+    for (;;) {
+      const std::size_t i = shared->next.fetch_add(1);
+      if (i >= count) break;
+      try {
+        if (!shared->failed.load(std::memory_order_relaxed)) (*body_ptr)(i);
+      } catch (...) {
+        if (!shared->failed.exchange(true)) {
+          std::lock_guard<std::mutex> lk(shared->mu);
+          shared->error = std::current_exception();
+        }
+      }
+      if (shared->done.fetch_add(1) + 1 == count) {
+        std::lock_guard<std::mutex> lk(shared->mu);
+        shared->cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(size(), count);
+  for (std::size_t i = 0; i + 1 < helpers; ++i) submit(drain);
+  drain();
+
+  {
+    std::unique_lock<std::mutex> lk(shared->mu);
+    shared->cv.wait(lk, [&] { return shared->done.load() >= count; });
+  }
+  if (shared->failed.load()) std::rethrow_exception(shared->error);
+}
+
+}  // namespace ipso::runtime

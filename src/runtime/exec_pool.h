@@ -1,0 +1,64 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file exec_pool.h
+/// A small fixed-size thread pool for the experiment harness. Sweep grids
+/// decompose into independent (workload, n, repetition) tasks, so a chunked
+/// pool with a shared atomic index is all the scheduling we need: workers
+/// (plus the calling thread) claim indices until the range is exhausted.
+/// Exceptions thrown by tasks are captured and rethrown on the caller.
+
+namespace ipso::runtime {
+
+/// Resolves a thread count: a non-zero `requested` wins; otherwise the
+/// IPSO_THREADS environment variable; otherwise the hardware concurrency
+/// (never less than 1).
+std::size_t default_thread_count(std::size_t requested = 0) noexcept;
+
+/// Fixed-size worker pool with a FIFO task queue.
+class ExecPool {
+ public:
+  /// Spawns `threads` workers; 0 means default_thread_count().
+  explicit ExecPool(std::size_t threads = 0);
+  ~ExecPool();
+
+  ExecPool(const ExecPool&) = delete;
+  ExecPool& operator=(const ExecPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void wait_idle();
+
+  /// Runs body(0) .. body(count-1) across the pool, with the calling thread
+  /// participating. Indices are claimed dynamically (chunk size 1), so
+  /// uneven task costs balance automatically. Blocks until every index has
+  /// finished; if any invocation threw, the first exception is rethrown
+  /// here and the remaining unclaimed indices are skipped.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ipso::runtime

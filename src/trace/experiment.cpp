@@ -1,113 +1,28 @@
 #include "trace/experiment.h"
 
 #include "core/laws.h"
-#include "core/model.h"
-
-#include <algorithm>
-#include <cmath>
-#include <stdexcept>
+#include "trace/runner.h"
 
 namespace ipso::trace {
 
-namespace {
-
-/// Averages `reps` paired parallel/sequential runs at one sweep point.
-MrSweepPoint run_point(const mr::MrWorkloadSpec& workload,
-                       const sim::ClusterConfig& base,
-                       const MrSweepConfig& sweep, double n_value) {
-  const auto n = static_cast<std::size_t>(std::llround(n_value));
-  if (n == 0) throw std::invalid_argument("run_mr_sweep: n must be >= 1");
-
-  sim::ClusterConfig cfg = base;
-  cfg.workers = n;
-  mr::MrEngine engine(cfg);
-
-  mr::MrJobConfig job;
-  job.num_tasks = n;
-  job.measurement_precision = sweep.measurement_precision;
-  switch (sweep.type) {
-    case WorkloadType::kFixedSize:
-      job.shard_bytes = sweep.bytes / static_cast<double>(n);
-      break;
-    case WorkloadType::kFixedTime:
-      job.shard_bytes = sweep.bytes;
-      break;
-    case WorkloadType::kMemoryBounded:
-      // Sun-Ni's regime: each unit takes as much of the working set as one
-      // memory block allows (the paper's 128 MB HDFS block), so the total
-      // parallelizable workload g(n) tracks n until the data runs out.
-      job.shard_bytes = std::min(sweep.bytes / static_cast<double>(n),
-                                 kMemoryBlockBytes);
-      break;
-  }
-
-  MrSweepPoint point;
-  point.n = n_value;
-  for (std::size_t rep = 0; rep < sweep.repetitions; ++rep) {
-    job.seed = sweep.seed + rep * 7919 + n;
-    const mr::MrJobResult par = engine.run_parallel(workload, job);
-    const mr::MrJobResult seq = engine.run_sequential(workload, job);
-    point.parallel_time += par.makespan;
-    point.sequential_time += seq.makespan;
-    point.components.wp += par.components.wp;
-    point.components.ws += par.components.ws;
-    point.components.wo += par.components.wo;
-    point.components.max_tp += par.components.max_tp;
-    point.spilled = point.spilled || par.spilled;
-  }
-  const auto reps = static_cast<double>(sweep.repetitions);
-  point.parallel_time /= reps;
-  point.sequential_time /= reps;
-  point.components.n = n_value;
-  point.components.wp /= reps;
-  point.components.ws /= reps;
-  point.components.wo /= reps;
-  point.components.max_tp /= reps;
-  point.speedup = point.parallel_time > 0.0
-                      ? point.sequential_time / point.parallel_time
-                      : 0.0;
-  return point;
-}
-
-}  // namespace
+// The sweep implementations live in runner.cpp: ExperimentRunner dispatches
+// the (workload, n, repetition) grid across a thread pool with per-task
+// seeding, and these wrappers preserve the historical serial API. Results
+// are bit-identical to the old serial loop at any thread count, so every
+// existing caller gets the parallel engine transparently.
 
 MrSweepResult run_mr_sweep(const mr::MrWorkloadSpec& workload,
                            const sim::ClusterConfig& base,
                            const MrSweepConfig& sweep) {
-  if (sweep.ns.empty()) {
-    throw std::invalid_argument("run_mr_sweep: empty sweep");
-  }
-  if (sweep.repetitions == 0) {
-    throw std::invalid_argument("run_mr_sweep: repetitions must be >= 1");
-  }
+  ExperimentRunner runner;
+  return runner.run_mr_sweep(workload, base, sweep);
+}
 
-  MrSweepResult result;
-  result.speedup.set_name(workload.name + " S(n)");
-  result.factors.ex.set_name(workload.name + " EX(n)");
-  result.factors.in.set_name(workload.name + " IN(n)");
-  result.factors.q.set_name(workload.name + " q(n)");
-
-  // Baseline decomposition at n = 1 normalizes the factor series.
-  const MrSweepPoint base_point = run_point(workload, base, sweep, 1.0);
-  result.tp1 = base_point.components.wp;
-  result.ts1 = base_point.components.ws;
-  result.factors.eta = eta_from_times(result.tp1, result.ts1);
-
-  for (double n : sweep.ns) {
-    const MrSweepPoint point =
-        n == 1.0 ? base_point : run_point(workload, base, sweep, n);
-    result.points.push_back(point);
-    result.speedup.add(n, point.speedup);
-    result.factors.ex.add(n, point.components.wp / result.tp1);
-    if (result.ts1 > 0.0) {
-      result.factors.in.add(n, point.components.ws / result.ts1);
-    }
-    result.factors.q.add(
-        n, point.components.wp > 0.0
-               ? point.components.wo * n / point.components.wp
-               : 0.0);
-  }
-  return result;
+SparkSweepResult run_spark_sweep(
+    const std::function<spark::SparkAppSpec(std::size_t)>& app_for,
+    const sim::ClusterConfig& base, const SparkSweepConfig& sweep) {
+  ExperimentRunner runner;
+  return runner.run_spark_sweep(app_for, base, sweep);
 }
 
 stats::Series law_baseline(const MrSweepResult& result, WorkloadType type) {
@@ -119,80 +34,6 @@ stats::Series law_baseline(const MrSweepResult& result, WorkloadType type) {
                      : laws::gustafson(eta, p.n));
   }
   return out;
-}
-
-namespace {
-
-SparkSweepPoint run_spark_point(
-    const std::function<spark::SparkAppSpec(std::size_t)>& app_for,
-    const sim::ClusterConfig& base, const SparkSweepConfig& sweep, double m) {
-  const auto executors = static_cast<std::size_t>(std::llround(m));
-  if (executors == 0) {
-    throw std::invalid_argument("run_spark_sweep: m must be >= 1");
-  }
-  const std::size_t total_tasks =
-      sweep.type == WorkloadType::kFixedSize
-          ? sweep.total_tasks
-          : executors * sweep.tasks_per_executor;
-
-  sim::ClusterConfig cfg = base;
-  cfg.workers = executors;
-  spark::SparkEngine engine(cfg, sweep.params);
-  const spark::SparkAppSpec app = app_for(total_tasks);
-
-  spark::SparkJobConfig job;
-  job.total_tasks = total_tasks;
-  job.executors = executors;
-  job.seed = sweep.seed + executors;
-
-  const spark::SparkJobResult par = engine.run(app, job);
-  const spark::SparkJobResult seq = engine.run_sequential(app, job);
-
-  SparkSweepPoint point;
-  point.m = m;
-  point.total_tasks = total_tasks;
-  point.parallel_time = par.makespan;
-  point.sequential_time = seq.makespan;
-  point.speedup =
-      par.makespan > 0.0 ? seq.makespan / par.makespan : 0.0;
-  point.components = par.components;
-  point.spilled = par.any_spill;
-  return point;
-}
-
-}  // namespace
-
-SparkSweepResult run_spark_sweep(
-    const std::function<spark::SparkAppSpec(std::size_t)>& app_for,
-    const sim::ClusterConfig& base, const SparkSweepConfig& sweep) {
-  if (sweep.ms.empty()) {
-    throw std::invalid_argument("run_spark_sweep: empty sweep");
-  }
-  SparkSweepResult result;
-
-  const SparkSweepPoint base_point =
-      run_spark_point(app_for, base, sweep, 1.0);
-  result.tp1 = base_point.components.wp;
-  result.ts1 = base_point.components.ws;
-  result.factors.eta = eta_from_times(result.tp1, result.ts1);
-
-  for (double m : sweep.ms) {
-    const SparkSweepPoint point =
-        m == 1.0 ? base_point : run_spark_point(app_for, base, sweep, m);
-    result.points.push_back(point);
-    result.speedup.add(m, point.speedup);
-    if (result.tp1 > 0.0) {
-      result.factors.ex.add(m, point.components.wp / result.tp1);
-    }
-    if (result.ts1 > 0.0) {
-      result.factors.in.add(m, point.components.ws / result.ts1);
-    }
-    result.factors.q.add(
-        m, point.components.wp > 0.0
-               ? point.components.wo * m / point.components.wp
-               : 0.0);
-  }
-  return result;
 }
 
 }  // namespace ipso::trace

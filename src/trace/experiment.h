@@ -59,6 +59,10 @@ struct MrSweepResult {
 
 /// Runs the sweep. `base` supplies every cluster parameter except the
 /// worker count, which is overridden per point. Throws on an empty sweep.
+/// This is a convenience wrapper over a default-configured ExperimentRunner
+/// (see trace/runner.h): the grid executes in parallel across
+/// IPSO_THREADS-or-hardware-concurrency threads, with results bit-identical
+/// to serial execution.
 MrSweepResult run_mr_sweep(const mr::MrWorkloadSpec& workload,
                            const sim::ClusterConfig& base,
                            const MrSweepConfig& sweep);
@@ -101,8 +105,9 @@ struct SparkSweepResult {
 
 /// Runs a Spark sweep. `app_for` builds the application for a given N (CF
 /// divides a fixed total workload across N tasks; the ML apps ignore N in
-/// their per-task costs). `base` supplies cluster parameters; workers are
-/// overridden with m at each point.
+/// their per-task costs) and must be thread-safe — sweep points run on an
+/// ExperimentRunner's pool (trace/runner.h). `base` supplies cluster
+/// parameters; workers are overridden with m at each point.
 SparkSweepResult run_spark_sweep(
     const std::function<spark::SparkAppSpec(std::size_t)>& app_for,
     const sim::ClusterConfig& base, const SparkSweepConfig& sweep);

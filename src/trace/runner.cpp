@@ -1,0 +1,323 @@
+#include "trace/runner.h"
+
+#include "core/model.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace ipso::trace {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Unique sweep values in first-seen order, with the n = 1 baseline always
+/// present (the factor series are normalized against it). Uniqueness keys
+/// on the exact double: duplicate grid entries are deterministic replays of
+/// the same task, so one computation serves them all.
+std::vector<double> unique_grid_with_base(const std::vector<double>& values) {
+  std::vector<double> grid{1.0};
+  for (double v : values) {
+    if (std::find(grid.begin(), grid.end(), v) == grid.end()) {
+      grid.push_back(v);
+    }
+  }
+  return grid;
+}
+
+std::size_t index_of(const std::vector<double>& grid, double v) {
+  return static_cast<std::size_t>(
+      std::find(grid.begin(), grid.end(), v) - grid.begin());
+}
+
+/// One (n, rep) MapReduce task: a paired parallel/sequential simulator run.
+struct MrRep {
+  mr::MrJobResult par;
+  mr::MrJobResult seq;
+};
+
+mr::MrJobConfig mr_job_for(const MrSweepConfig& sweep, std::size_t n) {
+  mr::MrJobConfig job;
+  job.num_tasks = n;
+  job.measurement_precision = sweep.measurement_precision;
+  switch (sweep.type) {
+    case WorkloadType::kFixedSize:
+      job.shard_bytes = sweep.bytes / static_cast<double>(n);
+      break;
+    case WorkloadType::kFixedTime:
+      job.shard_bytes = sweep.bytes;
+      break;
+    case WorkloadType::kMemoryBounded:
+      // Sun-Ni's regime: each unit takes as much of the working set as one
+      // memory block allows (the paper's 128 MB HDFS block), so the total
+      // parallelizable workload g(n) tracks n until the data runs out.
+      job.shard_bytes = std::min(sweep.bytes / static_cast<double>(n),
+                                 kMemoryBlockBytes);
+      break;
+  }
+  return job;
+}
+
+/// Runs one repetition at one sweep point. The seed depends only on
+/// (sweep.seed, n, rep) — the determinism contract that makes the parallel
+/// schedule irrelevant to the results.
+MrRep run_mr_rep(const mr::MrWorkloadSpec& workload,
+                 const sim::ClusterConfig& base, const MrSweepConfig& sweep,
+                 double n_value, std::size_t rep) {
+  const auto n = static_cast<std::size_t>(std::llround(n_value));
+  sim::ClusterConfig cfg = base;
+  cfg.workers = n;
+  mr::MrEngine engine(cfg);
+  mr::MrJobConfig job = mr_job_for(sweep, n);
+  job.seed = sweep.seed + rep * 7919 + n;
+  MrRep out;
+  out.par = engine.run_parallel(workload, job);
+  out.seq = engine.run_sequential(workload, job);
+  return out;
+}
+
+/// Averages the repetitions of one point in repetition order — the exact
+/// accumulation sequence of the historical serial harness, so the floating
+/// point results are bit-identical.
+MrSweepPoint reduce_mr_point(double n_value, const std::vector<MrRep>& reps) {
+  MrSweepPoint point;
+  point.n = n_value;
+  for (const MrRep& r : reps) {
+    point.parallel_time += r.par.makespan;
+    point.sequential_time += r.seq.makespan;
+    point.components.wp += r.par.components.wp;
+    point.components.ws += r.par.components.ws;
+    point.components.wo += r.par.components.wo;
+    point.components.max_tp += r.par.components.max_tp;
+    point.spilled = point.spilled || r.par.spilled;
+  }
+  const auto n_reps = static_cast<double>(reps.size());
+  point.parallel_time /= n_reps;
+  point.sequential_time /= n_reps;
+  point.components.n = n_value;
+  point.components.wp /= n_reps;
+  point.components.ws /= n_reps;
+  point.components.wo /= n_reps;
+  point.components.max_tp /= n_reps;
+  point.speedup = point.parallel_time > 0.0
+                      ? point.sequential_time / point.parallel_time
+                      : 0.0;
+  return point;
+}
+
+/// One Spark sweep point (single run; the Spark engine averages internally
+/// over tasks). Identical to the historical serial implementation.
+SparkSweepPoint run_spark_point(
+    const std::function<spark::SparkAppSpec(std::size_t)>& app_for,
+    const sim::ClusterConfig& base, const SparkSweepConfig& sweep, double m) {
+  const auto executors = static_cast<std::size_t>(std::llround(m));
+  const std::size_t total_tasks =
+      sweep.type == WorkloadType::kFixedSize
+          ? sweep.total_tasks
+          : executors * sweep.tasks_per_executor;
+
+  sim::ClusterConfig cfg = base;
+  cfg.workers = executors;
+  spark::SparkEngine engine(cfg, sweep.params);
+  const spark::SparkAppSpec app = app_for(total_tasks);
+
+  spark::SparkJobConfig job;
+  job.total_tasks = total_tasks;
+  job.executors = executors;
+  job.seed = sweep.seed + executors;
+
+  const spark::SparkJobResult par = engine.run(app, job);
+  const spark::SparkJobResult seq = engine.run_sequential(app, job);
+
+  SparkSweepPoint point;
+  point.m = m;
+  point.total_tasks = total_tasks;
+  point.parallel_time = par.makespan;
+  point.sequential_time = seq.makespan;
+  point.speedup = par.makespan > 0.0 ? seq.makespan / par.makespan : 0.0;
+  point.components = par.components;
+  point.spilled = par.any_spill;
+  return point;
+}
+
+}  // namespace
+
+ExperimentRunner::ExperimentRunner(RunnerConfig cfg) : pool_(cfg.threads) {}
+
+void ExperimentRunner::on_progress(ProgressCallback cb) {
+  std::lock_guard<std::mutex> lk(mu_);
+  progress_ = std::move(cb);
+}
+
+RunnerMetrics ExperimentRunner::metrics() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return metrics_;
+}
+
+void ExperimentRunner::record_task(const std::string& sweep_label, double n,
+                                   std::size_t rep, std::size_t total,
+                                   std::size_t* completed,
+                                   double wall_seconds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++metrics_.tasks_completed;
+  metrics_.busy_seconds += wall_seconds;
+  ++*completed;
+  if (progress_) {
+    progress_(TaskEvent{sweep_label, n, rep, *completed, total, wall_seconds});
+  }
+}
+
+MrSweepResult ExperimentRunner::run_mr_sweep(const mr::MrWorkloadSpec& workload,
+                                             const sim::ClusterConfig& base,
+                                             const MrSweepConfig& sweep) {
+  if (sweep.ns.empty()) {
+    throw std::invalid_argument("run_mr_sweep: empty sweep");
+  }
+  if (sweep.repetitions == 0) {
+    throw std::invalid_argument("run_mr_sweep: repetitions must be >= 1");
+  }
+  for (double n : sweep.ns) {
+    if (std::llround(n) < 1) {
+      throw std::invalid_argument("run_mr_sweep: n must be >= 1");
+    }
+  }
+  const auto sweep_t0 = Clock::now();
+
+  // Dispatch the (n, rep) grid as independent tasks; collect per-rep results
+  // indexed by (grid point, rep) so reduction order matches serial execution.
+  const std::vector<double> grid = unique_grid_with_base(sweep.ns);
+  const std::size_t reps = sweep.repetitions;
+  std::vector<std::vector<MrRep>> raw(grid.size(), std::vector<MrRep>(reps));
+  const std::size_t total = grid.size() * reps;
+  std::size_t completed = 0;
+
+  pool_.parallel_for(total, [&](std::size_t task) {
+    const std::size_t gi = task / reps;
+    const std::size_t rep = task % reps;
+    const auto t0 = Clock::now();
+    raw[gi][rep] = run_mr_rep(workload, base, sweep, grid[gi], rep);
+    record_task(workload.name, grid[gi], rep, total, &completed,
+                seconds_since(t0));
+  });
+
+  // Serial reduction and assembly, identical to the historical harness.
+  MrSweepResult result;
+  result.speedup.set_name(workload.name + " S(n)");
+  result.factors.ex.set_name(workload.name + " EX(n)");
+  result.factors.in.set_name(workload.name + " IN(n)");
+  result.factors.q.set_name(workload.name + " q(n)");
+
+  // Baseline decomposition at n = 1 normalizes the factor series.
+  const MrSweepPoint base_point = reduce_mr_point(1.0, raw[0]);
+  result.tp1 = base_point.components.wp;
+  result.ts1 = base_point.components.ws;
+  result.factors.eta = eta_from_times(result.tp1, result.ts1);
+
+  for (double n : sweep.ns) {
+    const MrSweepPoint point =
+        n == 1.0 ? base_point : reduce_mr_point(n, raw[index_of(grid, n)]);
+    result.points.push_back(point);
+    result.speedup.add(n, point.speedup);
+    result.factors.ex.add(n, point.components.wp / result.tp1);
+    if (result.ts1 > 0.0) {
+      result.factors.in.add(n, point.components.ws / result.ts1);
+    }
+    result.factors.q.add(
+        n, point.components.wp > 0.0
+               ? point.components.wo * n / point.components.wp
+               : 0.0);
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++metrics_.sweeps_run;
+    metrics_.wall_seconds += seconds_since(sweep_t0);
+  }
+  return result;
+}
+
+SparkSweepResult ExperimentRunner::run_spark_sweep(
+    const std::function<spark::SparkAppSpec(std::size_t)>& app_for,
+    const sim::ClusterConfig& base, const SparkSweepConfig& sweep) {
+  if (sweep.ms.empty()) {
+    throw std::invalid_argument("run_spark_sweep: empty sweep");
+  }
+  for (double m : sweep.ms) {
+    if (std::llround(m) < 1) {
+      throw std::invalid_argument("run_spark_sweep: m must be >= 1");
+    }
+  }
+  const auto sweep_t0 = Clock::now();
+
+  const std::vector<double> grid = unique_grid_with_base(sweep.ms);
+  std::vector<SparkSweepPoint> raw(grid.size());
+  const std::size_t total = grid.size();
+  std::size_t completed = 0;
+
+  pool_.parallel_for(total, [&](std::size_t gi) {
+    const auto t0 = Clock::now();
+    raw[gi] = run_spark_point(app_for, base, sweep, grid[gi]);
+    record_task("spark", grid[gi], 0, total, &completed, seconds_since(t0));
+  });
+
+  SparkSweepResult result;
+  const SparkSweepPoint& base_point = raw[0];
+  result.tp1 = base_point.components.wp;
+  result.ts1 = base_point.components.ws;
+  result.factors.eta = eta_from_times(result.tp1, result.ts1);
+
+  for (double m : sweep.ms) {
+    const SparkSweepPoint& point =
+        m == 1.0 ? base_point : raw[index_of(grid, m)];
+    result.points.push_back(point);
+    result.speedup.add(m, point.speedup);
+    if (result.tp1 > 0.0) {
+      result.factors.ex.add(m, point.components.wp / result.tp1);
+    }
+    if (result.ts1 > 0.0) {
+      result.factors.in.add(m, point.components.ws / result.ts1);
+    }
+    result.factors.q.add(
+        m, point.components.wp > 0.0
+               ? point.components.wo * m / point.components.wp
+               : 0.0);
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++metrics_.sweeps_run;
+    metrics_.wall_seconds += seconds_since(sweep_t0);
+  }
+  return result;
+}
+
+RunnerConfig runner_config_from_args(int argc, char** argv) {
+  RunnerConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = nullptr;
+    if (arg == "--threads" && i + 1 < argc) {
+      value = argv[++i];
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      value = argv[i] + 10;
+    }
+    if (value != nullptr) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(value, &end, 10);
+      if (end != value && *end == '\0' && v > 0 && v <= 1024) {
+        cfg.threads = v;
+      }
+    }
+  }
+  return cfg;
+}
+
+}  // namespace ipso::trace

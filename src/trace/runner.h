@@ -1,0 +1,98 @@
+#pragma once
+
+#include "runtime/exec_pool.h"
+#include "trace/experiment.h"
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+
+/// \file runner.h
+/// ExperimentRunner: the parallel sweep engine behind every experiment in
+/// this repository. A sweep's (workload, n, repetition) grid decomposes
+/// into independent simulator runs — each task's RNG seed is derived only
+/// from (base seed, n, rep), and repetition averages are reduced in
+/// repetition order — so results are bit-identical to the historical serial
+/// harness at any thread count.
+///
+/// The free functions run_mr_sweep / run_spark_sweep in experiment.h remain
+/// as thin wrappers over a default-configured runner; construct a runner
+/// explicitly to pin the thread count, observe per-task progress, or read
+/// aggregate metrics.
+
+namespace ipso::trace {
+
+/// Runner configuration.
+struct RunnerConfig {
+  /// Worker threads. 0 = IPSO_THREADS environment variable if set,
+  /// otherwise the hardware concurrency.
+  std::size_t threads = 0;
+};
+
+/// One completed sweep task, reported through the progress callback.
+struct TaskEvent {
+  std::string sweep;           ///< sweep label (workload name or "spark")
+  double n = 1.0;              ///< scale-out degree of the task
+  std::size_t rep = 0;         ///< repetition index (0 for Spark points)
+  std::size_t completed = 0;   ///< tasks finished so far in this sweep
+  std::size_t total = 0;       ///< total tasks in this sweep
+  double wall_seconds = 0.0;   ///< wall time of this task
+};
+
+/// Aggregate counters across every sweep a runner has executed.
+struct RunnerMetrics {
+  std::size_t sweeps_run = 0;       ///< completed sweep calls
+  std::size_t tasks_completed = 0;  ///< simulator tasks executed
+  double busy_seconds = 0.0;        ///< summed per-task wall time
+  double wall_seconds = 0.0;        ///< summed per-sweep wall time
+};
+
+/// Owns the thread pool, the progress callback, and the metrics. Safe to
+/// reuse across many sweeps; a single sweep call uses the whole pool.
+class ExperimentRunner {
+ public:
+  using ProgressCallback = std::function<void(const TaskEvent&)>;
+
+  explicit ExperimentRunner(RunnerConfig cfg = {});
+
+  /// Installs a progress callback, invoked once per finished task. Called
+  /// from worker threads, but never concurrently (an internal mutex
+  /// serializes invocations).
+  void on_progress(ProgressCallback cb);
+
+  /// Resolved worker-thread count.
+  std::size_t threads() const noexcept { return pool_.size(); }
+
+  /// Parallel MapReduce sweep; bit-identical to the serial procedure of
+  /// paper Section V (see experiment.h for the semantics of `sweep`).
+  MrSweepResult run_mr_sweep(const mr::MrWorkloadSpec& workload,
+                             const sim::ClusterConfig& base,
+                             const MrSweepConfig& sweep);
+
+  /// Parallel Spark sweep (paper Section V.B). `app_for` is invoked from
+  /// worker threads and must be thread-safe; the bundled Spark app builders
+  /// are pure functions of their argument.
+  SparkSweepResult run_spark_sweep(
+      const std::function<spark::SparkAppSpec(std::size_t)>& app_for,
+      const sim::ClusterConfig& base, const SparkSweepConfig& sweep);
+
+  /// Snapshot of the aggregate counters.
+  RunnerMetrics metrics() const;
+
+ private:
+  void record_task(const std::string& sweep_label, double n, std::size_t rep,
+                   std::size_t total, std::size_t* completed,
+                   double wall_seconds);
+
+  runtime::ExecPool pool_;
+  mutable std::mutex mu_;
+  ProgressCallback progress_;
+  RunnerMetrics metrics_;
+};
+
+/// Scans argv for "--threads N" / "--threads=N" and returns a RunnerConfig
+/// (0 = default when the flag is absent). Shared by the example CLIs.
+RunnerConfig runner_config_from_args(int argc, char** argv);
+
+}  // namespace ipso::trace

@@ -16,7 +16,7 @@ stats::Series curve_from(const AsymptoticParams& p, double n_hi) {
 TEST(JudgeShape, LinearCurve) {
   AsymptoticParams p;  // Gustafson-like, eta = 1
   p.eta = 1.0;
-  const auto shape = judge_shape(curve_from(p, 256));
+  const auto shape = judge_shape(curve_from(p, 256)).value();
   EXPECT_EQ(shape.shape, GrowthShape::kLinear);
   EXPECT_TRUE(shape.monotone);
   EXPECT_FALSE(shape.peaked);
@@ -27,7 +27,7 @@ TEST(JudgeShape, SublinearCurve) {
   p.eta = 1.0;
   p.beta = 0.3;
   p.gamma = 0.5;
-  const auto shape = judge_shape(curve_from(p, 4096));
+  const auto shape = judge_shape(curve_from(p, 4096)).value();
   EXPECT_EQ(shape.shape, GrowthShape::kSublinear);
 }
 
@@ -37,7 +37,7 @@ TEST(JudgeShape, SaturatedCurve) {
   p.eta = 0.9;
   p.alpha = 1.0;
   p.delta = 0.0;
-  const auto shape = judge_shape(curve_from(p, 4096));
+  const auto shape = judge_shape(curve_from(p, 4096)).value();
   EXPECT_EQ(shape.shape, GrowthShape::kBounded);
 }
 
@@ -46,18 +46,38 @@ TEST(JudgeShape, PeakedCurve) {
   p.eta = 1.0;
   p.beta = 3.74e-4;
   p.gamma = 2.0;
-  const auto shape = judge_shape(curve_from(p, 512));
+  const auto shape = judge_shape(curve_from(p, 512)).value();
   EXPECT_EQ(shape.shape, GrowthShape::kPeaked);
   EXPECT_TRUE(shape.peaked);
+}
+
+TEST(JudgeShape, TooFewPointsIsInsufficientData) {
+  stats::Series s("S");
+  s.add(1, 1.0);
+  s.add(2, 1.8);
+  const auto shape = judge_shape(s);
+  ASSERT_FALSE(shape.has_value());
+  EXPECT_EQ(shape.error(), FitError::kInsufficientData);
 }
 
 TEST(Diagnose, ShapeOnlyGivesBestGuess) {
   AsymptoticParams p;
   p.eta = 1.0;
-  const auto report = diagnose(WorkloadType::kFixedTime, curve_from(p, 256));
+  const auto report =
+      diagnose(WorkloadType::kFixedTime, curve_from(p, 256)).value();
   EXPECT_EQ(report.best_guess, ScalingType::kIt);
   EXPECT_FALSE(report.matched.has_value());
+  EXPECT_EQ(report.matched.error(), FitError::kNotMeasured);
   EXPECT_NE(report.summary.find("best guess"), std::string::npos);
+}
+
+TEST(Diagnose, TooFewPointsIsInsufficientData) {
+  stats::Series s("S");
+  s.add(1, 1.0);
+  s.add(2, 1.9);
+  const auto report = diagnose(WorkloadType::kFixedTime, s);
+  ASSERT_FALSE(report.has_value());
+  EXPECT_EQ(report.error(), FitError::kInsufficientData);
 }
 
 TEST(Diagnose, FactorsPinDownSubtype) {
@@ -72,7 +92,7 @@ TEST(Diagnose, FactorsPinDownSubtype) {
     m.ex.add(n, truth.ex(n));
     m.in.add(n, truth.in(n));
   }
-  const auto report = diagnose(WorkloadType::kFixedTime, speedup, m);
+  const auto report = diagnose(WorkloadType::kFixedTime, speedup, m).value();
   ASSERT_TRUE(report.matched.has_value());
   EXPECT_EQ(report.best_guess, ScalingType::kIIIt1);
   EXPECT_NE(report.summary.find("root cause"), std::string::npos);
@@ -92,10 +112,27 @@ TEST(Diagnose, CollaborativeFilteringIsIVs) {
     m.ex.add(n, 1.0);
     m.q.add(n, n > 1 ? truth.beta * n * n : 0.0);
   }
-  const auto report = diagnose(WorkloadType::kFixedSize, speedup, m);
+  const auto report = diagnose(WorkloadType::kFixedSize, speedup, m).value();
   EXPECT_EQ(report.best_guess, ScalingType::kIVs);
   ASSERT_TRUE(report.matched.has_value());
   EXPECT_NEAR(report.fits->params.gamma, 2.0, 0.01);
+}
+
+TEST(Diagnose, FailedFactorFitFallsBackToShape) {
+  // Mismatched EX/IN series: the factor fit cannot run, but the report
+  // still carries the shape-based guess plus the reason the fit failed.
+  AsymptoticParams p;
+  p.eta = 1.0;
+  FactorMeasurements m;
+  m.eta = 0.7;
+  for (double n : {1.0, 2.0, 4.0}) m.ex.add(n, n);
+  m.in.add(1.0, 1.0);
+  const auto report =
+      diagnose(WorkloadType::kFixedTime, curve_from(p, 256), m).value();
+  EXPECT_FALSE(report.fits.has_value());
+  EXPECT_EQ(report.fits.error(), FitError::kLengthMismatch);
+  EXPECT_EQ(report.best_guess, ScalingType::kIt);
+  EXPECT_NE(report.summary.find("factor fit unavailable"), std::string::npos);
 }
 
 TEST(Diagnose, WorkloadTypeControlsNaming) {
@@ -104,16 +141,17 @@ TEST(Diagnose, WorkloadTypeControlsNaming) {
   p.beta = 0.01;
   p.gamma = 2.0;
   const auto curve = curve_from(p, 512);
-  EXPECT_EQ(diagnose(WorkloadType::kFixedTime, curve).best_guess,
+  EXPECT_EQ(diagnose(WorkloadType::kFixedTime, curve)->best_guess,
             ScalingType::kIVt);
-  EXPECT_EQ(diagnose(WorkloadType::kFixedSize, curve).best_guess,
+  EXPECT_EQ(diagnose(WorkloadType::kFixedSize, curve)->best_guess,
             ScalingType::kIVs);
 }
 
 TEST(Diagnose, SummaryMentionsWorkloadAndRange) {
   AsymptoticParams p;
   p.eta = 1.0;
-  const auto report = diagnose(WorkloadType::kFixedTime, curve_from(p, 64));
+  const auto report =
+      diagnose(WorkloadType::kFixedTime, curve_from(p, 64)).value();
   EXPECT_NE(report.summary.find("fixed-time"), std::string::npos);
   EXPECT_NE(report.summary.find("monotone"), std::string::npos);
 }

@@ -21,19 +21,24 @@ TEST(EpsilonSeries, PointwiseRatio) {
   const auto ex = sweep("EX", kSmallNs, +[](double n) { return n; });
   const auto in = sweep("IN", kSmallNs, +[](double n) { return n / 2.0; });
   const auto eps = epsilon_series(ex, in);
-  for (const auto& p : eps) EXPECT_DOUBLE_EQ(p.y, 2.0);
+  ASSERT_TRUE(eps.has_value());
+  for (const auto& p : *eps) EXPECT_DOUBLE_EQ(p.y, 2.0);
 }
 
 TEST(EpsilonSeries, RejectsMismatchedLengths) {
   const auto ex = sweep("EX", {1, 2, 4}, +[](double n) { return n; });
   const auto in = sweep("IN", {1, 2}, +[](double n) { return n; });
-  EXPECT_THROW(epsilon_series(ex, in), std::invalid_argument);
+  const auto eps = epsilon_series(ex, in);
+  ASSERT_FALSE(eps.has_value());
+  EXPECT_EQ(eps.error(), FitError::kLengthMismatch);
 }
 
 TEST(EpsilonSeries, RejectsMisalignedX) {
   const auto ex = sweep("EX", {1, 2, 4}, +[](double n) { return n; });
   const auto in = sweep("IN", {1, 2, 5}, +[](double n) { return n; });
-  EXPECT_THROW(epsilon_series(ex, in), std::invalid_argument);
+  const auto eps = epsilon_series(ex, in);
+  ASSERT_FALSE(eps.has_value());
+  EXPECT_EQ(eps.error(), FitError::kMisalignedSeries);
 }
 
 TEST(EpsilonSeries, RejectsNonPositiveIN) {
@@ -41,7 +46,18 @@ TEST(EpsilonSeries, RejectsNonPositiveIN) {
   auto in = stats::Series("IN");
   in.add(1, 1.0);
   in.add(2, 0.0);
-  EXPECT_THROW(epsilon_series(ex, in), std::invalid_argument);
+  const auto eps = epsilon_series(ex, in);
+  ASSERT_FALSE(eps.has_value());
+  EXPECT_EQ(eps.error(), FitError::kNonPositiveValue);
+}
+
+TEST(Expected, ValueAccessOnErrorThrows) {
+  const Expected<stats::Series> bad = FitError::kInsufficientData;
+  EXPECT_THROW(bad.value(), std::runtime_error);
+  EXPECT_FALSE(static_cast<bool>(bad));
+  const Expected<stats::Series> good = stats::Series("ok");
+  EXPECT_NO_THROW(good.value());
+  EXPECT_THROW(good.error(), std::logic_error);
 }
 
 TEST(QSeries, ComputesFromWorkloads) {
@@ -53,7 +69,8 @@ TEST(QSeries, ComputesFromWorkloads) {
     wp.add(n, 100.0);
   }
   const auto q = q_series_from_workloads(wo, wp);
-  for (const auto& p : q) EXPECT_NEAR(p.y, 0.006 * p.x * p.x, 1e-12);
+  ASSERT_TRUE(q.has_value());
+  for (const auto& p : *q) EXPECT_NEAR(p.y, 0.006 * p.x * p.x, 1e-12);
 }
 
 TEST(FitFactors, RecoversSortLikeInProportionScaling) {
@@ -66,7 +83,7 @@ TEST(FitFactors, RecoversSortLikeInProportionScaling) {
     m.ex.add(n, n);
     m.in.add(n, n == 1.0 ? 1.0 : 0.36 * n - 0.11);
   }
-  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m);
+  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m).value();
   EXPECT_DOUBLE_EQ(fits.params.eta, 0.7);
   // epsilon(n) = n/(0.36n - 0.11) tends to 1/0.36 = 2.78: nearly flat.
   EXPECT_LT(fits.params.delta, 0.4);
@@ -74,6 +91,7 @@ TEST(FitFactors, RecoversSortLikeInProportionScaling) {
   ASSERT_TRUE(fits.in_linear.has_value());
   EXPECT_NEAR(fits.in_linear->slope, 0.36, 0.05);
   EXPECT_FALSE(fits.q_fit.has_value());
+  EXPECT_EQ(fits.q_fit.error(), FitError::kNotMeasured);
   EXPECT_DOUBLE_EQ(fits.params.gamma, 0.0);
 }
 
@@ -84,20 +102,34 @@ TEST(FitFactors, RecoversPowerLawOverhead) {
     m.ex.add(n, 1.0);
     m.q.add(n, n == 1.0 ? 0.0 : 3.74e-4 * n * n);
   }
-  const FactorFits fits = fit_factors(WorkloadType::kFixedSize, m);
+  const FactorFits fits = fit_factors(WorkloadType::kFixedSize, m).value();
   ASSERT_TRUE(fits.q_fit.has_value());
   EXPECT_NEAR(fits.params.gamma, 2.0, 1e-6);
   EXPECT_NEAR(fits.params.beta, 3.74e-4, 1e-7);
   EXPECT_DOUBLE_EQ(fits.params.delta, 0.0);
 }
 
+TEST(FitFactors, RejectsMismatchedExIn) {
+  FactorMeasurements m;
+  m.eta = 0.7;
+  for (double n : {1.0, 2.0, 4.0}) m.ex.add(n, n);
+  m.in.add(1.0, 1.0);
+  m.in.add(2.0, 1.2);
+  const auto fits = fit_factors(WorkloadType::kFixedTime, m);
+  ASSERT_FALSE(fits.has_value());
+  EXPECT_EQ(fits.error(), FitError::kLengthMismatch);
+}
+
 TEST(FitFactors, EtaOneSkipsEpsilon) {
   FactorMeasurements m;
   m.eta = 1.0;
   for (double n : {1.0, 2.0, 4.0}) m.ex.add(n, n);
-  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m);
+  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m).value();
   EXPECT_DOUBLE_EQ(fits.params.alpha, 1.0);
   EXPECT_DOUBLE_EQ(fits.params.delta, 1.0);
+  // IN(n) is undefined without a serial component, and the error says so.
+  EXPECT_FALSE(fits.in_segmented.has_value());
+  EXPECT_EQ(fits.in_segmented.error(), FitError::kNoSerialComponent);
 }
 
 TEST(FitFactors, FixedSizeForcesDeltaZero) {
@@ -107,7 +139,7 @@ TEST(FitFactors, FixedSizeForcesDeltaZero) {
     m.ex.add(n, 1.0);
     m.in.add(n, 1.0);
   }
-  const FactorFits fits = fit_factors(WorkloadType::kFixedSize, m);
+  const FactorFits fits = fit_factors(WorkloadType::kFixedSize, m).value();
   EXPECT_DOUBLE_EQ(fits.params.delta, 0.0);
 }
 
@@ -119,8 +151,10 @@ TEST(FitFactors, NegligibleQIsTreatedAsZero) {
     m.in.add(n, 1.0);
     m.q.add(n, 1e-9 * n);  // measurement noise, not real overhead
   }
-  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m);
+  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m).value();
   EXPECT_FALSE(fits.q_fit.has_value());
+  // q(n) was measured — the error distinguishes "negligible" from "absent".
+  EXPECT_EQ(fits.q_fit.error(), FitError::kNegligibleOverhead);
   EXPECT_DOUBLE_EQ(fits.params.beta, 0.0);
 }
 
@@ -134,7 +168,7 @@ TEST(FitFactors, ClampsDeltaIntoPaperDomain) {
     m.ex.add(n, n);
     m.in.add(n, n <= 15 ? 0.15 * n + 0.85 : 0.25 * n + 0.85);
   }
-  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m);
+  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m).value();
   EXPECT_GE(fits.params.delta, 0.0);
   EXPECT_LE(fits.params.delta, 1.0);
   // alpha ~ the epsilon level of the tail: n / (0.25 n + 0.85) ~ 3.6-3.8.
@@ -158,34 +192,42 @@ TEST(DetectChangepoint, FindsTeraSortStep) {
 TEST(DetectChangepoint, NoFalsePositiveOnStraightLine) {
   stats::Series in("IN linear");
   for (int n = 1; n <= 40; ++n) in.add(n, 0.36 * n - 0.11);
-  EXPECT_FALSE(detect_in_changepoint(in).has_value());
+  const auto seg = detect_in_changepoint(in);
+  ASSERT_FALSE(seg.has_value());
+  EXPECT_EQ(seg.error(), FitError::kNoChangepoint);
 }
 
-TEST(DetectChangepoint, TooFewPointsIsNullopt) {
+TEST(DetectChangepoint, TooFewPointsIsInsufficientData) {
   stats::Series in("short");
   for (int n = 1; n <= 4; ++n) in.add(n, n);
-  EXPECT_FALSE(detect_in_changepoint(in).has_value());
+  const auto seg = detect_in_changepoint(in);
+  ASSERT_FALSE(seg.has_value());
+  EXPECT_EQ(seg.error(), FitError::kInsufficientData);
 }
 
 TEST(FitTailGrowth, LinearCurveExponentNearOne) {
   stats::Series s("S");
   for (int n = 1; n <= 64; n *= 2) s.add(n, 0.9 * n + 0.1);
   const auto f = fit_tail_growth(s);
-  EXPECT_NEAR(f.exponent, 1.0, 0.05);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_NEAR(f->exponent, 1.0, 0.05);
 }
 
 TEST(FitTailGrowth, SaturatedCurveExponentNearZero) {
   stats::Series s("S");
   for (int n = 1; n <= 256; n *= 2) s.add(n, 5.0 - 4.0 / n);
   const auto f = fit_tail_growth(s);
-  EXPECT_LT(f.exponent, 0.1);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_LT(f->exponent, 0.1);
 }
 
-TEST(FitTailGrowth, ThrowsOnTinySeries) {
+TEST(FitTailGrowth, TinySeriesIsInsufficientData) {
   stats::Series s("S");
   s.add(1, 1);
   s.add(2, 2);
-  EXPECT_THROW(fit_tail_growth(s), std::invalid_argument);
+  const auto f = fit_tail_growth(s);
+  ASSERT_FALSE(f.has_value());
+  EXPECT_EQ(f.error(), FitError::kInsufficientData);
 }
 
 }  // namespace

@@ -169,14 +169,26 @@ TEST(EtaFromTimes, Basics) {
 TEST(Curves, SweepEvaluation) {
   const std::vector<double> ns{1, 2, 4, 8};
   const auto f = no_overhead_fixed_time();
-  const auto det = speedup_curve(f, 1.0, ns);
+  const SpeedupCurve det = speedup_curve(f, 1.0, ns);
   ASSERT_EQ(det.size(), 4u);
-  EXPECT_DOUBLE_EQ(det[3], 8.0);
+  EXPECT_DOUBLE_EQ(det.ns[3], 8.0);
+  EXPECT_DOUBLE_EQ(det.speedups[3], 8.0);
 
   AsymptoticParams p;
   p.eta = 1.0;
-  const auto asym = speedup_curve(p, ns);
-  EXPECT_DOUBLE_EQ(asym[2], 4.0);
+  const SpeedupCurve asym = speedup_curve(p, ns);
+  EXPECT_DOUBLE_EQ(asym.speedups[2], 4.0);
+}
+
+TEST(Curves, AsSeriesKeepsOrderAndName) {
+  const std::vector<double> ns{1, 2, 4};
+  AsymptoticParams p;
+  p.eta = 1.0;
+  const stats::Series s = speedup_curve(p, ns).as_series("model S(n)");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.name(), "model S(n)");
+  EXPECT_DOUBLE_EQ(s[2].x, 4.0);
+  EXPECT_DOUBLE_EQ(s[2].y, 4.0);
 }
 
 }  // namespace

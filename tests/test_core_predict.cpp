@@ -45,7 +45,7 @@ TEST(Predictor, SmallNFitPredictsLargeN) {
     m.ex.add(n, truth.ex(n));
     m.in.add(n, truth.in(n));
   }
-  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m);
+  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m).value();
   const SpeedupPredictor pred = SpeedupPredictor::from_fits(fits);
 
   const double predicted = pred(160.0);
@@ -60,7 +60,7 @@ TEST(Predictor, FromFitsUsesSegmentedINWhenDetected) {
     m.ex.add(n, n);
     m.in.add(n, n <= 15 ? 0.15 * n + 0.85 : 0.23 * n + 2.72);
   }
-  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m);
+  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m).value();
   ASSERT_TRUE(fits.in_has_changepoint);
   const SpeedupPredictor pred = SpeedupPredictor::from_fits(fits);
   // The segmented predictor must track the post-knot IN, which a single
@@ -76,7 +76,7 @@ TEST(Predictor, EtaOneIgnoresIN) {
   FactorMeasurements m;
   m.eta = 1.0;
   for (double n : {1.0, 2.0, 4.0, 8.0}) m.ex.add(n, n);
-  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m);
+  const FactorFits fits = fit_factors(WorkloadType::kFixedTime, m).value();
   const SpeedupPredictor pred = SpeedupPredictor::from_fits(fits);
   EXPECT_NEAR(pred(64.0), 64.0, 1e-9);  // Gustafson with eta=1
 }

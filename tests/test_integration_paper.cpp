@@ -45,7 +45,7 @@ TEST(Fig4, QmcFollowsGustafson) {
 
 TEST(Fig4, WordCountNearLinearAndUnbounded) {
   const auto r = sweep_mr(wl::wordcount_spec());
-  const auto shape = judge_shape(r.speedup);
+  const auto shape = judge_shape(r.speedup).value();
   EXPECT_TRUE(shape.monotone);
   EXPECT_FALSE(shape.peaked);
   EXPECT_GT(shape.tail_exponent, 0.85);
@@ -163,7 +163,8 @@ TEST_P(Fig7Prediction, SmallNFitPredictsLargeN) {
   const auto fit_sweep =
       trace::run_mr_sweep(spec, sim::default_emr_cluster(1), sweep);
 
-  FactorFits fits = fit_factors(WorkloadType::kFixedTime, fit_sweep.factors);
+  const FactorFits fits =
+      fit_factors(WorkloadType::kFixedTime, fit_sweep.factors).value();
   const auto predictor = SpeedupPredictor::from_fits(fits);
 
   // Validate against the measured speedup at n in {96, 160}.
@@ -194,7 +195,7 @@ TEST(Fig8, PaperTableOneYieldsGammaTwoAndPeakNearSixty) {
   const auto wo = trace::reference::cf_wo_series();
   stats::Series wp("Wp");
   for (const auto& p : wo) wp.add(p.x, trace::reference::kCfTp1);
-  const auto q = q_series_from_workloads(wo, wp);
+  const auto q = q_series_from_workloads(wo, wp).value();
   const auto qfit = stats::fit_power(q);
   EXPECT_NEAR(qfit.exponent, 2.0, 0.05);  // gamma = 2, as the paper derives
 
@@ -301,17 +302,20 @@ TEST(Diagnosis, NineCasesGetTheExpectedTypes) {
   // MapReduce fixed-time cases.
   {
     const auto r = sweep_mr(wl::qmc_pi_spec());
-    const auto d = diagnose(WorkloadType::kFixedTime, r.speedup, r.factors);
+    const auto d =
+        diagnose(WorkloadType::kFixedTime, r.speedup, r.factors).value();
     EXPECT_EQ(shape_of(d.best_guess), GrowthShape::kLinear);
   }
   {
     const auto r = sweep_mr(wl::sort_spec());
-    const auto d = diagnose(WorkloadType::kFixedTime, r.speedup, r.factors);
+    const auto d =
+        diagnose(WorkloadType::kFixedTime, r.speedup, r.factors).value();
     EXPECT_EQ(d.best_guess, ScalingType::kIIIt1);  // in-proportion bound
   }
   {
     const auto r = sweep_mr(wl::terasort_spec());
-    const auto d = diagnose(WorkloadType::kFixedTime, r.speedup, r.factors);
+    const auto d =
+        diagnose(WorkloadType::kFixedTime, r.speedup, r.factors).value();
     EXPECT_EQ(shape_of(d.best_guess), GrowthShape::kBounded);
   }
   // Collaborative Filtering (fixed-size pathology).
@@ -324,7 +328,7 @@ TEST(Diagnosis, NineCasesGetTheExpectedTypes) {
     const auto r = trace::run_spark_sweep(
         [](std::size_t n) { return wl::collab_filter_app(n); },
         sim::default_emr_cluster(1), sweep);
-    const auto d = diagnose(WorkloadType::kFixedSize, r.speedup);
+    const auto d = diagnose(WorkloadType::kFixedSize, r.speedup).value();
     EXPECT_EQ(d.best_guess, ScalingType::kIVs);
   }
 }
