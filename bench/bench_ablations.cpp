@@ -192,8 +192,8 @@ void ablation_failures(trace::ExperimentRunner& runner) {
   sweep.ms = {1, 8, 16, 32, 64};
 
   auto faulty = sweep;
-  faulty.params.task_failure_prob = 0.05;
-  faulty.params.spill_failure_multiplier = 6.0;
+  faulty.params.faults.task_failure_prob = 0.05;
+  faulty.params.faults.spill_failure_multiplier = 6.0;
 
   const auto base = sim::default_emr_cluster(1);
   const auto app = [](std::size_t) { return wl::bayes_app(); };

@@ -37,6 +37,10 @@ int main(int argc, char** argv) {
   sweep.type = WorkloadType::kFixedSize;
   sweep.total_tasks = 192;
   sweep.ms = {1, 2, 4, 8, 16, 32, 48, 64, 96, 128, 160, 192};
+  // Optional fault injection (--fail-prob P, --speculate [F],
+  // --max-retries K); inactive by default, leaving the output unchanged.
+  sweep.params.faults =
+      trace::fault_params_from_args(argc, argv, sweep.params.faults);
 
   std::vector<stats::Series> curves;
   std::vector<stats::Series> matched;

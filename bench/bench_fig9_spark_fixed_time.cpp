@@ -35,6 +35,10 @@ int main(int argc, char** argv) {
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   const auto base = spark_cluster();
   const std::vector<double> ms{1, 2, 4, 8, 16, 24, 32, 48, 64};
+  // Optional fault injection (--fail-prob P, --speculate [F],
+  // --max-retries K); inactive by default, leaving the output unchanged.
+  const sim::FaultModelParams faults =
+      trace::fault_params_from_args(argc, argv);
 
   for (const auto& app : {wl::bayes_app(), wl::random_forest_app(),
                           wl::svm_app(), wl::nweight_app()}) {
@@ -47,6 +51,7 @@ int main(int argc, char** argv) {
       sweep.type = WorkloadType::kFixedTime;
       sweep.tasks_per_executor = k;
       sweep.ms = ms;
+      sweep.params.faults = faults;
       auto r = runner.run_spark_sweep(
           [&](std::size_t) { return app; }, base, sweep);
       for (const auto& p : r.points) {

@@ -17,6 +17,7 @@
 #include "core/model.h"
 #include "trace/csv.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -64,38 +65,53 @@ int main(int argc, char** argv) {
       return usage();
     }
     const std::string path = argv[2];
-    try {
+    {
+      Expected<stats::Series, trace::CsvError> parsed =
+          trace::CsvError{};  // replaced below
       if (path == "-") {
-        speedup = trace::read_series_csv(std::cin, "S(n)");
+        parsed = trace::read_series_csv(std::cin, "S(n)");
       } else {
         std::ifstream in(path);
         if (!in) {
           std::cerr << "cannot open " << path << "\n";
           return 1;
         }
-        speedup = trace::read_series_csv(in, "S(n)");
+        parsed = trace::read_series_csv(in, "S(n)");
       }
-      if (argc >= 5) {
-        std::ifstream fin(argv[3]);
-        if (!fin) {
-          std::cerr << "cannot open " << argv[3] << "\n";
-          return 1;
-        }
-        const auto cols = trace::read_table_csv(fin);
-        if (cols.size() < 3) {
-          std::cerr << "factors csv needs columns n,EX,IN,q\n";
-          return 1;
-        }
-        FactorMeasurements m;
-        m.eta = std::stod(argv[4]);
-        m.ex = cols[0];
-        m.in = cols[1];
-        m.q = cols[2];
-        factors = std::move(m);
+      if (!parsed) {
+        std::cerr << "speedup csv: " << parsed.error().message() << "\n";
+        return 1;
       }
-    } catch (const std::exception& e) {
-      std::cerr << "error: " << e.what() << "\n";
-      return 1;
+      speedup = std::move(*parsed);
+    }
+    if (argc >= 5) {
+      std::ifstream fin(argv[3]);
+      if (!fin) {
+        std::cerr << "cannot open " << argv[3] << "\n";
+        return 1;
+      }
+      const auto table = trace::read_table_csv(fin);
+      if (!table) {
+        std::cerr << "factors csv: " << table.error().message() << "\n";
+        return 1;
+      }
+      if (table->size() < 3) {
+        std::cerr << "factors csv needs columns n,EX,IN,q\n";
+        return 1;
+      }
+      char* end = nullptr;
+      const double eta = std::strtod(argv[4], &end);
+      if (end == argv[4] || *end != '\0' || eta < 0.0 || eta > 1.0) {
+        std::cerr << "eta must be a number in [0, 1], got '" << argv[4]
+                  << "'\n";
+        return 1;
+      }
+      FactorMeasurements m;
+      m.eta = eta;
+      m.ex = (*table)[0];
+      m.in = (*table)[1];
+      m.q = (*table)[2];
+      factors = std::move(m);
     }
   } else {
     return usage();

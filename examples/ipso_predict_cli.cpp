@@ -66,22 +66,26 @@ int main(int argc, char** argv) {
       std::cerr << "cannot open " << argv[2] << "\n";
       return 1;
     }
+    const auto table = trace::read_table_csv(in);
+    if (!table) {
+      std::cerr << "factors csv: " << table.error().message() << "\n";
+      return 1;
+    }
+    if (table->size() < 3) {
+      std::cerr << "factors csv needs columns n,EX,IN,q\n";
+      return 1;
+    }
+    measurements.ex = (*table)[0];
+    measurements.in = (*table)[1];
+    measurements.q = (*table)[2];
     try {
-      const auto cols = trace::read_table_csv(in);
-      if (cols.size() < 3) {
-        std::cerr << "factors csv needs columns n,EX,IN,q\n";
-        return 1;
-      }
-      measurements.ex = cols[0];
-      measurements.in = cols[1];
-      measurements.q = cols[2];
       measurements.eta = std::stod(argv[3]);
       if (argc > 4) {
         targets.clear();
         for (int i = 4; i < argc; ++i) targets.push_back(std::stod(argv[i]));
       }
-    } catch (const std::exception& e) {
-      std::cerr << "error: " << e.what() << "\n";
+    } catch (const std::exception&) {
+      std::cerr << "eta and target n values must be numeric\n";
       return 1;
     }
   } else {

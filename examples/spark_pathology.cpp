@@ -5,19 +5,24 @@
 /// latencies), and watch the type-IVs pathology appear.
 ///
 /// Build & run:  ./build/examples/spark_pathology
+/// Optional fault injection: --fail-prob P, --speculate [F],
+/// --max-retries K (see trace/runner.h) — failed attempts and stage
+/// rollbacks then show up in the event-log latencies.
 
 #include "spark/engine.h"
 #include "spark/eventlog.h"
 #include "trace/report.h"
+#include "trace/runner.h"
 #include "workloads/collab_filter.h"
 
 #include <iostream>
 
 using namespace ipso;
 
-int main() {
+int main(int argc, char** argv) {
   spark::SparkEngineParams params;
   params.first_wave_overhead = 0.45;
+  params.faults = trace::fault_params_from_args(argc, argv, params.faults);
 
   // Sequential baseline (one executor, no broadcasts).
   const auto app1 = wl::collab_filter_app(1);

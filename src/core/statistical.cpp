@@ -39,12 +39,9 @@ CappedParetoTime::CappedParetoTime(double shape, double cap)
   if (cap_ <= 1.0) {
     throw std::invalid_argument("CappedParetoTime: cap must be > 1");
   }
-  // Mean of Pareto(x_m = 1, shape a) truncated at `cap` with the residual
-  // probability mass cap^-a concentrated at the cap:
-  //   E[Y] = a/(a-1) * (1 - cap^(1-a)) + cap^(1-a).
-  raw_mean_ = shape_ / (shape_ - 1.0) *
-                  (1.0 - std::pow(cap_, 1.0 - shape_)) +
-              std::pow(cap_, 1.0 - shape_);
+  // Truncated mean shared with sim::StragglerModel, so the two
+  // normalizations can never drift apart.
+  raw_mean_ = stats::capped_pareto_mean(shape_, cap_);
 }
 
 double CappedParetoTime::cdf_raw(double x) const noexcept {
@@ -82,11 +79,21 @@ double speedup_statistical(const ScalingFactors& f, double eta,
   if (eta < 0.0 || eta > 1.0) {
     throw std::invalid_argument("speedup_statistical: eta in [0, 1]");
   }
-  const auto tasks = static_cast<std::size_t>(std::llround(n));
+  // E[max of n tasks] is only defined at integer n; everywhere else Eq. 8
+  // uses the real-valued n. Rounding n into expected_max would evaluate
+  // n = 2.4 and n = 1.6 at the same 2 tasks — instead interpolate E[max]
+  // linearly between the bracketing integers so the curve stays continuous
+  // and exact at integer n.
+  const double fl = std::floor(n);
+  const auto lo = static_cast<std::size_t>(fl);
+  double emax = dist.expected_max(lo);
+  if (n > fl) {
+    emax += (n - fl) * (dist.expected_max(lo + 1) - emax);
+  }
   const double ex = f.ex(n);
   const double in = f.in(n);
   const double num = eta * ex + (1.0 - eta) * in;
-  const double den = eta * (ex / n) * dist.expected_max(tasks) +
+  const double den = eta * (ex / n) * emax +
                      (1.0 - eta) * in + eta * ex * f.q(n) / n;
   return num / den;
 }

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 namespace ipso::mr {
 
@@ -20,6 +21,8 @@ MrJobResult MrEngine::run_parallel(const MrWorkloadSpec& w,
   const std::size_t n = cfg_.workers;
   const std::size_t tasks = job.num_tasks;
   stats::Rng rng(job.seed);
+  const sim::FaultModel fault(job.faults, job.seed);
+  const bool fault_active = fault.active();
 
   sim::Simulation des;
   MrJobResult r;
@@ -46,29 +49,77 @@ MrJobResult MrEngine::run_parallel(const MrWorkloadSpec& w,
   }
   double contention_excess = 0.0;
 
+  // Per-task compute draws, always taken from the shared stream in task
+  // order so the no-fault execution is bit-identical with or without the
+  // fault layer in the build.
+  std::vector<double> base_time(tasks);
+  std::vector<double> duration(tasks);
   for (std::size_t k = 0; k < tasks; ++k) {
-    const double dispatched = init_end + offsets[k];
-    dispatch_total = std::max(dispatch_total, offsets[k]);
-    const std::size_t worker = k % n;
     const double base =
         cfg_.worker_cpu.time_for(w.map_ops(job.shard_bytes)) *
         cfg_.straggler.factor(rng);
     const double compute = base * contention;
     contention_excess += compute - base;
+    base_time[k] = base;
+    duration[k] = compute;
+  }
+
+  // Fault injection + speculation over the whole map phase (the cohort):
+  // retries stretch a task's wall time; backups shorten the tail; all the
+  // extra compute lands in Wo via FaultStats::wasted_seconds.
+  if (fault_active) {
+    std::vector<sim::TaskFaultOutcome> outcomes(tasks);
+    std::vector<std::uint64_t> ids(tasks);
+    for (std::size_t k = 0; k < tasks; ++k) {
+      ids[k] = k;
+      outcomes[k] = fault.run_task(duration[k], /*stage=*/0, k,
+                                   /*spilled=*/false);
+    }
+    fault.apply_speculation(
+        outcomes, /*stage=*/0, ids, /*spilled=*/false, [&](std::size_t i) {
+          stats::Rng brng = fault.attempt_rng(/*stage=*/0, ids[i], 1);
+          return cfg_.worker_cpu.time_for(w.map_ops(job.shard_bytes)) *
+                 cfg_.straggler.factor(brng) * contention;
+        });
+    for (std::size_t k = 0; k < tasks; ++k) {
+      duration[k] = outcomes[k].duration;
+      r.rolled_back = r.rolled_back || outcomes[k].exhausted;
+    }
+    sim::FaultModel::accumulate(outcomes, &r.faults);
+  }
+
+  for (std::size_t k = 0; k < tasks; ++k) {
+    const double dispatched = init_end + offsets[k];
+    dispatch_total = std::max(dispatch_total, offsets[k]);
+    const std::size_t worker = k % n;
+    const double compute = duration[k];
     const double start = std::max(dispatched, worker_free[worker]);
     // The DES event keeps ordering honest; the closure records completion.
-    des.schedule_at(start + compute, [&, k, start, compute, base] {
+    des.schedule_at(start + compute, [&, k, start, compute] {
       task_end[k] = start + compute;
-      r.sum_task_time += base;  // Wp counts uncontended work
+      r.sum_task_time += base_time[k];  // Wp counts uncontended work
       r.max_task_time = std::max(r.max_task_time, compute);
     });
     worker_free[worker] = start + compute;
   }
   des.run();
 
-  const double barrier = *std::max_element(task_end.begin(), task_end.end());
+  double barrier = *std::max_element(task_end.begin(), task_end.end());
   r.phases.init = init_end + dispatch_total;
   r.phases.map = barrier - r.phases.init;
+  if (r.rolled_back) {
+    // Retry-budget exhaustion rolls the map phase back once: every map task
+    // re-executes (bounded recovery). The wall doubles, and the duplicated
+    // compute — a full copy of the phase's work, Wp-sized — is pure
+    // scale-out-induced work. This is what migrates a faulty workload
+    // toward Type IV: q(n) gains a term ~ P[rollback](n) · n.
+    ++r.faults.rollbacks;
+    double phase_compute = 0.0;
+    for (double d : duration) phase_compute += d;
+    r.faults.wasted_seconds += phase_compute;
+    barrier += r.phases.map;
+    r.phases.map *= 2.0;
+  }
 
   // --- (c)+(d1): single reducer pulls all mapper outputs. The baseline
   // ingest cost (reading the intermediate data into the merge) exists in the
@@ -114,7 +165,8 @@ MrJobResult MrEngine::run_parallel(const MrWorkloadSpec& w,
   r.components.ws = ingest + merge + r.phases.reduce;
   const double one_task_dispatch = cfg_.scheduler.per_task_cost(n);
   r.components.wo = std::max(0.0, dispatch_total - one_task_dispatch) +
-                    shuffle_excess + contention_excess;
+                    shuffle_excess + contention_excess +
+                    r.faults.wasted_seconds;
   r.components.max_tp = r.max_task_time;
 
   if (job.measurement_precision > 0.0) {

@@ -3,6 +3,7 @@
 #include "core/workload.h"
 #include "mapreduce/workload_spec.h"
 #include "sim/cluster.h"
+#include "sim/fault.h"
 #include "sim/metrics.h"
 
 #include <cstdint>
@@ -23,9 +24,14 @@ namespace ipso::mr {
 struct MrJobConfig {
   std::size_t num_tasks = 1;   ///< map tasks (= scale-out degree n here)
   double shard_bytes = 128e6;  ///< input bytes per map task (128 MB blocks)
-  std::uint64_t seed = 1;      ///< straggler randomness seed
+  std::uint64_t seed = 1;      ///< straggler + fault randomness seed
   /// Measurement quantization in seconds (paper testbed: 1.0); 0 = exact.
   double measurement_precision = 0.0;
+  /// Fault injection and recovery (sim::FaultModel): per-attempt map-task
+  /// failure probability with a retry budget, one map-phase re-execution
+  /// (rollback) on budget exhaustion, and speculative execution of the
+  /// slowest map tasks. Inactive by default.
+  sim::FaultModelParams faults{};
 };
 
 /// Result of one simulated job execution.
@@ -37,6 +43,8 @@ struct MrJobResult {
   double intermediate_bytes = 0.0;  ///< total map->reduce volume
   double spill_bytes = 0.0;     ///< reducer memory overflow volume
   bool spilled = false;         ///< true when the merge stage spilled
+  sim::FaultStats faults;       ///< fault/speculation counters (map phase)
+  bool rolled_back = false;     ///< map phase re-executed after exhaustion
   /// IPSO workload components attributed per the paper's methodology:
   /// wp = map compute, ws = merge+reduce (+spill I/O), wo = dispatch and
   /// shuffle overheads absent from the sequential model.

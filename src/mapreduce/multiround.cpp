@@ -6,7 +6,8 @@ namespace ipso::mr {
 
 MultiRoundResult run_multi_round(MrEngine& engine,
                                  const std::vector<Round>& rounds,
-                                 bool parallel, std::uint64_t seed) {
+                                 bool parallel, std::uint64_t seed,
+                                 const sim::FaultModelParams& faults) {
   if (rounds.empty()) {
     throw std::invalid_argument("run_multi_round: no rounds");
   }
@@ -18,6 +19,7 @@ MultiRoundResult run_multi_round(MrEngine& engine,
     MrJobConfig job;
     job.num_tasks = engine.config().workers;
     job.shard_bytes = round.shard_bytes;
+    job.faults = faults;
     job.seed = round_seed++;
     const MrJobResult r = parallel
                               ? engine.run_parallel(round.workload, job)
@@ -29,6 +31,7 @@ MultiRoundResult run_multi_round(MrEngine& engine,
     // Rounds are serialized by the merge barrier, so the parallel-phase
     // response times add across rounds.
     out.components.max_tp += r.components.max_tp;
+    out.faults.merge(r.faults);
     out.rounds.push_back(r);
   }
   return out;

@@ -24,14 +24,18 @@ struct Round {
 struct MultiRoundResult {
   double makespan = 0.0;             ///< sum of round makespans (barriered)
   WorkloadComponents components;     ///< summed Wp/Ws/Wo; max_tp summed too
+  sim::FaultStats faults;            ///< fault counters summed over rounds
   std::vector<MrJobResult> rounds;   ///< per-round detail
 };
 
 /// Runs the rounds back-to-back on the engine's cluster (the barrier at
 /// each merge serializes rounds). `parallel` selects the scale-out or the
-/// sequential execution model for every round.
+/// sequential execution model for every round. `faults` applies the same
+/// fault-injection parameters to every round (each round draws its own
+/// deterministic failure schedule from its round seed).
 MultiRoundResult run_multi_round(MrEngine& engine,
                                  const std::vector<Round>& rounds,
-                                 bool parallel, std::uint64_t seed = 1);
+                                 bool parallel, std::uint64_t seed = 1,
+                                 const sim::FaultModelParams& faults = {});
 
 }  // namespace ipso::mr

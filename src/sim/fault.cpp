@@ -1,0 +1,154 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ipso::sim {
+
+namespace {
+
+/// Hash-combines one value into a running 64-bit state (SplitMix64 over a
+/// boost-style combiner). The chain (seed, stage, task, attempt) therefore
+/// yields an independent, reproducible draw per attempt.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  return stats::SplitMix64(h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) +
+                                (h >> 2)))
+      .next();
+}
+
+/// Hash to uniform double in [0, 1), same mantissa construction as
+/// Rng::uniform so the draw quality matches the main generator.
+double to_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Backup attempts draw from a disjoint attempt-id range so a task's backup
+/// copy never replays the original copy's failure schedule.
+constexpr std::uint64_t kBackupAttemptBase = std::uint64_t{1} << 32;
+
+}  // namespace
+
+void FaultModelParams::validate() const {
+  if (task_failure_prob < 0.0 || task_failure_prob >= 1.0) {
+    throw std::invalid_argument("FaultModelParams: task_failure_prob in [0,1)");
+  }
+  if (spill_failure_multiplier < 1.0) {
+    throw std::invalid_argument(
+        "FaultModelParams: spill_failure_multiplier must be >= 1");
+  }
+  if (speculation_fraction < 0.0 || speculation_fraction > 1.0) {
+    throw std::invalid_argument(
+        "FaultModelParams: speculation_fraction in [0,1]");
+  }
+}
+
+FaultModel::FaultModel(FaultModelParams params, std::uint64_t job_seed)
+    : params_(params), seed_(mix(0x9044f6f567891234ULL, job_seed)) {
+  params_.validate();
+}
+
+double FaultModel::failure_prob(bool spilled) const noexcept {
+  const double p =
+      params_.task_failure_prob *
+      (spilled ? params_.spill_failure_multiplier : 1.0);
+  // The multiplier may push the per-attempt probability to (or past) 1;
+  // clamp just below so a success draw remains possible in expectation
+  // bookkeeping, while retry exhaustion still dominates.
+  return std::min(p, 0.999999);
+}
+
+bool FaultModel::attempt_fails(std::uint64_t stage, std::uint64_t task,
+                               std::uint64_t attempt,
+                               bool spilled) const noexcept {
+  const double p = failure_prob(spilled);
+  if (p <= 0.0) return false;
+  const std::uint64_t h = mix(mix(mix(seed_, stage), task), attempt);
+  return to_unit(h) < p;
+}
+
+stats::Rng FaultModel::attempt_rng(std::uint64_t stage, std::uint64_t task,
+                                   std::uint64_t salt) const noexcept {
+  return stats::Rng(mix(mix(mix(seed_, stage), task), salt));
+}
+
+TaskFaultOutcome FaultModel::run_task(double attempt_duration,
+                                      std::uint64_t stage, std::uint64_t task,
+                                      bool spilled) const noexcept {
+  TaskFaultOutcome out;
+  out.clean = attempt_duration;
+  out.duration = attempt_duration;
+  while (out.failed_attempts < params_.max_task_retries &&
+         attempt_fails(stage, task, out.failed_attempts, spilled)) {
+    out.duration += attempt_duration;
+    ++out.failed_attempts;
+  }
+  if (out.failed_attempts == params_.max_task_retries &&
+      params_.max_task_retries > 0 &&
+      attempt_fails(stage, task, out.failed_attempts, spilled)) {
+    // Budget exhausted: the stage rolls back once and the task is then
+    // forced through (the engine charges the rollback).
+    out.exhausted = true;
+  }
+  out.busy = out.duration;
+  return out;
+}
+
+void FaultModel::apply_speculation(
+    std::span<TaskFaultOutcome> cohort, std::uint64_t stage,
+    std::span<const std::uint64_t> task_ids, bool spilled,
+    const std::function<double(std::size_t)>& backup_duration) const noexcept {
+  if (!params_.speculation || cohort.size() < 2) return;
+  const std::size_t size = cohort.size();
+  std::size_t count = static_cast<std::size_t>(
+      params_.speculation_fraction * static_cast<double>(size));
+  count = std::min(count, size - 1);
+  if (count == 0) return;
+
+  // Cutoff: the largest duration *not* in the slowest-`count` set. Backups
+  // launch when the scheduler notices a task still running past the cutoff.
+  std::vector<double> durations(size);
+  for (std::size_t i = 0; i < size; ++i) durations[i] = cohort[i].duration;
+  std::nth_element(durations.begin(), durations.begin() + (size - count - 1),
+                   durations.end());
+  const double cutoff = durations[size - count - 1];
+
+  for (std::size_t i = 0; i < size; ++i) {
+    TaskFaultOutcome& t = cohort[i];
+    if (t.duration <= cutoff) continue;
+    const std::uint64_t task = task_ids[i];
+    // The backup copy is a fresh attempt chain over disjoint draw ids.
+    double backup_wall = backup_duration(i);
+    std::uint64_t attempt = kBackupAttemptBase;
+    std::size_t fails = 0;
+    while (fails < params_.max_task_retries &&
+           attempt_fails(stage, task, attempt++, spilled)) {
+      backup_wall += backup_duration(i);
+      ++fails;
+    }
+    t.speculated = true;
+    const double backup_end = cutoff + backup_wall;
+    if (backup_end < t.duration) {
+      // Backup wins: the original is killed at the backup's finish, so the
+      // original's retry chain (and any pending rollback) never completes.
+      t.backup_won = true;
+      t.exhausted = false;
+      t.busy = backup_end + backup_wall;
+      t.duration = backup_end;
+    } else {
+      // Original wins: the backup is killed at the original's finish.
+      t.busy += std::max(0.0, t.duration - cutoff);
+    }
+  }
+}
+
+void FaultModel::accumulate(std::span<const TaskFaultOutcome> cohort,
+                            FaultStats* stats) noexcept {
+  for (const TaskFaultOutcome& t : cohort) {
+    stats->failed_attempts += t.failed_attempts;
+    stats->speculative_copies += t.speculated ? 1 : 0;
+    stats->backup_wins += t.backup_won ? 1 : 0;
+    stats->wasted_seconds += t.busy - t.clean;
+  }
+}
+
+}  // namespace ipso::sim

@@ -1,0 +1,147 @@
+#pragma once
+
+#include "stats/random.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+/// \file fault.h
+/// Unified fault-injection and recovery layer shared by the MapReduce and
+/// Spark engines. The paper's Wo(n) = (Wp(n)/n)·q(n) is dominated by
+/// collective overheads — stragglers (Eq. 8's E[max Tp,i(n)]) and the
+/// failure/rollback costs it calls out for memory-constrained Spark
+/// ("insufficient RAM may ... even trigger increased task failure rate,
+/// leading to the rollback to the previous stage"). This module makes those
+/// costs injectable on every engine with one semantics:
+///
+///  * per-attempt failure probability (optionally amplified on spilled
+///    executors),
+///  * failure draws that are a pure function of (seed, stage, task, attempt)
+///    — no shared RNG stream is consumed, so enabling faults never perturbs
+///    straggler draws, and a job's failure schedule is bit-identical at any
+///    runner thread count,
+///  * a retry budget per task; each failed attempt reruns the task and the
+///    wasted time counts as scale-out-induced work (Wo),
+///  * stage rollback on budget exhaustion: the whole stage re-executes once,
+///  * speculative execution: the slowest tasks of a cohort (a wave or a map
+///    phase) get a backup copy launched at the cohort's cutoff quantile;
+///    the first finisher wins and the loser's compute is induced work — the
+///    classic straggler/fault countermeasure.
+
+namespace ipso::sim {
+
+/// Fault-injection knobs, shared verbatim by both engines (the Spark
+/// engine's historical ad-hoc task_failure_prob / spill_failure_multiplier /
+/// max_task_retries knobs live here now).
+struct FaultModelParams {
+  /// Per-attempt task failure probability (0 disables failure injection).
+  double task_failure_prob = 0.0;
+  /// Failure-probability multiplier for tasks on a spilled executor.
+  double spill_failure_multiplier = 4.0;
+  /// Retry budget per task; a task that exhausts it triggers one full stage
+  /// re-execution (the rollback), after which it is forced through.
+  std::size_t max_task_retries = 3;
+  /// Speculative execution: launch a backup copy of the slowest tasks.
+  bool speculation = false;
+  /// Fraction of a cohort considered "slowest" and eligible for a backup
+  /// (the classic default mirrors Hadoop/Spark's slow-task detectors).
+  double speculation_fraction = 0.25;
+
+  /// Structural validation; throws std::invalid_argument.
+  void validate() const;
+};
+
+/// Counters describing what the fault machinery did to one stage (or one
+/// job); engines embed and aggregate these.
+struct FaultStats {
+  std::size_t failed_attempts = 0;     ///< task attempts that failed
+  std::size_t rollbacks = 0;           ///< stage re-executions triggered
+  std::size_t speculative_copies = 0;  ///< backup copies launched
+  std::size_t backup_wins = 0;         ///< backups that finished first
+  double wasted_seconds = 0.0;  ///< retry + rollback + backup compute (-> Wo)
+
+  void merge(const FaultStats& o) noexcept {
+    failed_attempts += o.failed_attempts;
+    rollbacks += o.rollbacks;
+    speculative_copies += o.speculative_copies;
+    backup_wins += o.backup_wins;
+    wasted_seconds += o.wasted_seconds;
+  }
+};
+
+/// Outcome of pushing one task through the retry (+ speculation) machinery.
+struct TaskFaultOutcome {
+  double clean = 0.0;     ///< single-attempt compute time (no faults)
+  double duration = 0.0;  ///< wall time from task start to first success
+  double busy = 0.0;      ///< compute consumed (all attempts + backup)
+  std::size_t failed_attempts = 0;
+  bool exhausted = false;  ///< retry budget spent: stage must roll back
+  bool speculated = false;
+  bool backup_won = false;
+};
+
+/// Deterministic fault injector for one job execution. Cheap to construct
+/// (one per engine run); every draw is derived by hashing
+/// (job seed, stage, task, attempt), never by consuming a shared stream.
+class FaultModel {
+ public:
+  FaultModel(FaultModelParams params, std::uint64_t job_seed);
+
+  const FaultModelParams& params() const noexcept { return params_; }
+
+  /// True when the model can alter an execution at all (failures enabled or
+  /// speculation on). Engines skip the fault path entirely when inactive,
+  /// preserving bit-identical no-fault results.
+  bool active() const noexcept {
+    return params_.task_failure_prob > 0.0 || params_.speculation;
+  }
+
+  /// Deterministic failure draw for one attempt of one task.
+  bool attempt_fails(std::uint64_t stage, std::uint64_t task,
+                     std::uint64_t attempt, bool spilled) const noexcept;
+
+  /// A deterministic per-(stage, task, salt) generator for auxiliary draws
+  /// (e.g. the straggler factor of a speculative backup copy).
+  stats::Rng attempt_rng(std::uint64_t stage, std::uint64_t task,
+                         std::uint64_t salt) const noexcept;
+
+  /// Runs one task: the initial attempt plus up to max_task_retries retries.
+  /// Each failed attempt costs a full `attempt_duration` of wall and busy
+  /// time. If the final retry's draw also fails the task is forced through
+  /// but marked `exhausted` (the engine rolls the stage back once).
+  TaskFaultOutcome run_task(double attempt_duration, std::uint64_t stage,
+                            std::uint64_t task, bool spilled) const noexcept;
+
+  /// Speculative execution over one cohort (a Spark wave or a MapReduce map
+  /// phase). The slowest floor(speculation_fraction · size) tasks — those
+  /// strictly above the cohort's cutoff duration — get a backup copy
+  /// launched at the cutoff time. `backup_duration(i)` supplies the backup's
+  /// clean compute time for cohort index i (the engine redraws the straggler
+  /// factor from attempt_rng); the backup then runs through the same failure
+  /// machinery. The first finisher wins: the loser's compute is added to
+  /// `busy` as waste, and a task rescued by its backup before the retry
+  /// budget ran out clears `exhausted`.
+  /// `task_ids[i]` maps cohort indices to job-wide task ids for the draws.
+  void apply_speculation(
+      std::span<TaskFaultOutcome> cohort, std::uint64_t stage,
+      std::span<const std::uint64_t> task_ids, bool spilled,
+      const std::function<double(std::size_t)>& backup_duration)
+      const noexcept;
+
+  /// Convenience: accumulates a cohort's outcome counters into `stats`
+  /// (waste = busy beyond each task's winning-attempt duration is what the
+  /// engines charge to Wo).
+  static void accumulate(std::span<const TaskFaultOutcome> cohort,
+                         FaultStats* stats) noexcept;
+
+ private:
+  double failure_prob(bool spilled) const noexcept;
+
+  FaultModelParams params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ipso::sim

@@ -11,17 +11,25 @@
 
 namespace ipso::sim {
 
-/// Multiplicative task-duration noise. A task's nominal duration is scaled
-/// by a factor >= 1 drawn from a capped heavy-tail distribution.
+/// Multiplicative task-duration noise: a capped-Pareto draw rescaled to mean
+/// 1, matching core::CappedParetoTime (Tp,i = tp · X_i with E[X] = 1, the
+/// normalization Eq. 8 assumes). With `normalize_mean` the dispersion is pure:
+/// enabling stragglers changes E[max] but not the mean task time, so an
+/// ablation isolates the tail effect instead of conflating it with a mean
+/// shift. Set `normalize_mean = false` for the historical raw draw in
+/// [1, cap] with mean ≈ shape/(shape-1) — a uniform slowdown plus dispersion.
 struct StragglerModel {
   bool enabled = false;
   double tail_shape = 3.0;  ///< Pareto shape; smaller = heavier tail
-  double cap = 4.0;         ///< max slowdown factor (finite tail, per paper)
+  double cap = 4.0;         ///< max/min slowdown ratio (finite tail, per paper)
+  bool normalize_mean = true;  ///< rescale draws so E[factor] = 1
 
   /// Duration multiplier for one task. Returns exactly 1 when disabled.
   double factor(stats::Rng& rng) const noexcept {
     if (!enabled) return 1.0;
-    return rng.heavy_tail(1.0, tail_shape, cap);
+    const double raw = rng.heavy_tail(1.0, tail_shape, cap);
+    return normalize_mean ? raw / stats::capped_pareto_mean(tail_shape, cap)
+                          : raw;
   }
 };
 

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 namespace ipso::spark {
 
@@ -15,6 +16,7 @@ SparkEngine::SparkEngine(sim::ClusterConfig cfg, SparkEngineParams params)
       params_.spill_slowdown < 1.0) {
     throw std::invalid_argument("SparkEngineParams: invalid overheads");
   }
+  params_.faults.validate();
 }
 
 SparkJobResult SparkEngine::run(const SparkAppSpec& app,
@@ -24,6 +26,8 @@ SparkJobResult SparkEngine::run(const SparkAppSpec& app,
   }
   const std::size_t m = job.executors;
   stats::Rng rng(job.seed);
+  const sim::FaultModel fault(params_.faults, job.seed);
+  const bool fault_active = fault.active();
 
   SparkJobResult r;
   r.components.n = static_cast<double>(m);
@@ -71,53 +75,75 @@ SparkJobResult SparkEngine::run(const SparkAppSpec& app,
 
       // Wave-by-wave execution with barrier per wave (stage barrier overall).
       const double base_task = cfg_.worker_cpu.time_for(spec.task_ops);
-      const double fail_p =
-          params_.task_failure_prob *
-          (spilled ? params_.spill_failure_multiplier : 1.0);
       double stage_compute = 0.0;
       double max_task = 0.0;
       double wall = 0.0;
-      double retry_waste = 0.0;
+      double fault_waste = 0.0;
       std::size_t remaining = tasks;
+      std::size_t task_base = 0;  // first job-wide task index of this wave
       for (std::size_t w = 0; w < waves; ++w) {
         const std::size_t in_wave = std::min(remaining, m);
         remaining -= in_wave;
         const double overhead = w == 0 ? params_.first_wave_overhead
                                        : params_.steady_wave_overhead;
         double wave_wall = 0.0;
+
+        // The compute draws always come from the shared stream in task
+        // order, so the no-fault execution is bit-identical whether or not
+        // the fault layer exists.
+        std::vector<sim::TaskFaultOutcome> outcomes(in_wave);
+        std::vector<std::uint64_t> ids(in_wave);
         for (std::size_t t = 0; t < in_wave; ++t) {
           const double compute =
               base_task * slowdown * cfg_.straggler.factor(rng);
-          // Failure injection: each failed attempt reruns the task.
-          double duration = compute;
-          std::size_t attempts = 0;
-          while (fail_p > 0.0 && attempts < params_.max_task_retries &&
-                 rng.uniform() < fail_p) {
-            duration += compute;
-            ++attempts;
+          ids[t] = task_base + t;
+          if (fault_active) {
+            outcomes[t] = fault.run_task(compute, sm.stage_id, ids[t], spilled);
+          } else {
+            outcomes[t].clean = compute;
+            outcomes[t].duration = compute;
+            outcomes[t].busy = compute;
           }
-          if (attempts > 0 && attempts >= params_.max_task_retries &&
-              rng.uniform() < fail_p) {
-            // Retry budget exhausted: roll the whole stage back once.
-            sm.rolled_back = true;
-          }
-          sm.retries += attempts;
-          stage_compute += compute;
-          retry_waste += duration - compute;
-          max_task = std::max(max_task, duration);
-          wave_wall = std::max(wave_wall, duration + overhead);
         }
+        if (fault_active) {
+          // Speculative execution per wave: a backup copy of the slowest
+          // tasks, launched at the wave's cutoff quantile; its compute time
+          // redraws the straggler factor from a dedicated deterministic
+          // stream (the shared stream stays untouched).
+          fault.apply_speculation(
+              outcomes, sm.stage_id, ids, spilled, [&](std::size_t i) {
+                stats::Rng brng = fault.attempt_rng(sm.stage_id, ids[i], 1);
+                return base_task * slowdown * cfg_.straggler.factor(brng);
+              });
+        }
+        for (std::size_t t = 0; t < in_wave; ++t) {
+          const sim::TaskFaultOutcome& out = outcomes[t];
+          sm.retries += out.failed_attempts;
+          if (out.exhausted) sm.rolled_back = true;
+          stage_compute += out.clean;
+          fault_waste += out.busy - out.clean;
+          max_task = std::max(max_task, out.duration);
+          wave_wall = std::max(wave_wall, out.duration + overhead);
+        }
+        sim::FaultModel::accumulate(outcomes, &sm.faults);
+        task_base += in_wave;
         wall += wave_wall;
         // Per-wave induced overhead: the scheduling/deserialization part.
         r.components.wo += overhead * static_cast<double>(in_wave);
       }
       if (sm.rolled_back) {
-        // One full stage re-execution (bounded): doubles the wall time and
-        // counts entirely as induced work.
-        retry_waste += wall;
+        // One full stage re-execution (bounded recovery): the wall doubles
+        // and the duplicated compute — the stage's whole first execution —
+        // counts as induced work, so q(n) gains a term ~ P[rollback](n) · n
+        // (the Type IV migration of the fault sweep).
+        const double first_execution = stage_compute + fault_waste;
+        fault_waste += first_execution;
+        sm.faults.wasted_seconds += first_execution;
         wall *= 2.0;
+        ++sm.faults.rollbacks;
       }
-      r.components.wo += retry_waste;
+      r.components.wo += fault_waste;
+      r.faults.merge(sm.faults);
       // The compute itself is Wp; the spill excess is scale-out-induced in
       // the fixed-time interpretation (the sequential model streams).
       const double clean_compute = stage_compute / slowdown;

@@ -2,6 +2,7 @@
 
 #include "core/workload.h"
 #include "sim/cluster.h"
+#include "sim/fault.h"
 #include "spark/stage.h"
 
 #include <cstdint>
@@ -34,19 +35,13 @@ struct SparkEngineParams {
   /// Multiplier on task compute time when the executor's cached partitions
   /// spill to disk (2-3x is typical for recomputed / disk-read partitions).
   double spill_slowdown = 2.5;
-  /// Per-attempt task failure probability (0 disables failure injection).
-  /// Failed attempts are retried up to `max_task_retries`; each retry
-  /// reruns the task, and the wasted attempts count as scale-out-induced
-  /// work.
-  double task_failure_prob = 0.0;
-  /// Failure probability multiplier for tasks running on a spilled
-  /// executor — the paper: "insufficient RAM may ... even trigger
-  /// increased task failure rate, leading to the rollback to the previous
-  /// stage and hence poor performance".
-  double spill_failure_multiplier = 4.0;
-  /// Retry budget per task; a task that exhausts it triggers one full
-  /// stage re-execution (the rollback), after which it is forced through.
-  std::size_t max_task_retries = 3;
+  /// Fault injection and recovery (sim::FaultModel): per-attempt failure
+  /// probability (amplified on spilled executors — the paper: "insufficient
+  /// RAM may ... even trigger increased task failure rate, leading to the
+  /// rollback to the previous stage"), retry budget with stage rollback on
+  /// exhaustion, and speculative execution. Failed attempts and losing
+  /// backup copies count as scale-out-induced work.
+  sim::FaultModelParams faults{};
 };
 
 /// One job instance: the (N, m) pair of the paper.
@@ -68,6 +63,7 @@ struct StageMetrics {
   double broadcast_time = 0.0;
   std::size_t retries = 0;    ///< failed task attempts that were retried
   bool rolled_back = false;   ///< stage was re-executed after retry exhaustion
+  sim::FaultStats faults;     ///< full fault/speculation counters
 
   /// Stage latency.
   double latency() const noexcept { return completion_time - submission_time; }
@@ -81,6 +77,7 @@ struct SparkJobResult {
   /// wo = broadcast + scheduling + first-wave + spill excess.
   WorkloadComponents components;
   bool any_spill = false;
+  sim::FaultStats faults;  ///< job-wide fault/speculation counters
 };
 
 /// Runs Spark-like applications on a simulated cluster.

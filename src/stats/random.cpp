@@ -10,6 +10,12 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
 }
 }  // namespace
 
+double capped_pareto_mean(double shape, double cap) {
+  if (shape == 1.0) return 1.0 + std::log(cap);
+  return shape / (shape - 1.0) * (1.0 - std::pow(cap, 1.0 - shape)) +
+         std::pow(cap, 1.0 - shape);
+}
+
 Rng::Rng(std::uint64_t seed) noexcept {
   SplitMix64 sm(seed);
   for (auto& w : s_) w = sm.next();

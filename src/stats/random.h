@@ -31,6 +31,17 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Mean of the capped Pareto distribution the straggler machinery samples
+/// from: Pareto(x_m = 1, shape a) truncated at `cap`, with the residual
+/// probability mass cap^-a concentrated at the cap (exactly the law of
+/// `Rng::heavy_tail(1.0, shape, cap)`):
+///   E[Y] = a/(a-1) * (1 - cap^(1-a)) + cap^(1-a)        (a != 1)
+///   E[Y] = 1 + ln(cap)                                  (a == 1)
+/// Shared by core::CappedParetoTime and sim::StragglerModel so the two
+/// truncated-mean formulas can never drift apart. Requires shape > 0,
+/// cap >= 1.
+double capped_pareto_mean(double shape, double cap);
+
 /// xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
 /// All distribution helpers are methods so call sites stay terse.
 class Rng {

@@ -6,7 +6,6 @@
 #include <ostream>
 #include <set>
 #include <sstream>
-#include <stdexcept>
 
 namespace ipso::trace {
 
@@ -41,7 +40,23 @@ bool skippable(const std::string& line) {
   return true;  // all whitespace
 }
 
+CsvError make_error(ParseError code, std::size_t line_no,
+                    std::string content) {
+  CsvError e;
+  e.code = code;
+  e.line = line_no;
+  e.content = std::move(content);
+  return e;
+}
+
 }  // namespace
+
+std::string CsvError::message() const {
+  std::string out = to_string(code);
+  if (line > 0) out += " at line " + std::to_string(line);
+  if (!content.empty()) out += ": " + content;
+  return out;
+}
 
 void write_csv(std::ostream& os, const std::string& x_label,
                const std::vector<stats::Series>& series, int precision) {
@@ -60,16 +75,18 @@ void write_csv(std::ostream& os, const std::string& x_label,
   }
 }
 
-stats::Series read_series_csv(std::istream& is, std::string name) {
+Expected<stats::Series, CsvError> read_series_csv(std::istream& is,
+                                                  std::string name) {
   stats::Series out(std::move(name));
   std::string line;
+  std::size_t line_no = 0;
   bool first_content = true;
   while (std::getline(is, line)) {
+    ++line_no;
     if (skippable(line)) continue;
     const auto cells = split_commas(line);
     if (cells.size() < 2) {
-      throw std::invalid_argument("read_series_csv: need two columns: " +
-                                  line);
+      return make_error(ParseError::kTooFewColumns, line_no, line);
     }
     if (first_content && (!is_numeric(cells[0]) || !is_numeric(cells[1]))) {
       first_content = false;  // header line
@@ -77,22 +94,25 @@ stats::Series read_series_csv(std::istream& is, std::string name) {
     }
     first_content = false;
     if (!is_numeric(cells[0]) || !is_numeric(cells[1])) {
-      throw std::invalid_argument("read_series_csv: malformed row: " + line);
+      return make_error(ParseError::kMalformedNumber, line_no, line);
     }
     out.add(std::stod(cells[0]), std::stod(cells[1]));
   }
   return out;
 }
 
-std::vector<stats::Series> read_table_csv(std::istream& is) {
+Expected<std::vector<stats::Series>, CsvError> read_table_csv(
+    std::istream& is) {
   std::vector<stats::Series> out;
   std::string line;
+  std::size_t line_no = 0;
   bool saw_header = false;
   while (std::getline(is, line)) {
+    ++line_no;
     if (skippable(line)) continue;
     const auto cells = split_commas(line);
     if (cells.size() < 2) {
-      throw std::invalid_argument("read_table_csv: need >= 2 columns");
+      return make_error(ParseError::kTooFewColumns, line_no, line);
     }
     if (out.empty()) {
       // First content line: header or data.
@@ -108,19 +128,18 @@ std::vector<stats::Series> read_table_csv(std::istream& is) {
       }
     }
     if (cells.size() != out.size() + 1) {
-      throw std::invalid_argument("read_table_csv: ragged row: " + line);
+      return make_error(ParseError::kRaggedRow, line_no, line);
     }
     if (!is_numeric(cells[0])) {
       if (saw_header) {
-        throw std::invalid_argument("read_table_csv: malformed row: " + line);
+        return make_error(ParseError::kMalformedNumber, line_no, line);
       }
       continue;
     }
     const double x = std::stod(cells[0]);
     for (std::size_t c = 1; c < cells.size(); ++c) {
       if (!is_numeric(cells[c])) {
-        throw std::invalid_argument("read_table_csv: malformed cell: " +
-                                    cells[c]);
+        return make_error(ParseError::kMalformedNumber, line_no, cells[c]);
       }
       out[c - 1].add(x, std::stod(cells[c]));
     }

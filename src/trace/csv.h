@@ -1,7 +1,9 @@
 #pragma once
 
+#include "core/expected.h"
 #include "stats/series.h"
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -10,8 +12,41 @@
 /// CSV import/export for measurement series, so the diagnostic pipeline can
 /// consume speedup curves measured on real clusters (the intended
 /// downstream use of IPSO) and benches can emit plot-ready data.
+///
+/// The readers return Expected instead of throwing: a malformed row in user
+/// input is an expected condition the CLIs must report by name and exit 1
+/// on, not an uncaught std::invalid_argument (the completion of PR 1's
+/// Expected<T, ...> migration).
 
 namespace ipso::trace {
+
+/// Why a CSV parse failed.
+enum class ParseError {
+  kTooFewColumns,   ///< a row has fewer columns than the format requires
+  kRaggedRow,       ///< a row's column count differs from the header's
+  kMalformedNumber, ///< a cell that must be numeric is not
+};
+
+/// Human-readable error name (for CLI messages).
+constexpr const char* to_string(ParseError e) noexcept {
+  switch (e) {
+    case ParseError::kTooFewColumns: return "too few columns";
+    case ParseError::kRaggedRow: return "ragged row";
+    case ParseError::kMalformedNumber: return "malformed number";
+  }
+  return "unknown";
+}
+
+/// A parse failure with its location: the 1-based input line number and the
+/// offending content, so a CLI can point the user at the exact row.
+struct CsvError {
+  ParseError code = ParseError::kMalformedNumber;
+  std::size_t line = 0;  ///< 1-based line number in the input stream
+  std::string content;   ///< the offending line (or cell)
+
+  /// "malformed number at line 7: 3,abc"
+  std::string message() const;
+};
 
 /// Writes series sharing an x grid as CSV: header "x,<name1>,<name2>,...",
 /// one row per x in the union grid (linear interpolation for gaps).
@@ -19,12 +54,14 @@ void write_csv(std::ostream& os, const std::string& x_label,
                const std::vector<stats::Series>& series, int precision = 6);
 
 /// Parses a two-column CSV ("n,value"; a header line is auto-detected and
-/// skipped; blank lines and '#' comments ignored). Throws
-/// std::invalid_argument on malformed numeric rows.
-stats::Series read_series_csv(std::istream& is, std::string name = "csv");
+/// skipped; blank lines and '#' comments ignored). Returns the series or a
+/// CsvError naming the malformed row.
+Expected<stats::Series, CsvError> read_series_csv(std::istream& is,
+                                                  std::string name = "csv");
 
 /// Parses a multi-column CSV into one series per column (first column is
 /// x). Column names come from the header when present, else "col<i>".
-std::vector<stats::Series> read_table_csv(std::istream& is);
+Expected<std::vector<stats::Series>, CsvError> read_table_csv(
+    std::istream& is);
 
 }  // namespace ipso::trace

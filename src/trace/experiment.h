@@ -36,6 +36,11 @@ struct MrSweepConfig {
   std::size_t repetitions = 3;  ///< averaged runs per point
   std::uint64_t seed = 1;
   double measurement_precision = 0.0;  ///< 1.0 reproduces the paper's clock
+  /// Fault injection applied to every job of the sweep (sim::FaultModel);
+  /// inactive by default. Failure draws are deterministic per
+  /// (seed, n, task, attempt), so sweep results stay bit-identical at any
+  /// runner thread count.
+  sim::FaultModelParams faults{};
 };
 
 /// One sweep point, averaged over repetitions.
@@ -46,6 +51,7 @@ struct MrSweepPoint {
   double speedup = 0.0;          ///< sequential / parallel
   WorkloadComponents components; ///< mean Wp/Ws/Wo/maxTp attribution
   bool spilled = false;          ///< reducer memory overflowed
+  sim::FaultStats faults;        ///< fault counters summed over repetitions
 };
 
 /// Full sweep result with derived factor series.
@@ -92,6 +98,7 @@ struct SparkSweepPoint {
   double speedup = 0.0;
   WorkloadComponents components;
   bool spilled = false;
+  sim::FaultStats faults;  ///< fault counters of the parallel run
 };
 
 /// Spark sweep result.

@@ -48,6 +48,7 @@ mr::MrJobConfig mr_job_for(const MrSweepConfig& sweep, std::size_t n) {
   mr::MrJobConfig job;
   job.num_tasks = n;
   job.measurement_precision = sweep.measurement_precision;
+  job.faults = sweep.faults;
   switch (sweep.type) {
     case WorkloadType::kFixedSize:
       job.shard_bytes = sweep.bytes / static_cast<double>(n);
@@ -98,6 +99,7 @@ MrSweepPoint reduce_mr_point(double n_value, const std::vector<MrRep>& reps) {
     point.components.wo += r.par.components.wo;
     point.components.max_tp += r.par.components.max_tp;
     point.spilled = point.spilled || r.par.spilled;
+    point.faults.merge(r.par.faults);
   }
   const auto n_reps = static_cast<double>(reps.size());
   point.parallel_time /= n_reps;
@@ -145,6 +147,7 @@ SparkSweepPoint run_spark_point(
   point.speedup = par.makespan > 0.0 ? seq.makespan / par.makespan : 0.0;
   point.components = par.components;
   point.spilled = par.any_spill;
+  point.faults = par.faults;
   return point;
 }
 
@@ -297,6 +300,70 @@ SparkSweepResult ExperimentRunner::run_spark_sweep(
     metrics_.wall_seconds += seconds_since(sweep_t0);
   }
   return result;
+}
+
+namespace {
+
+/// "--flag value" / "--flag=value" scan; returns nullptr when absent.
+const char* arg_value(int argc, char** argv, const std::string& flag,
+                      int* index_out = nullptr) {
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == flag && i + 1 < argc) {
+      if (index_out != nullptr) *index_out = i;
+      return argv[i + 1];
+    }
+    if (arg.rfind(prefix, 0) == 0) {
+      if (index_out != nullptr) *index_out = i;
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+bool parse_double(const char* s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+sim::FaultModelParams fault_params_from_args(int argc, char** argv,
+                                             sim::FaultModelParams base) {
+  if (const char* v = arg_value(argc, argv, "--fail-prob")) {
+    double p = 0.0;
+    if (parse_double(v, &p) && p >= 0.0 && p < 1.0) {
+      base.task_failure_prob = p;
+    }
+  }
+  if (const char* v = arg_value(argc, argv, "--max-retries")) {
+    char* end = nullptr;
+    const unsigned long k = std::strtoul(v, &end, 10);
+    if (end != v && *end == '\0' && k <= 1000) base.max_task_retries = k;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--speculate") {
+      base.speculation = true;
+      // An optional numeric value right after the flag is the fraction.
+      double f = 0.0;
+      if (i + 1 < argc && parse_double(argv[i + 1], &f) && f >= 0.0 &&
+          f <= 1.0) {
+        base.speculation_fraction = f;
+      }
+    } else if (arg.rfind("--speculate=", 0) == 0) {
+      base.speculation = true;
+      double f = 0.0;
+      if (parse_double(arg.c_str() + 12, &f) && f >= 0.0 && f <= 1.0) {
+        base.speculation_fraction = f;
+      }
+    }
+  }
+  return base;
 }
 
 RunnerConfig runner_config_from_args(int argc, char** argv) {

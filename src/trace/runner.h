@@ -95,4 +95,15 @@ class ExperimentRunner {
 /// (0 = default when the flag is absent). Shared by the example CLIs.
 RunnerConfig runner_config_from_args(int argc, char** argv);
 
+/// Scans argv for the fault-injection flags shared by the bench/example
+/// CLIs and overlays them onto `base`:
+///   --fail-prob P (or --fail-prob=P)   per-attempt task failure probability
+///   --speculate [F] (or --speculate=F) speculative execution, optionally
+///                                      with the slowest-fraction F
+///   --max-retries K                    retry budget before stage rollback
+/// Malformed or out-of-range values are ignored (the flag keeps its base
+/// value), mirroring runner_config_from_args.
+sim::FaultModelParams fault_params_from_args(
+    int argc, char** argv, sim::FaultModelParams base = {});
+
 }  // namespace ipso::trace

@@ -153,6 +153,32 @@ TEST(StatSpeedup, UnboundedTailBreaksLinearity) {
   EXPECT_LT(r2, 0.75 * r1);  // efficiency keeps decaying: not linear
 }
 
+TEST(StatSpeedup, FractionalNInterpolatesExpectedMax) {
+  // Regression: continuous n used to be silently llround-ed, so S(2.4)
+  // evaluated E[max] at n = 2 and jumped discontinuously at half-integers.
+  // Now E[max_n X] is linearly interpolated between floor(n) and floor(n)+1,
+  // making the curve continuous and strictly inside its integer neighbours.
+  const auto f = gustafson_like();
+  CappedParetoTime noisy(2.5, 4.0);
+  const double s2 = speedup_statistical(f, 0.9, noisy, 2.0);
+  const double s24 = speedup_statistical(f, 0.9, noisy, 2.4);
+  const double s29 = speedup_statistical(f, 0.9, noisy, 2.9);
+  const double s3 = speedup_statistical(f, 0.9, noisy, 3.0);
+  EXPECT_GT(s24, s2);
+  EXPECT_GT(s29, s24);
+  EXPECT_GT(s3, s29);
+  // The old rounding collapsed 2.4 onto the integer-2 curve evaluated at
+  // n = 2.4; it must now differ from both integer endpoints.
+  EXPECT_NE(s24, s2);
+  EXPECT_NE(s24, s3);
+  // Continuity at the former rounding breakpoint n = 2.5.
+  const double below = speedup_statistical(f, 0.9, noisy, 2.5 - 1e-9);
+  const double above = speedup_statistical(f, 0.9, noisy, 2.5 + 1e-9);
+  EXPECT_NEAR(below, above, 1e-6);
+  // Integer n still hits the exact order statistic.
+  EXPECT_DOUBLE_EQ(s3, speedup_statistical(f, 0.9, noisy, 3.0));
+}
+
 TEST(StatSpeedup, ValidatesArguments) {
   const auto f = gustafson_like();
   DeterministicTime d;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ipso::sim {
@@ -77,19 +78,52 @@ TEST(Straggler, DisabledIsUnity) {
   for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(s.factor(rng), 1.0);
 }
 
-TEST(Straggler, EnabledIsBoundedAboveOne) {
+TEST(Straggler, EnabledIsBoundedAndMeanOne) {
   StragglerModel s;
   s.enabled = true;
   s.cap = 3.0;
+  // Normalized mode: draws live in [1/E, cap/E] where E is the truncated
+  // mean, and the sample mean converges to 1 (pure dispersion, no mean
+  // shift — Eq. 8's E[X] = 1 normalization).
+  const double raw_mean = stats::capped_pareto_mean(s.tail_shape, s.cap);
   stats::Rng rng(2);
   double max_seen = 0.0;
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double f = s.factor(rng);
+    EXPECT_GE(f, 1.0 / raw_mean - 1e-12);
+    EXPECT_LE(f, 3.0 / raw_mean + 1e-12);
+    max_seen = std::max(max_seen, f);
+    sum += f;
+  }
+  EXPECT_GT(max_seen, 1.5);  // the tail actually produces stragglers
+  EXPECT_NEAR(sum / kDraws, 1.0, 5e-3);
+}
+
+TEST(Straggler, RawModeKeepsHistoricalSupport) {
+  StragglerModel s;
+  s.enabled = true;
+  s.cap = 3.0;
+  s.normalize_mean = false;
+  stats::Rng rng(2);
   for (int i = 0; i < 10000; ++i) {
     const double f = s.factor(rng);
     EXPECT_GE(f, 1.0);
     EXPECT_LE(f, 3.0);
-    max_seen = std::max(max_seen, f);
   }
-  EXPECT_GT(max_seen, 1.5);  // the tail actually produces stragglers
+}
+
+TEST(Straggler, TruncatedMeanMatchesCappedParetoFormula) {
+  // The helper is the single source of truth for both sim::StragglerModel
+  // and core::CappedParetoTime; spot-check it against a direct Monte Carlo
+  // estimate of E[heavy_tail(1, shape, cap)].
+  const double analytic = stats::capped_pareto_mean(3.0, 4.0);
+  stats::Rng rng(7);
+  double sum = 0.0;
+  constexpr int kDraws = 400000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.heavy_tail(1.0, 3.0, 4.0);
+  EXPECT_NEAR(sum / kDraws, analytic, 5e-3);
 }
 
 TEST(ClusterConfig, DefaultEmrIsValid) {

@@ -37,7 +37,7 @@ TEST(Failures, ZeroProbabilityIsNoop) {
 TEST(Failures, RetriesAppearAndSlowTheJob) {
   SparkEngineParams clean;
   SparkEngineParams faulty;
-  faulty.task_failure_prob = 0.3;
+  faulty.faults.task_failure_prob = 0.3;
   SparkEngine a(sim::default_emr_cluster(8), clean);
   SparkEngine b(sim::default_emr_cluster(8), faulty);
   const auto app = one_stage();
@@ -52,7 +52,7 @@ TEST(Failures, RetriesAppearAndSlowTheJob) {
 
 TEST(Failures, RetryWasteIsInducedNotParallelWork) {
   SparkEngineParams faulty;
-  faulty.task_failure_prob = 0.3;
+  faulty.faults.task_failure_prob = 0.3;
   SparkEngine clean_engine(sim::default_emr_cluster(8));
   SparkEngine faulty_engine(sim::default_emr_cluster(8), faulty);
   const auto app = one_stage();
@@ -64,8 +64,8 @@ TEST(Failures, RetryWasteIsInducedNotParallelWork) {
 
 TEST(Failures, SpillAmplifiesFailureRate) {
   SparkEngineParams params;
-  params.task_failure_prob = 0.05;
-  params.spill_failure_multiplier = 8.0;
+  params.faults.task_failure_prob = 0.05;
+  params.faults.spill_failure_multiplier = 8.0;
   SparkEngine engine(sim::default_emr_cluster(2), params);
   // Spilled config: 16 tasks x 1.5 GB on 2 executors = 12 GB > 8 GB.
   std::size_t spilled_retries = 0, clean_retries = 0;
@@ -81,8 +81,8 @@ TEST(Failures, SpillAmplifiesFailureRate) {
 
 TEST(Failures, RollbackDoublesStageWall) {
   SparkEngineParams params;
-  params.task_failure_prob = 0.9;  // retry exhaustion near-certain
-  params.max_task_retries = 2;
+  params.faults.task_failure_prob = 0.9;  // retry exhaustion near-certain
+  params.faults.max_task_retries = 2;
   SparkEngine engine(sim::default_emr_cluster(4), params);
   const auto r = engine.run(one_stage(), job_of(16, 4));
   bool any_rollback = false;
@@ -92,7 +92,7 @@ TEST(Failures, RollbackDoublesStageWall) {
 
 TEST(Failures, DeterministicForSeed) {
   SparkEngineParams params;
-  params.task_failure_prob = 0.2;
+  params.faults.task_failure_prob = 0.2;
   SparkEngine engine(sim::default_emr_cluster(4), params);
   const auto a = engine.run(one_stage(), job_of(32, 4, 7));
   const auto b = engine.run(one_stage(), job_of(32, 4, 7));

@@ -30,7 +30,9 @@ TEST(CsvWrite, UnionGridInterpolates) {
 
 TEST(CsvReadSeries, ParsesPlainRows) {
   std::istringstream is("1,1.0\n2,1.9\n4,3.5\n");
-  const auto s = read_series_csv(is, "S");
+  const auto r = read_series_csv(is, "S");
+  ASSERT_TRUE(r.has_value());
+  const stats::Series& s = *r;
   ASSERT_EQ(s.size(), 3u);
   EXPECT_DOUBLE_EQ(s[2].x, 4.0);
   EXPECT_DOUBLE_EQ(s[2].y, 3.5);
@@ -44,16 +46,35 @@ TEST(CsvReadSeries, SkipsHeaderCommentsBlanks) {
       "\n"
       "1, 1.0\n"
       "2, 1.8\n");
-  const auto s = read_series_csv(is);
-  ASSERT_EQ(s.size(), 2u);
-  EXPECT_DOUBLE_EQ(s[1].y, 1.8);
+  const auto r = read_series_csv(is);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_DOUBLE_EQ((*r)[1].y, 1.8);
 }
 
-TEST(CsvReadSeries, ThrowsOnMalformedRow) {
-  std::istringstream one_col("1\n");
-  EXPECT_THROW(read_series_csv(one_col), std::invalid_argument);
+TEST(CsvReadSeries, ReportsTooFewColumnsWithLine) {
+  std::istringstream one_col("1,1\n1\n");
+  const auto r = read_series_csv(one_col);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, ParseError::kTooFewColumns);
+  EXPECT_EQ(r.error().line, 2u);
+  EXPECT_NE(r.error().message().find("too few columns"), std::string::npos);
+}
+
+TEST(CsvReadSeries, ReportsMalformedNumberWithLine) {
   std::istringstream bad_num("1,1.0\n2,abc\n");
-  EXPECT_THROW(read_series_csv(bad_num), std::invalid_argument);
+  const auto r = read_series_csv(bad_num);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, ParseError::kMalformedNumber);
+  EXPECT_EQ(r.error().line, 2u);
+  EXPECT_NE(r.error().message().find("2,abc"), std::string::npos);
+}
+
+TEST(CsvReadSeries, ValueAccessOnErrorThrowsLoudly) {
+  std::istringstream bad("1,x\n2,y\n");
+  const auto r = read_series_csv(bad);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_THROW((void)r.value(), std::runtime_error);
 }
 
 TEST(CsvReadSeries, RoundTripsWithWriter) {
@@ -62,7 +83,9 @@ TEST(CsvReadSeries, RoundTripsWithWriter) {
   std::ostringstream os;
   write_csv(os, "n", {a});
   std::istringstream is(os.str());
-  const auto back = read_series_csv(is);
+  const auto r = read_series_csv(is);
+  ASSERT_TRUE(r.has_value());
+  const stats::Series& back = *r;
   ASSERT_EQ(back.size(), a.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_NEAR(back[i].x, a[i].x, 1e-9);
@@ -75,7 +98,9 @@ TEST(CsvReadTable, HeaderNamesColumns) {
       "n,EX,IN,q\n"
       "1,1,1,0\n"
       "2,2,1.36,0\n");
-  const auto cols = read_table_csv(is);
+  const auto r = read_table_csv(is);
+  ASSERT_TRUE(r.has_value());
+  const auto& cols = *r;
   ASSERT_EQ(cols.size(), 3u);
   EXPECT_EQ(cols[0].name(), "EX");
   EXPECT_EQ(cols[1].name(), "IN");
@@ -84,14 +109,41 @@ TEST(CsvReadTable, HeaderNamesColumns) {
 
 TEST(CsvReadTable, HeaderlessGetsDefaultNames) {
   std::istringstream is("1,1,1\n2,2,1.5\n");
-  const auto cols = read_table_csv(is);
-  ASSERT_EQ(cols.size(), 2u);
-  EXPECT_EQ(cols[0].name(), "col1");
+  const auto r = read_table_csv(is);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0].name(), "col1");
 }
 
-TEST(CsvReadTable, ThrowsOnRaggedRow) {
+TEST(CsvReadTable, ReportsRaggedRowWithLine) {
   std::istringstream is("1,1,1\n2,2\n");
-  EXPECT_THROW(read_table_csv(is), std::invalid_argument);
+  const auto r = read_table_csv(is);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, ParseError::kRaggedRow);
+  EXPECT_EQ(r.error().line, 2u);
+}
+
+TEST(CsvReadTable, ReportsMalformedCell) {
+  std::istringstream is(
+      "n,a,b\n"
+      "1,2,3\n"
+      "2,oops,4\n");
+  const auto r = read_table_csv(is);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, ParseError::kMalformedNumber);
+  EXPECT_EQ(r.error().line, 3u);
+  EXPECT_EQ(r.error().content, "oops");
+}
+
+TEST(CsvReadTable, ReportsMalformedXAfterHeader) {
+  std::istringstream is(
+      "n,a\n"
+      "1,2\n"
+      "zzz,3\n");
+  const auto r = read_table_csv(is);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, ParseError::kMalformedNumber);
+  EXPECT_EQ(r.error().line, 3u);
 }
 
 }  // namespace
