@@ -9,9 +9,11 @@
 ///  (iv)  measurement quantization — the paper's 1 s clock makes small
 ///        fixed-size map phases unmeasurable (Section V).
 
+#include "obs/export.h"
 #include "core/classify.h"
 #include "core/fit.h"
 #include "trace/experiment.h"
+#include "trace/cli_opts.h"
 #include "trace/runner.h"
 #include "trace/report.h"
 #include "workloads/bayes.h"
@@ -240,6 +242,8 @@ void ablation_contention(trace::ExperimentRunner& runner) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const obs::TraceSession trace_session(
+      trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   ablation_stragglers(runner);
   ablation_scheduler(runner);

@@ -4,8 +4,10 @@
 /// runs the recommended six-step diagnostic procedure end-to-end on all
 /// nine simulated cases and prints the matched scaling type and root cause.
 
+#include "obs/export.h"
 #include "core/diagnose.h"
 #include "trace/experiment.h"
+#include "trace/cli_opts.h"
 #include "trace/runner.h"
 #include "trace/report.h"
 #include "workloads/bayes.h"
@@ -23,6 +25,8 @@
 using namespace ipso;
 
 int main(int argc, char** argv) {
+  const obs::TraceSession trace_session(
+      trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   std::vector<std::vector<std::string>> rows;
 

@@ -16,11 +16,13 @@
 /// --speculate [F] (change the speculative variant's slowest-fraction).
 /// Output is bit-identical for a fixed seed at any thread count.
 
+#include "obs/export.h"
 #include "core/classify.h"
 #include "core/fit.h"
 #include "sim/straggler.h"
 #include "trace/experiment.h"
 #include "trace/report.h"
+#include "trace/cli_opts.h"
 #include "trace/runner.h"
 #include "workloads/qmc_pi.h"
 
@@ -50,6 +52,8 @@ sim::ClusterConfig fault_cluster() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const obs::TraceSession trace_session(
+      trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   // --max-retries / --speculate tune the sweep's baseline knobs; the
   // failure probability itself is the swept variable. A tight default

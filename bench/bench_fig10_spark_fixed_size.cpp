@@ -5,9 +5,11 @@
 /// scheduling contention) grows superlinearly with m — in stark contrast
 /// with Amdahl's IIIs prediction.
 
+#include "obs/export.h"
 #include "core/diagnose.h"
 #include "stats/linalg.h"
 #include "trace/experiment.h"
+#include "trace/cli_opts.h"
 #include "trace/runner.h"
 #include "trace/report.h"
 #include "workloads/bayes.h"
@@ -31,6 +33,8 @@ sim::ClusterConfig spark_cluster() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const obs::TraceSession trace_session(
+      trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   const auto base = spark_cluster();
   trace::SparkSweepConfig sweep;

@@ -4,7 +4,9 @@
 /// Expected shapes: QMC ~ Gustafson (It); WordCount near-linear (It/IIt);
 /// Sort bounded by ~5 and TeraSort bounded by ~3 (IIIt,1).
 
+#include "obs/export.h"
 #include "trace/experiment.h"
+#include "trace/cli_opts.h"
 #include "trace/runner.h"
 #include "trace/report.h"
 #include "workloads/qmc_pi.h"
@@ -17,6 +19,8 @@
 using namespace ipso;
 
 int main(int argc, char** argv) {
+  const obs::TraceSession trace_session(
+      trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   trace::MrSweepConfig sweep;
   sweep.type = WorkloadType::kFixedTime;

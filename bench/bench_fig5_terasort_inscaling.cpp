@@ -4,8 +4,10 @@
 /// n ~ 15 (disk I/O for the external merge). Prints the measured IN(n),
 /// the detected changepoint, and both segment fits.
 
+#include "obs/export.h"
 #include "core/fit.h"
 #include "trace/experiment.h"
+#include "trace/cli_opts.h"
 #include "trace/runner.h"
 #include "trace/reference_data.h"
 #include "trace/report.h"
@@ -16,6 +18,8 @@
 using namespace ipso;
 
 int main(int argc, char** argv) {
+  const obs::TraceSession trace_session(
+      trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   trace::MrSweepConfig sweep;
   sweep.type = WorkloadType::kFixedTime;

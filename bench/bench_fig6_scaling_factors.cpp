@@ -4,8 +4,10 @@
 /// Sort (paper fit 0.36 n - 0.11) and TeraSort (0.23 n + 2.72 for n > 16)
 /// and ~1 for WordCount and QMC.
 
+#include "obs/export.h"
 #include "core/fit.h"
 #include "trace/experiment.h"
+#include "trace/cli_opts.h"
 #include "trace/runner.h"
 #include "trace/reference_data.h"
 #include "trace/report.h"
@@ -19,6 +21,8 @@
 using namespace ipso;
 
 int main(int argc, char** argv) {
+  const obs::TraceSession trace_session(
+      trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   trace::MrSweepConfig sweep;
   sweep.type = WorkloadType::kFixedTime;

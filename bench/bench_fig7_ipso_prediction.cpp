@@ -4,8 +4,10 @@
 /// track the measurement for all four cases; Gustafson should wildly
 /// overpredict Sort and TeraSort.
 
+#include "obs/export.h"
 #include "core/predict.h"
 #include "trace/experiment.h"
+#include "trace/cli_opts.h"
 #include "trace/runner.h"
 #include "trace/report.h"
 #include "workloads/qmc_pi.h"
@@ -18,6 +20,8 @@
 using namespace ipso;
 
 int main(int argc, char** argv) {
+  const obs::TraceSession trace_session(
+      trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   const auto base = sim::default_emr_cluster(1);
   const std::vector<double> eval_ns{1,  2,  4,  8,  16, 32,

@@ -6,10 +6,12 @@
 /// speedups: the IVs pathology — peak ~21 near n = 60, then decline —
 /// versus Amdahl's S(n) = n.
 
+#include "obs/export.h"
 #include "core/classify.h"
 #include "core/fit.h"
 #include "stats/nonlinear.h"
 #include "trace/experiment.h"
+#include "trace/cli_opts.h"
 #include "trace/runner.h"
 #include "trace/reference_data.h"
 #include "trace/report.h"
@@ -20,6 +22,8 @@
 using namespace ipso;
 
 int main(int argc, char** argv) {
+  const obs::TraceSession trace_session(
+      trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   // --- Part 1: re-simulated Table I.
   trace::SparkSweepConfig sweep;

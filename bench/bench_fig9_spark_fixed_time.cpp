@@ -5,7 +5,9 @@
 /// deserialization cost) while 8 falls below 4 (executor RAM pressure
 /// spills persistent RDDs to disk).
 
+#include "obs/export.h"
 #include "stats/surface.h"
+#include "trace/cli_opts.h"
 #include "trace/experiment.h"
 #include "trace/runner.h"
 #include "trace/report.h"
@@ -32,13 +34,14 @@ sim::ClusterConfig spark_cluster() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
+  const trace::CliOptions opts = trace::parse_cli_options(argc, argv);
+  const obs::TraceSession trace_session(opts.trace_out);
+  trace::ExperimentRunner runner(opts.runner);
   const auto base = spark_cluster();
   const std::vector<double> ms{1, 2, 4, 8, 16, 24, 32, 48, 64};
   // Optional fault injection (--fail-prob P, --speculate [F],
   // --max-retries K); inactive by default, leaving the output unchanged.
-  const sim::FaultModelParams faults =
-      trace::fault_params_from_args(argc, argv);
+  const sim::FaultModelParams faults = opts.faults;
 
   for (const auto& app : {wl::bayes_app(), wl::random_forest_app(),
                           wl::svm_app(), wl::nweight_app()}) {

@@ -7,8 +7,10 @@
 /// measures g(n) = EX(n), and compares the resulting speedup against
 /// Gustafson's.
 
+#include "obs/export.h"
 #include "stats/regression.h"
 #include "trace/experiment.h"
+#include "trace/cli_opts.h"
 #include "trace/runner.h"
 #include "trace/report.h"
 #include "workloads/sort.h"
@@ -19,6 +21,8 @@
 using namespace ipso;
 
 int main(int argc, char** argv) {
+  const obs::TraceSession trace_session(
+      trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   const auto base = sim::default_emr_cluster(1);
   // A working set big enough that 200 blocks never exhaust it: the

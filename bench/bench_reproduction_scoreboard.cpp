@@ -2,11 +2,13 @@
 /// the paper from the simulated pipeline and prints PASS/FAIL per claim
 /// (the README table, machine-checked). Exit code 0 iff everything passes.
 
+#include "obs/export.h"
 #include "core/classify.h"
 #include "core/diagnose.h"
 #include "core/laws.h"
 #include "core/predict.h"
 #include "trace/experiment.h"
+#include "trace/cli_opts.h"
 #include "trace/runner.h"
 #include "trace/reference_data.h"
 #include "trace/report.h"
@@ -46,6 +48,8 @@ int main(int argc, char** argv) {
 
   // One pool serves every sweep below; results are bit-identical to serial
   // execution at any thread count (--threads / IPSO_THREADS override).
+  const obs::TraceSession trace_session(
+      trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
 
   // --- MapReduce fixed-time sweeps (Figs. 4-6).

@@ -6,9 +6,11 @@
 ///
 /// Build & run:  ./build/examples/diagnose_terasort [--threads N]
 
+#include "obs/export.h"
 #include "core/diagnose.h"
 #include "core/predict.h"
 #include "trace/experiment.h"
+#include "trace/cli_opts.h"
 #include "trace/runner.h"
 #include "trace/report.h"
 #include "workloads/terasort.h"
@@ -20,6 +22,8 @@ using namespace ipso;
 int main(int argc, char** argv) {
   // Sweeps run on a shared thread pool; --threads / IPSO_THREADS override
   // the worker count without changing any result bit.
+  const obs::TraceSession trace_session(
+      trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
 
   // Step 1-2: fixed-time workload, measure the speedup as n scales.

@@ -9,8 +9,10 @@
 ///
 /// Build & run:  ./build/examples/provisioning [--threads N]
 
+#include "obs/export.h"
 #include "core/predict.h"
 #include "trace/experiment.h"
+#include "trace/cli_opts.h"
 #include "trace/runner.h"
 #include "trace/report.h"
 #include "workloads/terasort.h"
@@ -51,6 +53,8 @@ void plan_and_print(const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const obs::TraceSession trace_session(
+      trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
 
   // --- TeraSort: fit IPSO on a cheap probe sweep (n <= 24).

@@ -9,9 +9,11 @@
 /// --max-retries K (see trace/runner.h) — failed attempts and stage
 /// rollbacks then show up in the event-log latencies.
 
+#include "obs/export.h"
 #include "spark/engine.h"
 #include "spark/eventlog.h"
 #include "trace/report.h"
+#include "trace/cli_opts.h"
 #include "trace/runner.h"
 #include "workloads/collab_filter.h"
 
@@ -20,6 +22,8 @@
 using namespace ipso;
 
 int main(int argc, char** argv) {
+  const obs::TraceSession trace_session(
+      trace::trace_out_from_args(argc, argv));
   spark::SparkEngineParams params;
   params.first_wave_overhead = 0.45;
   params.faults = trace::fault_params_from_args(argc, argv, params.faults);

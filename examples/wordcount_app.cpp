@@ -5,10 +5,12 @@
 ///
 /// Build & run:  ./build/examples/wordcount_app [--threads N]
 
+#include "obs/export.h"
 #include "core/diagnose.h"
 #include "core/sensitivity.h"
 #include "mapreduce/functional.h"
 #include "trace/experiment.h"
+#include "trace/cli_opts.h"
 #include "trace/runner.h"
 #include "trace/json.h"
 #include "trace/report.h"
@@ -19,6 +21,8 @@
 using namespace ipso;
 
 int main(int argc, char** argv) {
+  const obs::TraceSession trace_session(
+      trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
 
   // --- 1. Real computation with verification, grounding the cost model.

@@ -1,13 +1,51 @@
 #include "mapreduce/engine.h"
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/event_queue.h"
 #include "stats/random.h"
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace ipso::mr {
+
+namespace {
+
+/// Emits the job's phase breakdown as simulated-time spans on a fresh track,
+/// each tagged with its IPSO attribution (Wp / Ws / Wo). Observation-only:
+/// every value is read from the already-computed result, pre-quantization.
+void trace_mr_phases(const MrJobResult& r, std::size_t workers,
+                     std::size_t tasks, std::uint64_t seed, double barrier,
+                     double shuffle_excess) {
+  const std::uint32_t track = obs::make_sim_track(
+      "mr n=" + std::to_string(workers) + " tasks=" + std::to_string(tasks) +
+      " seed=" + std::to_string(seed));
+  if (track == obs::Tracer::kInvalidTrack) return;
+  obs::record_span(track, "mr job", "mr", 0.0, r.makespan,
+                   "\"workers\":" + std::to_string(workers) +
+                       ",\"rolled_back\":" + (r.rolled_back ? "true" : "false"));
+  obs::record_span(track, "init+dispatch", "mr", 0.0, r.phases.init,
+                   "\"attr\":\"Wo\"");
+  obs::record_span(track, "map", "mr", r.phases.init, barrier,
+                   "\"attr\":\"Wp\",\"rollbacks\":" +
+                       std::to_string(r.faults.rollbacks));
+  double t = barrier;
+  obs::record_span(track, "shuffle", "mr", t, t + r.phases.shuffle,
+                   "\"attr\":\"Ws\",\"wo_excess_seconds\":" +
+                       std::to_string(shuffle_excess));
+  t += r.phases.shuffle;
+  obs::record_span(track, "merge", "mr", t, t + r.phases.merge,
+                   std::string("\"attr\":\"Ws\",\"spilled\":") +
+                       (r.spilled ? "true" : "false"));
+  t += r.phases.merge;
+  obs::record_span(track, "reduce", "mr", t, t + r.phases.reduce,
+                   "\"attr\":\"Ws\"");
+}
+
+}  // namespace
 
 MrEngine::MrEngine(sim::ClusterConfig cfg) : cfg_(std::move(cfg)) {
   cfg_.validate();
@@ -114,6 +152,10 @@ MrJobResult MrEngine::run_parallel(const MrWorkloadSpec& w,
     // scale-out-induced work. This is what migrates a faulty workload
     // toward Type IV: q(n) gains a term ~ P[rollback](n) · n.
     ++r.faults.rollbacks;
+    if (obs::enabled()) {
+      static const obs::Counter c_rollbacks("sim.fault.rollbacks");
+      c_rollbacks.add();
+    }
     double phase_compute = 0.0;
     for (double d : duration) phase_compute += d;
     r.faults.wasted_seconds += phase_compute;
@@ -168,6 +210,10 @@ MrJobResult MrEngine::run_parallel(const MrWorkloadSpec& w,
                     shuffle_excess + contention_excess +
                     r.faults.wasted_seconds;
   r.components.max_tp = r.max_task_time;
+
+  if (obs::enabled()) {
+    trace_mr_phases(r, n, tasks, job.seed, barrier, shuffle_excess);
+  }
 
   if (job.measurement_precision > 0.0) {
     r.phases = r.phases.quantized(job.measurement_precision);

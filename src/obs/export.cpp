@@ -1,0 +1,237 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+namespace ipso::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+/// Microsecond timestamps with fixed sub-us precision (Chrome expects us).
+std::string json_ts(double us) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", us);
+  return buf;
+}
+
+struct Event {
+  const SpanRecord* span;
+  bool begin;
+  int pid;
+  double ts;
+};
+
+/// Class of an event among the events sharing its timestamp: closing Es of
+/// earlier-started spans come first, then zero-width spans (each B paired
+/// immediately with its own E), then Bs of spans that end later.
+int event_class(const Event& e) {
+  if (e.span->start_us == e.span->end_us) return 1;
+  return e.begin ? 2 : 0;
+}
+
+/// Sorted so each (pid, tid) stream is monotone and properly nested: at
+/// equal timestamps an enclosing B precedes its child's B and a child's E
+/// precedes its parent's E; ties between identical intervals fall back to
+/// the span's ring position (mirrored between B and E so the pairs still
+/// nest), which keeps the order deterministic.
+bool event_less(const Event& a, const Event& b) {
+  if (a.pid != b.pid) return a.pid < b.pid;
+  if (a.span->track != b.span->track) return a.span->track < b.span->track;
+  if (a.ts != b.ts) return a.ts < b.ts;
+  const int ca = event_class(a);
+  const int cb = event_class(b);
+  if (ca != cb) return ca < cb;
+  switch (ca) {
+    case 0:  // inner (later-started) E first
+      if (a.span->start_us != b.span->start_us) {
+        return a.span->start_us > b.span->start_us;
+      }
+      return a.span > b.span;
+    case 1:  // zero-width pairs: group by span, B before its E
+      if (a.span != b.span) return a.span < b.span;
+      return a.begin && !b.begin;
+    default:  // outer (later-ending) B first
+      if (a.span->end_us != b.span->end_us) {
+        return a.span->end_us > b.span->end_us;
+      }
+      return a.span < b.span;
+  }
+}
+
+void append_event(std::ostringstream* os, const Event& e) {
+  const SpanRecord& s = *e.span;
+  *os << "{\"name\":\"" << json_escape(s.name) << "\",\"cat\":\""
+      << json_escape(s.category.empty() ? "ipso" : s.category)
+      << "\",\"ph\":\"" << (e.begin ? 'B' : 'E') << "\",\"ts\":"
+      << json_ts(e.ts) << ",\"pid\":" << e.pid << ",\"tid\":" << s.track;
+  if (e.begin && !s.args.empty()) *os << ",\"args\":{" << s.args << "}";
+  *os << "}";
+}
+
+void append_metadata(std::ostringstream* os, const char* kind, int pid,
+                     std::uint32_t tid, const std::string& name, bool first) {
+  if (!first) *os << ",\n";
+  *os << "{\"name\":\"" << kind << "\",\"ph\":\"M\",\"pid\":" << pid
+      << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << json_escape(name)
+      << "\"}}";
+}
+
+void append_metrics_body(std::ostringstream* os, const MetricsSnapshot& snap) {
+  *os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) *os << ",";
+    first = false;
+    *os << "\"" << json_escape(name) << "\":" << json_number(value);
+  }
+  *os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) *os << ",";
+    first = false;
+    *os << "\"" << json_escape(name) << "\":" << json_number(value);
+  }
+  *os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) *os << ",";
+    first = false;
+    *os << "\"" << json_escape(name) << "\":{\"count\":" << h.count
+        << ",\"sum\":" << json_number(h.sum)
+        << ",\"mean\":" << json_number(h.mean())
+        << ",\"p50\":" << json_number(h.quantile(0.5))
+        << ",\"p90\":" << json_number(h.quantile(0.9))
+        << ",\"p99\":" << json_number(h.quantile(0.99)) << "}";
+  }
+  *os << "}}";
+}
+
+}  // namespace
+
+std::string chrome_trace_json() {
+  const Tracer& tracer = Tracer::global();
+  const std::vector<SpanRecord> spans = tracer.spans();
+  const std::vector<Tracer::TrackInfo> tracks = tracer.tracks();
+
+  std::vector<Event> events;
+  events.reserve(spans.size() * 2);
+  for (const SpanRecord& s : spans) {
+    const bool simulated =
+        s.track < tracks.size() && tracks[s.track].simulated;
+    const int pid = simulated ? 2 : 1;
+    events.push_back({&s, true, pid, s.start_us});
+    events.push_back({&s, false, pid, s.end_us});
+  }
+  std::sort(events.begin(), events.end(), event_less);
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  append_metadata(&os, "process_name", 1, 0, "wall-clock", /*first=*/true);
+  append_metadata(&os, "process_name", 2, 0, "simulated", /*first=*/false);
+  for (std::uint32_t t = 0; t < tracks.size(); ++t) {
+    append_metadata(&os, "thread_name", tracks[t].simulated ? 2 : 1, t,
+                    tracks[t].label, /*first=*/false);
+  }
+  for (const Event& e : events) {
+    os << ",\n";
+    append_event(&os, e);
+  }
+  os << "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{\"dropped_spans\":"
+     << tracer.dropped() << ",\"span_count\":" << spans.size() << "},\n";
+  os << "\"metrics\":";
+  append_metrics_body(&os, MetricsRegistry::global().snapshot());
+  os << "}\n";
+  return os.str();
+}
+
+std::string metrics_json(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  append_metrics_body(&os, snap);
+  os << "\n";
+  return os.str();
+}
+
+std::string metrics_csv(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "kind,name,value,count,mean,p50,p90,p99\n";
+  for (const auto& [name, value] : snap.counters) {
+    os << "counter," << name << "," << json_number(value) << ",,,,,\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    os << "gauge," << name << "," << json_number(value) << ",,,,,\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    os << "histogram," << name << "," << json_number(h.sum) << "," << h.count
+       << "," << json_number(h.mean()) << "," << json_number(h.quantile(0.5))
+       << "," << json_number(h.quantile(0.9)) << ","
+       << json_number(h.quantile(0.99)) << "\n";
+  }
+  return os.str();
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chrome_trace_json();
+  return static_cast<bool>(out);
+}
+
+TraceSession::TraceSession(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  set_enabled(true);
+}
+
+TraceSession::~TraceSession() {
+  if (path_.empty()) return;
+  set_enabled(false);
+  if (write_chrome_trace(path_)) {
+    std::cerr << "[ipso::obs] trace written to " << path_
+              << " (open in chrome://tracing or https://ui.perfetto.dev)\n";
+  } else {
+    std::cerr << "[ipso::obs] FAILED to write trace to " << path_ << "\n";
+  }
+}
+
+}  // namespace ipso::obs

@@ -1,0 +1,54 @@
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+#include <string>
+
+/// \file export.h
+/// Exporters for the obs subsystem.
+///
+///  * chrome_trace_json(): the global tracer's spans as Chrome trace_event
+///    JSON (B/E pairs, sorted so timestamps are monotone per track), with
+///    the metrics snapshot embedded under a top-level "metrics" key. Loads
+///    directly in chrome://tracing and https://ui.perfetto.dev. Real-time
+///    tracks live under pid 1 ("wall-clock"), simulated-time tracks under
+///    pid 2 ("simulated").
+///  * metrics_json() / metrics_csv(): flat dumps of a MetricsSnapshot.
+///  * TraceSession: the RAII hook for CLIs — constructing with a non-empty
+///    path enables tracing, destruction writes the trace file (and notes it
+///    on stderr, never stdout: traced runs keep byte-identical stdout).
+
+namespace ipso::obs {
+
+/// Full Chrome trace JSON from the global tracer + global registry.
+std::string chrome_trace_json();
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+/// mean, p50, p90, p99}}}
+std::string metrics_json(const MetricsSnapshot& snap);
+
+/// kind,name,value,count,mean,p50,p90,p99 rows.
+std::string metrics_csv(const MetricsSnapshot& snap);
+
+/// Writes chrome_trace_json() to `path`. Returns false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+/// Scope guard for `--trace-out=<file>` / `IPSO_TRACE`: an empty path is
+/// inert; a non-empty path enables obs for the scope's lifetime and writes
+/// the Chrome trace on destruction.
+class TraceSession {
+ public:
+  explicit TraceSession(std::string path);
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  bool active() const noexcept { return !path_.empty(); }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace ipso::obs

@@ -1,11 +1,42 @@
 #include "runtime/exec_pool.h"
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <string>
 
 namespace ipso::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Pool-wide instruments, registered once. Updates are no-ops (one relaxed
+/// load) while obs is disabled, so the task hot path is unperturbed.
+struct PoolInstruments {
+  obs::Counter submitted{"runtime.pool.tasks_submitted"};
+  obs::Counter executed{"runtime.pool.tasks_executed"};
+  obs::Counter indices{"runtime.pool.parallel_for_indices"};
+  obs::Gauge queue_depth{"runtime.pool.queue_depth"};
+  obs::Histogram wait_seconds{"runtime.pool.wait_seconds"};
+  obs::Histogram task_seconds{"runtime.pool.task_seconds"};
+};
+
+PoolInstruments& instruments() {
+  static PoolInstruments i;
+  return i;
+}
+
+}  // namespace
 
 std::size_t default_thread_count(std::size_t requested) noexcept {
   if (requested > 0) return requested;
@@ -22,7 +53,7 @@ ExecPool::ExecPool(std::size_t threads) {
   const std::size_t n = default_thread_count(threads);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -36,9 +67,15 @@ ExecPool::~ExecPool() {
 }
 
 void ExecPool::submit(std::function<void()> task) {
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lk(mu_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
+  }
+  if (obs::enabled()) {
+    instruments().submitted.add();
+    instruments().queue_depth.set(static_cast<double>(depth));
   }
   work_cv_.notify_one();
 }
@@ -48,9 +85,16 @@ void ExecPool::wait_idle() {
   idle_cv_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ExecPool::worker_loop() {
+void ExecPool::worker_loop(std::size_t index) {
+  // Per-worker utilization counter; dead-cheap no-op while disabled.
+  const obs::Counter busy("runtime.pool.worker_busy_seconds." +
+                          std::to_string(index));
+  bool track_named = false;
   for (;;) {
     std::function<void()> task;
+    const bool observing = obs::enabled();
+    const auto wait_t0 = observing ? Clock::now() : Clock::time_point{};
+    std::size_t depth;
     {
       std::unique_lock<std::mutex> lk(mu_);
       work_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
@@ -58,8 +102,28 @@ void ExecPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      depth = queue_.size();
     }
-    task();
+    if (observing) {
+      if (!track_named) {
+        obs::Tracer::global().name_thread_track("pool-worker-" +
+                                                std::to_string(index));
+        track_named = true;
+      }
+      instruments().wait_seconds.observe(seconds_since(wait_t0));
+      instruments().queue_depth.set(static_cast<double>(depth));
+    }
+    const auto task_t0 = observing ? Clock::now() : Clock::time_point{};
+    {
+      obs::ScopedSpan span("pool task", "runtime");
+      task();
+    }
+    if (observing) {
+      const double s = seconds_since(task_t0);
+      instruments().executed.add();
+      instruments().task_seconds.observe(s);
+      busy.add(s);
+    }
     {
       std::lock_guard<std::mutex> lk(mu_);
       --active_;
@@ -90,6 +154,7 @@ void ExecPool::parallel_for(std::size_t count,
     for (;;) {
       const std::size_t i = shared->next.fetch_add(1);
       if (i >= count) break;
+      instruments().indices.add();
       try {
         if (!shared->failed.load(std::memory_order_relaxed)) (*body_ptr)(i);
       } catch (...) {

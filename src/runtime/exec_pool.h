@@ -50,7 +50,7 @@ class ExecPool {
                     const std::function<void(std::size_t)>& body);
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::mutex mu_;
   std::condition_variable work_cv_;

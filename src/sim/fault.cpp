@@ -1,5 +1,7 @@
 #include "sim/fault.h"
 
+#include "obs/metrics.h"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -143,11 +145,27 @@ void FaultModel::apply_speculation(
 
 void FaultModel::accumulate(std::span<const TaskFaultOutcome> cohort,
                             FaultStats* stats) noexcept {
+  std::uint64_t failed = 0, speculated = 0, wins = 0;
+  double wasted = 0.0;
   for (const TaskFaultOutcome& t : cohort) {
     stats->failed_attempts += t.failed_attempts;
     stats->speculative_copies += t.speculated ? 1 : 0;
     stats->backup_wins += t.backup_won ? 1 : 0;
     stats->wasted_seconds += t.busy - t.clean;
+    failed += t.failed_attempts;
+    speculated += t.speculated ? 1 : 0;
+    wins += t.backup_won ? 1 : 0;
+    wasted += t.busy - t.clean;
+  }
+  if (obs::enabled()) {
+    static const obs::Counter c_failed("sim.fault.failed_attempts");
+    static const obs::Counter c_spec("sim.fault.speculative_copies");
+    static const obs::Counter c_wins("sim.fault.backup_wins");
+    static const obs::Counter c_wasted("sim.fault.wasted_seconds");
+    c_failed.add(static_cast<double>(failed));
+    c_spec.add(static_cast<double>(speculated));
+    c_wins.add(static_cast<double>(wins));
+    c_wasted.add(wasted);
   }
 }
 

@@ -1,13 +1,65 @@
 #include "spark/engine.h"
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "stats/random.h"
 
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace ipso::spark {
+
+namespace {
+
+/// Emits one simulated-time track per job: a whole-job span, one span per
+/// stage, and sub-spans for the stage's phases tagged with their IPSO
+/// attribution — broadcast and dispatch are Wo (they exist only because of
+/// the scale-out), the wave compute is Wp, the shuffle barrier is Ws.
+void trace_spark_stages(const SparkJobResult& r, std::size_t executors,
+                        std::size_t total_tasks, std::uint64_t seed) {
+  const std::uint32_t track = obs::make_sim_track(
+      "spark m=" + std::to_string(executors) +
+      " N=" + std::to_string(total_tasks) + " seed=" + std::to_string(seed));
+  if (track == obs::Tracer::kInvalidTrack) return;
+  obs::record_span(track, "spark job", "spark", 0.0, r.makespan,
+                   "\"executors\":" + std::to_string(executors) +
+                       ",\"wp\":" + std::to_string(r.components.wp) +
+                       ",\"ws\":" + std::to_string(r.components.ws) +
+                       ",\"wo\":" + std::to_string(r.components.wo));
+  for (const StageMetrics& sm : r.stages) {
+    const std::string id = " #" + std::to_string(sm.stage_id);
+    obs::record_span(
+        track, sm.name + id, "spark", sm.submission_time, sm.completion_time,
+        "\"waves\":" + std::to_string(sm.waves) +
+            ",\"tasks\":" + std::to_string(sm.tasks) +
+            ",\"retries\":" + std::to_string(sm.retries) +
+            ",\"spilled\":" + (sm.spilled ? "true" : "false") +
+            ",\"rolled_back\":" + (sm.rolled_back ? "true" : "false"));
+    double t = sm.submission_time;
+    if (sm.broadcast_time > 0.0) {
+      obs::record_span(track, "broadcast" + id, "spark", t,
+                       t + sm.broadcast_time, "\"attr\":\"Wo\"");
+      t += sm.broadcast_time;
+    }
+    if (sm.dispatch_time > 0.0) {
+      obs::record_span(track, "dispatch" + id, "spark", t,
+                       t + sm.dispatch_time, "\"attr\":\"Wo\"");
+      t += sm.dispatch_time;
+    }
+    obs::record_span(track, "compute" + id, "spark", t,
+                     sm.completion_time - sm.shuffle_time, "\"attr\":\"Wp\"");
+    if (sm.shuffle_time > 0.0) {
+      obs::record_span(track, "shuffle" + id, "spark",
+                       sm.completion_time - sm.shuffle_time,
+                       sm.completion_time, "\"attr\":\"Ws\"");
+    }
+  }
+}
+
+}  // namespace
 
 SparkEngine::SparkEngine(sim::ClusterConfig cfg, SparkEngineParams params)
     : cfg_(std::move(cfg)), params_(params) {
@@ -59,6 +111,7 @@ SparkJobResult SparkEngine::run(const SparkAppSpec& app,
       // Driver dispatch: serial per-task cost, growing with cluster size.
       const double dispatch =
           cfg_.scheduler.total_dispatch_time(tasks, m);
+      sm.dispatch_time = dispatch;
       r.components.wo += dispatch;
 
       // Executor-memory pressure: cached partitions of this executor's
@@ -141,6 +194,10 @@ SparkJobResult SparkEngine::run(const SparkAppSpec& app,
         sm.faults.wasted_seconds += first_execution;
         wall *= 2.0;
         ++sm.faults.rollbacks;
+        if (obs::enabled()) {
+          static const obs::Counter c_rollbacks("sim.fault.rollbacks");
+          c_rollbacks.add();
+        }
       }
       r.components.wo += fault_waste;
       r.faults.merge(sm.faults);
@@ -158,6 +215,7 @@ SparkJobResult SparkEngine::run(const SparkAppSpec& app,
         const double bytes =
             spec.shuffle_bytes_per_task * static_cast<double>(tasks);
         const double t = cfg_.network.transfer_time(bytes, m);
+        sm.shuffle_time = t;
         now += t;
         r.components.ws += t;  // shuffled data volume scales with N, not m
       }
@@ -174,6 +232,9 @@ SparkJobResult SparkEngine::run(const SparkAppSpec& app,
   }
 
   r.makespan = now;
+  if (obs::enabled()) {
+    trace_spark_stages(r, m, job.total_tasks, job.seed);
+  }
   return r;
 }
 

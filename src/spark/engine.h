@@ -61,6 +61,8 @@ struct StageMetrics {
   std::size_t waves = 0;
   bool spilled = false;
   double broadcast_time = 0.0;
+  double dispatch_time = 0.0;  ///< driver-serialized task dispatch (Wo)
+  double shuffle_time = 0.0;   ///< stage-output shuffle barrier (Ws)
   std::size_t retries = 0;    ///< failed task attempts that were retried
   bool rolled_back = false;   ///< stage was re-executed after retry exhaustion
   sim::FaultStats faults;     ///< full fault/speculation counters

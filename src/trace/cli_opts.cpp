@@ -1,0 +1,90 @@
+#include "trace/cli_opts.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace ipso::trace {
+
+namespace {
+
+/// "--flag value" / "--flag=value" scan; returns nullptr when absent.
+const char* arg_value(int argc, char** argv, const std::string& flag) {
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == flag && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind(prefix, 0) == 0) return argv[i] + prefix.size();
+  }
+  return nullptr;
+}
+
+bool parse_double(const char* s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+RunnerConfig runner_config_from_args(int argc, char** argv) {
+  RunnerConfig cfg;
+  if (const char* v = arg_value(argc, argv, "--threads")) {
+    char* end = nullptr;
+    const unsigned long t = std::strtoul(v, &end, 10);
+    if (end != v && *end == '\0' && t > 0 && t <= 1024) cfg.threads = t;
+  }
+  return cfg;
+}
+
+sim::FaultModelParams fault_params_from_args(int argc, char** argv,
+                                             sim::FaultModelParams base) {
+  if (const char* v = arg_value(argc, argv, "--fail-prob")) {
+    double p = 0.0;
+    if (parse_double(v, &p) && p >= 0.0 && p < 1.0) {
+      base.task_failure_prob = p;
+    }
+  }
+  if (const char* v = arg_value(argc, argv, "--max-retries")) {
+    char* end = nullptr;
+    const unsigned long k = std::strtoul(v, &end, 10);
+    if (end != v && *end == '\0' && k <= 1000) base.max_task_retries = k;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--speculate") {
+      base.speculation = true;
+      // An optional numeric value right after the flag is the fraction.
+      double f = 0.0;
+      if (i + 1 < argc && parse_double(argv[i + 1], &f) && f >= 0.0 &&
+          f <= 1.0) {
+        base.speculation_fraction = f;
+      }
+    } else if (arg.rfind("--speculate=", 0) == 0) {
+      base.speculation = true;
+      double f = 0.0;
+      if (parse_double(arg.c_str() + 12, &f) && f >= 0.0 && f <= 1.0) {
+        base.speculation_fraction = f;
+      }
+    }
+  }
+  return base;
+}
+
+std::string trace_out_from_args(int argc, char** argv) {
+  if (const char* v = arg_value(argc, argv, "--trace-out")) return v;
+  if (const char* env = std::getenv("IPSO_TRACE")) return env;
+  return {};
+}
+
+CliOptions parse_cli_options(int argc, char** argv,
+                             sim::FaultModelParams fault_base) {
+  CliOptions opts;
+  opts.runner = runner_config_from_args(argc, argv);
+  opts.faults = fault_params_from_args(argc, argv, fault_base);
+  opts.trace_out = trace_out_from_args(argc, argv);
+  return opts;
+}
+
+}  // namespace ipso::trace

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "sim/fault.h"
+#include "trace/runner.h"
+
+#include <string>
+
+/// \file cli_opts.h
+/// Shared CLI flag parsing for the bench/example executables. Every binary
+/// historically re-declared the same `--threads` / fault-flag scan; this is
+/// the one place those flags (and `--trace-out`) are defined.
+///
+/// Flags:
+///   --threads N            worker threads (0/absent = default)
+///   --fail-prob P          per-attempt task failure probability
+///   --speculate [F]        speculative execution (optional fraction F)
+///   --max-retries K        retry budget before stage rollback
+///   --trace-out FILE       enable obs tracing, write Chrome trace JSON to
+///                          FILE on exit (IPSO_TRACE env is the fallback)
+///
+/// Malformed or out-of-range values are ignored (the flag keeps its base
+/// value) so a typo degrades to defaults instead of aborting a long sweep.
+
+namespace ipso::trace {
+
+/// Scans argv for "--threads N" / "--threads=N" and returns a RunnerConfig
+/// (0 = default when the flag is absent).
+RunnerConfig runner_config_from_args(int argc, char** argv);
+
+/// Scans argv for the fault-injection flags and overlays them onto `base`.
+sim::FaultModelParams fault_params_from_args(
+    int argc, char** argv, sim::FaultModelParams base = {});
+
+/// Resolves the trace output path: "--trace-out FILE" / "--trace-out=FILE",
+/// falling back to the IPSO_TRACE environment variable. Empty = tracing
+/// stays disabled (pass the result straight to obs::TraceSession).
+std::string trace_out_from_args(int argc, char** argv);
+
+/// Everything the shared flags configure, parsed in one call.
+struct CliOptions {
+  RunnerConfig runner;
+  sim::FaultModelParams faults;
+  std::string trace_out;
+};
+
+/// One-call parse of every shared flag; `fault_base` seeds the fault params
+/// the same way fault_params_from_args' `base` does.
+CliOptions parse_cli_options(int argc, char** argv,
+                             sim::FaultModelParams fault_base = {});
+
+}  // namespace ipso::trace

@@ -1,12 +1,16 @@
 #include "trace/runner.h"
 
 #include "core/model.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace ipso::trace {
@@ -169,13 +173,23 @@ void ExperimentRunner::record_task(const std::string& sweep_label, double n,
                                    std::size_t rep, std::size_t total,
                                    std::size_t* completed,
                                    double wall_seconds) {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++metrics_.tasks_completed;
-  metrics_.busy_seconds += wall_seconds;
-  ++*completed;
-  if (progress_) {
-    progress_(TaskEvent{sweep_label, n, rep, *completed, total, wall_seconds});
+  // progress_mu_ serializes the whole update+deliver sequence, so the event
+  // stream observes `completed` (and the metrics snapshot) strictly
+  // increasing; mu_ is only held for the counter update, so the callback is
+  // free to call metrics() without self-deadlocking.
+  std::lock_guard<std::mutex> progress_lk(progress_mu_);
+  TaskEvent ev{sweep_label, n, rep, 0, total, wall_seconds, {}};
+  ProgressCallback cb;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++metrics_.tasks_completed;
+    metrics_.busy_seconds += wall_seconds;
+    ++*completed;
+    ev.completed = *completed;
+    ev.metrics = metrics_;
+    cb = progress_;
   }
+  if (cb) cb(ev);
 }
 
 MrSweepResult ExperimentRunner::run_mr_sweep(const mr::MrWorkloadSpec& workload,
@@ -202,9 +216,22 @@ MrSweepResult ExperimentRunner::run_mr_sweep(const mr::MrWorkloadSpec& workload,
   const std::size_t total = grid.size() * reps;
   std::size_t completed = 0;
 
+  std::optional<obs::ScopedSpan> sweep_span;
+  if (obs::enabled()) {
+    sweep_span.emplace("mr sweep " + workload.name, "runner",
+                       "\"points\":" + std::to_string(grid.size()) +
+                           ",\"reps\":" + std::to_string(reps));
+  }
+
   pool_.parallel_for(total, [&](std::size_t task) {
     const std::size_t gi = task / reps;
     const std::size_t rep = task % reps;
+    std::optional<obs::ScopedSpan> span;
+    if (obs::enabled()) {
+      span.emplace("mr point " + workload.name, "runner",
+                   "\"n\":" + std::to_string(grid[gi]) +
+                       ",\"rep\":" + std::to_string(rep));
+    }
     const auto t0 = Clock::now();
     raw[gi][rep] = run_mr_rep(workload, base, sweep, grid[gi], rep);
     record_task(workload.name, grid[gi], rep, total, &completed,
@@ -265,7 +292,18 @@ SparkSweepResult ExperimentRunner::run_spark_sweep(
   const std::size_t total = grid.size();
   std::size_t completed = 0;
 
+  std::optional<obs::ScopedSpan> sweep_span;
+  if (obs::enabled()) {
+    sweep_span.emplace("spark sweep", "runner",
+                       "\"points\":" + std::to_string(grid.size()));
+  }
+
   pool_.parallel_for(total, [&](std::size_t gi) {
+    std::optional<obs::ScopedSpan> span;
+    if (obs::enabled()) {
+      span.emplace("spark point", "runner",
+                   "\"m\":" + std::to_string(grid[gi]));
+    }
     const auto t0 = Clock::now();
     raw[gi] = run_spark_point(app_for, base, sweep, grid[gi]);
     record_task("spark", grid[gi], 0, total, &completed, seconds_since(t0));
@@ -300,91 +338,6 @@ SparkSweepResult ExperimentRunner::run_spark_sweep(
     metrics_.wall_seconds += seconds_since(sweep_t0);
   }
   return result;
-}
-
-namespace {
-
-/// "--flag value" / "--flag=value" scan; returns nullptr when absent.
-const char* arg_value(int argc, char** argv, const std::string& flag,
-                      int* index_out = nullptr) {
-  const std::string prefix = flag + "=";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == flag && i + 1 < argc) {
-      if (index_out != nullptr) *index_out = i;
-      return argv[i + 1];
-    }
-    if (arg.rfind(prefix, 0) == 0) {
-      if (index_out != nullptr) *index_out = i;
-      return argv[i] + prefix.size();
-    }
-  }
-  return nullptr;
-}
-
-bool parse_double(const char* s, double* out) {
-  char* end = nullptr;
-  const double v = std::strtod(s, &end);
-  if (end == s || *end != '\0') return false;
-  *out = v;
-  return true;
-}
-
-}  // namespace
-
-sim::FaultModelParams fault_params_from_args(int argc, char** argv,
-                                             sim::FaultModelParams base) {
-  if (const char* v = arg_value(argc, argv, "--fail-prob")) {
-    double p = 0.0;
-    if (parse_double(v, &p) && p >= 0.0 && p < 1.0) {
-      base.task_failure_prob = p;
-    }
-  }
-  if (const char* v = arg_value(argc, argv, "--max-retries")) {
-    char* end = nullptr;
-    const unsigned long k = std::strtoul(v, &end, 10);
-    if (end != v && *end == '\0' && k <= 1000) base.max_task_retries = k;
-  }
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--speculate") {
-      base.speculation = true;
-      // An optional numeric value right after the flag is the fraction.
-      double f = 0.0;
-      if (i + 1 < argc && parse_double(argv[i + 1], &f) && f >= 0.0 &&
-          f <= 1.0) {
-        base.speculation_fraction = f;
-      }
-    } else if (arg.rfind("--speculate=", 0) == 0) {
-      base.speculation = true;
-      double f = 0.0;
-      if (parse_double(arg.c_str() + 12, &f) && f >= 0.0 && f <= 1.0) {
-        base.speculation_fraction = f;
-      }
-    }
-  }
-  return base;
-}
-
-RunnerConfig runner_config_from_args(int argc, char** argv) {
-  RunnerConfig cfg;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const char* value = nullptr;
-    if (arg == "--threads" && i + 1 < argc) {
-      value = argv[++i];
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      value = argv[i] + 10;
-    }
-    if (value != nullptr) {
-      char* end = nullptr;
-      const unsigned long v = std::strtoul(value, &end, 10);
-      if (end != value && *end == '\0' && v > 0 && v <= 1024) {
-        cfg.threads = v;
-      }
-    }
-  }
-  return cfg;
 }
 
 }  // namespace ipso::trace

@@ -30,6 +30,14 @@ struct RunnerConfig {
   std::size_t threads = 0;
 };
 
+/// Aggregate counters across every sweep a runner has executed.
+struct RunnerMetrics {
+  std::size_t sweeps_run = 0;       ///< completed sweep calls
+  std::size_t tasks_completed = 0;  ///< simulator tasks executed
+  double busy_seconds = 0.0;        ///< summed per-task wall time
+  double wall_seconds = 0.0;        ///< summed per-sweep wall time
+};
+
 /// One completed sweep task, reported through the progress callback.
 struct TaskEvent {
   std::string sweep;           ///< sweep label (workload name or "spark")
@@ -38,14 +46,9 @@ struct TaskEvent {
   std::size_t completed = 0;   ///< tasks finished so far in this sweep
   std::size_t total = 0;       ///< total tasks in this sweep
   double wall_seconds = 0.0;   ///< wall time of this task
-};
-
-/// Aggregate counters across every sweep a runner has executed.
-struct RunnerMetrics {
-  std::size_t sweeps_run = 0;       ///< completed sweep calls
-  std::size_t tasks_completed = 0;  ///< simulator tasks executed
-  double busy_seconds = 0.0;        ///< summed per-task wall time
-  double wall_seconds = 0.0;        ///< summed per-sweep wall time
+  /// Aggregate counters snapshotted atomically with `completed`: the event
+  /// stream observes metrics.tasks_completed strictly increasing.
+  RunnerMetrics metrics;
 };
 
 /// Owns the thread pool, the progress callback, and the metrics. Safe to
@@ -58,7 +61,10 @@ class ExperimentRunner {
 
   /// Installs a progress callback, invoked once per finished task. Called
   /// from worker threads, but never concurrently (an internal mutex
-  /// serializes invocations).
+  /// serializes invocations), and delivered in counter order: successive
+  /// events carry strictly increasing `completed` and metrics snapshots.
+  /// The callback may call metrics() — the counters are guarded by a
+  /// different mutex than the one serializing delivery.
   void on_progress(ProgressCallback cb);
 
   /// Resolved worker-thread count.
@@ -86,24 +92,14 @@ class ExperimentRunner {
                    double wall_seconds);
 
   runtime::ExecPool pool_;
+  /// Outer delivery lock: held across counter update + snapshot + callback,
+  /// so events arrive serialized and in counter order.
+  std::mutex progress_mu_;
+  /// Inner state lock (metrics_ and progress_). Never held while the user
+  /// callback runs, so a callback may call metrics() without deadlocking.
   mutable std::mutex mu_;
   ProgressCallback progress_;
   RunnerMetrics metrics_;
 };
-
-/// Scans argv for "--threads N" / "--threads=N" and returns a RunnerConfig
-/// (0 = default when the flag is absent). Shared by the example CLIs.
-RunnerConfig runner_config_from_args(int argc, char** argv);
-
-/// Scans argv for the fault-injection flags shared by the bench/example
-/// CLIs and overlays them onto `base`:
-///   --fail-prob P (or --fail-prob=P)   per-attempt task failure probability
-///   --speculate [F] (or --speculate=F) speculative execution, optionally
-///                                      with the slowest-fraction F
-///   --max-retries K                    retry budget before stage rollback
-/// Malformed or out-of-range values are ignored (the flag keeps its base
-/// value), mirroring runner_config_from_args.
-sim::FaultModelParams fault_params_from_args(
-    int argc, char** argv, sim::FaultModelParams base = {});
 
 }  // namespace ipso::trace

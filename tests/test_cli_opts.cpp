@@ -1,0 +1,91 @@
+#include "trace/cli_opts.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace ipso {
+namespace {
+
+TEST(CliOpts, ThreadsFlagBothSpellings) {
+  const char* argv1[] = {"prog", "--threads", "4"};
+  EXPECT_EQ(trace::runner_config_from_args(3, const_cast<char**>(argv1))
+                .threads,
+            4u);
+  const char* argv2[] = {"prog", "--threads=7"};
+  EXPECT_EQ(trace::runner_config_from_args(2, const_cast<char**>(argv2))
+                .threads,
+            7u);
+}
+
+TEST(CliOpts, ThreadsFlagRejectsGarbage) {
+  const char* argv1[] = {"prog", "--threads", "zero"};
+  EXPECT_EQ(trace::runner_config_from_args(3, const_cast<char**>(argv1))
+                .threads,
+            0u);
+  const char* argv2[] = {"prog", "--threads=99999"};
+  EXPECT_EQ(trace::runner_config_from_args(2, const_cast<char**>(argv2))
+                .threads,
+            0u);
+}
+
+TEST(CliOpts, FaultFlags) {
+  const char* argv[] = {"prog", "--fail-prob=0.05", "--max-retries", "2",
+                        "--speculate=0.1"};
+  const auto p = trace::fault_params_from_args(5, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(p.task_failure_prob, 0.05);
+  EXPECT_EQ(p.max_task_retries, 2u);
+  EXPECT_TRUE(p.speculation);
+  EXPECT_DOUBLE_EQ(p.speculation_fraction, 0.1);
+}
+
+TEST(CliOpts, TraceOutFlagBothSpellings) {
+  const char* argv1[] = {"prog", "--trace-out", "/tmp/t.json"};
+  EXPECT_EQ(trace::trace_out_from_args(3, const_cast<char**>(argv1)),
+            "/tmp/t.json");
+  const char* argv2[] = {"prog", "--trace-out=trace.json"};
+  EXPECT_EQ(trace::trace_out_from_args(2, const_cast<char**>(argv2)),
+            "trace.json");
+}
+
+TEST(CliOpts, TraceOutAbsentAndNoEnvIsEmpty) {
+  // The test environment must not leak IPSO_TRACE into this assertion.
+  const char* saved = std::getenv("IPSO_TRACE");
+  unsetenv("IPSO_TRACE");
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(trace::trace_out_from_args(1, const_cast<char**>(argv)).empty());
+  if (saved != nullptr) setenv("IPSO_TRACE", saved, 1);
+}
+
+TEST(CliOpts, TraceOutFallsBackToEnv) {
+  const char* saved = std::getenv("IPSO_TRACE");
+  setenv("IPSO_TRACE", "/tmp/env-trace.json", 1);
+  const char* argv[] = {"prog"};
+  EXPECT_EQ(trace::trace_out_from_args(1, const_cast<char**>(argv)),
+            "/tmp/env-trace.json");
+  const char* argv2[] = {"prog", "--trace-out=flag.json"};
+  EXPECT_EQ(trace::trace_out_from_args(2, const_cast<char**>(argv2)),
+            "flag.json");  // the flag wins over the env
+  if (saved != nullptr) {
+    setenv("IPSO_TRACE", saved, 1);
+  } else {
+    unsetenv("IPSO_TRACE");
+  }
+}
+
+TEST(CliOpts, ParseCliOptionsCombinesEverything) {
+  sim::FaultModelParams base;
+  base.max_task_retries = 9;
+  const char* argv[] = {"prog", "--threads=3", "--fail-prob=0.01",
+                        "--trace-out=all.json"};
+  const auto opts =
+      trace::parse_cli_options(4, const_cast<char**>(argv), base);
+  EXPECT_EQ(opts.runner.threads, 3u);
+  EXPECT_DOUBLE_EQ(opts.faults.task_failure_prob, 0.01);
+  EXPECT_EQ(opts.faults.max_task_retries, 9u);  // base preserved
+  EXPECT_EQ(opts.trace_out, "all.json");
+}
+
+}  // namespace
+}  // namespace ipso

@@ -147,6 +147,42 @@ TEST(ClassifyFixedSize, QuadraticBroadcastIsTypeIVs) {
   EXPECT_NEAR(c.peak_speedup, 0.5 / std::sqrt(3.74e-4), 0.5);
 }
 
+// --- Taxonomy boundaries: exact parameter values on the type borders
+
+TEST(ClassifyBoundary, GammaExactlyOneIsTypeIIItTwo) {
+  // gamma = 1 sits exactly on the IIt / IVt border: the scale-out term's
+  // denominator exponent ties the parallel term's, so growth is exactly 0
+  // -> bounded with the scale-out term in the bound, bound = 1/beta.
+  const auto c = classify(fixed_time(1.0, 1.0, 1.0, 1e-3, 1.0));
+  EXPECT_EQ(c.type, ScalingType::kIIIt2);
+  EXPECT_EQ(c.shape, GrowthShape::kBounded);
+  EXPECT_NEAR(c.bound, 1000.0, 1e-6);
+}
+
+TEST(ClassifyBoundary, DeltaZeroWithEtaOneIsTypeIs) {
+  // delta = 0 normally forces in-proportion scaling (IIIt,1), but at
+  // eta = 1 there is no serial term to cap the speedup: the classification
+  // must come out linear (Is), slope 1, not bounded. alpha is irrelevant
+  // at eta = 1 (the epsilon-ratio cancels, paper remark below Eq. 16).
+  const auto c = classify(fixed_size(1.0, 2.5, 0.0, 0.0));
+  EXPECT_EQ(c.type, ScalingType::kIs);
+  EXPECT_EQ(c.shape, GrowthShape::kLinear);
+  EXPECT_NEAR(c.slope, 1.0, 1e-9);
+  EXPECT_TRUE(std::isinf(c.bound));
+}
+
+TEST(ClassifyBoundary, GammaSlightlyAboveOneIsTypeIVt) {
+  // gamma = 1.1 clears the classification tolerance (0.05) above the
+  // gamma = 1 border: growth = -0.1 < -tol, so the curve peaks (IVt).
+  const auto c = classify(fixed_time(1.0, 1.0, 1.0, 1e-3, 1.1));
+  EXPECT_EQ(c.type, ScalingType::kIVt);
+  EXPECT_EQ(c.shape, GrowthShape::kPeaked);
+  // beta*n^gamma*(gamma-1) = 1 at the peak: n = (1/(beta*(gamma-1)))^(1/gamma).
+  const double expected_peak = std::pow(1.0 / (1e-3 * 0.1), 1.0 / 1.1);
+  EXPECT_NEAR(c.peak_n, expected_peak, 0.01 * expected_peak);
+  EXPECT_GT(c.peak_speedup, 1.0);
+}
+
 // --- Robustness and utilities
 
 TEST(Classify, ToleranceAbsorbsFittedNoise) {

@@ -1,6 +1,7 @@
 #include "runtime/exec_pool.h"
 
 #include "trace/experiment.h"
+#include "trace/cli_opts.h"
 #include "trace/runner.h"
 #include "workloads/bayes.h"
 #include "workloads/sort.h"
@@ -209,6 +210,48 @@ TEST(Runner, ProgressCallbackSeesEveryTask) {
   EXPECT_EQ(metrics.tasks_completed, 15u);
   EXPECT_GT(metrics.wall_seconds, 0.0);
   EXPECT_GE(metrics.busy_seconds, 0.0);
+}
+
+TEST(Runner, ProgressEventsAreStrictlyMonotoneUnderThreads) {
+  // Regression: events must arrive serialized and in counter order — the
+  // `completed` field and the bundled metrics snapshot observed by the
+  // callback must both be strictly increasing, at any thread count.
+  trace::ExperimentRunner runner({.threads = 8});
+  std::size_t last_completed = 0;       // callback is serialized: no atomics
+  std::size_t last_tasks_completed = 0;
+  bool monotone = true;
+  runner.on_progress([&](const trace::TaskEvent& ev) {
+    monotone = monotone && ev.completed == last_completed + 1 &&
+               ev.metrics.tasks_completed > last_tasks_completed;
+    last_completed = ev.completed;
+    last_tasks_completed = ev.metrics.tasks_completed;
+  });
+
+  trace::MrSweepConfig sweep = determinism_sweep();
+  sweep.ns = {1, 2, 4, 8, 16, 32};
+  sweep.repetitions = 4;
+  runner.run_mr_sweep(wl::sort_spec(), sim::default_emr_cluster(1), sweep);
+
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(last_completed, 6u * 4u);
+  EXPECT_EQ(last_tasks_completed, 6u * 4u);
+}
+
+TEST(Runner, ProgressCallbackMayCallMetrics) {
+  // Regression: metrics() used to share the mutex held during callback
+  // delivery, so a callback reading the aggregate counters deadlocked.
+  trace::ExperimentRunner runner({.threads = 4});
+  bool consistent = true;
+  runner.on_progress([&](const trace::TaskEvent& ev) {
+    const auto live = runner.metrics();  // must not deadlock
+    // Another task may have finished its simulator run, but its event has
+    // not been delivered yet: the live counter can only be >= the snapshot.
+    consistent = consistent &&
+                 live.tasks_completed >= ev.metrics.tasks_completed;
+  });
+  runner.run_mr_sweep(wl::sort_spec(), sim::default_emr_cluster(1),
+                      determinism_sweep());
+  EXPECT_TRUE(consistent);
 }
 
 TEST(Runner, RejectsInvalidSweeps) {

@@ -4,6 +4,7 @@
 #include "sim/cluster.h"
 #include "spark/engine.h"
 #include "trace/experiment.h"
+#include "trace/cli_opts.h"
 #include "trace/runner.h"
 #include "workloads/bayes.h"
 #include "workloads/sort.h"

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file emitted by ipso::obs.
+
+Checks (exit 0 = all pass, 1 = violation, 2 = unreadable/ill-formed):
+  * the file parses as JSON with a "traceEvents" list
+  * duration events carry ph in {B, E}, numeric ts, pid, tid, and a name
+  * per (pid, tid) stream, timestamps are monotonically non-decreasing
+  * per (pid, tid) stream, B/E events balance like parentheses and every E
+    closes a B with the same name (properly nested spans)
+  * metadata (ph == "M") names every pid/tid that carries events
+
+Usage: tools/validate_trace.py trace.json
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"validate_trace: cannot parse {sys.argv[1]}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("no traceEvents list")
+
+    duration = [e for e in events if e.get("ph") in ("B", "E")]
+    metadata = [e for e in events if e.get("ph") == "M"]
+    if not duration:
+        fail("no duration (B/E) events")
+
+    named_pids = set()
+    named_tids = set()
+    for e in metadata:
+        if e.get("name") == "process_name":
+            named_pids.add(e.get("pid"))
+        elif e.get("name") == "thread_name":
+            named_tids.add((e.get("pid"), e.get("tid")))
+
+    streams = defaultdict(list)
+    for i, e in enumerate(duration):
+        for key in ("ts", "pid", "tid"):
+            if not isinstance(e.get(key), (int, float)):
+                fail(f"event {i} missing numeric {key}: {e}")
+        if e["ph"] == "B" and not e.get("name"):
+            fail(f"B event {i} has no name")
+        streams[(e["pid"], e["tid"])].append(e)
+
+    total_spans = 0
+    for (pid, tid), evs in sorted(streams.items()):
+        if pid not in named_pids:
+            fail(f"pid {pid} carries events but has no process_name metadata")
+        if (pid, tid) not in named_tids:
+            fail(f"track {pid}/{tid} carries events but has no thread_name")
+        last_ts = None
+        stack = []
+        for e in evs:
+            if last_ts is not None and e["ts"] < last_ts:
+                fail(f"track {pid}/{tid}: ts regressed "
+                     f"{last_ts} -> {e['ts']} at {e}")
+            last_ts = e["ts"]
+            if e["ph"] == "B":
+                stack.append(e["name"])
+            else:
+                if not stack:
+                    fail(f"track {pid}/{tid}: E without matching B: {e}")
+                top = stack.pop()
+                if e.get("name") and e["name"] != top:
+                    fail(f"track {pid}/{tid}: E '{e['name']}' closes "
+                         f"B '{top}' (improper nesting)")
+                total_spans += 1
+        if stack:
+            fail(f"track {pid}/{tid}: {len(stack)} unclosed B events: {stack}")
+
+    dropped = doc.get("otherData", {}).get("dropped_spans", 0)
+    print(f"validate_trace: OK: {total_spans} spans on {len(streams)} tracks"
+          f" ({len(metadata)} metadata events, {dropped} dropped)")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
