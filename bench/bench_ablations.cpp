@@ -242,6 +242,10 @@ void ablation_contention(trace::ExperimentRunner& runner) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "Ablations over the design choices DESIGN.md calls out:")) {
+    return 0;
+  }
   const obs::TraceSession trace_session(
       trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));

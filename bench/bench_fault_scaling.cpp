@@ -52,6 +52,10 @@ sim::ClusterConfig fault_cluster() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "Fault scaling: how failure injection bends a near-perfectly scaling")) {
+    return 0;
+  }
   const obs::TraceSession trace_session(
       trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));

@@ -33,6 +33,10 @@ sim::ClusterConfig spark_cluster() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "Fig. 10 of the paper: Spark benchmarks projected onto the fixed-size")) {
+    return 0;
+  }
   const obs::TraceSession trace_session(
       trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));

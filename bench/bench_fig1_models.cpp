@@ -5,13 +5,18 @@
 
 #include "core/laws.h"
 #include "core/model.h"
+#include "trace/cli_opts.h"
 #include "trace/report.h"
 
 #include <iostream>
 
 using namespace ipso;
 
-int main() {
+int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "Fig. 1 of the paper: the conceptual workload decomposition of the four")) {
+    return 0;
+  }
   const double n = 3.0;
   const double eta = 0.75;  // 3 units parallelizable, 1 serial at n = 1
 

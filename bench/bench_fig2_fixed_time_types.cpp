@@ -6,6 +6,7 @@
 
 #include "core/classify.h"
 #include "core/model.h"
+#include "trace/cli_opts.h"
 #include "trace/report.h"
 
 #include <cmath>
@@ -29,7 +30,11 @@ AsymptoticParams ft(double eta, double alpha, double delta, double beta,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "Fig. 2 of the paper: the four distinct IPSO scaling behaviours for the")) {
+    return 0;
+  }
   trace::print_banner(
       std::cout, "Fig. 2: IPSO scaling behaviours, fixed-time (EX(n) = n)");
 

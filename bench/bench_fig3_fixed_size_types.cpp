@@ -5,6 +5,7 @@
 #include "core/classify.h"
 #include "core/laws.h"
 #include "core/model.h"
+#include "trace/cli_opts.h"
 #include "trace/report.h"
 
 #include <cmath>
@@ -27,7 +28,11 @@ AsymptoticParams fs(double eta, double alpha, double beta, double gamma) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "Fig. 3 of the paper: the four distinct IPSO scaling behaviours for the")) {
+    return 0;
+  }
   trace::print_banner(
       std::cout, "Fig. 3: IPSO scaling behaviours, fixed-size (EX(n) = 1)");
 

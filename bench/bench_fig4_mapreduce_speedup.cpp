@@ -19,6 +19,10 @@
 using namespace ipso;
 
 int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "Fig. 4 of the paper: measured speedups of the four HiBench/Hadoop micro")) {
+    return 0;
+  }
   const obs::TraceSession trace_session(
       trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));

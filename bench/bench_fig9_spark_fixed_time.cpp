@@ -34,6 +34,10 @@ sim::ClusterConfig spark_cluster() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "Fig. 9 of the paper: Spark benchmarks (Bayes, RandomForest, SVM,")) {
+    return 0;
+  }
   const trace::CliOptions opts = trace::parse_cli_options(argc, argv);
   const obs::TraceSession trace_session(opts.trace_out);
   trace::ExperimentRunner runner(opts.runner);

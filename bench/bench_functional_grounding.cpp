@@ -6,6 +6,7 @@
 /// behaviour is grounded in the actual computations (DESIGN.md §2).
 
 #include "mapreduce/functional.h"
+#include "trace/cli_opts.h"
 #include "trace/report.h"
 #include "workloads/functional_jobs.h"
 
@@ -14,7 +15,11 @@
 
 using namespace ipso;
 
-int main() {
+int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "Functional grounding check: run the four MapReduce case-study kernels")) {
+    return 0;
+  }
   trace::print_banner(std::cout,
                       "Functional kernels: correctness + measured vs "
                       "calibrated intermediate volumes");

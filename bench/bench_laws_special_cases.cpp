@@ -6,6 +6,7 @@
 
 #include "core/laws.h"
 #include "core/model.h"
+#include "trace/cli_opts.h"
 #include "trace/report.h"
 
 #include <cmath>
@@ -13,7 +14,11 @@
 
 using namespace ipso;
 
-int main() {
+int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "Eqs. 12-13 of the paper: the classical laws are special cases of IPSO.")) {
+    return 0;
+  }
   trace::print_banner(std::cout,
                       "Eq. 12-13: classical laws as IPSO special cases");
   double worst_amdahl = 0.0, worst_gustafson = 0.0, worst_sunni = 0.0,

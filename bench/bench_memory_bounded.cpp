@@ -21,6 +21,10 @@
 using namespace ipso;
 
 int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "The paper's memory-bounded claim (Section IV + Fig. 6): \"for all the")) {
+    return 0;
+  }
   const obs::TraceSession trace_session(
       trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));

@@ -60,6 +60,10 @@ double median(std::vector<double> v) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "Overhead budget for the obs subsystem (EXPERIMENTS.md): a fixed MR sweep")) {
+    return 0;
+  }
   constexpr int kReps = 7;
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));
   std::cout << "obs overhead budget: fixed sort sweep, " << kReps

@@ -43,6 +43,10 @@ struct Scoreboard {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "One-command reproduction scoreboard: re-derives every headline claim of")) {
+    return 0;
+  }
   Scoreboard board;
   const auto base = sim::default_emr_cluster(1);
 

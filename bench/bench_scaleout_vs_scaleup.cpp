@@ -6,13 +6,18 @@
 /// per-workload number IPSO computes directly.
 
 #include "core/tradeoff.h"
+#include "trace/cli_opts.h"
 #include "trace/report.h"
 
 #include <iostream>
 
 using namespace ipso;
 
-int main() {
+int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "Scale-out vs scale-up under IPSO — the debate the paper's Section II")) {
+    return 0;
+  }
   struct Case {
     const char* name;
     ScalingFactors f;

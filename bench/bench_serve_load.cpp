@@ -1,0 +1,263 @@
+/// bench_serve_load: closed-loop load generator for the ipso::serve engine.
+/// Three phases against one in-process ServeEngine:
+///
+///   cold        every request is a distinct fit (cache can only miss);
+///   hot         the same requests again (cache can only hit);
+///   saturation  a burst far beyond a small admission queue, proving the
+///               engine sheds load with `overloaded` instead of queueing
+///               without bound.
+///
+/// Reports throughput and p50/p95/p99 latency per phase, then enforces the
+/// serving-layer contracts and exits 1 on violation:
+///
+///   C1  hot-phase (cached) fits are >= 10x faster than cold at the median;
+///   C2  hot responses are byte-identical to their cold counterparts;
+///   C3  saturation produces `overloaded` rejections and the peak queue
+///       depth never exceeds the configured capacity;
+///   C4  peak RSS stays bounded (VmHWM under a generous ceiling), i.e.
+///       saturation sheds load instead of buffering it.
+///
+/// Flags: --requests N, --points N (observations per series), --threads N,
+///        --trace-out FILE.
+
+#include "serve/engine.h"
+#include "trace/cli_opts.h"
+#include "trace/json.h"
+#include "obs/export.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// A fit request whose observations depend on `seed`, so distinct seeds are
+/// distinct cache keys and equal seeds are byte-identical request lines.
+/// `points` observations per factor series model a production trace (one
+/// point per completed run); the IN series has a changepoint at n/2, so the
+/// fit pays for the O(points^2) segmented changepoint search the cache is
+/// there to amortize.
+std::string fit_request(int seed, int points) {
+  const double t1 = 100.0 + seed;
+  const double knee = 1.0 + points / 2.0;
+  std::ostringstream os;
+  os << "{\"op\":\"fit\",\"workload\":\"fixed-time\",\"eta\":0.99,\"ex\":[";
+  for (int i = 0; i < points; ++i) {
+    const double n = 1.0 + i;
+    if (i) os << ",";
+    os << "[" << n << "," << ipso::trace::json_double(t1 / n + 0.5) << "]";
+  }
+  os << "],\"in\":[";
+  for (int i = 0; i < points; ++i) {
+    const double n = 1.0 + i;
+    const double in = n <= knee ? 0.4 + 0.6 * n : 0.4 + 0.6 * knee +
+                                                      2.5 * (n - knee);
+    if (i) os << ",";
+    os << "[" << n << "," << ipso::trace::json_double(in) << "]";
+  }
+  os << "]}";
+  return os.str();
+}
+
+struct PhaseResult {
+  std::vector<double> latencies_ms;  // sorted on return
+  std::vector<std::string> responses;
+  double elapsed_s = 0.0;
+};
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+/// Closed loop: issue every request, measure each wall latency.
+PhaseResult run_phase(ipso::serve::ServeEngine& engine,
+                      const std::vector<std::string>& requests) {
+  PhaseResult result;
+  result.latencies_ms.reserve(requests.size());
+  result.responses.reserve(requests.size());
+  const Clock::time_point start = Clock::now();
+  for (const std::string& req : requests) {
+    const Clock::time_point t0 = Clock::now();
+    result.responses.push_back(engine.handle(req));
+    result.latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+  }
+  result.elapsed_s = std::chrono::duration<double>(Clock::now() - start).count();
+  std::sort(result.latencies_ms.begin(), result.latencies_ms.end());
+  return result;
+}
+
+void print_phase(const char* name, const PhaseResult& r) {
+  const double n = static_cast<double>(r.responses.size());
+  std::printf("%-12s %6zu req  %8.1f req/s  p50 %8.4f ms  p95 %8.4f ms  "
+              "p99 %8.4f ms\n",
+              name, r.responses.size(),
+              r.elapsed_s > 0 ? n / r.elapsed_s : 0.0,
+              percentile(r.latencies_ms, 0.50),
+              percentile(r.latencies_ms, 0.95),
+              percentile(r.latencies_ms, 0.99));
+}
+
+/// Peak resident set (VmHWM) in MiB from /proc/self/status; 0 if absent.
+double peak_rss_mib() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+int flag_int(int argc, char** argv, const char* flag, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == flag) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ipso;
+
+  if (trace::handle_info_flags(
+          argc, argv,
+          "bench_serve_load: closed-loop load generator for ipso::serve\n"
+          "(cold/hot/saturation phases; enforces the cache-speedup,\n"
+          "byte-identity, and bounded-backpressure contracts).\n"
+          "Extra flags: --requests N, --points N")) {
+    return 0;
+  }
+
+  obs::TraceSession trace_session(trace::trace_out_from_args(argc, argv));
+  // Default shape: few distinct fits, each over a long observation trace.
+  // The changepoint search is O(points^2) while request parsing is
+  // O(points), so large traces are exactly the workload the fit cache is
+  // built to amortize.
+  const int requests = std::max(8, flag_int(argc, argv, "--requests", 20));
+  const int points = std::max(8, flag_int(argc, argv, "--points", 4096));
+  const std::size_t threads =
+      trace::runner_config_from_args(argc, argv).threads;
+
+  std::printf("# bench_serve_load: %d distinct fits, %d observations per "
+              "factor series, threads=%zu\n\n",
+              requests, points, threads);
+
+  std::vector<std::string> workload;
+  workload.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    workload.push_back(fit_request(i, points));
+  }
+
+  bool ok = true;
+
+  // --- cold vs hot: the fit cache -------------------------------------
+  serve::ServeConfig cfg;
+  cfg.threads = threads;
+  cfg.cache_capacity = static_cast<std::size_t>(requests);
+  {
+    serve::ServeEngine engine(cfg);
+    const PhaseResult cold = run_phase(engine, workload);
+    const PhaseResult hot = run_phase(engine, workload);
+    print_phase("cold", cold);
+    print_phase("hot", hot);
+
+    const double cold_p50 = percentile(cold.latencies_ms, 0.50);
+    const double hot_p50 = percentile(hot.latencies_ms, 0.50);
+    const double speedup = hot_p50 > 0 ? cold_p50 / hot_p50 : 1e9;
+    std::printf("\ncache speedup (cold p50 / hot p50): %.1fx\n", speedup);
+    if (speedup < 10.0) {
+      std::printf("CONTRACT VIOLATION (C1): cached fits only %.1fx faster "
+                  "than cold (need >= 10x)\n", speedup);
+      ok = false;
+    }
+
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < cold.responses.size(); ++i) {
+      if (cold.responses[i] != hot.responses[i]) ++mismatches;
+    }
+    if (mismatches) {
+      std::printf("CONTRACT VIOLATION (C2): %zu/%zu cached responses differ "
+                  "from their cold counterparts\n",
+                  mismatches, cold.responses.size());
+      ok = false;
+    } else {
+      std::printf("byte-identity: %zu/%zu hot responses identical to cold\n",
+                  cold.responses.size(), cold.responses.size());
+    }
+
+    const serve::ServeStats s = engine.stats();
+    std::printf("cache: hits=%zu misses=%zu (fits performed: %zu)\n",
+                s.cache_hits, s.cache_misses, engine.fits_performed());
+  }
+
+  // --- saturation: bounded admission ----------------------------------
+  std::printf("\n");
+  serve::ServeConfig sat_cfg;
+  sat_cfg.threads = threads;
+  sat_cfg.queue_capacity = 8;
+  sat_cfg.cache_capacity = 4;
+  {
+    serve::ServeEngine engine(sat_cfg);
+    // Open-loop burst: fire every request without waiting, far beyond the
+    // queue capacity, then collect.
+    std::vector<std::future<std::string>> inflight;
+    inflight.reserve(workload.size());
+    const Clock::time_point start = Clock::now();
+    for (const std::string& req : workload) {
+      inflight.push_back(engine.submit(req));
+    }
+    std::size_t answered = 0, overloaded = 0;
+    for (auto& f : inflight) {
+      const std::string response = f.get();
+      ++answered;
+      if (response.find("\"error\":\"overloaded\"") != std::string::npos) {
+        ++overloaded;
+      }
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    const serve::ServeStats s = engine.stats();
+    std::printf("saturation   %6zu req  %8.1f req/s  answered=%zu "
+                "overloaded=%zu peak_queue=%zu (cap %zu)\n",
+                inflight.size(), elapsed > 0 ? answered / elapsed : 0.0,
+                answered, overloaded, s.peak_queue_depth,
+                sat_cfg.queue_capacity);
+    if (overloaded == 0) {
+      std::printf("CONTRACT VIOLATION (C3): burst of %zu over capacity %zu "
+                  "produced no overloaded rejections\n",
+                  inflight.size(), sat_cfg.queue_capacity);
+      ok = false;
+    }
+    if (s.peak_queue_depth > sat_cfg.queue_capacity) {
+      std::printf("CONTRACT VIOLATION (C3): peak queue depth %zu exceeds "
+                  "capacity %zu\n",
+                  s.peak_queue_depth, sat_cfg.queue_capacity);
+      ok = false;
+    }
+  }
+
+  const double rss = peak_rss_mib();
+  std::printf("peak RSS: %.1f MiB\n", rss);
+  if (rss > 512.0) {
+    std::printf("CONTRACT VIOLATION (C4): peak RSS %.1f MiB exceeds the "
+                "512 MiB ceiling\n", rss);
+    ok = false;
+  }
+
+  std::printf("\n%s\n", ok ? "all serving contracts hold"
+                           : "SERVING CONTRACT VIOLATIONS -- see above");
+  return ok ? 0 : 1;
+}

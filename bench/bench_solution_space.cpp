@@ -4,6 +4,7 @@
 /// EX/IN/q; the named regions of Figs. 2-3 appear as contiguous areas).
 
 #include "core/classify.h"
+#include "trace/cli_opts.h"
 #include "trace/report.h"
 
 #include <iostream>
@@ -35,7 +36,11 @@ char code(ScalingType t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "The complete IPSO solution space as a map: classify every point of a")) {
+    return 0;
+  }
   trace::print_banner(std::cout,
                       "Fixed-time solution space: type over (delta, gamma), "
                       "eta = 0.9, alpha = 1, beta = 0.01");

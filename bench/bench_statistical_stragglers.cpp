@@ -8,6 +8,7 @@
 ///    what the paper's finite-tail caveat rules out.
 
 #include "core/statistical.h"
+#include "trace/cli_opts.h"
 #include "trace/report.h"
 
 #include <iostream>
@@ -15,7 +16,11 @@
 
 using namespace ipso;
 
-int main() {
+int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "The statistical IPSO model (Eq. 8) under task-time dispersion — the")) {
+    return 0;
+  }
   const ScalingFactors gustafson{identity_factor(), constant_factor(1.0),
                                  constant_factor(0.0)};
   const double eta = 1.0;

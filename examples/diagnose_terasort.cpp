@@ -20,6 +20,10 @@
 using namespace ipso;
 
 int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "Full diagnostic walk-through on simulated TeraSort — the paper's")) {
+    return 0;
+  }
   // Sweeps run on a shared thread pool; --threads / IPSO_THREADS override
   // the worker count without changing any result bit.
   const obs::TraceSession trace_session(

@@ -15,6 +15,7 @@
 
 #include "core/diagnose.h"
 #include "core/model.h"
+#include "trace/cli_opts.h"
 #include "trace/csv.h"
 
 #include <cstdlib>
@@ -47,6 +48,10 @@ stats::Series demo_curve() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "ipso_diagnose_cli — diagnose a measured speedup curve from a CSV file,")) {
+    return 0;
+  }
   WorkloadType type = WorkloadType::kFixedTime;
   stats::Series speedup;
   std::optional<FactorMeasurements> factors;

@@ -14,6 +14,7 @@
 
 #include "core/classify.h"
 #include "core/predict.h"
+#include "trace/cli_opts.h"
 #include "trace/csv.h"
 #include "trace/report.h"
 
@@ -44,6 +45,10 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "ipso_predict_cli — predict large-scale speedups and plan cluster sizes")) {
+    return 0;
+  }
   WorkloadType type = WorkloadType::kFixedTime;
   FactorMeasurements measurements;
   std::vector<double> targets{32, 64, 128, 256, 512};

@@ -53,6 +53,10 @@ void plan_and_print(const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "Resource provisioning with IPSO — the speedup-versus-cost tradeoff the")) {
+    return 0;
+  }
   const obs::TraceSession trace_session(
       trace::trace_out_from_args(argc, argv));
   trace::ExperimentRunner runner(trace::runner_config_from_args(argc, argv));

@@ -11,12 +11,17 @@
 #include "core/diagnose.h"
 #include "core/laws.h"
 #include "core/model.h"
+#include "trace/cli_opts.h"
 
 #include <iostream>
 
 using namespace ipso;
 
-int main() {
+int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "Quickstart: the IPSO model in ten minutes.")) {
+    return 0;
+  }
   // --- 1. A Sort-like workload: fixed-time external scaling (EX = n),
   //        in-proportion serial scaling (IN = 0.36 n + 0.64), no
   //        scale-out-induced overhead. 59% of the n=1 work parallelizes.

@@ -22,6 +22,10 @@
 using namespace ipso;
 
 int main(int argc, char** argv) {
+  if (trace::handle_info_flags(argc, argv,
+                               "Spark event-log analysis — the paper's Spark methodology in miniature:")) {
+    return 0;
+  }
   const obs::TraceSession trace_session(
       trace::trace_out_from_args(argc, argv));
   spark::SparkEngineParams params;

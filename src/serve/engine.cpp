@@ -1,0 +1,296 @@
+#include "serve/engine.h"
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "trace/json.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+namespace ipso::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Cached-id obs instruments (one relaxed load per site when disabled).
+struct Instruments {
+  obs::Counter received{"serve.requests_received"};
+  obs::Counter completed{"serve.requests_completed"};
+  obs::Counter overloaded{"serve.requests_overloaded"};
+  obs::Counter draining{"serve.requests_rejected_draining"};
+  obs::Counter deadline{"serve.requests_deadline_exceeded"};
+  obs::Counter parse_errors{"serve.requests_parse_error"};
+  obs::Counter cache_hits{"serve.fit_cache_hits"};
+  obs::Counter cache_misses{"serve.fit_cache_misses"};
+  obs::Counter coalesced{"serve.fit_coalesced"};
+  obs::Gauge queue_depth{"serve.queue_depth"};
+  obs::Histogram latency{"serve.request_latency_seconds"};
+  obs::Histogram queue_wait{"serve.queue_wait_seconds"};
+};
+
+Instruments& instruments() {
+  static Instruments i;
+  return i;
+}
+
+std::future<std::string> ready_future(std::string response) {
+  std::promise<std::string> p;
+  p.set_value(std::move(response));
+  return p.get_future();
+}
+
+/// Predictor for a request that carried explicit asymptotic params: the
+/// materialized exact factor curves under those asymptotics.
+SpeedupPredictor predictor_from_params(const AsymptoticParams& p) {
+  return SpeedupPredictor(p.materialize(), p.eta);
+}
+
+}  // namespace
+
+ServeEngine::ServeEngine(ServeConfig cfg)
+    : cfg_(std::move(cfg)),
+      cache_(cfg_.cache_capacity),
+      pool_(cfg_.threads) {}
+
+ServeEngine::~ServeEngine() { drain(); }
+
+std::future<std::string> ServeEngine::submit(std::string line) {
+  auto parsed = parse_request(line);
+  if (!parsed) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.parse_errors;
+    }
+    instruments().parse_errors.add();
+    return ready_future(
+        error_response({}, Op::kUnknown, "parse_error", parsed.error()));
+  }
+  Request req = std::move(*parsed);
+  const double deadline_ms =
+      req.deadline_ms > 0.0 ? req.deadline_ms : cfg_.default_deadline_ms;
+  const Clock::time_point admitted_at = Clock::now();
+
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = promise->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      ++stats_.rejected_draining;
+      instruments().draining.add();
+      promise->set_value(error_response(req.id, req.op, "draining",
+                                        "server is draining; not accepting "
+                                        "new requests"));
+      return future;
+    }
+    if (stats_.queue_depth >= cfg_.queue_capacity) {
+      ++stats_.overloaded;
+      instruments().overloaded.add();
+      promise->set_value(error_response(
+          req.id, req.op, "overloaded",
+          "admission queue full (" + std::to_string(cfg_.queue_capacity) +
+              " requests in flight); retry with backoff"));
+      return future;
+    }
+    ++stats_.received;
+    ++stats_.queue_depth;
+    stats_.peak_queue_depth =
+        std::max(stats_.peak_queue_depth, stats_.queue_depth);
+    instruments().received.add();
+    instruments().queue_depth.set(static_cast<double>(stats_.queue_depth));
+
+    // Enqueue while still holding mu_: once drain() observes draining_ set,
+    // every admitted request is already in the pool queue, so wait_idle()
+    // cannot return before it runs.
+    pool_.submit([this, promise, admitted_at, deadline_ms,
+                  req = std::move(req)]() mutable {
+      const double waited =
+          std::chrono::duration<double>(Clock::now() - admitted_at).count();
+      instruments().queue_wait.observe(waited);
+      std::string response;
+      if (deadline_ms > 0.0 && waited * 1e3 > deadline_ms) {
+        // Expired in the queue: shedding it now is cheaper than computing
+        // an answer nobody is waiting for.
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.deadline_expired;
+        }
+        instruments().deadline.add();
+        response = error_response(
+            req.id, req.op, "deadline_exceeded",
+            "request spent longer than its deadline in the queue");
+      } else {
+        obs::ScopedSpan span(
+            "serve " + std::string(to_string(req.op)), "serve",
+            req.id.empty() ? std::string()
+                           : "\"id\":\"" + trace::json_escape(req.id) + "\"");
+        response = process(req);
+      }
+      instruments().latency.observe(
+          std::chrono::duration<double>(Clock::now() - admitted_at).count());
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.completed;
+        --stats_.queue_depth;
+        instruments().queue_depth.set(static_cast<double>(stats_.queue_depth));
+      }
+      instruments().completed.add();
+      promise->set_value(std::move(response));
+    });
+  }
+  return future;
+}
+
+std::string ServeEngine::handle(const std::string& line) {
+  return submit(line).get();
+}
+
+void ServeEngine::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  pool_.wait_idle();
+}
+
+bool ServeEngine::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+ServeStats ServeEngine::stats() const {
+  ServeStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+  }
+  const FitCache::Stats cache = cache_.stats();
+  out.cache_hits = cache.hits;
+  out.cache_misses = cache.misses;
+  out.coalesced = cache.coalesced;
+  return out;
+}
+
+std::size_t ServeEngine::fits_performed() const {
+  return cache_.stats().misses;
+}
+
+FitCache::Result ServeEngine::cached_fit(const Request& req) {
+  const std::string key =
+      canonical_fit_key(req.workload, req.eta, req.ex, req.in, req.q);
+  FitCache::Result result = cache_.get_or_compute(key, [this, &req] {
+    if (cfg_.fit_hook) cfg_.fit_hook();
+    return FitOutcome{fit_factors(req.workload, req.measurements())};
+  });
+  if (result.hit) {
+    instruments().cache_hits.add();
+  } else if (result.coalesced) {
+    instruments().coalesced.add();
+  } else {
+    instruments().cache_misses.add();
+  }
+  return result;
+}
+
+std::string ServeEngine::process(const Request& req) {
+  switch (req.op) {
+    case Op::kPing:
+      return ok_response(req, "{\"pong\":true}");
+
+    case Op::kStats: {
+      const ServeStats s = stats();
+      const FitCache::Stats c = cache_.stats();
+      std::ostringstream os;
+      os << "{\"threads\":" << pool_.size()
+         << ",\"queue_capacity\":" << cfg_.queue_capacity
+         << ",\"received\":" << s.received
+         << ",\"completed\":" << s.completed
+         << ",\"overloaded\":" << s.overloaded
+         << ",\"rejected_draining\":" << s.rejected_draining
+         << ",\"deadline_exceeded\":" << s.deadline_expired
+         << ",\"parse_errors\":" << s.parse_errors
+         << ",\"queue_depth\":" << s.queue_depth
+         << ",\"peak_queue_depth\":" << s.peak_queue_depth
+         << ",\"cache\":{\"capacity\":" << cfg_.cache_capacity
+         << ",\"size\":" << c.size << ",\"hits\":" << c.hits
+         << ",\"misses\":" << c.misses << ",\"coalesced\":" << c.coalesced
+         << ",\"evictions\":" << c.evictions << "}}";
+      return ok_response(req, os.str());
+    }
+
+    case Op::kFit: {
+      const FitCache::Result fit = cached_fit(req);
+      if (!fit.outcome->fits) {
+        return error_response(req.id, req.op, "fit_failed",
+                              to_string(fit.outcome->fits.error()));
+      }
+      return ok_response(req, fit_result_json(*fit.outcome->fits));
+    }
+
+    case Op::kClassify: {
+      if (req.params) {
+        std::ostringstream os;
+        os << "{\"params\":" << params_json(*req.params)
+           << ",\"classification\":"
+           << classification_json(classify(*req.params)) << "}";
+        return ok_response(req, os.str());
+      }
+      const FitCache::Result fit = cached_fit(req);
+      if (!fit.outcome->fits) {
+        return error_response(req.id, req.op, "fit_failed",
+                              to_string(fit.outcome->fits.error()));
+      }
+      const AsymptoticParams& p = fit.outcome->fits->params;
+      std::ostringstream os;
+      os << "{\"params\":" << params_json(p)
+         << ",\"classification\":" << classification_json(classify(p)) << "}";
+      return ok_response(req, os.str());
+    }
+
+    case Op::kPredict:
+    case Op::kRecommend: {
+      AsymptoticParams params;
+      std::optional<SpeedupPredictor> predictor;
+      if (req.params) {
+        params = *req.params;
+        predictor.emplace(predictor_from_params(params));
+      } else {
+        const FitCache::Result fit = cached_fit(req);
+        if (!fit.outcome->fits) {
+          return error_response(req.id, req.op, "fit_failed",
+                                to_string(fit.outcome->fits.error()));
+        }
+        params = fit.outcome->fits->params;
+        predictor.emplace(SpeedupPredictor::from_fits(*fit.outcome->fits));
+      }
+      const std::vector<double> grid = req.grid();
+      if (req.op == Op::kPredict) {
+        return ok_response(
+            req, predict_result_json(params, predictor->curve(grid)));
+      }
+      const ProvisioningPlan plan =
+          plan_provisioning(*predictor, grid, req.knee_frac);
+      return ok_response(req, recommend_result_json(params, plan));
+    }
+
+    case Op::kDiagnose: {
+      const auto report =
+          req.has_observations()
+              ? diagnose(req.workload, req.speedup, req.measurements())
+              : diagnose(req.workload, req.speedup);
+      if (!report) {
+        return error_response(req.id, req.op, "fit_failed",
+                              to_string(report.error()));
+      }
+      return ok_response(req, diagnose_result_json(*report));
+    }
+
+    case Op::kUnknown:
+      break;
+  }
+  return error_response(req.id, req.op, "internal", "unhandled op");
+}
+
+}  // namespace ipso::serve

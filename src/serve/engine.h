@@ -1,0 +1,128 @@
+#pragma once
+
+#include "runtime/exec_pool.h"
+#include "serve/fit_cache.h"
+#include "serve/proto.h"
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+
+/// \file engine.h
+/// ServeEngine: the embeddable core of the model-serving subsystem. One
+/// engine owns a runtime::ExecPool worker pool, the LRU fit cache (with
+/// request coalescing), and a bounded admission queue, and exposes the full
+/// IPSO pipeline — fit / predict / classify / diagnose / recommend — as
+/// request lines in, response lines out.
+///
+/// Guarantees:
+///  * **Determinism** — a response is a pure function of the request line;
+///    cached, coalesced, and freshly-computed answers are byte-identical,
+///    at any thread count.
+///  * **Bounded memory** — at most `queue_capacity` requests are admitted
+///    (queued + running); beyond that submit() resolves immediately with an
+///    `overloaded` error response instead of queueing. Rejection is O(1)
+///    and allocation-light, so saturation sheds load instead of amplifying
+///    it.
+///  * **Deadlines** — a request whose `deadline_ms` expired while it sat in
+///    the queue is answered `deadline_exceeded` without running (work that
+///    nobody is waiting for anymore is the first thing shed under load).
+///  * **Graceful drain** — drain() stops admission ("draining" responses)
+///    and returns once every admitted request has completed; the destructor
+///    drains implicitly.
+///
+/// Everything is instrumented through ipso::obs: queue-depth gauge, cache
+/// hit/miss/coalesce counters, per-request latency histograms, and a span
+/// per request (visible in the Chrome trace when --trace-out is active).
+
+namespace ipso::serve {
+
+/// Engine construction parameters.
+struct ServeConfig {
+  /// Worker threads; 0 = runtime::default_thread_count() (IPSO_THREADS).
+  std::size_t threads = 0;
+  /// Admitted-but-unfinished request bound (queued + running).
+  std::size_t queue_capacity = 256;
+  /// READY fit outcomes retained by the LRU cache.
+  std::size_t cache_capacity = 128;
+  /// Deadline applied when a request carries none; 0 = no deadline.
+  double default_deadline_ms = 0.0;
+  /// Test hook: runs inside every *real* (non-cached, non-coalesced) fit
+  /// computation, on the worker thread. Lets tests hold a fit in flight to
+  /// prove coalescing; never set in production.
+  std::function<void()> fit_hook;
+};
+
+/// Monotonic counters; snapshot via ServeEngine::stats().
+struct ServeStats {
+  std::size_t received = 0;          ///< admitted requests
+  std::size_t completed = 0;         ///< admitted requests answered
+  std::size_t overloaded = 0;        ///< rejected: queue full
+  std::size_t rejected_draining = 0; ///< rejected: drain in progress
+  std::size_t deadline_expired = 0;  ///< answered deadline_exceeded
+  std::size_t parse_errors = 0;      ///< rejected before admission
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;      ///< == underlying fits performed
+  std::size_t coalesced = 0;         ///< fits shared with an in-flight one
+  std::size_t queue_depth = 0;       ///< admitted right now
+  std::size_t peak_queue_depth = 0;  ///< high-water mark of queue_depth
+};
+
+class ServeEngine {
+ public:
+  explicit ServeEngine(ServeConfig cfg = {});
+
+  /// Drains: every admitted request completes before destruction returns.
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Submits one request line. The future always resolves to exactly one
+  /// response line (success, error, or rejection) — never throws, never
+  /// hangs. Rejections (parse error, overloaded, draining) resolve
+  /// immediately on the calling thread.
+  std::future<std::string> submit(std::string line);
+
+  /// Synchronous convenience: submit(line).get().
+  std::string handle(const std::string& line);
+
+  /// Stops admission and blocks until every admitted request has been
+  /// answered. Idempotent; submits during/after drain get "draining".
+  void drain();
+
+  /// True once drain() has begun.
+  bool draining() const;
+
+  /// Counter snapshot (includes live cache stats).
+  ServeStats stats() const;
+
+  /// Underlying fit computations performed (cache misses). The coalescing
+  /// and caching acceptance tests key off this.
+  std::size_t fits_performed() const;
+
+  /// Resolved worker-thread count.
+  std::size_t threads() const noexcept { return pool_.size(); }
+
+  /// Drops cached fit outcomes (bench cold/hot phases).
+  void clear_cache() { cache_.clear(); }
+
+ private:
+  /// Dispatches one admitted request; returns the response line.
+  std::string process(const Request& req);
+
+  /// Fit (through the cache) for ops that need fitted factors.
+  FitCache::Result cached_fit(const Request& req);
+
+  ServeConfig cfg_;
+  FitCache cache_;
+  runtime::ExecPool pool_;
+
+  mutable std::mutex mu_;  ///< admission state + stats
+  bool draining_ = false;
+  ServeStats stats_;
+};
+
+}  // namespace ipso::serve

@@ -1,0 +1,126 @@
+#include "serve/fit_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+namespace ipso::serve {
+
+namespace {
+
+void append_u64(std::string* key, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    key->push_back(static_cast<char>(v & 0xFF));
+    v >>= 8;
+  }
+}
+
+void append_double(std::string* key, double v) {
+  append_u64(key, std::bit_cast<std::uint64_t>(v));
+}
+
+void append_series(std::string* key, char tag, const stats::Series& s) {
+  key->push_back(tag);
+  append_u64(key, s.size());
+  for (const auto& p : s) {
+    append_double(key, p.x);
+    append_double(key, p.y);
+  }
+}
+
+}  // namespace
+
+std::string canonical_fit_key(WorkloadType type, double eta,
+                              const stats::Series& ex,
+                              const stats::Series& in,
+                              const stats::Series& q) {
+  std::string key;
+  key.reserve(2 + 8 + 3 * 9 + 16 * (ex.size() + in.size() + q.size()));
+  key.push_back('F');  // key-format version
+  key.push_back(static_cast<char>(type));
+  append_double(&key, eta);
+  append_series(&key, 'E', ex);
+  append_series(&key, 'I', in);
+  append_series(&key, 'Q', q);
+  return key;
+}
+
+FitCache::FitCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+FitCache::Result FitCache::get_or_compute(
+    const std::string& key, const std::function<FitOutcome()>& compute) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      entry = it->second;
+      if (entry->ready) {
+        // Hit: refresh LRU position.
+        lru_.splice(lru_.begin(), lru_, entry->lru_it);
+        ++stats_.hits;
+        return {entry->outcome, true, false};
+      }
+      // Coalesce: another request is fitting this key right now.
+      ++stats_.coalesced;
+      ready_cv_.wait(lock, [&] { return entry->ready; });
+      return {entry->outcome, false, true};
+    }
+    entry = std::make_shared<Entry>();
+    entries_.emplace(key, entry);
+    ++stats_.misses;
+  }
+
+  // Leader path: compute with no lock held. The callback must not throw
+  // (fit errors travel inside Expected); if it somehow does, publish a
+  // kFitFailed outcome so followers are never stranded on the cv.
+  FitOutcomePtr outcome;
+  try {
+    outcome = std::make_shared<const FitOutcome>(compute());
+  } catch (...) {
+    outcome = std::make_shared<const FitOutcome>(
+        FitOutcome{FitError::kFitFailed});
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    entry->outcome = outcome;
+    entry->ready = true;
+    // clear() may have dropped the map entry while we computed; only a key
+    // still present joins the LRU.
+    const auto it = entries_.find(key);
+    if (it != entries_.end() && it->second == entry) {
+      lru_.push_front(key);
+      entry->lru_it = lru_.begin();
+      while (lru_.size() > capacity_) {
+        const std::string& victim = lru_.back();
+        entries_.erase(victim);
+        lru_.pop_back();
+        ++stats_.evictions;
+      }
+    }
+    stats_.size = lru_.size();
+  }
+  ready_cv_.notify_all();
+  return {outcome, false, false};
+}
+
+FitCache::Stats FitCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.size = lru_.size();
+  return s;
+}
+
+void FitCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Pending entries stay in the map (their leaders will publish and then
+  // find themselves evicted-on-arrival if clear ran in between); ready
+  // entries drop now.
+  for (const auto& key : lru_) entries_.erase(key);
+  lru_.clear();
+  stats_.size = 0;
+}
+
+}  // namespace ipso::serve

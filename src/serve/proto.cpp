@@ -1,0 +1,375 @@
+#include "serve/proto.h"
+
+#include "trace/json.h"
+
+#include <sstream>
+
+namespace ipso::serve {
+
+using trace::json_double;
+using trace::json_escape;
+
+std::string_view to_string(Op op) noexcept {
+  switch (op) {
+    case Op::kPing: return "ping";
+    case Op::kFit: return "fit";
+    case Op::kPredict: return "predict";
+    case Op::kClassify: return "classify";
+    case Op::kDiagnose: return "diagnose";
+    case Op::kRecommend: return "recommend";
+    case Op::kStats: return "stats";
+    case Op::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+Op op_from_string(std::string_view name) noexcept {
+  if (name == "ping") return Op::kPing;
+  if (name == "fit") return Op::kFit;
+  if (name == "predict") return Op::kPredict;
+  if (name == "classify") return Op::kClassify;
+  if (name == "diagnose") return Op::kDiagnose;
+  if (name == "recommend") return Op::kRecommend;
+  if (name == "stats") return Op::kStats;
+  return Op::kUnknown;
+}
+
+std::vector<double> Request::grid() const {
+  if (!ns.empty()) return ns;
+  std::vector<double> out;
+  for (double n = 1.0; n <= 1024.0; n *= 2.0) out.push_back(n);
+  return out;
+}
+
+FactorMeasurements Request::measurements() const {
+  FactorMeasurements m;
+  m.eta = eta;
+  m.ex = ex;
+  m.in = in;
+  m.q = q;
+  return m;
+}
+
+namespace {
+
+const char* shape_name(GrowthShape s) noexcept {
+  switch (s) {
+    case GrowthShape::kLinear: return "linear";
+    case GrowthShape::kSublinear: return "sublinear";
+    case GrowthShape::kBounded: return "bounded";
+    case GrowthShape::kPeaked: return "peaked";
+  }
+  return "unknown";
+}
+
+std::optional<WorkloadType> workload_from_string(std::string_view name) {
+  if (name == "fixed-time") return WorkloadType::kFixedTime;
+  if (name == "fixed-size") return WorkloadType::kFixedSize;
+  if (name == "memory-bounded") return WorkloadType::kMemoryBounded;
+  return std::nullopt;
+}
+
+const char* workload_name(WorkloadType t) noexcept {
+  switch (t) {
+    case WorkloadType::kFixedSize: return "fixed-size";
+    case WorkloadType::kFixedTime: return "fixed-time";
+    case WorkloadType::kMemoryBounded: return "memory-bounded";
+  }
+  return "unknown";
+}
+
+/// Reads an array of [x, y] pairs into a named series.
+bool read_series(const trace::JsonValue& v, stats::Series* out,
+                 std::string* error, const char* key) {
+  if (!v.is_array()) {
+    *error = std::string("expected array of [n,v] pairs for '") + key + "'";
+    return false;
+  }
+  for (const auto& pair : v.as_array()) {
+    if (!pair.is_array() || pair.as_array().size() != 2 ||
+        !pair.as_array()[0].is_number() || !pair.as_array()[1].is_number()) {
+      *error = std::string("expected array of [n,v] pairs for '") + key + "'";
+      return false;
+    }
+    out->add(pair.as_array()[0].as_number(), pair.as_array()[1].as_number());
+  }
+  return true;
+}
+
+bool read_params(const trace::JsonValue& v, AsymptoticParams* out,
+                 std::string* error) {
+  if (!v.is_object()) {
+    *error = "'params' must be an object";
+    return false;
+  }
+  if (const auto* w = v.get("workload")) {
+    const auto type = workload_from_string(w->as_string());
+    if (!type) {
+      *error = "unknown workload '" + w->as_string() + "' in params";
+      return false;
+    }
+    out->type = *type;
+  }
+  if (const auto* e = v.get("eta")) out->eta = e->as_number(1.0);
+  if (const auto* a = v.get("alpha")) out->alpha = a->as_number(1.0);
+  if (const auto* d = v.get("delta")) out->delta = d->as_number(1.0);
+  if (const auto* b = v.get("beta")) out->beta = b->as_number(0.0);
+  if (const auto* g = v.get("gamma")) out->gamma = g->as_number(0.0);
+  if (out->eta <= 0.0 || out->eta > 1.0) {
+    *error = "params.eta must be in (0, 1]";
+    return false;
+  }
+  return true;
+}
+
+void append_series_points(std::ostringstream& os, const stats::Series& s) {
+  os << "[";
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) os << ",";
+    os << "[" << json_double(s[i].x) << "," << json_double(s[i].y) << "]";
+  }
+  os << "]";
+}
+
+void append_power_fit(std::ostringstream& os, const stats::PowerFit& f) {
+  os << "{\"coeff\":" << json_double(f.coeff)
+     << ",\"exponent\":" << json_double(f.exponent)
+     << ",\"r_squared\":" << json_double(f.r_squared) << "}";
+}
+
+void append_linear_fit(std::ostringstream& os, const stats::LinearFit& f) {
+  os << "{\"slope\":" << json_double(f.slope)
+     << ",\"intercept\":" << json_double(f.intercept)
+     << ",\"r_squared\":" << json_double(f.r_squared) << "}";
+}
+
+}  // namespace
+
+Expected<Request, std::string> parse_request(const std::string& line) {
+  const auto doc = trace::parse_json(line);
+  if (!doc) return doc.error().to_string();
+  if (!doc->is_object()) return std::string("request must be a JSON object");
+
+  Request req;
+  const auto* op = doc->get("op");
+  if (op == nullptr || !op->is_string()) {
+    return std::string("missing required string field 'op'");
+  }
+  req.op = op_from_string(op->as_string());
+  if (req.op == Op::kUnknown) {
+    return "unknown op '" + op->as_string() + "'";
+  }
+
+  if (const auto* id = doc->get("id")) {
+    if (id->is_string()) {
+      req.id = id->as_string();
+    } else if (id->is_number()) {
+      req.id = json_double(id->as_number());
+    } else {
+      return std::string("'id' must be a string or number");
+    }
+  }
+
+  if (const auto* w = doc->get("workload")) {
+    const auto type = workload_from_string(w->as_string());
+    if (!type) return "unknown workload '" + w->as_string() + "'";
+    req.workload = *type;
+  }
+  std::string error;
+  if (const auto* eta = doc->get("eta")) {
+    req.eta = eta->as_number(-1.0);
+    if (req.eta <= 0.0 || req.eta > 1.0) {
+      return std::string("'eta' must be a number in (0, 1]");
+    }
+  }
+  if (const auto* v = doc->get("ex")) {
+    if (!read_series(*v, &req.ex, &error, "ex")) return error;
+  }
+  if (const auto* v = doc->get("in")) {
+    if (!read_series(*v, &req.in, &error, "in")) return error;
+  }
+  if (const auto* v = doc->get("q")) {
+    if (!read_series(*v, &req.q, &error, "q")) return error;
+  }
+  if (const auto* v = doc->get("speedup")) {
+    if (!read_series(*v, &req.speedup, &error, "speedup")) return error;
+  }
+  if (const auto* v = doc->get("params")) {
+    AsymptoticParams p;
+    p.type = req.workload;
+    if (!read_params(*v, &p, &error)) return error;
+    req.params = p;
+  }
+  if (const auto* v = doc->get("ns")) {
+    if (!v->is_array()) return std::string("'ns' must be an array of numbers");
+    for (const auto& n : v->as_array()) {
+      if (!n.is_number() || n.as_number() < 1.0) {
+        return std::string("'ns' entries must be numbers >= 1");
+      }
+      req.ns.push_back(n.as_number());
+    }
+  }
+  if (const auto* v = doc->get("knee_frac")) {
+    req.knee_frac = v->as_number(0.9);
+    if (req.knee_frac <= 0.0 || req.knee_frac > 1.0) {
+      return std::string("'knee_frac' must be in (0, 1]");
+    }
+  }
+  if (const auto* v = doc->get("deadline_ms")) {
+    req.deadline_ms = v->as_number(0.0);
+    if (req.deadline_ms < 0.0) {
+      return std::string("'deadline_ms' must be >= 0");
+    }
+  }
+
+  // Per-op input requirements, rejected at admission rather than deep in a
+  // worker so a malformed request never occupies a queue slot.
+  switch (req.op) {
+    case Op::kFit:
+      if (!req.has_observations()) {
+        return std::string("'fit' requires 'ex' observations");
+      }
+      break;
+    case Op::kPredict:
+    case Op::kClassify:
+    case Op::kRecommend:
+      if (!req.params && !req.has_observations()) {
+        return "'" + std::string(to_string(req.op)) +
+               "' requires 'params' or 'ex' observations";
+      }
+      break;
+    case Op::kDiagnose:
+      if (req.speedup.size() < 3) {
+        return std::string("'diagnose' requires >= 3 'speedup' points");
+      }
+      break;
+    case Op::kPing:
+    case Op::kStats:
+    case Op::kUnknown:
+      break;
+  }
+  return req;
+}
+
+std::string ok_response(const Request& req, const std::string& result) {
+  std::ostringstream os;
+  os << "{";
+  if (!req.id.empty()) os << "\"id\":\"" << json_escape(req.id) << "\",";
+  os << "\"op\":\"" << to_string(req.op) << "\",\"ok\":true,\"result\":"
+     << result << "}";
+  return os.str();
+}
+
+std::string error_response(const std::string& id, Op op,
+                           std::string_view code, std::string_view message) {
+  std::ostringstream os;
+  os << "{";
+  if (!id.empty()) os << "\"id\":\"" << json_escape(id) << "\",";
+  os << "\"op\":\"" << to_string(op) << "\",\"ok\":false,\"error\":\"" << code
+     << "\",\"message\":\"" << json_escape(message) << "\"}";
+  return os.str();
+}
+
+std::string params_json(const AsymptoticParams& p) {
+  std::ostringstream os;
+  os << "{\"workload\":\"" << workload_name(p.type)
+     << "\",\"eta\":" << json_double(p.eta)
+     << ",\"alpha\":" << json_double(p.alpha)
+     << ",\"delta\":" << json_double(p.delta)
+     << ",\"beta\":" << json_double(p.beta)
+     << ",\"gamma\":" << json_double(p.gamma) << "}";
+  return os.str();
+}
+
+std::string classification_json(const Classification& c) {
+  std::ostringstream os;
+  os << "{\"type\":\"" << to_string(c.type) << "\",\"shape\":\""
+     << shape_name(c.shape) << "\",\"bound\":" << json_double(c.bound)
+     << ",\"slope\":" << json_double(c.slope)
+     << ",\"peak_n\":" << json_double(c.peak_n)
+     << ",\"peak_speedup\":" << json_double(c.peak_speedup)
+     << ",\"rationale\":\"" << json_escape(c.rationale) << "\"}";
+  return os.str();
+}
+
+std::string fit_result_json(const FactorFits& fits) {
+  std::ostringstream os;
+  os << "{\"params\":" << params_json(fits.params) << ",\"epsilon_fit\":";
+  append_power_fit(os, fits.epsilon_fit);
+  os << ",\"q_fit\":";
+  if (fits.q_fit.has_value()) {
+    append_power_fit(os, *fits.q_fit);
+  } else {
+    os << "{\"absent\":\"" << to_string(fits.q_fit.error()) << "\"}";
+  }
+  os << ",\"in\":";
+  if (fits.in_has_changepoint && fits.in_segmented.has_value()) {
+    const auto& seg = *fits.in_segmented;
+    os << "{\"kind\":\"segmented\",\"knot\":" << json_double(seg.knot)
+       << ",\"left\":";
+    append_linear_fit(os, seg.left);
+    os << ",\"right\":";
+    append_linear_fit(os, seg.right);
+    os << "}";
+  } else if (fits.in_linear.has_value()) {
+    os << "{\"kind\":\"linear\",\"fit\":";
+    append_linear_fit(os, *fits.in_linear);
+    os << "}";
+  } else {
+    os << "{\"kind\":\"none\",\"reason\":\""
+       << to_string(fits.in_linear.error()) << "\"}";
+  }
+  os << ",\"classification\":" << classification_json(classify(fits.params))
+     << "}";
+  return os.str();
+}
+
+std::string predict_result_json(const AsymptoticParams& p,
+                                const stats::Series& curve) {
+  std::ostringstream os;
+  os << "{\"params\":" << params_json(p) << ",\"speedup\":{\"name\":\""
+     << json_escape(curve.name()) << "\",\"points\":";
+  append_series_points(os, curve);
+  os << "}}";
+  return os.str();
+}
+
+std::string recommend_result_json(const AsymptoticParams& p,
+                                  const ProvisioningPlan& plan) {
+  std::ostringstream os;
+  os << "{\"params\":" << params_json(p)
+     << ",\"plan\":{\"best_speedup_n\":" << json_double(plan.best_speedup_n)
+     << ",\"best_value_n\":" << json_double(plan.best_value_n)
+     << ",\"knee_n\":" << json_double(plan.knee_n) << ",\"options\":[";
+  for (std::size_t i = 0; i < plan.options.size(); ++i) {
+    if (i) os << ",";
+    const auto& o = plan.options[i];
+    os << "{\"n\":" << json_double(o.n)
+       << ",\"speedup\":" << json_double(o.speedup)
+       << ",\"cost\":" << json_double(o.cost)
+       << ",\"efficiency\":" << json_double(o.efficiency)
+       << ",\"value\":" << json_double(o.value) << "}";
+  }
+  os << "]}}";
+  return os.str();
+}
+
+std::string diagnose_result_json(const DiagnosticReport& report) {
+  std::ostringstream os;
+  os << "{\"workload\":\"" << workload_name(report.workload)
+     << "\",\"best_guess\":\"" << to_string(report.best_guess)
+     << "\",\"shape\":\"" << shape_name(report.empirical.shape)
+     << "\",\"tail_exponent\":" << json_double(report.empirical.tail_exponent)
+     << ",\"monotone\":" << (report.empirical.monotone ? "true" : "false")
+     << ",\"peaked\":" << (report.empirical.peaked ? "true" : "false");
+  os << ",\"matched\":";
+  if (report.matched.has_value()) {
+    os << classification_json(*report.matched);
+  } else {
+    os << "{\"absent\":\"" << to_string(report.matched.error()) << "\"}";
+  }
+  os << ",\"summary\":\"" << json_escape(report.summary) << "\"}";
+  return os.str();
+}
+
+}  // namespace ipso::serve

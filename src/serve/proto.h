@@ -1,0 +1,107 @@
+#pragma once
+
+#include "core/classify.h"
+#include "core/diagnose.h"
+#include "core/fit.h"
+#include "core/predict.h"
+#include "stats/series.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file proto.h
+/// The ipso::serve wire protocol: newline-delimited JSON request/response
+/// (one object per line), reusing trace/json for parsing and the repo-wide
+/// max_digits10 double formatting so responses round-trip bit-exactly.
+///
+/// Request grammar (field order free; unknown fields ignored):
+///
+///   {"op":"fit"|"predict"|"classify"|"diagnose"|"recommend"
+///         |"ping"|"stats",
+///    "id":"r1",                       // optional, echoed back verbatim
+///    "workload":"fixed-time"|"fixed-size"|"memory-bounded",
+///    "eta":0.59,                      // parallelizable fraction at n = 1
+///    "ex":[[n,EX(n)],...],            // factor observations (fit inputs)
+///    "in":[[n,IN(n)],...],
+///    "q":[[n,q(n)],...],
+///    "params":{"workload":...,"eta":..,"alpha":..,"delta":..,
+///              "beta":..,"gamma":..}, // skips the fit (predict/classify/
+///                                     // recommend only)
+///    "speedup":[[n,S(n)],...],        // diagnose input
+///    "ns":[1,2,4,...],                // predict/recommend grid
+///    "knee_frac":0.9,                 // recommend knee threshold
+///    "deadline_ms":500}               // per-request deadline (0 = none)
+///
+/// Response: {"id":...,"op":"...","ok":true,"result":{...}} on success,
+/// {"id":...,"op":"...","ok":false,"error":"<code>","message":"..."} on
+/// failure. Error codes: parse_error, bad_request, fit_failed, overloaded,
+/// draining, deadline_exceeded, internal. A response is a pure function of
+/// the request (no timestamps, no cache markers), so cached, coalesced and
+/// recomputed answers are byte-identical.
+
+namespace ipso::serve {
+
+/// Protocol operations.
+enum class Op {
+  kPing,       ///< liveness probe
+  kFit,        ///< fit factor observations -> params + classification
+  kPredict,    ///< fit (or take params) -> S(n) over a grid
+  kClassify,   ///< fit (or take params) -> scaling-type classification
+  kDiagnose,   ///< speedup curve (+ optional factors) -> diagnostic report
+  kRecommend,  ///< fit (or take params) -> provisioning plan (n*, knee)
+  kStats,      ///< server counters (not deterministic, never cached)
+  kUnknown,
+};
+
+std::string_view to_string(Op op) noexcept;
+Op op_from_string(std::string_view name) noexcept;
+
+/// One parsed request.
+struct Request {
+  Op op = Op::kUnknown;
+  std::string id;                        ///< echoed back; may be empty
+  WorkloadType workload = WorkloadType::kFixedTime;
+  double eta = 1.0;
+  stats::Series ex{"EX(n)"};
+  stats::Series in{"IN(n)"};
+  stats::Series q{"q(n)"};
+  stats::Series speedup{"S(n)"};
+  std::optional<AsymptoticParams> params;  ///< explicit-params fast path
+  std::vector<double> ns;                  ///< empty = default grid
+  double knee_frac = 0.9;
+  double deadline_ms = 0.0;                ///< 0 = no deadline
+
+  /// True when factor observations were supplied (the fit path).
+  bool has_observations() const noexcept { return !ex.empty(); }
+
+  /// The prediction grid: `ns` or the default geometric 1..1024.
+  std::vector<double> grid() const;
+
+  /// Factor observations bundled for fit_factors().
+  FactorMeasurements measurements() const;
+};
+
+/// Parses one request line. The error string is a human-readable reason
+/// ("expected array of [n,v] pairs for 'ex'", ...).
+Expected<Request, std::string> parse_request(const std::string& line);
+
+/// {"id":...,"op":"...","ok":true,"result":<result>}; id omitted if empty.
+std::string ok_response(const Request& req, const std::string& result);
+
+/// {"id":...,"op":"...","ok":false,"error":"<code>","message":"..."}.
+std::string error_response(const std::string& id, Op op,
+                           std::string_view code, std::string_view message);
+
+/// Result-body builders (deterministic field order, max_digits10 doubles).
+std::string params_json(const AsymptoticParams& p);
+std::string classification_json(const Classification& c);
+std::string fit_result_json(const FactorFits& fits);
+std::string predict_result_json(const AsymptoticParams& p,
+                                const stats::Series& curve);
+std::string recommend_result_json(const AsymptoticParams& p,
+                                  const ProvisioningPlan& plan);
+std::string diagnose_result_json(const DiagnosticReport& report);
+
+}  // namespace ipso::serve

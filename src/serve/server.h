@@ -1,0 +1,110 @@
+#pragma once
+
+#include "core/expected.h"
+#include "serve/engine.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+/// \file server.h
+/// The TCP front end of ipso::serve: newline-delimited JSON over a loopback
+/// (or any) TCP socket. One accept thread plus one thread per connection;
+/// each connection processes its requests in order (responses come back in
+/// request order), and cross-connection concurrency exercises the engine's
+/// pool, cache, and coalescing.
+///
+/// Shutdown semantics (the CI smoke test's contract): shutdown() stops the
+/// accept loop, tells every connection to finish its in-flight request and
+/// close, then drains the engine — every admitted request is answered, new
+/// ones are rejected with "draining".
+
+namespace ipso::serve {
+
+/// Socket-layer failure: the failing syscall plus the errno text.
+struct NetError {
+  std::string message;
+};
+
+/// Listener configuration.
+struct ServerConfig {
+  std::string host = "127.0.0.1";  ///< bind address
+  std::uint16_t port = 0;          ///< 0 = ephemeral (read back via port())
+};
+
+class TcpServer {
+ public:
+  /// The engine must outlive the server. Construction does not bind;
+  /// call start().
+  TcpServer(ServeEngine& engine, ServerConfig cfg = {});
+
+  /// Joins every thread and closes every socket (implicit shutdown()).
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and starts the accept loop. The error string names
+  /// the failing syscall and errno text.
+  Expected<bool, NetError> start();
+
+  /// The bound port (resolves ephemeral port 0); 0 before start().
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Stops accepting, finishes in-flight requests, drains the engine,
+  /// joins all threads. Idempotent.
+  void shutdown();
+
+  /// Connections accepted so far.
+  std::size_t connections_accepted() const noexcept {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  ServeEngine& engine_;
+  ServerConfig cfg_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> connections_accepted_{0};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+  bool shut_down_ = false;
+};
+
+/// Minimal blocking client for the protocol (the CLI tool and the tests).
+class TcpClient {
+ public:
+  TcpClient() = default;
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Connects to host:port; error string names syscall + errno text.
+  Expected<bool, NetError> connect(const std::string& host,
+                                      std::uint16_t port);
+
+  /// Sends one request line (terminating '\n' appended) and reads one
+  /// response line.
+  Expected<std::string, NetError> roundtrip(const std::string& line);
+
+  void close();
+  bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  Expected<bool, NetError> send_line(const std::string& line);
+  Expected<std::string, NetError> recv_line();
+
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last returned line
+};
+
+}  // namespace ipso::serve

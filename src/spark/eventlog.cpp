@@ -1,6 +1,7 @@
 #include "spark/eventlog.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <iomanip>
 #include <sstream>
 
@@ -27,6 +28,61 @@ std::optional<std::string> json_field(const std::string& line,
   return line.substr(start, end - start);
 }
 
+/// Checked numeric parses: std::stod/stoul throw on garbage, which turned a
+/// single corrupt log line into a crash of the whole analysis.
+bool parse_double_field(const std::string& s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_size_field(const std::string& s, std::size_t* out) {
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+/// Parses one StageCompleted line. Returns the field name that failed (and
+/// sets *bad_number) or an empty string on success; non-stage lines yield
+/// success with *is_stage = false.
+std::string parse_stage_line(const std::string& line, StageEvent* ev,
+                             bool* is_stage, bool* bad_number) {
+  *is_stage = false;
+  *bad_number = false;
+  const auto event = json_field(line, "Event");
+  if (!event || *event != "StageCompleted") return {};
+  *is_stage = true;
+  const auto stage_id = json_field(line, "Stage ID");
+  const auto name = json_field(line, "Stage Name");
+  const auto submitted = json_field(line, "Submission Time");
+  const auto completed = json_field(line, "Completion Time");
+  const auto tasks = json_field(line, "Tasks");
+  const auto spilled = json_field(line, "Spilled");
+  if (!stage_id) return "Stage ID";
+  if (!name) return "Stage Name";
+  if (!submitted) return "Submission Time";
+  if (!completed) return "Completion Time";
+  if (!tasks) return "Tasks";
+  if (!spilled) return "Spilled";
+  *bad_number = true;
+  if (!parse_size_field(*stage_id, &ev->stage_id)) return "Stage ID";
+  if (!parse_double_field(*submitted, &ev->submission_time)) {
+    return "Submission Time";
+  }
+  if (!parse_double_field(*completed, &ev->completion_time)) {
+    return "Completion Time";
+  }
+  if (!parse_size_field(*tasks, &ev->tasks)) return "Tasks";
+  *bad_number = false;
+  ev->stage_name = *name;
+  ev->spilled = *spilled == "1";
+  return {};
+}
+
 }  // namespace
 
 std::string to_event_log(const SparkJobResult& result) {
@@ -48,24 +104,42 @@ std::vector<StageEvent> parse_event_log(const std::string& log) {
   std::istringstream is(log);
   std::string line;
   while (std::getline(is, line)) {
-    const auto event = json_field(line, "Event");
-    if (!event || *event != "StageCompleted") continue;
     StageEvent ev;
-    if (const auto v = json_field(line, "Stage ID")) {
-      ev.stage_id = static_cast<std::size_t>(std::stoul(*v));
+    bool is_stage = false;
+    bool bad_number = false;
+    if (parse_stage_line(line, &ev, &is_stage, &bad_number).empty() &&
+        is_stage) {
+      events.push_back(std::move(ev));
     }
-    if (const auto v = json_field(line, "Stage Name")) ev.stage_name = *v;
-    if (const auto v = json_field(line, "Submission Time")) {
-      ev.submission_time = std::stod(*v);
+  }
+  return events;
+}
+
+std::string EventLogIssue::message() const {
+  return "line " + std::to_string(line) + ": " + to_string(error) + " '" +
+         field + "'";
+}
+
+Expected<std::vector<StageEvent>, EventLogIssue> parse_event_log_strict(
+    const std::string& log) {
+  std::vector<StageEvent> events;
+  std::istringstream is(log);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    StageEvent ev;
+    bool is_stage = false;
+    bool bad_number = false;
+    const std::string field =
+        parse_stage_line(line, &ev, &is_stage, &bad_number);
+    if (!field.empty()) {
+      return EventLogIssue{lineno,
+                           bad_number ? EventLogError::kBadNumber
+                                      : EventLogError::kMissingField,
+                           field};
     }
-    if (const auto v = json_field(line, "Completion Time")) {
-      ev.completion_time = std::stod(*v);
-    }
-    if (const auto v = json_field(line, "Tasks")) {
-      ev.tasks = static_cast<std::size_t>(std::stoul(*v));
-    }
-    if (const auto v = json_field(line, "Spilled")) ev.spilled = *v == "1";
-    events.push_back(std::move(ev));
+    if (is_stage) events.push_back(std::move(ev));
   }
   return events;
 }

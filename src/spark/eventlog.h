@@ -1,5 +1,6 @@
 #pragma once
 
+#include "core/expected.h"
 #include "spark/engine.h"
 
 #include <map>
@@ -34,8 +35,40 @@ struct StageEvent {
   double latency() const noexcept { return completion_time - submission_time; }
 };
 
-/// Parses an event log produced by to_event_log (tolerates unknown lines).
+/// Parses an event log produced by to_event_log. Tolerant: unknown lines
+/// and StageCompleted lines with malformed fields are skipped (real Spark
+/// logs interleave dozens of other event kinds), never thrown on.
 std::vector<StageEvent> parse_event_log(const std::string& log);
+
+/// Why a strict event-log parse rejected its input.
+enum class EventLogError {
+  kBadNumber,     ///< a numeric field does not parse as a number
+  kMissingField,  ///< a StageCompleted line lacks a required field
+};
+
+constexpr const char* to_string(EventLogError e) noexcept {
+  switch (e) {
+    case EventLogError::kBadNumber: return "malformed numeric field";
+    case EventLogError::kMissingField: return "missing required field";
+  }
+  return "unknown";
+}
+
+/// Strict-parse failure: which line (1-based) and why.
+struct EventLogIssue {
+  std::size_t line = 0;
+  EventLogError error = EventLogError::kBadNumber;
+  std::string field;  ///< the offending field name
+
+  std::string message() const;
+};
+
+/// Strict variant for pipelines that must not silently drop data: unknown
+/// event kinds are still skipped (that matches real Spark logs), but a
+/// StageCompleted line with a missing or malformed field is an error
+/// naming the line and field instead of a half-parsed event.
+Expected<std::vector<StageEvent>, EventLogIssue> parse_event_log_strict(
+    const std::string& log);
 
 /// Total job latency from a parsed log: last completion - first submission.
 /// Returns std::nullopt for a log without stage events.

@@ -1,9 +1,14 @@
 #include "trace/cli_opts.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
 namespace ipso::trace {
+
+/// Bumped when the library surface grows; --version prints it so a bug
+/// report pins the build without needing the git hash.
+#define IPSO_VERSION_STRING "0.5.0"
 
 namespace {
 
@@ -27,6 +32,62 @@ bool parse_double(const char* s, double* out) {
 }
 
 }  // namespace
+
+std::string flag_help() {
+  return
+      "  --threads N        worker threads (0/absent = default; "
+      "IPSO_THREADS env)\n"
+      "  --fail-prob P      per-attempt task failure probability in [0, 1)\n"
+      "  --speculate [F]    speculative execution (optional fraction F)\n"
+      "  --max-retries K    retry budget before stage rollback\n"
+      "  --trace-out FILE   write a Chrome trace JSON on exit "
+      "(IPSO_TRACE env)\n"
+      "  --help, -h         print this flag table and exit\n"
+      "  --version          print the build-info string and exit\n";
+}
+
+std::string version_string() {
+  std::string out = "ipso " IPSO_VERSION_STRING " (C++";
+  out += std::to_string(__cplusplus / 100 % 100);
+#if defined(__clang__)
+  out += ", clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  out += ", gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__);
+#endif
+#if defined(NDEBUG)
+  out += ", optimized";
+#else
+  out += ", debug";
+#endif
+  return out + ")";
+}
+
+bool handle_info_flags(int argc, char** argv, std::string_view description) {
+  bool help = false;
+  bool version = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") help = true;
+    if (arg == "--version") version = true;
+  }
+  if (help) {
+    const char* prog = argc > 0 && argv[0] != nullptr ? argv[0] : "ipso";
+    if (!description.empty()) {
+      std::fwrite(description.data(), 1, description.size(), stdout);
+      std::fputc('\n', stdout);
+      std::fputc('\n', stdout);
+    }
+    std::printf("usage: %s [flags]\n\nflags:\n%s", prog, flag_help().c_str());
+    return true;
+  }
+  if (version) {
+    std::printf("%s\n", version_string().c_str());
+    return true;
+  }
+  return false;
+}
 
 RunnerConfig runner_config_from_args(int argc, char** argv) {
   RunnerConfig cfg;

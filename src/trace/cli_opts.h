@@ -4,6 +4,7 @@
 #include "trace/runner.h"
 
 #include <string>
+#include <string_view>
 
 /// \file cli_opts.h
 /// Shared CLI flag parsing for the bench/example executables. Every binary
@@ -17,11 +18,28 @@
 ///   --max-retries K        retry budget before stage rollback
 ///   --trace-out FILE       enable obs tracing, write Chrome trace JSON to
 ///                          FILE on exit (IPSO_TRACE env is the fallback)
+///   --help / -h            print the flag table and exit
+///   --version              print a build-info string and exit
 ///
 /// Malformed or out-of-range values are ignored (the flag keeps its base
-/// value) so a typo degrades to defaults instead of aborting a long sweep.
+/// value) so a typo degrades to defaults instead of aborting a long sweep;
+/// --help is how a user discovers the table instead of guessing.
 
 namespace ipso::trace {
+
+/// The shared flag table, one flag per line (what --help prints).
+std::string flag_help();
+
+/// Build-info string, e.g. "ipso 0.5.0 (C++20, gcc 12.2.0)".
+std::string version_string();
+
+/// Handles the informational flags every main supports: when argv contains
+/// --help/-h the program description (if any), usage line, and flag table
+/// are printed to stdout; when it contains --version the build-info string
+/// is printed. Returns true when either flag was seen — the caller should
+/// then exit 0 immediately.
+bool handle_info_flags(int argc, char** argv,
+                       std::string_view description = {});
 
 /// Scans argv for "--threads N" / "--threads=N" and returns a RunnerConfig
 /// (0 = default when the flag is absent).

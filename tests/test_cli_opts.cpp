@@ -87,5 +87,36 @@ TEST(CliOpts, ParseCliOptionsCombinesEverything) {
   EXPECT_EQ(opts.trace_out, "all.json");
 }
 
+TEST(CliOpts, FlagHelpListsEveryFlag) {
+  const std::string help = trace::flag_help();
+  for (const char* flag : {"--threads", "--fail-prob", "--speculate",
+                           "--max-retries", "--trace-out", "--help",
+                           "--version"}) {
+    EXPECT_NE(help.find(flag), std::string::npos) << flag;
+  }
+}
+
+TEST(CliOpts, VersionStringHasNameAndStandard) {
+  const std::string v = trace::version_string();
+  EXPECT_EQ(v.rfind("ipso ", 0), 0u) << v;
+  EXPECT_NE(v.find("C++20"), std::string::npos) << v;
+}
+
+TEST(CliOpts, HandleInfoFlagsDetectsHelpAndVersion) {
+  const char* help1[] = {"prog", "--help"};
+  EXPECT_TRUE(trace::handle_info_flags(2, const_cast<char**>(help1)));
+  const char* help2[] = {"prog", "--threads=2", "-h"};
+  EXPECT_TRUE(trace::handle_info_flags(3, const_cast<char**>(help2), "demo"));
+  const char* version[] = {"prog", "--version"};
+  EXPECT_TRUE(trace::handle_info_flags(2, const_cast<char**>(version)));
+}
+
+TEST(CliOpts, HandleInfoFlagsIgnoresOrdinaryArgs) {
+  const char* argv[] = {"prog", "--threads", "4", "--trace-out=x.json"};
+  EXPECT_FALSE(trace::handle_info_flags(4, const_cast<char**>(argv)));
+  const char* bare[] = {"prog"};
+  EXPECT_FALSE(trace::handle_info_flags(1, const_cast<char**>(bare)));
+}
+
 }  // namespace
 }  // namespace ipso

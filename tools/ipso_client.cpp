@@ -1,0 +1,270 @@
+/// ipso_client: command-line client for ipso_serve. Builds one protocol
+/// request from flags/CSV inputs, sends it, prints the server's response
+/// line to stdout, and exits 0 iff the response says "ok":true.
+///
+/// Usage:
+///   ipso_client <op> --port N [--host A] [flags]
+///
+/// where <op> is one of:
+///   ping        liveness probe
+///   stats       server counters
+///   fit         fit factor observations (--factors CSV)
+///   classify    classify fitted/explicit params
+///   predict     predict S(n) over a grid
+///   recommend   provisioning plan (n*, knee)
+///   diagnose    diagnose a measured speedup curve (--speedup CSV)
+///   raw         read request lines from stdin, round-trip each
+///
+/// CSV inputs:
+///   --factors FILE   columns n,EX,IN,q (header row; IN/q optional)
+///   --speedup FILE   two columns n,S(n)
+
+#include "serve/server.h"
+#include "trace/cli_opts.h"
+#include "trace/csv.h"
+#include "trace/json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using ipso::stats::Series;
+
+const char kUsage[] =
+    "ipso_client: CLI client for the ipso_serve daemon\n"
+    "\n"
+    "usage: ipso_client <op> --port N [flags]\n"
+    "\n"
+    "ops: ping stats fit classify predict recommend diagnose raw\n"
+    "\n"
+    "flags:\n"
+    "  --host A          server address (default 127.0.0.1)\n"
+    "  --port N          server port (required)\n"
+    "  --id S            request id, echoed back in the response\n"
+    "  --workload W      fixed-time | fixed-size | memory-bounded\n"
+    "                    (default fixed-time)\n"
+    "  --eta F           parallelizable fraction at n = 1 (default 1.0)\n"
+    "  --factors FILE    factor observations CSV: columns n,EX[,IN[,q]]\n"
+    "  --speedup FILE    measured speedup CSV: columns n,S(n) (diagnose)\n"
+    "  --ns LIST         comma-separated prediction grid, e.g. 1,2,4,8\n"
+    "  --knee-frac F     recommend knee threshold (default 0.9)\n"
+    "  --deadline-ms D   per-request deadline\n"
+    "  --help, -h        this text\n"
+    "  --version         build-info string\n"
+    "\n"
+    "'raw' reads newline-delimited JSON requests from stdin and prints one\n"
+    "response line per request (exit 1 if any response has \"ok\":false).\n";
+
+std::string flag_string(int argc, char** argv, const char* flag,
+                        std::string fallback) {
+  const std::string eq = std::string(flag) + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == flag && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind(eq, 0) == 0) return arg.substr(eq.size());
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// "[[x,y],...]" with max_digits10 doubles, so resubmitting the same CSV
+/// produces the same request bytes (and hits the server's fit cache).
+std::string series_json(const Series& s) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) out += ",";
+    out += "[";
+    out += ipso::trace::json_double(s[i].x);
+    out += ",";
+    out += ipso::trace::json_double(s[i].y);
+    out += "]";
+  }
+  out += "]";
+  return out;
+}
+
+/// Loads the factor CSV and appends "ex"/"in"/"q" request fields. Columns
+/// are matched by header name (case-insensitive EX/IN/q), falling back to
+/// positional order n,EX,IN,q when headers are absent.
+bool append_factor_fields(const std::string& path, std::string& req) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "ipso_client: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  auto table = ipso::trace::read_table_csv(file);
+  if (!table) {
+    std::fprintf(stderr, "ipso_client: %s: %s\n", path.c_str(),
+                 table->empty() ? "empty table"
+                                : table.error().message().c_str());
+    return false;
+  }
+  const Series* ex = nullptr;
+  const Series* in = nullptr;
+  const Series* q = nullptr;
+  for (const Series& s : *table) {
+    std::string lower = s.name();
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    if (lower == "ex" || lower.rfind("ex", 0) == 0) {
+      if (!ex) ex = &s;
+    } else if (lower == "in" || lower.rfind("in", 0) == 0) {
+      if (!in) in = &s;
+    } else if (lower == "q" || lower.rfind("q", 0) == 0) {
+      if (!q) q = &s;
+    }
+  }
+  // Headerless CSVs produce "col1","col2",... — fall back to position.
+  if (!ex && !table->empty()) ex = &(*table)[0];
+  if (!in && table->size() > 1 && &(*table)[1] != ex) in = &(*table)[1];
+  if (!q && table->size() > 2 && &(*table)[2] != ex && &(*table)[2] != in) {
+    q = &(*table)[2];
+  }
+  if (!ex || ex->empty()) {
+    std::fprintf(stderr, "ipso_client: %s: no EX(n) column found\n",
+                 path.c_str());
+    return false;
+  }
+  req += ",\"ex\":" + series_json(*ex);
+  if (in && !in->empty()) req += ",\"in\":" + series_json(*in);
+  if (q && !q->empty()) req += ",\"q\":" + series_json(*q);
+  return true;
+}
+
+bool append_speedup_field(const std::string& path, std::string& req) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "ipso_client: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  auto series = ipso::trace::read_series_csv(file, "S(n)");
+  if (!series) {
+    std::fprintf(stderr, "ipso_client: %s: %s\n", path.c_str(),
+                 series.error().message().c_str());
+    return false;
+  }
+  req += ",\"speedup\":" + series_json(*series);
+  return true;
+}
+
+/// One round trip; prints the response, returns true iff "ok":true.
+bool roundtrip_and_print(ipso::serve::TcpClient& client,
+                         const std::string& request) {
+  auto response = client.roundtrip(request);
+  if (!response) {
+    std::fprintf(stderr, "ipso_client: %s\n",
+                 response.error().message.c_str());
+    return false;
+  }
+  std::printf("%s\n", response->c_str());
+  return response->find("\"ok\":true") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ipso;
+
+  if (has_flag(argc, argv, "--help") || has_flag(argc, argv, "-h") ||
+      argc < 2) {
+    std::fputs(kUsage, stdout);
+    return argc < 2 ? 1 : 0;
+  }
+  if (has_flag(argc, argv, "--version")) {
+    std::printf("%s\n", trace::version_string().c_str());
+    return 0;
+  }
+
+  const std::string op = argv[1];
+  const bool known_op = op == "ping" || op == "stats" || op == "fit" ||
+                        op == "classify" || op == "predict" ||
+                        op == "recommend" || op == "diagnose" || op == "raw";
+  if (!known_op) {
+    std::fprintf(stderr, "ipso_client: unknown op '%s' (try --help)\n",
+                 op.c_str());
+    return 1;
+  }
+
+  const std::string host = flag_string(argc, argv, "--host", "127.0.0.1");
+  const std::string port_text = flag_string(argc, argv, "--port", "");
+  if (port_text.empty()) {
+    std::fprintf(stderr, "ipso_client: --port is required\n");
+    return 1;
+  }
+  const auto port = static_cast<std::uint16_t>(std::strtoul(
+      port_text.c_str(), nullptr, 10));
+
+  serve::TcpClient client;
+  if (auto connected = client.connect(host, port); !connected) {
+    std::fprintf(stderr, "ipso_client: %s\n",
+                 connected.error().message.c_str());
+    return 1;
+  }
+
+  if (op == "raw") {
+    bool all_ok = true;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      all_ok = roundtrip_and_print(client, line) && all_ok;
+    }
+    return all_ok ? 0 : 1;
+  }
+
+  std::string req = "{\"op\":\"" + op + "\"";
+  if (const std::string id = flag_string(argc, argv, "--id", ""); !id.empty())
+    req += ",\"id\":\"" + trace::json_escape(id) + "\"";
+  if (const std::string w = flag_string(argc, argv, "--workload", "");
+      !w.empty()) {
+    req += ",\"workload\":\"" + trace::json_escape(w) + "\"";
+  }
+  if (const std::string eta = flag_string(argc, argv, "--eta", "");
+      !eta.empty()) {
+    req += ",\"eta\":" + eta;
+  }
+  if (const std::string factors = flag_string(argc, argv, "--factors", "");
+      !factors.empty()) {
+    if (!append_factor_fields(factors, req)) return 1;
+  }
+  if (const std::string speedup = flag_string(argc, argv, "--speedup", "");
+      !speedup.empty()) {
+    if (!append_speedup_field(speedup, req)) return 1;
+  }
+  if (const std::string ns = flag_string(argc, argv, "--ns", "");
+      !ns.empty()) {
+    req += ",\"ns\":[";
+    std::istringstream is(ns);
+    std::string tok;
+    bool first = true;
+    while (std::getline(is, tok, ',')) {
+      if (tok.empty()) continue;
+      if (!first) req += ",";
+      first = false;
+      req += tok;
+    }
+    req += "]";
+  }
+  if (const std::string knee = flag_string(argc, argv, "--knee-frac", "");
+      !knee.empty()) {
+    req += ",\"knee_frac\":" + knee;
+  }
+  if (const std::string dl = flag_string(argc, argv, "--deadline-ms", "");
+      !dl.empty()) {
+    req += ",\"deadline_ms\":" + dl;
+  }
+  req += "}";
+
+  return roundtrip_and_print(client, req) ? 0 : 1;
+}

@@ -1,0 +1,147 @@
+/// ipso_serve: the model-serving daemon. Listens on a TCP port for
+/// newline-delimited JSON requests (see src/serve/proto.h for the grammar)
+/// and answers them through a ServeEngine: fits are cached and coalesced,
+/// admission is bounded, and SIGTERM/SIGINT trigger a graceful drain —
+/// every admitted request is answered before the process exits 0.
+///
+/// Usage:
+///   ipso_serve [--port N] [--host A] [--threads N] [--queue-cap N]
+///              [--cache-cap N] [--deadline-ms D] [--trace-out FILE]
+///
+/// Prints "ipso_serve: listening on HOST:PORT" once ready (the smoke test
+/// greps this line for the resolved ephemeral port).
+
+#include "obs/export.h"
+#include "serve/engine.h"
+#include "serve/server.h"
+#include "trace/cli_opts.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+const char kUsage[] =
+    "ipso_serve: IPSO model-serving daemon (newline-delimited JSON over "
+    "TCP)\n"
+    "\n"
+    "usage: ipso_serve [flags]\n"
+    "\n"
+    "flags:\n"
+    "  --port N          TCP port to listen on (0 = ephemeral; default 0)\n"
+    "  --host A          bind address (default 127.0.0.1)\n"
+    "  --threads N       worker threads (0 = hardware default)\n"
+    "  --queue-cap N     admitted-request bound before 'overloaded'"
+    " (default 256)\n"
+    "  --cache-cap N     fit-cache capacity in entries (default 128)\n"
+    "  --deadline-ms D   default per-request deadline (0 = none)\n"
+    "  --trace-out FILE  write a Chrome trace of the run on exit\n"
+    "  --help, -h        this text\n"
+    "  --version         build-info string\n";
+
+/// "--flag V" / "--flag=V" scan returning V as double, or `fallback`.
+double flag_value(int argc, char** argv, const char* flag, double fallback) {
+  const std::string eq = std::string(flag) + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == flag && i + 1 < argc) {
+      char* end = nullptr;
+      const double v = std::strtod(argv[i + 1], &end);
+      if (end && *end == '\0') return v;
+    } else if (arg.rfind(eq, 0) == 0) {
+      char* end = nullptr;
+      const double v = std::strtod(arg.c_str() + eq.size(), &end);
+      if (end && *end == '\0') return v;
+    }
+  }
+  return fallback;
+}
+
+std::string flag_string(int argc, char** argv, const char* flag,
+                        std::string fallback) {
+  const std::string eq = std::string(flag) + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == flag && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind(eq, 0) == 0) return arg.substr(eq.size());
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ipso;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (arg == "--version") {
+      std::printf("%s\n", trace::version_string().c_str());
+      return 0;
+    }
+  }
+
+  obs::TraceSession trace_session(trace::trace_out_from_args(argc, argv));
+
+  serve::ServeConfig engine_cfg;
+  engine_cfg.threads =
+      static_cast<std::size_t>(flag_value(argc, argv, "--threads", 0));
+  engine_cfg.queue_capacity =
+      static_cast<std::size_t>(flag_value(argc, argv, "--queue-cap", 256));
+  engine_cfg.cache_capacity =
+      static_cast<std::size_t>(flag_value(argc, argv, "--cache-cap", 128));
+  engine_cfg.default_deadline_ms =
+      flag_value(argc, argv, "--deadline-ms", 0.0);
+
+  serve::ServerConfig server_cfg;
+  server_cfg.host = flag_string(argc, argv, "--host", "127.0.0.1");
+  server_cfg.port = static_cast<std::uint16_t>(
+      flag_value(argc, argv, "--port", 0));
+
+  serve::ServeEngine engine(engine_cfg);
+  serve::TcpServer server(engine, server_cfg);
+  if (auto started = server.start(); !started) {
+    std::fprintf(stderr, "ipso_serve: %s\n", started.error().message.c_str());
+    return 1;
+  }
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  std::printf("ipso_serve: listening on %s:%u (threads=%zu queue-cap=%zu "
+              "cache-cap=%zu)\n",
+              server_cfg.host.c_str(), static_cast<unsigned>(server.port()),
+              engine.threads(), engine_cfg.queue_capacity,
+              engine_cfg.cache_capacity);
+  std::fflush(stdout);
+
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("ipso_serve: draining\n");
+  std::fflush(stdout);
+  server.shutdown();
+
+  const serve::ServeStats s = engine.stats();
+  std::printf("ipso_serve: drained (received=%zu completed=%zu "
+              "overloaded=%zu draining=%zu deadline=%zu parse_errors=%zu "
+              "cache_hits=%zu cache_misses=%zu coalesced=%zu)\n",
+              s.received, s.completed, s.overloaded, s.rejected_draining,
+              s.deadline_expired, s.parse_errors, s.cache_hits,
+              s.cache_misses, s.coalesced);
+  std::fflush(stdout);
+  return 0;
+}
