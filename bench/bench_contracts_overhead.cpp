@@ -1,0 +1,155 @@
+/// Overhead budget for the contract layer (core/contracts.h, core/domain.h):
+/// the domain-typed public model API must cost no more than a small, fixed
+/// margin over the identical arithmetic with no validation at all.
+///
+/// Two timed variants of the same asymptotic-speedup sweep (Eq. 16/17),
+/// evaluated over a dense (η, n) grid:
+///
+///   raw      a local replica of speedup_asymptotic's arithmetic taking
+///            plain doubles — the floor: what the computation costs with
+///            no boundary validation anywhere
+///   checked  the public speedup_asymptotic(), whose NodeCount parameter
+///            validates n ≥ 1 (and, contracts ON, routes violations to the
+///            handler) on every call
+///
+/// The contract asserted here (exit code 1 on violation): the median
+/// per-pair overhead is < 15%. The variants run back-to-back inside each
+/// repetition, so each (raw, checked) pair is a same-conditions
+/// comparison, and the median over many pairs discards the repetitions a
+/// load burst or frequency step landed on — either side. A genuine
+/// regression shifts every pair, median included, which is what lets this
+/// gate hold a tight budget without flaking on a busy CI runner. When
+/// built with
+/// -DIPSO_CONTRACTS=OFF the two paths are identical copies and the ratio
+/// measures pure call-boundary noise; when ON, it bounds the real price of
+/// the per-call domain checks. Both must clear the same budget — that is
+/// the "boundary-only checks stay off the hot path" guarantee DESIGN.md §8
+/// documents.
+
+#include "core/domain.h"
+#include "core/model.h"
+#include "core/scaling_factors.h"
+#include "trace/cli_opts.h"
+
+#include <algorithm>
+#include <limits>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+using namespace ipso;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Replica of speedup_asymptotic's fixed-time arithmetic with zero
+/// validation: the no-contracts floor. Kept out-of-line so both variants
+/// pay one call per grid point and the comparison isolates the checks.
+__attribute__((noinline)) double raw_speedup(double eta, double alpha,
+                                             double delta, double beta,
+                                             double gamma, double n) {
+  const double q = beta > 0.0 && gamma > 0.0 && n > 1.0
+                       ? beta * std::pow(n, gamma)
+                       : 0.0;
+  if (eta >= 1.0) return n / (1.0 + q);
+  const double ead = eta * alpha * std::pow(n, delta);
+  return (ead + (1.0 - eta)) / (ead / n * (1.0 + q) + (1.0 - eta));
+}
+
+struct Grid {
+  std::vector<double> etas;
+  std::vector<double> ns;
+};
+
+Grid dense_grid() {
+  Grid g;
+  for (double eta = 0.05; eta <= 1.0; eta += 0.05) g.etas.push_back(eta);
+  for (double n = 1.0; n <= 4096.0; n *= 1.25) g.ns.push_back(n);
+  return g;
+}
+
+template <typename Eval>
+double time_sweep(const Grid& g, Eval&& eval, double* sink) {
+  const auto t0 = Clock::now();
+  double acc = 0.0;
+  for (int rep = 0; rep < 400; ++rep) {
+    for (double eta : g.etas) {
+      for (double n : g.ns) acc += eval(eta, n);
+    }
+  }
+  *sink += acc;  // defeat dead-code elimination
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (trace::handle_info_flags(
+          argc, argv,
+          "Overhead budget for the contract layer: domain-typed API vs raw "
+          "arithmetic")) {
+    return 0;
+  }
+  constexpr int kReps = 31;
+  const Grid grid = dense_grid();
+  AsymptoticParams p;
+  p.type = WorkloadType::kFixedTime;
+  p.alpha = 1.2;
+  p.delta = 0.3;
+  p.beta = 3.0e-4;
+  p.gamma = 1.5;
+
+  std::cout << "contracts overhead budget: " << grid.etas.size() << " x "
+            << grid.ns.size() << " (eta, n) grid, " << kReps
+            << " repetitions per variant, contracts "
+            << (IPSO_CONTRACTS_ENABLED ? "ON" : "OFF") << "\n";
+
+  double sink = 0.0;
+  std::vector<double> raw, checked;
+  // Interleave the variants so frequency scaling and cache state drift
+  // cannot systematically favor whichever ran last.
+  for (int i = 0; i < kReps + 1; ++i) {
+    const double t_raw = time_sweep(
+        grid,
+        [&](double eta, double n) {
+          return raw_speedup(eta, p.alpha, p.delta, p.beta, p.gamma, n);
+        },
+        &sink);
+    const double t_checked = time_sweep(
+        grid,
+        [&](double eta, double n) {
+          AsymptoticParams q = p;
+          q.eta = eta;
+          return speedup_asymptotic(q, n);  // NodeCount validates per call
+        },
+        &sink);
+    if (i == 0) continue;  // warm-up pair
+    raw.push_back(t_raw);
+    checked.push_back(t_checked);
+  }
+
+  std::vector<double> ratios;
+  ratios.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    ratios.push_back(checked[i] / raw[i]);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double ratio = ratios[ratios.size() / 2];
+  std::cout << "median per-pair overhead over " << ratios.size()
+            << " interleaved pairs: " << (ratio - 1.0) * 100.0
+            << "% vs raw\n";
+  if (sink == 42.0) std::cout << "";  // keep `sink` observable
+
+  constexpr double kBudget = 1.15;  // checked must stay under +15%
+  if (ratio > kBudget) {
+    std::cout << "FAIL: contract overhead " << ratio << "x exceeds the "
+              << kBudget << "x budget\n";
+    return 1;
+  }
+  std::cout << "PASS: domain-typed API within the 15% budget over raw "
+               "arithmetic\n";
+  return 0;
+}

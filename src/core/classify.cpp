@@ -1,5 +1,6 @@
 #include "core/classify.h"
 
+#include "core/contracts.h"
 #include "core/model.h"
 
 #include <cmath>
@@ -155,8 +156,8 @@ std::string make_rationale(const AsymptoticParams& p,
 
 }  // namespace
 
-Peak find_peak(const AsymptoticParams& p, double n_max) {
-  if (n_max < 1.0) throw std::invalid_argument("find_peak: n_max must be >= 1");
+Peak find_peak(const AsymptoticParams& p, NodeCount n_max) {
+  // n_max ≥ 1 is guaranteed by the NodeCount domain type at the boundary.
   // Golden-section search on log(n); S is unimodal in the asymptotic model.
   const double golden = 0.5 * (std::sqrt(5.0) - 1.0);
   double lo = 0.0, hi = std::log(n_max);
@@ -192,7 +193,7 @@ Peak find_peak(const AsymptoticParams& p, double n_max) {
   return peak;
 }
 
-Peak analytic_peak_eta_one(double beta, double gamma) {
+Peak analytic_peak_eta_one(Beta beta, Gamma gamma) {
   if (gamma <= 1.0 || beta <= 0.0) {
     throw std::invalid_argument(
         "analytic_peak_eta_one: need gamma > 1 and beta > 0");
@@ -205,12 +206,9 @@ Peak analytic_peak_eta_one(double beta, double gamma) {
 }
 
 Classification classify(const AsymptoticParams& p, double tol) {
-  if (p.eta < 0.0 || p.eta > 1.0) {
-    throw std::invalid_argument("classify: eta must be in [0,1]");
-  }
-  if (p.alpha < 0.0 || p.beta < 0.0 || p.gamma < 0.0) {
-    throw std::invalid_argument("classify: negative coefficient");
-  }
+  IPSO_EXPECTS(Eta::valid(p.eta), "classify: eta must be in [0,1]");
+  IPSO_EXPECTS(p.alpha >= 0.0 && p.beta >= 0.0 && p.gamma >= 0.0,
+               "classify: negative coefficient");
 
   // Build the power-law terms of Eq. 16's numerator and denominator. At
   // η = 1 the ε-ratio is undefined (paper remark below Eq. 16); α then

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "core/domain.h"
 #include "core/scaling_factors.h"
 
 #include <string>
@@ -60,11 +61,14 @@ struct Classification {
 
 /// Classifies an asymptotic parameter set. `tol` absorbs fitting noise when
 /// comparing exponents against the structural values 0 and 1 (a fitted
-/// γ = 0.98 is treated as γ = 1).
-Classification classify(const AsymptoticParams& p, double tol = 0.05);
+/// γ = 0.98 is treated as γ = 1). Precondition (contracts.h): η ∈ [0,1] and
+/// α, β, γ nonnegative — the taxonomy is undefined outside those domains.
+[[nodiscard]] Classification classify(const AsymptoticParams& p,
+                                      double tol = 0.05);
 
 /// Asymptotic bound of S(n) under `p`; +inf for unbounded types.
-double asymptotic_bound(const AsymptoticParams& p, double tol = 0.05);
+[[nodiscard]] double asymptotic_bound(const AsymptoticParams& p,
+                                      double tol = 0.05);
 
 /// Numerically locates the peak of the asymptotic speedup on [1, n_max]
 /// by golden-section search. Returns {argmax n, max S}.
@@ -72,13 +76,16 @@ struct Peak {
   double n = 1.0;
   double speedup = 1.0;
 };
-Peak find_peak(const AsymptoticParams& p, double n_max = 1e6);
+[[nodiscard]] Peak find_peak(const AsymptoticParams& p,
+                             NodeCount n_max = 1e6);
 
 /// Closed-form peak of Eq. 17 (eta = 1, S = n/(1 + beta·n^gamma)), valid
 /// for gamma > 1 and beta > 0:
 ///   n* = (1 / (beta·(gamma-1)))^(1/gamma),   S* = n*·(gamma-1)/gamma.
 /// For the CF case (beta = 3.74e-4, gamma = 2) this gives n* ~ 51.7 — the
-/// paper's hard scale-out ceiling. Throws for gamma <= 1 or beta <= 0.
-Peak analytic_peak_eta_one(double beta, double gamma);
+/// paper's hard scale-out ceiling. The domain types reject β < 0 / γ < 0 at
+/// the boundary; the stricter "peak exists" condition γ > 1, β > 0 still
+/// throws std::invalid_argument here.
+[[nodiscard]] Peak analytic_peak_eta_one(Beta beta, Gamma gamma);
 
 }  // namespace ipso

@@ -1,0 +1,67 @@
+#include "core/contracts.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace ipso::contracts {
+
+std::string Violation::to_string() const {
+  std::ostringstream os;
+  os << contracts::to_string(kind) << " violated";
+  if (file != nullptr && *file != '\0') {
+    os << " at " << file << ":" << line;
+  }
+  if (function != nullptr && *function != '\0') {
+    os << " in " << function;
+  }
+  os << ": " << message;
+  if (condition != nullptr && *condition != '\0') {
+    os << " (" << condition << ")";
+  }
+  return os.str();
+}
+
+ContractViolation::ContractViolation(const Violation& v)
+    : std::invalid_argument(v.to_string()),
+      kind_(v.kind),
+      file_(v.file),
+      line_(v.line) {}
+
+void throw_handler(const Violation& v) { throw ContractViolation(v); }
+
+[[noreturn]] void abort_handler_impl(const Violation& v) {
+  std::fprintf(stderr, "ipso: %s\n", v.to_string().c_str());
+  std::abort();
+}
+
+void log_handler(const Violation& v) {
+  std::fprintf(stderr, "ipso: %s (continuing)\n", v.to_string().c_str());
+}
+
+namespace {
+
+std::atomic<Handler>& handler_slot() noexcept {
+  static std::atomic<Handler> slot{&throw_handler};
+  return slot;
+}
+
+}  // namespace
+
+Handler set_violation_handler(Handler h) noexcept {
+  return handler_slot().exchange(h != nullptr ? h : &throw_handler,
+                                 std::memory_order_acq_rel);
+}
+
+Handler violation_handler() noexcept {
+  return handler_slot().load(std::memory_order_acquire);
+}
+
+void violate(Kind kind, const char* condition, const char* message,
+             const char* file, int line, const char* function) {
+  const Violation v{kind, condition, message, file, line, function};
+  violation_handler()(v);
+}
+
+}  // namespace ipso::contracts

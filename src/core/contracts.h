@@ -1,0 +1,164 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file contracts.h
+/// Precondition / postcondition / invariant macros for the IPSO library.
+///
+/// The model's correctness hinges on parameter-domain invariants the type
+/// system historically ignored — δ∈[0,1], γ≥0, α>0, β≥0, η∈[0,1], n≥1,
+/// q(1)=0 — and a silently out-of-domain parameter produces a
+/// plausible-but-wrong speedup curve rather than an error. These macros make
+/// the invariants machine-checked at every public entry point:
+///
+///   IPSO_EXPECTS(cond, msg)  — caller-facing precondition
+///   IPSO_ENSURES(cond, msg)  — callee-facing postcondition
+///   IPSO_ASSERT(cond, msg)   — internal invariant
+///
+/// Violation handling is pluggable (set_violation_handler). The default
+/// handler throws ContractViolation, which derives from
+/// std::invalid_argument so every pre-existing EXPECT_THROW(...,
+/// std::invalid_argument) contract in the test suite keeps holding. Two
+/// alternative handlers ship with the library:
+///
+///   abort_handler — prints the violation with source location to stderr and
+///                   aborts; the hard-stop choice for debug/fuzzing builds.
+///   log_handler   — prints and *continues* (the check's condition already
+///                   evaluated false). Only for code that must never unwind,
+///                   e.g. a draining daemon that prefers a wrong answer over
+///                   a dead connection. The serve daemon instead keeps the
+///                   throwing handler and maps ContractViolation to a
+///                   "contract_violation" protocol error at the request
+///                   boundary, so a bad request can never take a worker down.
+///
+/// Configure out with -DIPSO_CONTRACTS=OFF (cmake) / -DIPSO_CONTRACTS_OFF
+/// (compiler): every macro compiles to ((void)0) and the domain-type
+/// validation in domain.h compiles to a plain copy, so release binaries pay
+/// zero overhead (bench_contracts_overhead asserts the enabled-build budget,
+/// and the determinism CI leg asserts contracts-OFF bench output stays
+/// byte-identical). Conditions must therefore be side-effect free.
+
+#if !defined(IPSO_CONTRACTS_OFF)
+#define IPSO_CONTRACTS_ENABLED 1
+#else
+#define IPSO_CONTRACTS_ENABLED 0
+#endif
+
+namespace ipso::contracts {
+
+/// Which macro tripped.
+enum class Kind { kPrecondition, kPostcondition, kAssertion };
+
+constexpr const char* to_string(Kind k) noexcept {
+  switch (k) {
+    case Kind::kPrecondition: return "precondition";
+    case Kind::kPostcondition: return "postcondition";
+    case Kind::kAssertion: return "assertion";
+  }
+  return "contract";
+}
+
+/// Everything a handler needs to report a violation.
+struct Violation {
+  Kind kind = Kind::kAssertion;
+  const char* condition = "";  ///< stringified condition text
+  const char* message = "";    ///< human explanation ("η must be in [0,1]")
+  const char* file = "";
+  int line = 0;
+  const char* function = "";
+
+  /// "precondition violated at core/model.cpp:42 in speedup_deterministic:
+  ///  η must be in [0,1] (eta >= 0.0 && eta <= 1.0)"
+  std::string to_string() const;
+};
+
+/// Thrown by the default handler. Derives from std::invalid_argument: the
+/// repo's historical out-of-domain contract was `throw std::invalid_argument`
+/// and the test suite pins that type.
+class ContractViolation : public std::invalid_argument {
+ public:
+  explicit ContractViolation(const Violation& v);
+
+  Kind kind() const noexcept { return kind_; }
+  const char* file() const noexcept { return file_; }
+  int line() const noexcept { return line_; }
+
+ private:
+  Kind kind_;
+  const char* file_;
+  int line_;
+};
+
+/// A handler observes the violation; if it returns, execution continues past
+/// the failed check (log_handler's contract). Handlers must be reentrant.
+using Handler = void (*)(const Violation&);
+
+/// Throws ContractViolation (the default).
+void throw_handler(const Violation& v);
+
+/// Writes v.to_string() to stderr and calls std::abort().
+[[noreturn]] void abort_handler_impl(const Violation& v);
+inline void abort_handler(const Violation& v) { abort_handler_impl(v); }
+
+/// Writes v.to_string() to stderr and returns (execution continues).
+void log_handler(const Violation& v);
+
+/// Installs a handler, returning the previous one. Thread-safe (atomic
+/// pointer swap); passing nullptr restores the default throw_handler.
+Handler set_violation_handler(Handler h) noexcept;
+
+/// The currently installed handler.
+Handler violation_handler() noexcept;
+
+/// Routes a violation to the installed handler. Out-of-line so the macro
+/// expansion stays a compare + predictable branch at every check site.
+void violate(Kind kind, const char* condition, const char* message,
+             const char* file, int line, const char* function);
+
+/// Domain-type hook: validates `value` under `ok`, reporting `message` on
+/// failure. constexpr so an out-of-domain *literal* — `constexpr Delta
+/// d{1.5};` — is ill-formed at compile time (the non-constant violate() call
+/// is reached during constant evaluation); runtime values route through the
+/// violation handler like every other precondition. Compiles to a plain copy
+/// under -DIPSO_CONTRACTS=OFF.
+constexpr double checked_domain(double value, [[maybe_unused]] bool ok,
+                                [[maybe_unused]] const char* message,
+                                [[maybe_unused]] const char* type_name) {
+#if IPSO_CONTRACTS_ENABLED
+  if (!ok) {
+    violate(Kind::kPrecondition, type_name, message, "", 0, type_name);
+  }
+#endif
+  return value;
+}
+
+}  // namespace ipso::contracts
+
+#if IPSO_CONTRACTS_ENABLED
+
+#define IPSO_CONTRACT_CHECK_(kind, cond, msg)                              \
+  (static_cast<bool>(cond)                                                 \
+       ? static_cast<void>(0)                                              \
+       : ::ipso::contracts::violate(kind, #cond, msg, __FILE__, __LINE__,  \
+                                    static_cast<const char*>(__func__)))
+
+/// Caller-facing precondition: argument domains, required state.
+#define IPSO_EXPECTS(cond, msg) \
+  IPSO_CONTRACT_CHECK_(::ipso::contracts::Kind::kPrecondition, cond, msg)
+
+/// Callee-facing postcondition: what the function guarantees on return.
+#define IPSO_ENSURES(cond, msg) \
+  IPSO_CONTRACT_CHECK_(::ipso::contracts::Kind::kPostcondition, cond, msg)
+
+/// Internal invariant that does not belong to the public contract.
+#define IPSO_ASSERT(cond, msg) \
+  IPSO_CONTRACT_CHECK_(::ipso::contracts::Kind::kAssertion, cond, msg)
+
+#else  // contracts compiled out: conditions are not evaluated.
+
+#define IPSO_EXPECTS(cond, msg) static_cast<void>(0)
+#define IPSO_ENSURES(cond, msg) static_cast<void>(0)
+#define IPSO_ASSERT(cond, msg) static_cast<void>(0)
+
+#endif  // IPSO_CONTRACTS_ENABLED

@@ -30,9 +30,9 @@ struct EmpiricalShape {
 /// -> linear; e <= bounded_max (0.15) -> saturating/bounded; in between ->
 /// sublinear; an interior peak with a falling tail -> peaked. Errors:
 /// kInsufficientData (< 3 points), kFitFailed.
-Expected<EmpiricalShape> judge_shape(const stats::Series& speedup,
-                                     double linear_min = 0.9,
-                                     double bounded_max = 0.15);
+[[nodiscard]] Expected<EmpiricalShape> judge_shape(
+    const stats::Series& speedup, double linear_min = 0.9,
+    double bounded_max = 0.15);
 
 /// Full diagnostic report (steps 1-6).
 struct DiagnosticReport {
@@ -50,15 +50,15 @@ struct DiagnosticReport {
 /// Runs the diagnostic procedure from the curve shape only, exactly as the
 /// paper prescribes when no factor measurements exist. Errors:
 /// kInsufficientData (< 3 speedup points), kFitFailed.
-Expected<DiagnosticReport> diagnose(WorkloadType workload,
-                                    const stats::Series& speedup);
+[[nodiscard]] Expected<DiagnosticReport> diagnose(
+    WorkloadType workload, const stats::Series& speedup);
 
 /// Runs the full procedure: `factors` enables step 6 (pinning down III
 /// sub-types and exact parameters). A failed factor fit is not fatal — the
 /// report falls back to the shape-based guess and `report.fits` carries the
 /// reason.
-Expected<DiagnosticReport> diagnose(WorkloadType workload,
-                                    const stats::Series& speedup,
-                                    const FactorMeasurements& factors);
+[[nodiscard]] Expected<DiagnosticReport> diagnose(
+    WorkloadType workload, const stats::Series& speedup,
+    const FactorMeasurements& factors);
 
 }  // namespace ipso

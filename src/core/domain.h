@@ -1,0 +1,100 @@
+#pragma once
+
+#include "core/contracts.h"
+
+#include <limits>
+#include <optional>
+
+/// \file domain.h
+/// Domain-typed model parameters. The IPSO parameter space (paper Section IV)
+/// is not ℝ⁵: each parameter has a domain the taxonomy depends on, and the
+/// classification boundaries (γ = 1, δ = 0, η = 1) separate the It–IVt /
+/// Is–IVs types. A silently out-of-domain value used to produce a
+/// plausible-but-wrong speedup curve; these wrappers make the domain part of
+/// the signature instead:
+///
+///   Eta        η ∈ [0, 1]   parallelizable fraction at n = 1 (Eq. 9/11)
+///   Alpha      α > 0        coefficient of ε(n) ≈ α·n^δ        (Eq. 14)
+///   Delta      δ ∈ [0, 1]   exponent of ε(n)                   (Eq. 14)
+///   Beta       β ≥ 0        coefficient of q(n) ≈ β·n^γ        (Eq. 15)
+///   Gamma      γ ≥ 0        exponent of q(n)                   (Eq. 15)
+///   NodeCount  n ≥ 1        scale-out degree
+///
+/// Each type converts implicitly from and to double, so call sites keep
+/// reading `speedup_deterministic(f, 0.9, n)` — but the conversion *into*
+/// the type validates: a constexpr out-of-domain literal is a compile error
+/// (`constexpr Delta d{1.5};` is ill-formed), and a runtime out-of-domain
+/// value trips the contract-violation handler (contracts.h) at the API
+/// boundary it crossed. Parsers that must not throw use try_make(), which
+/// returns nullopt for out-of-domain input so the caller can surface a named
+/// FitError / protocol error instead.
+///
+/// NaN never validates (every comparison below is false for NaN), so NaN
+/// taxonomy cannot propagate past a domain-typed boundary. All checks
+/// compile out under -DIPSO_CONTRACTS=OFF.
+
+namespace ipso {
+
+namespace domain_detail {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace domain_detail
+
+#define IPSO_DOMAIN_TYPE_(Name, lo_ok, hi_ok, domain_text)                    \
+  class Name {                                                                \
+   public:                                                                    \
+    /* implicit: domain-typed APIs stay drop-in for double call sites */      \
+    constexpr Name(double v) /* NOLINT(google-explicit-constructor): */       \
+        /* implicit conversion is the migration path for ~200 call sites */   \
+        : v_(::ipso::contracts::checked_domain(v, valid(v), domain_text,      \
+                                               #Name)) {}                     \
+    /** True iff v lies in the documented domain (false for NaN). */          \
+    static constexpr bool valid(double v) noexcept {                          \
+      return (lo_ok) && (hi_ok);                                              \
+    }                                                                         \
+    /** Validated construction without the violation handler: nullopt for     \
+        out-of-domain input, for parsers that report named errors. */         \
+    static constexpr std::optional<Name> try_make(double v) noexcept {        \
+      if (!valid(v)) return std::nullopt;                                     \
+      return Name(v, Unchecked{});                                            \
+    }                                                                         \
+    /** The documented domain, for error messages ("α > 0", ...). */          \
+    static constexpr const char* domain() noexcept { return domain_text; }    \
+    constexpr double get() const noexcept { return v_; }                      \
+    constexpr operator double() const noexcept { return v_; }                 \
+                                                                              \
+   private:                                                                   \
+    struct Unchecked {};                                                      \
+    constexpr Name(double v, Unchecked) noexcept : v_(v) {}                   \
+    double v_;                                                                \
+  }
+
+/// η ∈ [0, 1]: parallelizable fraction of the n = 1 workload (Eq. 9/11).
+/// η = 1 (no serial portion) selects Eq. 17 and makes ε(n) undefined; the
+/// serve protocol additionally rejects η = 0 at its boundary.
+IPSO_DOMAIN_TYPE_(Eta, v >= 0.0, v <= 1.0, "η must be in [0,1]");
+
+/// α > 0 and finite: coefficient of the in-proportion ratio ε(n) ≈ α·n^δ.
+IPSO_DOMAIN_TYPE_(Alpha, v > 0.0, v < domain_detail::kInf, "α must be > 0");
+
+/// δ ∈ [0, 1]: ε-exponent; δ = 0 for fixed-size workloads, and the paper
+/// bounds it by 1 ("IN(n) is unlikely to scale up superlinearly fast").
+IPSO_DOMAIN_TYPE_(Delta, v >= 0.0, v <= 1.0, "δ must be in [0,1]");
+
+/// β ≥ 0 and finite: coefficient of q(n) ≈ β·n^γ; β = 0 means q = 0.
+IPSO_DOMAIN_TYPE_(Beta, v >= 0.0, v < domain_detail::kInf, "β must be >= 0");
+
+/// γ ≥ 0 and finite: q-exponent. γ = 0 encodes "no scale-out-induced
+/// workload" (paper convention); γ = 1 and γ > 1 are taxonomy boundaries.
+IPSO_DOMAIN_TYPE_(Gamma, v >= 0.0, v < domain_detail::kInf,
+                  "γ must be >= 0");
+
+/// n ≥ 1 and finite: scale-out degree. Real deployments use integers, but
+/// the model and every sweep treat n as continuous, so this wraps double.
+IPSO_DOMAIN_TYPE_(NodeCount, v >= 1.0, v < domain_detail::kInf,
+                  "n must be >= 1");
+
+#undef IPSO_DOMAIN_TYPE_
+
+}  // namespace ipso

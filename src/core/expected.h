@@ -27,6 +27,8 @@ enum class FitError {
   kNoSerialComponent,  ///< eta = 1: IN(n) is undefined (Eq. 16 remark)
   kNoChangepoint,      ///< segmented fit does not beat a single line
   kFitFailed,          ///< the underlying regression rejected the data
+  kOutOfDomain,        ///< an input parameter violates its paper domain
+                       ///< (e.g. η outside [0,1]); see core/domain.h
 };
 
 /// Human-readable error name (used in exception messages and reports).
@@ -41,6 +43,7 @@ constexpr const char* to_string(FitError e) noexcept {
     case FitError::kNoSerialComponent: return "no serial component (eta = 1)";
     case FitError::kNoChangepoint: return "no changepoint";
     case FitError::kFitFailed: return "fit failed";
+    case FitError::kOutOfDomain: return "parameter out of domain";
   }
   return "unknown";
 }
@@ -72,20 +75,25 @@ class [[nodiscard]] Expected {
   Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}
   Expected(E error) : state_(std::in_place_index<1>, std::move(error)) {}
 
-  bool has_value() const noexcept { return state_.index() == 0; }
+  [[nodiscard]] bool has_value() const noexcept { return state_.index() == 0; }
   explicit operator bool() const noexcept { return has_value(); }
 
-  T& value() & { ensure(); return std::get<0>(state_); }
-  const T& value() const& { ensure(); return std::get<0>(state_); }
-  T&& value() && { ensure(); return std::get<0>(std::move(state_)); }
+  /// Throwing accessors: misuse fails loudly rather than reading garbage.
+  /// Library code under src/ must branch on has_value() and surface a named
+  /// error instead — the lint wall (tools/lint/run_lint.py, rule
+  /// expected-unchecked-value) enforces this; tests, benches and examples
+  /// may use value() as a crash-on-error assertion.
+  [[nodiscard]] T& value() & { ensure(); return std::get<0>(state_); }
+  [[nodiscard]] const T& value() const& { ensure(); return std::get<0>(state_); }
+  [[nodiscard]] T&& value() && { ensure(); return std::get<0>(std::move(state_)); }
 
-  T& operator*() & { return value(); }
-  const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
   T* operator->() { return &value(); }
   const T* operator->() const { return &value(); }
 
   /// The error; throws std::logic_error when a value is held.
-  const E& error() const {
+  [[nodiscard]] const E& error() const {
     if (has_value()) {
       throw std::logic_error("Expected::error: holds a value");
     }

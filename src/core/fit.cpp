@@ -59,6 +59,10 @@ Expected<stats::SegmentedFit> detect_in_changepoint(const stats::Series& in,
 
 Expected<FactorFits> fit_factors(WorkloadType type,
                                  const FactorMeasurements& m) {
+  // Reject out-of-domain η at the boundary with a named error: silently
+  // fitting under η ∉ [0,1] would produce a plausible-but-wrong taxonomy
+  // (the classifier's η = 1 boundary separates Eq. 16 from Eq. 17).
+  if (!Eta::try_make(m.eta).has_value()) return FitError::kOutOfDomain;
   FactorFits out;
   out.params.type = type;
   out.params.eta = m.eta;
@@ -131,14 +135,19 @@ Expected<FactorFits> fit_factors(WorkloadType type,
   }
   if (q_pos.size() >= 2 && q_max > kNegligibleQ) {
     // Fit gamma on the tail: q(n) = beta*n^gamma holds asymptotically
-    // (Eq. 15), and small-n points distort the exponent.
+    // (Eq. 15), and small-n points distort the exponent. The fit is bound to
+    // a local before entering q_fit so no Expected is dereferenced — the
+    // lint wall bans unchecked access paths in src/ even when a preceding
+    // assignment makes them safe.
+    stats::PowerFit q_power;
     try {
-      out.q_fit = stats::fit_power(tail_half(q_pos, 3));
+      q_power = stats::fit_power(tail_half(q_pos, 3));
     } catch (const std::invalid_argument&) {
       return FitError::kFitFailed;
     }
-    out.params.beta = out.q_fit->coeff;
-    out.params.gamma = out.q_fit->exponent;
+    out.q_fit = q_power;
+    out.params.beta = q_power.coeff;
+    out.params.gamma = q_power.exponent;
   } else {
     // Distinguish "Wo was never measured" from "measured and negligible" —
     // the paper's MapReduce cases are all the latter.

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "core/domain.h"
 #include "core/expected.h"
 #include "core/scaling_factors.h"
 #include "stats/nonlinear.h"
@@ -23,7 +24,9 @@ namespace ipso {
 /// are indexed by the scale-out degree n and normalized so that
 /// EX(1) = IN(1) = 1 and q(1) = 0.
 struct FactorMeasurements {
-  double eta = 1.0;        ///< parallelizable fraction at n = 1 (Eq. 9)
+  double eta = 1.0;        ///< parallelizable fraction at n = 1 (Eq. 9);
+                           ///< fit_factors rejects values outside [0,1]
+                           ///< with FitError::kOutOfDomain
   stats::Series ex;        ///< measured EX(n) = Wp(n)/Wp(1)
   stats::Series in;        ///< measured IN(n) = Ws(n)/Ws(1); empty if Ws = 0
   stats::Series q;         ///< measured q(n) = Wo(n)·n/Wp(n); empty if Wo = 0
@@ -47,33 +50,35 @@ struct FactorFits {
 /// Builds the pointwise in-proportion ratio ε(n) = EX(n)/IN(n) from two
 /// measured factor series. Errors: kLengthMismatch, kMisalignedSeries,
 /// kNonPositiveValue (an IN(n) sample <= 0).
-Expected<stats::Series> epsilon_series(const stats::Series& ex,
-                                       const stats::Series& in);
+[[nodiscard]] Expected<stats::Series> epsilon_series(const stats::Series& ex,
+                                                     const stats::Series& in);
 
 /// Computes q(n) = Wo(n)·n / Wp(n) pointwise from measured workloads.
 /// Errors: kLengthMismatch, kMisalignedSeries, kNonPositiveValue.
-Expected<stats::Series> q_series_from_workloads(const stats::Series& wo,
-                                                const stats::Series& wp);
+[[nodiscard]] Expected<stats::Series> q_series_from_workloads(
+    const stats::Series& wo, const stats::Series& wp);
 
 /// Fits every scaling factor and assembles AsymptoticParams. `type` selects
 /// the external-scaling regime; δ is forced to 0 for fixed-size workloads
 /// (paper Section IV). Series may be restricted to small n by the caller
-/// (the paper fits on n <= 16, TeraSort on 16..64). Errors: kLengthMismatch
-/// (EX vs IN), kMisalignedSeries, kNonPositiveValue, kInsufficientData,
-/// kFitFailed (a regression rejected its input).
-Expected<FactorFits> fit_factors(WorkloadType type,
-                                 const FactorMeasurements& m);
+/// (the paper fits on n <= 16, TeraSort on 16..64). Errors: kOutOfDomain
+/// (measured η outside [0,1]), kLengthMismatch (EX vs IN),
+/// kMisalignedSeries, kNonPositiveValue, kInsufficientData, kFitFailed (a
+/// regression rejected its input).
+[[nodiscard]] Expected<FactorFits> fit_factors(WorkloadType type,
+                                               const FactorMeasurements& m);
 
 /// Detects a step-wise changepoint in IN(n) (Fig. 5: TeraSort's reducer
 /// memory overflow). Errors: kInsufficientData (< 2*min_seg points),
 /// kNoChangepoint (the two segments do not beat a single line).
-Expected<stats::SegmentedFit> detect_in_changepoint(const stats::Series& in,
-                                                    std::size_t min_seg = 3);
+[[nodiscard]] Expected<stats::SegmentedFit> detect_in_changepoint(
+    const stats::Series& in, std::size_t min_seg = 3);
 
 /// Fits the empirical growth exponent of a measured speedup curve's tail:
 /// S(n) ≈ c·n^e over the upper half of the x-range. Used by the diagnostic
 /// procedure to judge linear/sublinear/saturating growth from data alone.
 /// Errors: kInsufficientData (< 3 points), kFitFailed.
-Expected<stats::PowerFit> fit_tail_growth(const stats::Series& speedup);
+[[nodiscard]] Expected<stats::PowerFit> fit_tail_growth(
+    const stats::Series& speedup);
 
 }  // namespace ipso

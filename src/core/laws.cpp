@@ -4,24 +4,24 @@
 
 namespace ipso::laws {
 
-double amdahl(double eta, double n) noexcept {
+double amdahl(Eta eta, NodeCount n) noexcept {
   return 1.0 / (eta / n + (1.0 - eta));
 }
 
-double gustafson(double eta, double n) noexcept {
+double gustafson(Eta eta, NodeCount n) noexcept {
   return eta * n + (1.0 - eta);
 }
 
-double sun_ni(double eta, double n, const ScalingFn& g) {
+double sun_ni(Eta eta, NodeCount n, const ScalingFn& g) {
   const double gn = g(n);
   return (eta * gn + (1.0 - eta)) / (eta * gn / n + (1.0 - eta));
 }
 
-double sun_ni(double eta, double n) noexcept {
+double sun_ni(Eta eta, NodeCount n) noexcept {
   return (eta * n + (1.0 - eta)) / (eta + (1.0 - eta));
 }
 
-double amdahl_bound(double eta) noexcept {
+double amdahl_bound(Eta eta) noexcept {
   if (eta >= 1.0) return std::numeric_limits<double>::infinity();
   return 1.0 / (1.0 - eta);
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "core/domain.h"
 #include "core/scaling_factors.h"
 
 /// \file laws.h
@@ -7,25 +8,29 @@
 /// are both baselines for every experiment and special cases of IPSO
 /// (IN(n) = 1, q(n) = 0, EX(n) per Eq. 13) — a relation the test suite
 /// verifies exhaustively.
+///
+/// Parameters are domain-typed (domain.h): η ∈ [0,1] and n ≥ 1 are validated
+/// when the caller's doubles convert at the call boundary, so the functions
+/// themselves stay noexcept pure arithmetic.
 
 namespace ipso::laws {
 
 /// Amdahl's law: S(n) = 1 / (η/n + (1-η)). `eta` is the parallelizable
 /// fraction at n = 1, `n` the scale-out degree (n >= 1).
-double amdahl(double eta, double n) noexcept;
+[[nodiscard]] double amdahl(Eta eta, NodeCount n) noexcept;
 
 /// Gustafson's law: S(n) = η·n + (1-η).
-double gustafson(double eta, double n) noexcept;
+[[nodiscard]] double gustafson(Eta eta, NodeCount n) noexcept;
 
 /// Sun-Ni's law: S(n) = (η·g(n) + (1-η)) / (η·g(n)/n + (1-η)) where g is the
 /// memory-bound external scaling function.
-double sun_ni(double eta, double n, const ScalingFn& g);
+[[nodiscard]] double sun_ni(Eta eta, NodeCount n, const ScalingFn& g);
 
 /// Sun-Ni with the data-intensive approximation g(n) = n, which makes it
 /// coincide with Gustafson's law (paper Section IV).
-double sun_ni(double eta, double n) noexcept;
+[[nodiscard]] double sun_ni(Eta eta, NodeCount n) noexcept;
 
 /// Asymptotic upper bound of Amdahl's law, 1/(1-η); +inf at η = 1.
-double amdahl_bound(double eta) noexcept;
+[[nodiscard]] double amdahl_bound(Eta eta) noexcept;
 
 }  // namespace ipso::laws

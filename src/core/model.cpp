@@ -1,25 +1,15 @@
 #include "core/model.h"
 
+#include "core/contracts.h"
+
 #include <cmath>
-#include <stdexcept>
 
 namespace ipso {
 
-namespace {
-
-void check_n(double n) {
-  if (n < 1.0) throw std::invalid_argument("IPSO model: n must be >= 1");
-}
-
-}  // namespace
-
 double speedup_statistical(const ScalingFactors& f, const StatisticalInputs& m,
-                           double n) {
-  check_n(n);
+                           NodeCount n) {
   const double total1 = m.e_tp1 + m.e_ts1;
-  if (total1 <= 0.0) {
-    throw std::invalid_argument("speedup_statistical: zero baseline time");
-  }
+  IPSO_EXPECTS(total1 > 0.0, "speedup_statistical: zero baseline time");
   const double eta = m.e_tp1 / total1;
   const double ex = f.ex(n);
   const double in = f.in(n);
@@ -29,11 +19,8 @@ double speedup_statistical(const ScalingFactors& f, const StatisticalInputs& m,
   return num / den;
 }
 
-double speedup_deterministic(const ScalingFactors& f, double eta, double n) {
-  check_n(n);
-  if (eta < 0.0 || eta > 1.0) {
-    throw std::invalid_argument("speedup_deterministic: eta must be in [0,1]");
-  }
+double speedup_deterministic(const ScalingFactors& f, Eta eta, NodeCount n) {
+  // η ∈ [0,1] and n ≥ 1 are guaranteed by the domain types at the boundary.
   const double ex = f.ex(n);
   const double in = f.in(n);
   const double num = eta * ex + (1.0 - eta) * in;
@@ -41,8 +28,7 @@ double speedup_deterministic(const ScalingFactors& f, double eta, double n) {
   return num / den;
 }
 
-double speedup_asymptotic(const AsymptoticParams& p, double n) {
-  check_n(n);
+double speedup_asymptotic(const AsymptoticParams& p, NodeCount n) {
   // q(n) ≈ β n^γ, with γ = 0 meaning q = 0 (paper convention) and q(1) = 0
   // by definition (sequential execution induces no scale-out workload).
   const double q =
@@ -65,10 +51,10 @@ double speedup_from_components(const WorkloadComponents& c) noexcept {
   return c.speedup();
 }
 
-double eta_from_times(double tp1, double ts1) noexcept {
+Eta eta_from_times(double tp1, double ts1) {
   const double total = tp1 + ts1;
   if (total <= 0.0) return 0.0;
-  return tp1 / total;
+  return tp1 / total;  // out-of-domain (negative input) trips Eta's contract
 }
 
 stats::Series SpeedupCurve::as_series(std::string name) const {
@@ -77,7 +63,7 @@ stats::Series SpeedupCurve::as_series(std::string name) const {
   return out;
 }
 
-SpeedupCurve speedup_curve(const ScalingFactors& f, double eta,
+SpeedupCurve speedup_curve(const ScalingFactors& f, Eta eta,
                            std::span<const double> ns) {
   SpeedupCurve out;
   out.ns.assign(ns.begin(), ns.end());

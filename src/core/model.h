@@ -1,5 +1,6 @@
 #pragma once
 
+#include "core/domain.h"
 #include "core/scaling_factors.h"
 #include "core/workload.h"
 #include "stats/series.h"
@@ -25,22 +26,28 @@ struct StatisticalInputs {
 /// Statistical IPSO speedup (Eq. 8) at scale-out degree n given the scaling
 /// factors and the measured task-time statistics. Degenerates to Eq. 10 when
 /// e_max_tp equals tp(1)·EX(n)/n.
-double speedup_statistical(const ScalingFactors& f, const StatisticalInputs& m,
-                           double n);
+[[nodiscard]] double speedup_statistical(const ScalingFactors& f,
+                                         const StatisticalInputs& m,
+                                         NodeCount n);
 
 /// Deterministic IPSO speedup (Eq. 10): every parallel task takes the same
-/// time, so E[max Tp,i(n)] = tp(n) = Wp(n)/n.
-double speedup_deterministic(const ScalingFactors& f, double eta, double n);
+/// time, so E[max Tp,i(n)] = tp(n) = Wp(n)/n. The domain types validate
+/// η ∈ [0,1] and n ≥ 1 at the call boundary (contracts.h).
+[[nodiscard]] double speedup_deterministic(const ScalingFactors& f, Eta eta,
+                                           NodeCount n);
 
 /// Asymptotic IPSO speedup (Eq. 16; Eq. 17 when eta = 1):
 /// S(n) ≈ (η·α·n^δ + 1-η) / (η·α·n^(δ-1)·(1+β·n^γ) + 1-η).
-double speedup_asymptotic(const AsymptoticParams& p, double n);
+[[nodiscard]] double speedup_asymptotic(const AsymptoticParams& p,
+                                        NodeCount n);
 
 /// Speedup directly from measured workload components (Eq. 7).
-double speedup_from_components(const WorkloadComponents& c) noexcept;
+[[nodiscard]] double speedup_from_components(
+    const WorkloadComponents& c) noexcept;
 
 /// Parallelizable fraction η from the n = 1 workload split (Eq. 9/11).
-double eta_from_times(double tp1, double ts1) noexcept;
+/// Negative time components are a caller bug and trip the η-domain contract.
+[[nodiscard]] Eta eta_from_times(double tp1, double ts1);
 
 /// A model-evaluated speedup curve: the swept n values and the predicted
 /// speedups, kept together so call sites stop zipping parallel vectors.
@@ -57,11 +64,11 @@ struct SpeedupCurve {
 };
 
 /// Convenience: evaluates the deterministic model over a range of n values.
-SpeedupCurve speedup_curve(const ScalingFactors& f, double eta,
-                           std::span<const double> ns);
+[[nodiscard]] SpeedupCurve speedup_curve(const ScalingFactors& f, Eta eta,
+                                         std::span<const double> ns);
 
 /// Convenience: evaluates the asymptotic model over a range of n values.
-SpeedupCurve speedup_curve(const AsymptoticParams& p,
-                           std::span<const double> ns);
+[[nodiscard]] SpeedupCurve speedup_curve(const AsymptoticParams& p,
+                                         std::span<const double> ns);
 
 }  // namespace ipso

@@ -1,18 +1,17 @@
 #include "core/predict.h"
 
+#include "core/contracts.h"
+
 #include <cmath>
 #include <stdexcept>
 
 namespace ipso {
 
-SpeedupPredictor::SpeedupPredictor(ScalingFactors factors, double eta)
+SpeedupPredictor::SpeedupPredictor(ScalingFactors factors, Eta eta)
     : factors_(std::move(factors)), eta_(eta) {
-  if (!factors_.ex || !factors_.in || !factors_.q) {
-    throw std::invalid_argument("SpeedupPredictor: incomplete factors");
-  }
-  if (eta_ < 0.0 || eta_ > 1.0) {
-    throw std::invalid_argument("SpeedupPredictor: eta must be in [0,1]");
-  }
+  // η ∈ [0,1] is guaranteed by the Eta domain type at the boundary.
+  IPSO_EXPECTS(factors_.ex && factors_.in && factors_.q,
+               "SpeedupPredictor: incomplete factors");
 }
 
 SpeedupPredictor SpeedupPredictor::from_fits(const FactorFits& fits) {
@@ -35,7 +34,7 @@ SpeedupPredictor SpeedupPredictor::from_fits(const FactorFits& fits) {
   return SpeedupPredictor(std::move(f), fits.params.eta);
 }
 
-double SpeedupPredictor::operator()(double n) const {
+double SpeedupPredictor::operator()(NodeCount n) const {
   return speedup_deterministic(factors_, eta_, n);
 }
 
@@ -49,12 +48,9 @@ stats::Series SpeedupPredictor::curve(std::span<const double> ns,
 ProvisioningPlan plan_provisioning(const SpeedupPredictor& predictor,
                                    std::span<const double> ns,
                                    double knee_frac) {
-  if (ns.empty()) {
-    throw std::invalid_argument("plan_provisioning: empty sweep");
-  }
-  if (knee_frac <= 0.0 || knee_frac > 1.0) {
-    throw std::invalid_argument("plan_provisioning: knee_frac in (0,1]");
-  }
+  IPSO_EXPECTS(!ns.empty(), "plan_provisioning: empty sweep");
+  IPSO_EXPECTS(knee_frac > 0.0 && knee_frac <= 1.0,
+               "plan_provisioning: knee_frac in (0,1]");
   ProvisioningPlan plan;
   plan.options.reserve(ns.size());
   double best_speedup = -1.0, best_value = -1.0;

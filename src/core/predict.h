@@ -22,17 +22,18 @@ class SpeedupPredictor {
   /// Builds a predictor from factor fits. Uses the segmented IN(n) when a
   /// changepoint was detected, the straight-line fit otherwise, and the
   /// asymptotic power law as the last resort.
-  static SpeedupPredictor from_fits(const FactorFits& fits);
+  [[nodiscard]] static SpeedupPredictor from_fits(const FactorFits& fits);
 
-  /// Builds a predictor directly from exact scaling factors.
-  SpeedupPredictor(ScalingFactors factors, double eta);
+  /// Builds a predictor directly from exact scaling factors. The Eta domain
+  /// type validates η ∈ [0,1] at the boundary (contracts.h).
+  SpeedupPredictor(ScalingFactors factors, Eta eta);
 
   /// Predicted speedup at scale-out degree n (n >= 1).
-  double operator()(double n) const;
+  [[nodiscard]] double operator()(NodeCount n) const;
 
   /// Predicted speedup over a sweep of n values, as a named series.
-  stats::Series curve(std::span<const double> ns,
-                      std::string name = "IPSO prediction") const;
+  [[nodiscard]] stats::Series curve(std::span<const double> ns,
+                                    std::string name = "IPSO prediction") const;
 
   /// The η used by the predictor.
   double eta() const noexcept { return eta_; }
@@ -67,8 +68,8 @@ struct ProvisioningPlan {
 /// Evaluates provisioning options for n in `ns` under a predictor.
 /// `knee_frac` (default 0.9) defines the knee point: the cheapest n whose
 /// speedup is at least that fraction of the best achievable in the sweep.
-ProvisioningPlan plan_provisioning(const SpeedupPredictor& predictor,
-                                   std::span<const double> ns,
-                                   double knee_frac = 0.9);
+[[nodiscard]] ProvisioningPlan plan_provisioning(
+    const SpeedupPredictor& predictor, std::span<const double> ns,
+    double knee_frac = 0.9);
 
 }  // namespace ipso

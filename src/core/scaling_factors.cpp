@@ -1,5 +1,7 @@
 #include "core/scaling_factors.h"
 
+#include "core/contracts.h"
+
 #include <cmath>
 #include <stdexcept>
 
@@ -35,15 +37,13 @@ ScalingFn power_factor(double coeff, double exponent) {
   return [coeff, exponent](double n) { return coeff * std::pow(n, exponent); };
 }
 
-ScalingFn make_q(double beta, double gamma) {
-  if (beta < 0.0 || gamma < 0.0) {
-    throw std::invalid_argument("make_q: beta and gamma must be nonnegative");
-  }
+ScalingFn make_q(Beta beta, Gamma gamma) {
+  // β ≥ 0 and γ ≥ 0 are guaranteed by the domain types at the boundary.
   // γ = 0 encodes "no scale-out-induced workload" (paper, below Eq. 15).
   if (gamma == 0.0 || beta == 0.0) return constant_factor(0.0);
-  return [beta, gamma](double n) {
+  return [b = beta.get(), g = gamma.get()](double n) {
     if (n <= 1.0) return 0.0;  // q(1) = 0 by definition (Eq. 6)
-    return beta * std::pow(n, gamma);
+    return b * std::pow(n, g);
   };
 }
 
@@ -57,9 +57,7 @@ ScalingFn stepwise_linear_factor(double slope_lo, double intercept_lo,
 }
 
 ScalingFactors AsymptoticParams::materialize() const {
-  if (alpha <= 0.0) {
-    throw std::invalid_argument("materialize: alpha must be positive");
-  }
+  IPSO_EXPECTS(alpha > 0.0, "materialize: alpha must be positive");
   ScalingFactors f;
   f.q = make_q(beta, gamma);
   if (type == WorkloadType::kFixedSize) {

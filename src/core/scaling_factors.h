@@ -1,5 +1,6 @@
 #pragma once
 
+#include "core/domain.h"
 #include "core/workload.h"
 
 #include <functional>
@@ -45,8 +46,9 @@ ScalingFn linear_factor(double slope, double intercept);
 ScalingFn power_factor(double coeff, double exponent);
 
 /// q(n) = beta·n^gamma for n > 1 and exactly 0 at n = 1 (the paper requires
-/// q(1) = 0: sequential execution induces no scale-out workload).
-ScalingFn make_q(double beta, double gamma);
+/// q(1) = 0: sequential execution induces no scale-out workload). The domain
+/// types validate β ≥ 0 and γ ≥ 0 at the call boundary.
+[[nodiscard]] ScalingFn make_q(Beta beta, Gamma gamma);
 
 /// Step-wise linear factor: slope/intercept change at the knot, as observed
 /// for TeraSort's IN(n) when the reducer memory overflows (paper Fig. 5).
@@ -61,10 +63,27 @@ ScalingFn stepwise_linear_factor(double slope_lo, double intercept_lo,
 struct AsymptoticParams {
   WorkloadType type = WorkloadType::kFixedTime;
   double eta = 1.0;    ///< η ∈ (0, 1]
-  double alpha = 1.0;  ///< α ≥ 0, coefficient of ε(n)
+  double alpha = 1.0;  ///< α > 0, coefficient of ε(n)
   double delta = 1.0;  ///< δ; fixed-time: 0 ≤ δ ≤ 1, fixed-size: δ = 0
   double beta = 0.0;   ///< β ≥ 0, coefficient of q(n)
   double gamma = 0.0;  ///< γ ≥ 0; γ = 0 means q(n) = 0 (paper convention)
+
+  /// Domain-validated construction: each argument converts through its
+  /// domain type (domain.h), so an out-of-domain value trips the contract
+  /// handler here rather than producing NaN taxonomy downstream.
+  [[nodiscard]] static AsymptoticParams make(WorkloadType type, Eta eta,
+                                             Alpha alpha, Delta delta,
+                                             Beta beta, Gamma gamma) noexcept {
+    return AsymptoticParams{type, eta, alpha, delta, beta, gamma};
+  }
+
+  /// True when every field lies in its paper domain (δ is ignored for
+  /// fixed-size workloads, where it is structurally 0 and the field unused).
+  [[nodiscard]] bool in_domain() const noexcept {
+    return Eta::valid(eta) && Alpha::valid(alpha) && Beta::valid(beta) &&
+           Gamma::valid(gamma) &&
+           (type == WorkloadType::kFixedSize || Delta::valid(delta));
+  }
 
   /// True when the model has a scale-out-induced component.
   bool has_scale_out() const noexcept { return gamma > 0.0 && beta > 0.0; }
@@ -72,7 +91,7 @@ struct AsymptoticParams {
   /// Materializes exact ScalingFactors consistent with these asymptotics:
   /// fixed-time -> EX = n, IN = n^(1-δ)/α; fixed-size -> EX = 1, IN = 1/α
   /// (IN is normalized so IN(1) = 1 when α = 1).
-  ScalingFactors materialize() const;
+  [[nodiscard]] ScalingFactors materialize() const;
 };
 
 }  // namespace ipso

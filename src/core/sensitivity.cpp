@@ -1,5 +1,6 @@
 #include "core/sensitivity.h"
 
+#include "core/contracts.h"
 #include "core/model.h"
 
 #include <algorithm>
@@ -35,9 +36,9 @@ double partial(const AsymptoticParams& p, double n, double value,
 
 }  // namespace
 
-Sensitivities sensitivities(const AsymptoticParams& p, double n,
+Sensitivities sensitivities(const AsymptoticParams& p, NodeCount n,
                             double rel_step) {
-  if (n < 1.0) throw std::invalid_argument("sensitivities: n >= 1");
+  // n >= 1 is guaranteed by the NodeCount domain type at the boundary.
   Sensitivities s;
   s.n = n;
   s.d_eta = partial(p, n, p.eta, rel_step,
@@ -53,11 +54,10 @@ Sensitivities sensitivities(const AsymptoticParams& p, double n,
   return s;
 }
 
-ImprovementGains improvement_gains(const AsymptoticParams& p, double n,
+ImprovementGains improvement_gains(const AsymptoticParams& p, NodeCount n,
                                    double improvement) {
-  if (improvement <= 0.0 || improvement >= 1.0) {
-    throw std::invalid_argument("improvement_gains: improvement in (0,1)");
-  }
+  IPSO_EXPECTS(improvement > 0.0 && improvement < 1.0,
+               "improvement_gains: improvement in (0,1)");
   const double base = speedup_asymptotic(p, n);
   auto gain = [&](auto&& tweak) {
     AsymptoticParams q = p;
@@ -81,7 +81,7 @@ ImprovementGains improvement_gains(const AsymptoticParams& p, double n,
   return g;
 }
 
-std::string improvement_advice(const AsymptoticParams& p, double n) {
+std::string improvement_advice(const AsymptoticParams& p, NodeCount n) {
   const ImprovementGains g = improvement_gains(p, n);
   struct Option {
     const char* what;

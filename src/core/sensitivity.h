@@ -1,5 +1,6 @@
 #pragma once
 
+#include "core/domain.h"
 #include "core/scaling_factors.h"
 
 #include <string>
@@ -26,8 +27,9 @@ struct Sensitivities {
 
 /// Numerical sensitivities at scale-out degree n. `rel_step` is the
 /// relative perturbation (absolute for parameters at 0).
-Sensitivities sensitivities(const AsymptoticParams& p, double n,
-                            double rel_step = 1e-4);
+[[nodiscard]] Sensitivities sensitivities(const AsymptoticParams& p,
+                                          NodeCount n,
+                                          double rel_step = 1e-4);
 
 /// Relative speedup gain from improving one parameter by `improvement`
 /// (e.g. 0.1 = 10%) in its *beneficial* direction: eta/alpha/delta up
@@ -40,11 +42,13 @@ struct ImprovementGains {
   double beta = 0.0;
   double gamma = 0.0;
 };
-ImprovementGains improvement_gains(const AsymptoticParams& p, double n,
-                                   double improvement = 0.1);
+[[nodiscard]] ImprovementGains improvement_gains(const AsymptoticParams& p,
+                                                 NodeCount n,
+                                                 double improvement = 0.1);
 
 /// One-line engineering advice: the parameter whose 10% improvement buys
 /// the largest speedup gain at n, with the numbers.
-std::string improvement_advice(const AsymptoticParams& p, double n);
+[[nodiscard]] std::string improvement_advice(const AsymptoticParams& p,
+                                             NodeCount n);
 
 }  // namespace ipso

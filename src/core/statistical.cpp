@@ -71,14 +71,9 @@ double CappedParetoTime::sample(stats::Rng& rng) const {
   return rng.heavy_tail(1.0, shape_, cap_) / raw_mean_;
 }
 
-double speedup_statistical(const ScalingFactors& f, double eta,
-                           const TaskTimeDistribution& dist, double n) {
-  if (n < 1.0) {
-    throw std::invalid_argument("speedup_statistical: n must be >= 1");
-  }
-  if (eta < 0.0 || eta > 1.0) {
-    throw std::invalid_argument("speedup_statistical: eta in [0, 1]");
-  }
+double speedup_statistical(const ScalingFactors& f, Eta eta,
+                           const TaskTimeDistribution& dist, NodeCount n) {
+  // η ∈ [0,1] and n ≥ 1 are guaranteed by the domain types at the boundary.
   // E[max of n tasks] is only defined at integer n; everywhere else Eq. 8
   // uses the real-valued n. Rounding n into expected_max would evaluate
   // n = 2.4 and n = 1.6 at the same 2 tasks — instead interpolate E[max]
@@ -98,7 +93,7 @@ double speedup_statistical(const ScalingFactors& f, double eta,
   return num / den;
 }
 
-stats::Series speedup_statistical_curve(const ScalingFactors& f, double eta,
+stats::Series speedup_statistical_curve(const ScalingFactors& f, Eta eta,
                                         const TaskTimeDistribution& dist,
                                         std::span<const double> ns,
                                         std::string name) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "core/domain.h"
 #include "core/scaling_factors.h"
 #include "stats/random.h"
 #include "stats/series.h"
@@ -100,13 +101,13 @@ class CappedParetoTime final : public TaskTimeDistribution {
 ///   S(n) = [η·EX + (1-η)·IN] /
 ///          [η·(EX/n)·E[max_n X] + (1-η)·IN + η·EX·q/n].
 /// With DeterministicTime this is exactly Eq. 10.
-double speedup_statistical(const ScalingFactors& f, double eta,
-                           const TaskTimeDistribution& dist, double n);
+[[nodiscard]] double speedup_statistical(const ScalingFactors& f, Eta eta,
+                                         const TaskTimeDistribution& dist,
+                                         NodeCount n);
 
 /// Convenience curve over a sweep.
-stats::Series speedup_statistical_curve(const ScalingFactors& f, double eta,
-                                        const TaskTimeDistribution& dist,
-                                        std::span<const double> ns,
-                                        std::string name = "statistical");
+[[nodiscard]] stats::Series speedup_statistical_curve(
+    const ScalingFactors& f, Eta eta, const TaskTimeDistribution& dist,
+    std::span<const double> ns, std::string name = "statistical");
 
 }  // namespace ipso

@@ -1,5 +1,6 @@
 #include "core/tradeoff.h"
 
+#include "core/contracts.h"
 #include "core/model.h"
 
 #include <stdexcept>
@@ -8,7 +9,7 @@ namespace ipso {
 
 double scale_up_speedup(double k) noexcept { return k; }
 
-std::vector<ScaleChoice> compare_scaling(const ScalingFactors& f, double eta,
+std::vector<ScaleChoice> compare_scaling(const ScalingFactors& f, Eta eta,
                                          std::span<const double> ks) {
   std::vector<ScaleChoice> out;
   out.reserve(ks.size());
@@ -23,14 +24,11 @@ std::vector<ScaleChoice> compare_scaling(const ScalingFactors& f, double eta,
   return out;
 }
 
-double scale_out_competitive_limit(const ScalingFactors& f, double eta,
+double scale_out_competitive_limit(const ScalingFactors& f, Eta eta,
                                    double frac, double k_max) {
-  if (frac <= 0.0 || frac > 1.0) {
-    throw std::invalid_argument("scale_out_competitive_limit: frac in (0,1]");
-  }
-  if (k_max < 1.0) {
-    throw std::invalid_argument("scale_out_competitive_limit: k_max >= 1");
-  }
+  IPSO_EXPECTS(frac > 0.0 && frac <= 1.0,
+               "scale_out_competitive_limit: frac in (0,1]");
+  IPSO_EXPECTS(k_max >= 1.0, "scale_out_competitive_limit: k_max >= 1");
   // S(k)/k is non-increasing for every IPSO curve (efficiency never
   // improves with scale-out), so bisect on the predicate S(k) >= frac*k.
   auto competitive = [&](double k) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "core/domain.h"
 #include "core/scaling_factors.h"
 #include "stats/series.h"
 
@@ -16,7 +17,7 @@ namespace ipso {
 
 /// Speedup of scaling UP by factor k: one unit k times faster runs every
 /// workload component k times faster, so S = k for any workload.
-double scale_up_speedup(double k) noexcept;
+[[nodiscard]] double scale_up_speedup(double k) noexcept;
 
 /// Comparison of the two strategies at equal resource multiple k.
 struct ScaleChoice {
@@ -29,15 +30,16 @@ struct ScaleChoice {
 };
 
 /// Evaluates both strategies over resource multiples `ks`.
-std::vector<ScaleChoice> compare_scaling(const ScalingFactors& f, double eta,
-                                         std::span<const double> ks);
+[[nodiscard]] std::vector<ScaleChoice> compare_scaling(
+    const ScalingFactors& f, Eta eta, std::span<const double> ks);
 
 /// The largest resource multiple at which scaling out still achieves at
 /// least `frac` of the scale-up speedup, searched over [1, k_max]. For a
 /// Gustafson-like (It, alpha = 1) workload this is k_max (they tie);
 /// for bounded or peaked types it is finite — the "stop buying nodes"
 /// point of the paper's speedup-versus-cost discussion.
-double scale_out_competitive_limit(const ScalingFactors& f, double eta,
-                                   double frac = 0.5, double k_max = 4096.0);
+[[nodiscard]] double scale_out_competitive_limit(const ScalingFactors& f,
+                                                 Eta eta, double frac = 0.5,
+                                                 double k_max = 4096.0);
 
 }  // namespace ipso

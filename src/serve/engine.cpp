@@ -1,5 +1,6 @@
 #include "serve/engine.h"
 
+#include "core/contracts.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "trace/json.h"
@@ -195,6 +196,22 @@ FitCache::Result ServeEngine::cached_fit(const Request& req) {
 }
 
 std::string ServeEngine::process(const Request& req) {
+  // The serve daemon must not abort on a contract violation: the protocol
+  // boundary validates every field, so a violation here means a bug or an
+  // input combination the validators missed — either way the right behavior
+  // for a long-running server is a structured error response, not a dead
+  // worker. The violation handler stays the throwing default (contracts.h);
+  // this is the catch side of that policy.
+  try {
+    return dispatch(req);
+  } catch (const contracts::ContractViolation& v) {
+    return error_response(req.id, req.op, "contract_violation", v.what());
+  } catch (const std::exception& e) {
+    return error_response(req.id, req.op, "internal", e.what());
+  }
+}
+
+std::string ServeEngine::dispatch(const Request& req) {
   switch (req.op) {
     case Op::kPing:
       return ok_response(req, "{\"pong\":true}");

@@ -110,8 +110,13 @@ class ServeEngine {
   void clear_cache() { cache_.clear(); }
 
  private:
-  /// Dispatches one admitted request; returns the response line.
+  /// Runs one admitted request; maps ContractViolation escapes to a
+  /// "contract_violation" error response (and any other exception to
+  /// "internal") so a worker thread can never die on a bad request.
   std::string process(const Request& req);
+
+  /// Dispatches one admitted request; returns the response line. May throw.
+  std::string dispatch(const Request& req);
 
   /// Fit (through the cache) for ops that need fitted factors.
   FitCache::Result cached_fit(const Request& req);

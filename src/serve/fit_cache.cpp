@@ -30,7 +30,7 @@ void append_series(std::string* key, char tag, const stats::Series& s) {
 
 }  // namespace
 
-std::string canonical_fit_key(WorkloadType type, double eta,
+std::string canonical_fit_key(WorkloadType type, Eta eta,
                               const stats::Series& ex,
                               const stats::Series& in,
                               const stats::Series& q) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "core/domain.h"
 #include "core/fit.h"
 
 #include <condition_variable>
@@ -41,10 +42,10 @@ using FitOutcomePtr = std::shared_ptr<const FitOutcome>;
 /// requests map to the same key iff fit_factors() would see identical
 /// input, so a cache hit is always semantically exact (no epsilon
 /// comparisons, no hash collisions — the key *is* the input).
-std::string canonical_fit_key(WorkloadType type, double eta,
-                              const stats::Series& ex,
-                              const stats::Series& in,
-                              const stats::Series& q);
+[[nodiscard]] std::string canonical_fit_key(WorkloadType type, Eta eta,
+                                            const stats::Series& ex,
+                                            const stats::Series& in,
+                                            const stats::Series& q);
 
 /// LRU fit cache with coalescing. Thread-safe.
 class FitCache {

@@ -1,5 +1,6 @@
 #include "serve/proto.h"
 
+#include "core/domain.h"
 #include "trace/json.h"
 
 #include <sstream>
@@ -115,8 +116,27 @@ bool read_params(const trace::JsonValue& v, AsymptoticParams* out,
   if (const auto* d = v.get("delta")) out->delta = d->as_number(1.0);
   if (const auto* b = v.get("beta")) out->beta = b->as_number(0.0);
   if (const auto* g = v.get("gamma")) out->gamma = g->as_number(0.0);
-  if (out->eta <= 0.0 || out->eta > 1.0) {
-    *error = "params.eta must be in (0, 1]";
+  // Domain validation at the protocol boundary (core/domain.h): values that
+  // would violate a core-type precondition are rejected here with a named,
+  // per-field error instead of tripping a contract deep in a worker.
+  if (out->eta <= 0.0 || !Eta::valid(out->eta)) {
+    *error = "params.eta out of domain: serve requires eta in (0, 1]";
+    return false;
+  }
+  if (!Alpha::valid(out->alpha)) {
+    *error = "params.alpha out of domain: alpha must be finite and > 0";
+    return false;
+  }
+  if (!Delta::valid(out->delta)) {
+    *error = "params.delta out of domain: delta must be in [0, 1]";
+    return false;
+  }
+  if (!Beta::valid(out->beta)) {
+    *error = "params.beta out of domain: beta must be finite and >= 0";
+    return false;
+  }
+  if (!Gamma::valid(out->gamma)) {
+    *error = "params.gamma out of domain: gamma must be finite and >= 0";
     return false;
   }
   return true;
@@ -148,10 +168,13 @@ void append_linear_fit(std::ostringstream& os, const stats::LinearFit& f) {
 Expected<Request, std::string> parse_request(const std::string& line) {
   const auto doc = trace::parse_json(line);
   if (!doc) return doc.error().to_string();
-  if (!doc->is_object()) return std::string("request must be a JSON object");
+  // Dereference exactly once, behind the has_value branch above; every later
+  // access goes through this checked reference (lint: expected-unchecked-value).
+  const trace::JsonValue& root = *doc;
+  if (!root.is_object()) return std::string("request must be a JSON object");
 
   Request req;
-  const auto* op = doc->get("op");
+  const auto* op = root.get("op");
   if (op == nullptr || !op->is_string()) {
     return std::string("missing required string field 'op'");
   }
@@ -160,7 +183,7 @@ Expected<Request, std::string> parse_request(const std::string& line) {
     return "unknown op '" + op->as_string() + "'";
   }
 
-  if (const auto* id = doc->get("id")) {
+  if (const auto* id = root.get("id")) {
     if (id->is_string()) {
       req.id = id->as_string();
     } else if (id->is_number()) {
@@ -170,37 +193,37 @@ Expected<Request, std::string> parse_request(const std::string& line) {
     }
   }
 
-  if (const auto* w = doc->get("workload")) {
+  if (const auto* w = root.get("workload")) {
     const auto type = workload_from_string(w->as_string());
     if (!type) return "unknown workload '" + w->as_string() + "'";
     req.workload = *type;
   }
   std::string error;
-  if (const auto* eta = doc->get("eta")) {
+  if (const auto* eta = root.get("eta")) {
     req.eta = eta->as_number(-1.0);
-    if (req.eta <= 0.0 || req.eta > 1.0) {
+    if (req.eta <= 0.0 || !Eta::valid(req.eta)) {
       return std::string("'eta' must be a number in (0, 1]");
     }
   }
-  if (const auto* v = doc->get("ex")) {
+  if (const auto* v = root.get("ex")) {
     if (!read_series(*v, &req.ex, &error, "ex")) return error;
   }
-  if (const auto* v = doc->get("in")) {
+  if (const auto* v = root.get("in")) {
     if (!read_series(*v, &req.in, &error, "in")) return error;
   }
-  if (const auto* v = doc->get("q")) {
+  if (const auto* v = root.get("q")) {
     if (!read_series(*v, &req.q, &error, "q")) return error;
   }
-  if (const auto* v = doc->get("speedup")) {
+  if (const auto* v = root.get("speedup")) {
     if (!read_series(*v, &req.speedup, &error, "speedup")) return error;
   }
-  if (const auto* v = doc->get("params")) {
+  if (const auto* v = root.get("params")) {
     AsymptoticParams p;
     p.type = req.workload;
     if (!read_params(*v, &p, &error)) return error;
     req.params = p;
   }
-  if (const auto* v = doc->get("ns")) {
+  if (const auto* v = root.get("ns")) {
     if (!v->is_array()) return std::string("'ns' must be an array of numbers");
     for (const auto& n : v->as_array()) {
       if (!n.is_number() || n.as_number() < 1.0) {
@@ -209,13 +232,13 @@ Expected<Request, std::string> parse_request(const std::string& line) {
       req.ns.push_back(n.as_number());
     }
   }
-  if (const auto* v = doc->get("knee_frac")) {
+  if (const auto* v = root.get("knee_frac")) {
     req.knee_frac = v->as_number(0.9);
     if (req.knee_frac <= 0.0 || req.knee_frac > 1.0) {
       return std::string("'knee_frac' must be in (0, 1]");
     }
   }
-  if (const auto* v = doc->get("deadline_ms")) {
+  if (const auto* v = root.get("deadline_ms")) {
     req.deadline_ms = v->as_number(0.0);
     if (req.deadline_ms < 0.0) {
       return std::string("'deadline_ms' must be >= 0");

@@ -37,7 +37,7 @@
 /// Response: {"id":...,"op":"...","ok":true,"result":{...}} on success,
 /// {"id":...,"op":"...","ok":false,"error":"<code>","message":"..."} on
 /// failure. Error codes: parse_error, bad_request, fit_failed, overloaded,
-/// draining, deadline_exceeded, internal. A response is a pure function of
+/// draining, deadline_exceeded, contract_violation, internal. A response is a pure function of
 /// the request (no timestamps, no cache markers), so cached, coalesced and
 /// recomputed answers are byte-identical.
 
@@ -74,34 +74,37 @@ struct Request {
   double deadline_ms = 0.0;                ///< 0 = no deadline
 
   /// True when factor observations were supplied (the fit path).
-  bool has_observations() const noexcept { return !ex.empty(); }
+  [[nodiscard]] bool has_observations() const noexcept { return !ex.empty(); }
 
   /// The prediction grid: `ns` or the default geometric 1..1024.
-  std::vector<double> grid() const;
+  [[nodiscard]] std::vector<double> grid() const;
 
   /// Factor observations bundled for fit_factors().
-  FactorMeasurements measurements() const;
+  [[nodiscard]] FactorMeasurements measurements() const;
 };
 
 /// Parses one request line. The error string is a human-readable reason
 /// ("expected array of [n,v] pairs for 'ex'", ...).
-Expected<Request, std::string> parse_request(const std::string& line);
+[[nodiscard]] Expected<Request, std::string> parse_request(
+    const std::string& line);
 
 /// {"id":...,"op":"...","ok":true,"result":<result>}; id omitted if empty.
-std::string ok_response(const Request& req, const std::string& result);
+[[nodiscard]] std::string ok_response(const Request& req,
+                                      const std::string& result);
 
 /// {"id":...,"op":"...","ok":false,"error":"<code>","message":"..."}.
-std::string error_response(const std::string& id, Op op,
-                           std::string_view code, std::string_view message);
+[[nodiscard]] std::string error_response(const std::string& id, Op op,
+                                         std::string_view code,
+                                         std::string_view message);
 
 /// Result-body builders (deterministic field order, max_digits10 doubles).
-std::string params_json(const AsymptoticParams& p);
-std::string classification_json(const Classification& c);
-std::string fit_result_json(const FactorFits& fits);
-std::string predict_result_json(const AsymptoticParams& p,
-                                const stats::Series& curve);
-std::string recommend_result_json(const AsymptoticParams& p,
-                                  const ProvisioningPlan& plan);
-std::string diagnose_result_json(const DiagnosticReport& report);
+[[nodiscard]] std::string params_json(const AsymptoticParams& p);
+[[nodiscard]] std::string classification_json(const Classification& c);
+[[nodiscard]] std::string fit_result_json(const FactorFits& fits);
+[[nodiscard]] std::string predict_result_json(const AsymptoticParams& p,
+                                              const stats::Series& curve);
+[[nodiscard]] std::string recommend_result_json(const AsymptoticParams& p,
+                                                const ProvisioningPlan& plan);
+[[nodiscard]] std::string diagnose_result_json(const DiagnosticReport& report);
 
 }  // namespace ipso::serve

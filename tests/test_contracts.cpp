@@ -1,0 +1,342 @@
+// Tests for the contract layer (core/contracts.h) and the domain-typed
+// model parameters (core/domain.h).
+//
+// This file is registered twice in tests/CMakeLists.txt:
+//   test_contracts      — default build, IPSO_CONTRACTS_ENABLED == 1
+//   test_contracts_off  — compiled with -DIPSO_CONTRACTS_OFF
+// The #if IPSO_CONTRACTS_ENABLED blocks below select the behavior each build
+// must exhibit: checks that fire loudly when enabled, and checks that the
+// macros/domain types compile down to no-ops/plain copies when disabled.
+// The linked libraries are always built with contracts ON, so the _off
+// binary only exercises header-level mechanics in this translation unit.
+
+#include "core/classify.h"
+#include "core/contracts.h"
+#include "core/domain.h"
+#include "core/laws.h"
+#include "core/model.h"
+#include "core/predict.h"
+#include "core/scaling_factors.h"
+#include "serve/engine.h"
+#include "serve/proto.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace ipso {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// Domain validity predicates: independent of the contracts switch, so these
+// run identically in both test binaries.
+// ---------------------------------------------------------------------------
+
+TEST(Domain, ValidAcceptsExactBoundaries) {
+  // The taxonomy boundaries (γ = 1, δ = 0, η = 1) and the trivial scale
+  // n = 1 are *inside* the domain: Fig. 2–3 type IIIt,2 sits exactly on
+  // γ = 1 and fixed-size fits force δ = 0.
+  EXPECT_TRUE(Eta::valid(0.0));
+  EXPECT_TRUE(Eta::valid(1.0));
+  EXPECT_TRUE(Delta::valid(0.0));
+  EXPECT_TRUE(Delta::valid(1.0));
+  EXPECT_TRUE(Gamma::valid(0.0));
+  EXPECT_TRUE(Gamma::valid(1.0));
+  EXPECT_TRUE(Beta::valid(0.0));
+  EXPECT_TRUE(NodeCount::valid(1.0));
+}
+
+TEST(Domain, ValidRejectsOutOfDomain) {
+  EXPECT_FALSE(Eta::valid(-0.001));
+  EXPECT_FALSE(Eta::valid(1.001));
+  EXPECT_FALSE(Delta::valid(1.5));
+  EXPECT_FALSE(Alpha::valid(0.0));
+  EXPECT_FALSE(Alpha::valid(-1.0));
+  EXPECT_FALSE(Beta::valid(-0.1));
+  EXPECT_FALSE(Gamma::valid(-2.0));
+  EXPECT_FALSE(NodeCount::valid(0.5));
+}
+
+TEST(Domain, ValidRejectsNaNAndInfinity) {
+  // Every comparison is false for NaN, so NaN can never cross a
+  // domain-typed boundary and poison the taxonomy downstream.
+  EXPECT_FALSE(Eta::valid(kNaN));
+  EXPECT_FALSE(Alpha::valid(kNaN));
+  EXPECT_FALSE(Delta::valid(kNaN));
+  EXPECT_FALSE(Beta::valid(kNaN));
+  EXPECT_FALSE(Gamma::valid(kNaN));
+  EXPECT_FALSE(NodeCount::valid(kNaN));
+  EXPECT_FALSE(Alpha::valid(kInf));
+  EXPECT_FALSE(Beta::valid(kInf));
+  EXPECT_FALSE(Gamma::valid(kInf));
+  EXPECT_FALSE(NodeCount::valid(kInf));
+  EXPECT_TRUE(Alpha::valid(1e308));
+}
+
+TEST(Domain, TryMakeReturnsNulloptOutOfDomain) {
+  EXPECT_FALSE(Eta::try_make(1.5).has_value());
+  EXPECT_FALSE(Eta::try_make(kNaN).has_value());
+  EXPECT_FALSE(Alpha::try_make(0.0).has_value());
+  EXPECT_FALSE(Delta::try_make(-0.5).has_value());
+  EXPECT_FALSE(NodeCount::try_make(0.0).has_value());
+  const auto eta = Eta::try_make(0.59);
+  ASSERT_TRUE(eta.has_value());
+  EXPECT_DOUBLE_EQ(eta->get(), 0.59);
+  // Boundary values round-trip through try_make too.
+  EXPECT_TRUE(Delta::try_make(0.0).has_value());
+  EXPECT_TRUE(Delta::try_make(1.0).has_value());
+  EXPECT_TRUE(Gamma::try_make(1.0).has_value());
+  EXPECT_TRUE(NodeCount::try_make(1.0).has_value());
+}
+
+TEST(Domain, DomainTextNamesTheConstraint) {
+  EXPECT_NE(std::string(Eta::domain()).find("[0,1]"), std::string::npos);
+  EXPECT_NE(std::string(Alpha::domain()).find("> 0"), std::string::npos);
+}
+
+// In-domain constexpr literals are usable in constant expressions in both
+// modes. (The converse — `constexpr Delta d{1.5};` failing to compile when
+// contracts are enabled — is exercised by tools/lint/selftest/, since a
+// compile error cannot live in a test that must build.)
+static_assert(Delta{0.0}.get() == 0.0);
+static_assert(Delta{1.0}.get() == 1.0);
+static_assert(Gamma{1.0}.get() == 1.0);
+static_assert(Eta{1.0}.get() == 1.0);
+static_assert(NodeCount{1.0}.get() == 1.0);
+static_assert(double{Alpha{2.5}} == 2.5);
+
+// ---------------------------------------------------------------------------
+// Behavior that depends on whether contracts are compiled in.
+// ---------------------------------------------------------------------------
+
+#if IPSO_CONTRACTS_ENABLED
+
+/// Restores the default handler when a test exits, pass or fail.
+struct HandlerGuard {
+  ~HandlerGuard() { contracts::set_violation_handler(nullptr); }
+};
+
+contracts::Violation* last_violation() {
+  static contracts::Violation v;
+  return &v;
+}
+
+void recording_handler(const contracts::Violation& v) {
+  *last_violation() = v;
+}
+
+TEST(Contracts, DefaultHandlerThrowsContractViolation) {
+  EXPECT_THROW(static_cast<void>(Delta(1.5)), contracts::ContractViolation);
+  // ContractViolation derives from std::invalid_argument: the repo's
+  // historical out-of-domain contract, pinned by ~20 pre-existing tests.
+  EXPECT_THROW(static_cast<void>(Eta(-0.1)), std::invalid_argument);
+}
+
+TEST(Contracts, ViolationCarriesKindAndMessage) {
+  try {
+    static_cast<void>(Alpha(-1.0));
+    FAIL() << "Alpha(-1.0) must trip the precondition";
+  } catch (const contracts::ContractViolation& v) {
+    EXPECT_EQ(v.kind(), contracts::Kind::kPrecondition);
+    EXPECT_NE(std::string(v.what()).find("must be > 0"), std::string::npos);
+    EXPECT_NE(std::string(v.what()).find("Alpha"), std::string::npos);
+  }
+}
+
+TEST(Contracts, MacrosReportSourceLocationAndKind) {
+  HandlerGuard guard;
+  contracts::set_violation_handler(&recording_handler);
+
+  IPSO_EXPECTS(1 + 1 == 3, "arithmetic is broken");
+  EXPECT_EQ(last_violation()->kind, contracts::Kind::kPrecondition);
+  EXPECT_STREQ(last_violation()->message, "arithmetic is broken");
+  EXPECT_STREQ(last_violation()->condition, "1 + 1 == 3");
+  EXPECT_NE(std::string(last_violation()->file).find("test_contracts.cpp"),
+            std::string::npos);
+  EXPECT_GT(last_violation()->line, 0);
+
+  IPSO_ENSURES(false, "post");
+  EXPECT_EQ(last_violation()->kind, contracts::Kind::kPostcondition);
+  IPSO_ASSERT(false, "inv");
+  EXPECT_EQ(last_violation()->kind, contracts::Kind::kAssertion);
+
+  const std::string text = last_violation()->to_string();
+  EXPECT_NE(text.find("assertion violated"), std::string::npos);
+  EXPECT_NE(text.find("inv"), std::string::npos);
+}
+
+TEST(Contracts, PassingConditionsDoNotInvokeHandler) {
+  HandlerGuard guard;
+  contracts::set_violation_handler(&recording_handler);
+  last_violation()->message = "";
+  IPSO_EXPECTS(true, "never");
+  IPSO_ENSURES(2 > 1, "never");
+  IPSO_ASSERT(!false, "never");
+  EXPECT_STREQ(last_violation()->message, "");
+}
+
+TEST(Contracts, SetHandlerReturnsPreviousAndNullRestoresDefault) {
+  const contracts::Handler prev =
+      contracts::set_violation_handler(&contracts::log_handler);
+  EXPECT_EQ(prev, &contracts::throw_handler);
+  EXPECT_EQ(contracts::violation_handler(), &contracts::log_handler);
+  EXPECT_EQ(contracts::set_violation_handler(nullptr),
+            &contracts::log_handler);
+  EXPECT_EQ(contracts::violation_handler(), &contracts::throw_handler);
+}
+
+TEST(Contracts, LogHandlerContinuesPastTheViolation) {
+  HandlerGuard guard;
+  contracts::set_violation_handler(&contracts::log_handler);
+  // The configurable continue-on-violation policy for code that must never
+  // unwind: the out-of-domain value flows through unchanged.
+  double observed = 0.0;
+  EXPECT_NO_THROW(observed = Delta(1.5).get());
+  EXPECT_DOUBLE_EQ(observed, 1.5);
+}
+
+using ContractsDeathTest = ::testing::Test;
+
+TEST(ContractsDeathTest, AbortHandlerPrintsAndAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        contracts::set_violation_handler(&contracts::abort_handler);
+        IPSO_EXPECTS(false, "hard stop for debug builds");
+      },
+      "precondition violated.*hard stop for debug builds");
+}
+
+// --- Out-of-domain runtime values tripping at real API boundaries ----------
+
+ScalingFactors unit_factors() {
+  ScalingFactors f;
+  f.ex = identity_factor();
+  f.in = constant_factor(1.0);
+  f.q = constant_factor(0.0);
+  return f;
+}
+
+TEST(ContractsApi, ModelEntryPointsRejectOutOfDomain) {
+  const ScalingFactors f = unit_factors();
+  EXPECT_THROW(static_cast<void>(speedup_deterministic(f, 1.5, 4.0)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(speedup_deterministic(f, 0.9, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(laws::amdahl(-0.1, 8.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(make_q(-1.0, 2.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(find_peak(AsymptoticParams{}, 0.5)),
+               std::invalid_argument);
+}
+
+TEST(ContractsApi, BoundaryValuesAcceptedExactly) {
+  const ScalingFactors f = unit_factors();
+  // η = 1, n = 1: S(1) = 1 by construction (Eq. 10 with EX(1)=IN(1)=1).
+  EXPECT_DOUBLE_EQ(speedup_deterministic(f, 1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(speedup_deterministic(f, 0.0, 1.0), 1.0);
+  // q(1) = 0 by definition (Eq. 6), even with β > 0.
+  EXPECT_DOUBLE_EQ(make_q(0.5, 2.0)(1.0), 0.0);
+  // δ = 0 and δ = 1 are both legal ε exponents; γ = 1 is the IIIt,2 ray.
+  AsymptoticParams p;
+  p.eta = 0.9;
+  p.alpha = 1.0;
+  p.delta = 0.0;
+  p.beta = 0.1;
+  p.gamma = 1.0;
+  EXPECT_TRUE(p.in_domain());
+  EXPECT_NO_THROW(static_cast<void>(classify(p)));
+  p.delta = 1.0;
+  EXPECT_TRUE(p.in_domain());
+}
+
+#else  // !IPSO_CONTRACTS_ENABLED
+
+TEST(ContractsOff, MacrosCompileToNoOpsAndDoNotEvaluate) {
+  int evaluations = 0;
+  // With contracts compiled out the condition expression must not run at
+  // all — a side-effecting condition is a bug the OFF build would hide,
+  // which is exactly why the header documents conditions as effect-free.
+  IPSO_EXPECTS((++evaluations, false), "unreachable");
+  IPSO_ENSURES((++evaluations, false), "unreachable");
+  IPSO_ASSERT((++evaluations, false), "unreachable");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ContractsOff, DomainConstructionIsAPlainCopy) {
+  // checked_domain compiles to a value copy: out-of-domain values pass
+  // through silently (the documented zero-overhead trade).
+  EXPECT_DOUBLE_EQ(Delta(1.5).get(), 1.5);
+  EXPECT_DOUBLE_EQ(Eta(-2.0).get(), -2.0);
+  EXPECT_DOUBLE_EQ(NodeCount(0.25).get(), 0.25);
+}
+
+TEST(ContractsOff, OutOfDomainConstexprLiteralsCompile) {
+  constexpr Delta d{1.5};  // ill-formed when contracts are enabled
+  static_assert(d.get() == 1.5);
+  EXPECT_DOUBLE_EQ(d.get(), 1.5);
+}
+
+#endif  // IPSO_CONTRACTS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Serve-protocol boundary: out-of-domain requests fail with *named* errors
+// before any worker runs. Library code is contracts-ON in both binaries, so
+// these run everywhere.
+// ---------------------------------------------------------------------------
+
+TEST(ServeDomain, ParamsFieldsRejectedWithNamedErrors) {
+  const struct {
+    const char* json;
+    const char* needle;
+  } cases[] = {
+      {R"({"op":"classify","params":{"eta":1.5}})", "params.eta out of domain"},
+      {R"({"op":"classify","params":{"eta":0}})", "params.eta out of domain"},
+      {R"({"op":"classify","params":{"eta":0.9,"alpha":0}})",
+       "params.alpha out of domain"},
+      {R"({"op":"classify","params":{"eta":0.9,"alpha":1,"delta":1.5}})",
+       "params.delta out of domain"},
+      {R"({"op":"classify","params":{"eta":0.9,"alpha":1,"delta":0,"beta":-1}})",
+       "params.beta out of domain"},
+      {R"({"op":"classify","params":{"eta":0.9,"alpha":1,"delta":0,"beta":0,"gamma":-2}})",
+       "params.gamma out of domain"},
+  };
+  for (const auto& c : cases) {
+    const auto parsed = serve::parse_request(c.json);
+    ASSERT_FALSE(parsed.has_value()) << c.json;
+    EXPECT_NE(parsed.error().find(c.needle), std::string::npos)
+        << c.json << " -> " << parsed.error();
+  }
+}
+
+TEST(ServeDomain, BoundaryParamsAccepted) {
+  // δ = 0, δ = 1, γ = 1, η = 1 are all inside the protocol domain.
+  const auto parsed = serve::parse_request(
+      R"({"op":"classify","params":{"workload":"fixed-time","eta":1,)"
+      R"("alpha":1,"delta":0,"beta":0.1,"gamma":1}})");
+  ASSERT_TRUE(parsed.has_value()) << parsed.error();
+  ASSERT_TRUE(parsed->params.has_value());
+  EXPECT_DOUBLE_EQ(parsed->params->eta, 1.0);
+  EXPECT_DOUBLE_EQ(parsed->params->gamma, 1.0);
+}
+
+TEST(ServeDomain, EngineAnswersOutOfDomainWithErrorResponse) {
+  serve::ServeConfig cfg;
+  cfg.threads = 1;
+  serve::ServeEngine engine(cfg);
+  const std::string response = engine.handle(
+      R"({"op":"predict","id":"bad","params":{"eta":0.9,"delta":2}})");
+  EXPECT_NE(response.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(response.find("params.delta out of domain"), std::string::npos);
+  // The worker pool survives the rejection and keeps serving.
+  const std::string pong = engine.handle(R"({"op":"ping"})");
+  EXPECT_NE(pong.find("\"pong\":true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipso

@@ -53,11 +53,11 @@ TEST(EpsilonSeries, RejectsNonPositiveIN) {
 
 TEST(Expected, ValueAccessOnErrorThrows) {
   const Expected<stats::Series> bad = FitError::kInsufficientData;
-  EXPECT_THROW(bad.value(), std::runtime_error);
+  EXPECT_THROW(static_cast<void>(bad.value()), std::runtime_error);
   EXPECT_FALSE(static_cast<bool>(bad));
   const Expected<stats::Series> good = stats::Series("ok");
-  EXPECT_NO_THROW(good.value());
-  EXPECT_THROW(good.error(), std::logic_error);
+  EXPECT_NO_THROW(static_cast<void>(good.value()));
+  EXPECT_THROW(static_cast<void>(good.error()), std::logic_error);
 }
 
 TEST(QSeries, ComputesFromWorkloads) {

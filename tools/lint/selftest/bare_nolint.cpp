@@ -1,0 +1,7 @@
+// Seeded violation for rule `nolint-audit` — a suppression that names no
+// check and gives no reason is unreviewable. NOT part of any build target.
+
+int seeded_violation() {
+  int x;  // NOLINT
+  return x = 1;
+}

@@ -1,0 +1,11 @@
+// Seeded violation for rule `naked-double-model-param` — new core/serve
+// signatures must carry the domain in the type (core/domain.h), not in a
+// comment next to a plain double. NOT part of any build target.
+
+#pragma once
+
+namespace ipso::selftest {
+
+double seeded_violation(double eta, double gamma);  // <- rule fires here
+
+}  // namespace ipso::selftest

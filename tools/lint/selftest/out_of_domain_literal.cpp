@@ -1,0 +1,11 @@
+// Compile-time contract demonstration: an out-of-domain constexpr literal
+// is ill-formed when contracts are enabled (checked_domain's violate() call
+// is not a constant expression on the failure path) and compiles to a plain
+// copy under -DIPSO_CONTRACTS_OFF.
+//
+// run_lint.py --self-test compiles this file both ways with -fsyntax-only
+// and asserts rejected/accepted respectively. NOT part of any build target.
+
+#include "core/domain.h"
+
+constexpr ipso::Delta seeded_violation{1.5};  // δ must be in [0,1]

@@ -1,0 +1,9 @@
+// Seeded violation for rule `raw-number-parse` — std::stod outside the
+// trace/ parsing layer bypasses the checked, Expected-reporting parsers.
+// NOT part of any build target.
+
+#include <string>
+
+double seeded_violation(const std::string& s) {
+  return std::stod(s);  // <- the rule must fire on this line
+}

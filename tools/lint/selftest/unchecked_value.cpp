@@ -1,0 +1,9 @@
+// Seeded violation for rule `expected-unchecked-value` — library code must
+// branch on has_value() and surface a named error instead of calling
+// .value() and hoping. NOT part of any build target.
+
+#include "core/fit.h"
+
+double seeded_violation(const ipso::Expected<ipso::stats::PowerFit>& fit) {
+  return fit.value().exponent;  // <- the rule must fire on this line
+}

@@ -1,0 +1,9 @@
+// Seeded violation for rule `unseeded-rng` — the simulator must be
+// reproducible from the experiment seed alone; rand()/std::random_device
+// inject hidden state. NOT part of any build target.
+
+#include <cstdlib>
+
+int seeded_violation() {
+  return rand();  // <- the rule must fire on this line
+}
