@@ -17,21 +17,40 @@
 ///   C4  peak RSS stays bounded (VmHWM under a generous ceiling), i.e.
 ///       saturation sheds load instead of buffering it.
 ///
+/// A fourth phase drives the epoll front end over real sockets: a sweep of
+/// connection count x batch size x wire protocol (JSON lines vs binary
+/// batched frames), closed-loop, every response validated. Two more
+/// contracts:
+///
+///   C5  the event loop sustains the largest configured connection count
+///       (default 1024) with every response correct and in order;
+///   C6  the binary batched protocol beats JSON lines on aggregate req/s
+///       across the batch >= 16 cells (the batching win is real, not
+///       serialization trivia).
+///
 /// Flags: --requests N, --points N (observations per series), --threads N,
+///        --conns LIST, --batch LIST, --net-requests N, --no-net,
 ///        --trace-out FILE.
 
+#include "serve/client.h"
 #include "serve/engine.h"
+#include "serve/server.h"
 #include "trace/cli_opts.h"
 #include "trace/json.h"
 #include "obs/export.h"
 
+#include <sys/resource.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <future>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -127,6 +146,152 @@ int flag_int(int argc, char** argv, const char* flag, int fallback) {
   return fallback;
 }
 
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == flag) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> flag_list(int argc, char** argv, const char* flag,
+                                   std::vector<std::size_t> fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) != flag) continue;
+    std::vector<std::size_t> out;
+    std::istringstream is(argv[i + 1]);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+      const long v = std::atol(tok.c_str());
+      if (v > 0) out.push_back(static_cast<std::size_t>(v));
+    }
+    if (!out.empty()) return out;
+  }
+  return fallback;
+}
+
+/// Raises RLIMIT_NOFILE toward `want` fds; returns the resulting soft
+/// limit. The 1024-connection sweep cell needs ~2x that in fds (client +
+/// server end of every socket live in this one process).
+std::size_t raise_fd_limit(std::size_t want) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return 0;
+  if (lim.rlim_cur < want && lim.rlim_cur < lim.rlim_max) {
+    rlimit raised = lim;
+    raised.rlim_cur =
+        lim.rlim_max == RLIM_INFINITY
+            ? want
+            : std::min<rlim_t>(lim.rlim_max, static_cast<rlim_t>(want));
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) lim = raised;
+  }
+  return lim.rlim_cur == RLIM_INFINITY ? want
+                                       : static_cast<std::size_t>(lim.rlim_cur);
+}
+
+/// One sweep cell: `conns` closed-loop connections, each keeping one
+/// request batch of `batch` pings in flight, driven by up to 8 client
+/// threads. Returns req/s; 0 on any transport or correctness failure.
+struct NetCell {
+  double reqs_per_s = 0.0;
+  std::size_t requests = 0;
+  bool ok = false;
+};
+
+NetCell run_net_cell(ipso::serve::Proto proto, std::size_t conns,
+                     std::size_t batch, std::size_t total_requests,
+                     std::size_t threads) {
+  using namespace ipso;
+  NetCell cell;
+
+  serve::ServeConfig engine_cfg;
+  engine_cfg.threads = threads;
+  // Closed loop: every connection has at most one batch admitted, so size
+  // the queue for exactly that plus slack — an `overloaded` response here
+  // would be a correctness failure, not load shedding.
+  engine_cfg.queue_capacity = conns * batch + 64;
+  serve::ServeEngine engine(engine_cfg);
+
+  serve::ServerConfig server_cfg;
+  server_cfg.listen_backlog = static_cast<int>(std::max<std::size_t>(
+      conns, 128));
+  serve::TcpServer server(engine, server_cfg);
+  if (auto started = server.start(); !started) {
+    std::fprintf(stderr, "net: server start failed: %s\n",
+                 started.error().message.c_str());
+    return cell;
+  }
+  const std::uint16_t port = server.port();
+
+  const std::size_t rounds =
+      std::max<std::size_t>(1, total_requests / (conns * batch));
+  cell.requests = rounds * conns * batch;
+
+  const std::vector<std::string> records(batch, "{\"op\":\"ping\"}");
+  const std::size_t workers = std::min<std::size_t>(conns, 8);
+  std::atomic<std::size_t> failures{0};
+
+  std::vector<std::unique_ptr<serve::Client>> clients;
+  clients.reserve(conns);
+  for (std::size_t i = 0; i < conns; ++i) {
+    clients.push_back(std::make_unique<serve::Client>(proto));
+  }
+
+  // Connect everything before timing starts: the cell measures steady-state
+  // throughput at `conns` live connections, not connection setup.
+  for (std::size_t i = 0; i < conns; ++i) {
+    if (auto c = clients[i]->connect("127.0.0.1", port); !c) {
+      std::fprintf(stderr, "net: connect %zu/%zu failed: %s\n", i, conns,
+                   c.error().message.c_str());
+      return cell;
+    }
+  }
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      // Worker w owns connections [lo, hi): pipeline one batch onto each,
+      // then collect each batch — so all of a worker's connections have a
+      // frame in flight concurrently.
+      const std::size_t lo = w * conns / workers;
+      const std::size_t hi = (w + 1) * conns / workers;
+      for (std::size_t r = 0; r < rounds; ++r) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (auto sent = clients[i]->send_batch(records); !sent) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+        }
+        for (std::size_t i = lo; i < hi; ++i) {
+          auto got = clients[i]->recv_batch(batch);
+          if (!got || got->size() != batch) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          for (const std::string& response : *got) {
+            if (response.find("\"pong\":true") == std::string::npos) {
+              failures.fetch_add(1, std::memory_order_relaxed);
+              return;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  clients.clear();
+  server.shutdown();
+
+  if (failures.load() != 0) return cell;
+  cell.ok = true;
+  cell.reqs_per_s =
+      elapsed > 0 ? static_cast<double>(cell.requests) / elapsed : 0.0;
+  return cell;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -136,8 +301,11 @@ int main(int argc, char** argv) {
           argc, argv,
           "bench_serve_load: closed-loop load generator for ipso::serve\n"
           "(cold/hot/saturation phases; enforces the cache-speedup,\n"
-          "byte-identity, and bounded-backpressure contracts).\n"
-          "Extra flags: --requests N, --points N")) {
+          "byte-identity, and bounded-backpressure contracts; plus a\n"
+          "socket sweep of connections x batch x protocol over the epoll\n"
+          "front end).\n"
+          "Extra flags: --requests N, --points N, --conns LIST,\n"
+          "--batch LIST, --net-requests N, --no-net")) {
     return 0;
   }
 
@@ -246,6 +414,86 @@ int main(int argc, char** argv) {
                   "capacity %zu\n",
                   s.peak_queue_depth, sat_cfg.queue_capacity);
       ok = false;
+    }
+  }
+
+  // --- socket sweep: connections x batch x protocol -------------------
+  if (!has_flag(argc, argv, "--no-net")) {
+    std::vector<std::size_t> conns_axis =
+        flag_list(argc, argv, "--conns", {1, 16, 256, 1024});
+    const std::vector<std::size_t> batch_axis =
+        flag_list(argc, argv, "--batch", {1, 16, 64});
+    const std::size_t net_requests = static_cast<std::size_t>(
+        std::max(1, flag_int(argc, argv, "--net-requests", 16384)));
+
+    const std::size_t max_conns =
+        *std::max_element(conns_axis.begin(), conns_axis.end());
+    const std::size_t fd_limit = raise_fd_limit(2 * max_conns + 256);
+    if (fd_limit < 2 * max_conns + 64) {
+      // Both socket ends live in this process; drop cells the fd budget
+      // cannot hold rather than fail on EMFILE mid-sweep.
+      std::vector<std::size_t> kept;
+      for (std::size_t c : conns_axis) {
+        if (2 * c + 64 <= fd_limit) kept.push_back(c);
+      }
+      std::printf("\nnet: fd limit %zu; dropping connection counts above "
+                  "%zu\n", fd_limit, (fd_limit - 64) / 2);
+      conns_axis = kept;
+    }
+
+    std::printf("\n# socket sweep: closed-loop pings over the epoll front "
+                "end (req/s)\n");
+    std::printf("%-8s %8s %8s %12s %10s\n", "proto", "conns", "batch",
+                "req/s", "requests");
+
+    double json_batched = 0.0, binary_batched = 0.0;
+    bool c5_held = conns_axis.empty();  // vacuous only if sweep is empty
+    const std::size_t c5_conns =
+        conns_axis.empty()
+            ? 0
+            : *std::max_element(conns_axis.begin(), conns_axis.end());
+    for (const serve::Proto proto :
+         {serve::Proto::kJson, serve::Proto::kBinary}) {
+      for (const std::size_t conns : conns_axis) {
+        for (const std::size_t batch : batch_axis) {
+          const NetCell cell =
+              run_net_cell(proto, conns, batch, net_requests, threads);
+          std::printf("%-8s %8zu %8zu %12.1f %10zu%s\n",
+                      serve::to_string(proto), conns, batch,
+                      cell.reqs_per_s, cell.requests,
+                      cell.ok ? "" : "  FAILED");
+          if (!cell.ok) ok = false;
+          if (batch >= 16) {
+            (proto == serve::Proto::kBinary ? binary_batched
+                                            : json_batched) +=
+                cell.reqs_per_s;
+          }
+          if (proto == serve::Proto::kBinary && conns == c5_conns &&
+              cell.ok) {
+            c5_held = true;
+          }
+        }
+      }
+    }
+
+    if (!c5_held) {
+      std::printf("CONTRACT VIOLATION (C5): binary protocol failed to "
+                  "sustain %zu concurrent connections\n", c5_conns);
+      ok = false;
+    } else if (c5_conns > 0) {
+      std::printf("\nC5: binary protocol sustained %zu concurrent "
+                  "connections with every response correct\n", c5_conns);
+    }
+    if (binary_batched > 0.0 || json_batched > 0.0) {
+      std::printf("C6: aggregate req/s at batch >= 16: binary %.1f vs "
+                  "json %.1f (%.2fx)\n",
+                  binary_batched, json_batched,
+                  json_batched > 0 ? binary_batched / json_batched : 0.0);
+      if (binary_batched <= json_batched) {
+        std::printf("CONTRACT VIOLATION (C6): binary batched protocol "
+                    "does not beat JSON lines at batch >= 16\n");
+        ok = false;
+      }
     }
   }
 

@@ -1,0 +1,118 @@
+#include "serve/client.h"
+
+#include <utility>
+
+namespace ipso::serve {
+
+namespace {
+
+constexpr std::size_t kRecvChunk = 64 * 1024;
+
+std::unique_ptr<FrameCodec> codec_for(Proto proto) {
+  return make_codec(
+      proto == Proto::kBinary ? WireProto::kBinary : WireProto::kJson,
+      16u << 20);
+}
+
+}  // namespace
+
+Client::Client(Proto proto) : proto_(proto), codec_(codec_for(proto)) {}
+
+Client::~Client() { close(); }
+
+Expected<bool, NetError> Client::connect(const std::string& host,
+                                         std::uint16_t port) {
+  close();
+  auto fd = net::connect_tcp(host, port);
+  if (!fd.has_value()) return fd.error();
+  fd_ = *fd;
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    net::close_fd(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+  decoded_.clear();
+}
+
+Expected<std::string, NetError> Client::call(const std::string& record) {
+  auto batch = call_batch({record});
+  if (!batch.has_value()) return batch.error();
+  if (batch->size() != 1) {
+    return NetError{"expected 1 response record, got " +
+                    std::to_string(batch->size())};
+  }
+  return std::move(batch->front());
+}
+
+Expected<std::vector<std::string>, NetError> Client::call_batch(
+    const std::vector<std::string>& records) {
+  if (auto sent = send_batch(records); !sent.has_value()) {
+    return sent.error();
+  }
+  return recv_batch(records.size());
+}
+
+Expected<bool, NetError> Client::send_batch(
+    const std::vector<std::string>& records) {
+  if (fd_ < 0) return NetError{"not connected"};
+  if (!net::send_all(fd_, codec_->encode(records))) {
+    return NetError{net::errno_text("send")};
+  }
+  return true;
+}
+
+Expected<std::vector<std::string>, NetError> Client::recv_batch(
+    std::size_t expected_records) {
+  if (fd_ < 0) return NetError{"not connected"};
+  std::vector<std::string> out;
+  out.reserve(expected_records);
+  while (true) {
+    // Consume already-decoded batches first. Binary: one wire frame is one
+    // batch. JSON: every line is a batch of one, so keep taking lines until
+    // the expected count is reached.
+    while (!decoded_.empty()) {
+      WireBatch batch = std::move(decoded_.front());
+      decoded_.erase(decoded_.begin());
+      if (proto_ == Proto::kBinary) {
+        // An error frame carries the server's error response record(s)
+        // regardless of the request count (the server answers a framing
+        // violation with one record and closes).
+        if (batch.error_frame) return std::move(batch.records);
+        if (batch.records.size() != expected_records) {
+          return NetError{"response frame carries " +
+                          std::to_string(batch.records.size()) +
+                          " records, expected " +
+                          std::to_string(expected_records)};
+        }
+        return std::move(batch.records);
+      }
+      for (std::string& record : batch.records) {
+        out.push_back(std::move(record));
+        if (out.size() == expected_records) return out;
+      }
+    }
+    if (proto_ == Proto::kJson && out.size() == expected_records) return out;
+
+    const std::size_t old_size = rbuf_.size();
+    rbuf_.resize(old_size + kRecvChunk);
+    const net::IoResult r =
+        net::recv_some(fd_, rbuf_.data() + old_size, kRecvChunk);
+    rbuf_.resize(old_size + (r.status == net::IoStatus::kOk ? r.bytes : 0));
+    if (r.status == net::IoStatus::kClosed) {
+      return NetError{"connection closed by server"};
+    }
+    if (r.status != net::IoStatus::kOk) {
+      return NetError{net::errno_text("recv")};
+    }
+    auto ok = codec_->decode(rbuf_, decoded_);
+    if (!ok.has_value()) {
+      return NetError{"malformed response: " + ok.error().message};
+    }
+  }
+}
+
+}  // namespace ipso::serve

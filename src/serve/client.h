@@ -1,0 +1,86 @@
+#pragma once
+
+#include "serve/framing.h"
+#include "serve/transport.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+/// \file client.h
+/// ipso::serve::Client — the reusable client library for the serving
+/// protocol. Speaks either wire mode over the same port:
+///
+///  * Proto::kJson   — newline-delimited JSON, one record per line
+///                     (compatibility mode; what PR 4/5 clients spoke).
+///  * Proto::kBinary — length-prefixed batched frames (framing.h); one
+///                     frame of N request records yields one frame of N
+///                     response records in request order.
+///
+/// The server negotiates per connection from the first byte received, so a
+/// Client just starts talking in its configured mode.
+///
+/// Pipelining: send_batch() queues request batches without waiting;
+/// recv_batch() collects responses in order. call()/call_batch() are the
+/// synchronous one-round-trip conveniences. The CLI tool
+/// (tools/ipso_client.cpp) and the load bench (bench/bench_serve_load.cpp)
+/// are thin consumers of this class.
+
+namespace ipso::serve {
+
+/// Client-side wire mode.
+enum class Proto { kJson, kBinary };
+
+[[nodiscard]] constexpr const char* to_string(Proto p) noexcept {
+  return p == Proto::kBinary ? "binary" : "json";
+}
+
+class Client {
+ public:
+  explicit Client(Proto proto = Proto::kJson);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects (blocking socket, TCP_NODELAY). Error = syscall + errno text.
+  [[nodiscard]] Expected<bool, NetError> connect(const std::string& host,
+                                                 std::uint16_t port);
+
+  void close();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] Proto proto() const noexcept { return proto_; }
+
+  /// One request record in, one response record out (batch of one).
+  [[nodiscard]] Expected<std::string, NetError> call(
+      const std::string& record);
+
+  /// One batch in, one batch out: binary sends a single frame; JSON sends
+  /// the records as consecutive lines. Responses come back in request
+  /// order.
+  [[nodiscard]] Expected<std::vector<std::string>, NetError> call_batch(
+      const std::vector<std::string>& records);
+
+  /// Pipelining half 1: queue one request batch on the wire without
+  /// reading. N send_batch() calls may be in flight before the first
+  /// recv_batch().
+  [[nodiscard]] Expected<bool, NetError> send_batch(
+      const std::vector<std::string>& records);
+
+  /// Pipelining half 2: read the next response batch, in send order.
+  /// `expected_records` must match the size of the corresponding
+  /// send_batch() — binary checks the frame against it, JSON (which has no
+  /// frame boundary on the wire) reads exactly that many lines.
+  [[nodiscard]] Expected<std::vector<std::string>, NetError> recv_batch(
+      std::size_t expected_records);
+
+ private:
+  int fd_ = -1;
+  Proto proto_;
+  std::unique_ptr<FrameCodec> codec_;
+  std::string rbuf_;                ///< bytes past the last decoded batch
+  std::vector<WireBatch> decoded_;  ///< batches decoded but not returned
+};
+
+}  // namespace ipso::serve

@@ -37,12 +37,6 @@ Instruments& instruments() {
   return i;
 }
 
-std::future<std::string> ready_future(std::string response) {
-  std::promise<std::string> p;
-  p.set_value(std::move(response));
-  return p.get_future();
-}
-
 /// Predictor for a request that carried explicit asymptotic params: the
 /// materialized exact factor curves under those asymptotics.
 SpeedupPredictor predictor_from_params(const AsymptoticParams& p) {
@@ -59,6 +53,16 @@ ServeEngine::ServeEngine(ServeConfig cfg)
 ServeEngine::~ServeEngine() { drain(); }
 
 std::future<std::string> ServeEngine::submit(std::string line) {
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = promise->get_future();
+  submit_async(std::move(line), [promise](std::string response) {
+    promise->set_value(std::move(response));
+  });
+  return future;
+}
+
+void ServeEngine::submit_async(std::string line,
+                               std::function<void(std::string)> done) {
   auto parsed = parse_request(line);
   if (!parsed) {
     {
@@ -66,34 +70,34 @@ std::future<std::string> ServeEngine::submit(std::string line) {
       ++stats_.parse_errors;
     }
     instruments().parse_errors.add();
-    return ready_future(
-        error_response({}, Op::kUnknown, "parse_error", parsed.error()));
+    done(error_response({}, Op::kUnknown, "parse_error", parsed.error()));
+    return;
   }
   Request req = std::move(*parsed);
   const double deadline_ms =
       req.deadline_ms > 0.0 ? req.deadline_ms : cfg_.default_deadline_ms;
   const Clock::time_point admitted_at = Clock::now();
 
-  auto promise = std::make_shared<std::promise<std::string>>();
-  std::future<std::string> future = promise->get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     if (draining_) {
       ++stats_.rejected_draining;
       instruments().draining.add();
-      promise->set_value(error_response(req.id, req.op, "draining",
-                                        "server is draining; not accepting "
-                                        "new requests"));
-      return future;
+      lock.unlock();
+      done(error_response(req.id, req.op, "draining",
+                          "server is draining; not accepting "
+                          "new requests"));
+      return;
     }
     if (stats_.queue_depth >= cfg_.queue_capacity) {
       ++stats_.overloaded;
       instruments().overloaded.add();
-      promise->set_value(error_response(
+      lock.unlock();
+      done(error_response(
           req.id, req.op, "overloaded",
           "admission queue full (" + std::to_string(cfg_.queue_capacity) +
               " requests in flight); retry with backoff"));
-      return future;
+      return;
     }
     ++stats_.received;
     ++stats_.queue_depth;
@@ -105,7 +109,7 @@ std::future<std::string> ServeEngine::submit(std::string line) {
     // Enqueue while still holding mu_: once drain() observes draining_ set,
     // every admitted request is already in the pool queue, so wait_idle()
     // cannot return before it runs.
-    pool_.submit([this, promise, admitted_at, deadline_ms,
+    pool_.submit([this, done = std::move(done), admitted_at, deadline_ms,
                   req = std::move(req)]() mutable {
       const double waited =
           std::chrono::duration<double>(Clock::now() - admitted_at).count();
@@ -138,10 +142,9 @@ std::future<std::string> ServeEngine::submit(std::string line) {
         instruments().queue_depth.set(static_cast<double>(stats_.queue_depth));
       }
       instruments().completed.add();
-      promise->set_value(std::move(response));
+      done(std::move(response));
     });
   }
-  return future;
 }
 
 std::string ServeEngine::handle(const std::string& line) {

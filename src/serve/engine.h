@@ -86,6 +86,15 @@ class ServeEngine {
   /// immediately on the calling thread.
   std::future<std::string> submit(std::string line);
 
+  /// Callback flavor of submit() for the event-loop front end, which cannot
+  /// block on futures. `done` is invoked exactly once with the response
+  /// line: inline on the calling thread for rejections (parse error,
+  /// overloaded, draining), on a worker thread otherwise. The callback must
+  /// be cheap and must not re-enter the engine. Every callback for work
+  /// admitted before drain() has completed by the time drain() returns.
+  void submit_async(std::string line,
+                    std::function<void(std::string)> done);
+
   /// Synchronous convenience: submit(line).get().
   std::string handle(const std::string& line);
 

@@ -1,0 +1,185 @@
+#include "serve/framing.h"
+
+#include <cstring>
+
+namespace ipso::serve {
+
+namespace {
+
+std::uint16_t load_u16(const char* p) noexcept {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint32_t load_u32(const char* p) noexcept {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+void append_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void append_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- JSON lines
+
+Expected<bool, CodecError> JsonLineCodec::decode(std::string& buf,
+                                                 std::vector<WireBatch>& out) {
+  std::size_t start = 0;
+  std::size_t nl;
+  while ((nl = buf.find('\n', start)) != std::string::npos) {
+    std::string line = buf.substr(start, nl - start);
+    start = nl + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    WireBatch batch;
+    batch.records.push_back(std::move(line));
+    out.push_back(std::move(batch));
+  }
+  buf.erase(0, start);
+  if (buf.size() > max_record_bytes_) {
+    return CodecError{"line exceeds " + std::to_string(max_record_bytes_) +
+                      " bytes without a newline"};
+  }
+  return true;
+}
+
+std::string JsonLineCodec::encode(
+    const std::vector<std::string>& records) const {
+  std::string out;
+  std::size_t total = 0;
+  for (const std::string& r : records) total += r.size() + 1;
+  out.reserve(total);
+  for (const std::string& r : records) {
+    out += r;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string JsonLineCodec::encode_error(const std::string& record) const {
+  return record + "\n";
+}
+
+// ------------------------------------------------------------ binary frames
+
+Expected<bool, CodecError> BinaryFrameCodec::decode(
+    std::string& buf, std::vector<WireBatch>& out) {
+  std::size_t start = 0;
+  while (buf.size() - start >= kFrameHeaderBytes) {
+    const char* h = buf.data() + start;
+    if (std::memcmp(h, kFrameMagic, sizeof kFrameMagic) != 0) {
+      return CodecError{"bad frame magic"};
+    }
+    const auto version = static_cast<std::uint8_t>(h[4]);
+    if (version != kFrameVersion) {
+      return CodecError{"unsupported frame version " +
+                        std::to_string(version) + " (speak version " +
+                        std::to_string(kFrameVersion) + ")"};
+    }
+    const auto flags = static_cast<std::uint8_t>(h[5]);
+    const std::uint16_t count = load_u16(h + 6);
+    const std::uint32_t payload_len = load_u32(h + 8);
+    if (payload_len > max_frame_bytes_) {
+      return CodecError{"frame payload " + std::to_string(payload_len) +
+                        " exceeds the " + std::to_string(max_frame_bytes_) +
+                        "-byte limit"};
+    }
+    // A record costs at least its 4-byte length prefix, so `count` records
+    // cannot fit in fewer than 4*count payload bytes — reject before
+    // allocating anything on a frame that cannot possibly be well-formed.
+    if (static_cast<std::uint64_t>(count) * 4 > payload_len) {
+      return CodecError{"frame count " + std::to_string(count) +
+                        " cannot fit in payload of " +
+                        std::to_string(payload_len) + " bytes"};
+    }
+    if (buf.size() - start - kFrameHeaderBytes < payload_len) break;
+
+    WireBatch batch;
+    batch.error_frame = (flags & kFrameFlagError) != 0;
+    batch.records.reserve(count);
+    std::size_t off = start + kFrameHeaderBytes;
+    const std::size_t payload_end = off + payload_len;
+    for (std::uint16_t i = 0; i < count; ++i) {
+      if (payload_end - off < 4) {
+        return CodecError{"record " + std::to_string(i) +
+                          " length prefix truncated"};
+      }
+      const std::uint32_t len = load_u32(buf.data() + off);
+      off += 4;
+      if (payload_end - off < len) {
+        return CodecError{"record " + std::to_string(i) + " length " +
+                          std::to_string(len) + " overruns the payload"};
+      }
+      batch.records.emplace_back(buf, off, len);
+      off += len;
+    }
+    if (off != payload_end) {
+      return CodecError{
+          "payload has " + std::to_string(payload_end - off) +
+          " trailing bytes beyond its " + std::to_string(count) + " records"};
+    }
+    out.push_back(std::move(batch));
+    start = payload_end;
+  }
+  buf.erase(0, start);
+  return true;
+}
+
+std::string BinaryFrameCodec::encode_with_flags(
+    const std::vector<std::string>& records, std::uint8_t flags) const {
+  std::size_t payload = 0;
+  for (const std::string& r : records) payload += 4 + r.size();
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload);
+  out.append(reinterpret_cast<const char*>(kFrameMagic), sizeof kFrameMagic);
+  out.push_back(static_cast<char>(kFrameVersion));
+  out.push_back(static_cast<char>(flags));
+  append_u16(out, static_cast<std::uint16_t>(records.size()));
+  append_u32(out, static_cast<std::uint32_t>(payload));
+  for (const std::string& r : records) {
+    append_u32(out, static_cast<std::uint32_t>(r.size()));
+    out += r;
+  }
+  return out;
+}
+
+std::string BinaryFrameCodec::encode(
+    const std::vector<std::string>& records) const {
+  return encode_with_flags(records, 0);
+}
+
+std::string BinaryFrameCodec::encode_error(const std::string& record) const {
+  return encode_with_flags({record}, kFrameFlagError);
+}
+
+// ------------------------------------------------------------- negotiation
+
+WireProto sniff_protocol(std::string_view buf) noexcept {
+  if (buf.empty()) return WireProto::kUnknown;
+  return static_cast<unsigned char>(buf.front()) == kFrameMagic[0]
+             ? WireProto::kBinary
+             : WireProto::kJson;
+}
+
+std::unique_ptr<FrameCodec> make_codec(WireProto proto,
+                                       std::size_t max_frame_bytes) {
+  if (proto == WireProto::kBinary) {
+    return std::make_unique<BinaryFrameCodec>(max_frame_bytes);
+  }
+  return std::make_unique<JsonLineCodec>(max_frame_bytes);
+}
+
+}  // namespace ipso::serve

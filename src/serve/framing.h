@@ -1,0 +1,141 @@
+#pragma once
+
+#include "core/expected.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file framing.h
+/// The serving layer's wire framing, factored out of the connection path so
+/// JSON-lines and the binary batched format are two FrameCodec
+/// implementations behind one dispatch loop (event_loop.cpp) and one client
+/// (client.cpp). A codec is pure byte manipulation — no sockets — so the
+/// adversarial tests (truncated frames, oversized prefixes, wrong magic)
+/// run against in-memory buffers.
+///
+/// Binary frame layout (all integers little-endian):
+///
+///   offset 0   u8[4]  magic        AB 49 50 53  ("\xAB" "IPS")
+///          4   u8     version      1
+///          5   u8     flags        bit 0: protocol-error frame
+///          6   u16    count        records in the payload
+///          8   u32    payload_len  payload bytes following the header
+///         12   payload: count x ( u32 len | len bytes )
+///
+/// Each record is one proto.h request (client -> server) or response
+/// (server -> client) line, *without* a trailing newline — the framing
+/// carries what the newline used to. A frame is the batching unit: one
+/// request frame of N records yields exactly one response frame of N
+/// records in request order. A zero-count frame is valid and answered with
+/// a zero-count frame (cheap liveness probe). The byte-identical-response
+/// contract carries over unchanged: record payloads are the same bytes the
+/// JSON-lines protocol would carry.
+
+namespace ipso::serve {
+
+/// First magic byte. 0xAB is not valid UTF-8 text start, so a JSON-lines
+/// peer can never be mistaken for a binary one (JSON requests start '{').
+inline constexpr unsigned char kFrameMagic[4] = {0xAB, 'I', 'P', 'S'};
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+/// Frame flag bits.
+inline constexpr std::uint8_t kFrameFlagError = 0x1;
+
+/// What a codec found wrong with the byte stream. Every framing error is
+/// fatal for its connection: after a bad length prefix there is no
+/// resynchronization point, so the server answers with an error frame (or
+/// line) and closes.
+struct CodecError {
+  std::string message;
+};
+
+/// One decoded batch: the records of a single binary frame, or a single
+/// JSON line (the JSON protocol has no batch boundary, so every line is a
+/// batch of one). `error_frame` is set when the peer sent a frame flagged
+/// kFrameFlagError (clients surface it instead of dispatching).
+struct WireBatch {
+  std::vector<std::string> records;
+  bool error_frame = false;
+};
+
+/// Codec seam: byte stream <-> batches of protocol records.
+class FrameCodec {
+ public:
+  virtual ~FrameCodec() = default;
+
+  /// Extracts every *complete* batch from the front of `buf`, erasing the
+  /// consumed bytes and appending to `out`. Returns false-equivalent error
+  /// on malformed input; remaining partial data stays in `buf` awaiting
+  /// more bytes.
+  [[nodiscard]] virtual Expected<bool, CodecError> decode(
+      std::string& buf, std::vector<WireBatch>& out) = 0;
+
+  /// Encodes one batch of records (a frame, or newline-joined lines).
+  [[nodiscard]] virtual std::string encode(
+      const std::vector<std::string>& records) const = 0;
+
+  /// Encodes a protocol-level error carrying one record; binary marks the
+  /// frame kFrameFlagError, JSON just emits the line.
+  [[nodiscard]] virtual std::string encode_error(
+      const std::string& record) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+/// Newline-delimited JSON: every line is a batch of one record. CR before
+/// LF is stripped; empty lines are skipped. A line longer than
+/// `max_record_bytes` is a framing error (unbounded buffer growth
+/// otherwise).
+class JsonLineCodec final : public FrameCodec {
+ public:
+  explicit JsonLineCodec(std::size_t max_record_bytes = 16u << 20)
+      : max_record_bytes_(max_record_bytes) {}
+
+  Expected<bool, CodecError> decode(std::string& buf,
+                                    std::vector<WireBatch>& out) override;
+  std::string encode(const std::vector<std::string>& records) const override;
+  std::string encode_error(const std::string& record) const override;
+  std::string_view name() const noexcept override { return "json"; }
+
+ private:
+  std::size_t max_record_bytes_;
+};
+
+/// The length-prefixed binary batched format documented above.
+class BinaryFrameCodec final : public FrameCodec {
+ public:
+  explicit BinaryFrameCodec(std::size_t max_frame_bytes = 16u << 20)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  Expected<bool, CodecError> decode(std::string& buf,
+                                    std::vector<WireBatch>& out) override;
+  std::string encode(const std::vector<std::string>& records) const override;
+  std::string encode_error(const std::string& record) const override;
+  std::string_view name() const noexcept override { return "binary"; }
+
+  /// encode() with explicit flags (clients never need this; the server's
+  /// error path does).
+  [[nodiscard]] std::string encode_with_flags(
+      const std::vector<std::string>& records, std::uint8_t flags) const;
+
+ private:
+  std::size_t max_frame_bytes_;
+};
+
+/// Protocol sniffed from the first byte a connection sends: kFrameMagic[0]
+/// selects binary, anything else (JSON objects start '{') selects JSON.
+/// kUnknown means the buffer is still empty.
+enum class WireProto { kUnknown, kJson, kBinary };
+
+[[nodiscard]] WireProto sniff_protocol(std::string_view buf) noexcept;
+
+/// Factory for the sniffed protocol (never called with kUnknown).
+[[nodiscard]] std::unique_ptr<FrameCodec> make_codec(
+    WireProto proto, std::size_t max_frame_bytes);
+
+}  // namespace ipso::serve

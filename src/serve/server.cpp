@@ -1,215 +1,50 @@
 #include "serve/server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
 #include <utility>
 
 namespace ipso::serve {
 
 namespace {
 
-std::string errno_text(const char* syscall_name) {
-  return std::string(syscall_name) + ": " + std::strerror(errno);
-}
-
-/// Sends the whole buffer, handling short writes. MSG_NOSIGNAL keeps a
-/// client that hung up from killing the server with SIGPIPE.
-bool send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+EventLoopConfig loop_config(const ServerConfig& cfg) {
+  EventLoopConfig out;
+  out.host = cfg.host;
+  out.port = cfg.port;
+  out.shards = cfg.shards;
+  out.max_frame_bytes = cfg.max_frame_bytes;
+  out.write_high_watermark = cfg.write_high_watermark;
+  out.write_low_watermark = cfg.write_low_watermark;
+  out.listen_backlog = cfg.listen_backlog;
+  return out;
 }
 
 }  // namespace
 
 TcpServer::TcpServer(ServeEngine& engine, ServerConfig cfg)
-    : engine_(engine), cfg_(std::move(cfg)) {}
+    : engine_(engine), loop_(engine, loop_config(cfg)) {}
 
 TcpServer::~TcpServer() { shutdown(); }
 
-Expected<bool, NetError> TcpServer::start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return NetError{errno_text("socket")};
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(cfg_.port);
-  if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return NetError{"inet_pton: invalid address '" + cfg_.host + "'"};
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-      0) {
-    const NetError err{errno_text("bind")};
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return err;
-  }
-  if (::listen(listen_fd_, 64) < 0) {
-    const NetError err{errno_text("listen")};
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return err;
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof bound;
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
-      0) {
-    port_ = ntohs(bound.sin_port);
-  }
-  accept_thread_ = std::thread([this] { accept_loop(); });
-  return true;
-}
-
-void TcpServer::accept_loop() {
-  while (!stop_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    // Short poll timeout so the stop flag is observed promptly; the cost is
-    // one syscall per 100 ms on an idle server.
-    const int ready = ::poll(&pfd, 1, 100);
-    if (ready <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    connections_.emplace_back([this, fd] { serve_connection(fd); });
-  }
-}
-
-void TcpServer::serve_connection(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  while (!stop_.load(std::memory_order_acquire)) {
-    pollfd pfd{fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 100);
-    if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0) continue;
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n <= 0) break;  // peer closed or error
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t start = 0;
-    std::size_t nl;
-    while ((nl = buffer.find('\n', start)) != std::string::npos) {
-      std::string line = buffer.substr(start, nl - start);
-      start = nl + 1;
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      // Sequential per connection: responses return in request order.
-      std::string response = engine_.handle(line);
-      response.push_back('\n');
-      if (!send_all(fd, response)) {
-        ::close(fd);
-        return;
-      }
-    }
-    buffer.erase(0, start);
-  }
-  ::close(fd);
-}
+Expected<bool, NetError> TcpServer::start() { return loop_.start(); }
 
 void TcpServer::shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    if (shut_down_) return;
-    shut_down_ = true;
-  }
-  stop_.store(true, std::memory_order_release);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  // Connections observe stop_, finish the request they are writing, and
-  // exit; after the joins no new work can reach the engine, so the drain
-  // below answers everything that was admitted.
-  std::vector<std::thread> conns;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conns.swap(connections_);
-  }
-  for (auto& t : conns) {
-    if (t.joinable()) t.join();
-  }
+  if (shut_down_.exchange(true)) return;
+  // Order matters: stop intake first so the engine drain below sees the
+  // final set of admitted requests, drain so every response exists, then
+  // flush and close. finish() returns only after the shard threads join.
+  loop_.begin_drain();
   engine_.drain();
+  loop_.finish();
 }
-
-TcpClient::~TcpClient() { close(); }
 
 Expected<bool, NetError> TcpClient::connect(const std::string& host,
                                                std::uint16_t port) {
-  close();
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) return NetError{errno_text("socket")};
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    close();
-    return NetError{"inet_pton: invalid address '" + host + "'"};
-  }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    const NetError err{errno_text("connect")};
-    close();
-    return err;
-  }
-  return true;
+  return client_.connect(host, port);
 }
 
 Expected<std::string, NetError> TcpClient::roundtrip(
     const std::string& line) {
-  if (auto sent = send_line(line); !sent) return sent.error();
-  return recv_line();
-}
-
-void TcpClient::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
-  buffer_.clear();
-}
-
-Expected<bool, NetError> TcpClient::send_line(const std::string& line) {
-  if (fd_ < 0) return NetError{"not connected"};
-  if (!send_all(fd_, line + "\n")) return NetError{errno_text("send")};
-  return true;
-}
-
-Expected<std::string, NetError> TcpClient::recv_line() {
-  if (fd_ < 0) return NetError{"not connected"};
-  while (true) {
-    const std::size_t nl = buffer_.find('\n');
-    if (nl != std::string::npos) {
-      std::string line = buffer_.substr(0, nl);
-      buffer_.erase(0, nl + 1);
-      return line;
-    }
-    char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return NetError{errno_text("recv")};
-    }
-    if (n == 0) return NetError{"connection closed by server"};
-    buffer_.append(chunk, static_cast<std::size_t>(n));
-  }
+  return client_.call(line);
 }
 
 }  // namespace ipso::serve

@@ -1,38 +1,44 @@
 #pragma once
 
 #include "core/expected.h"
+#include "serve/client.h"
 #include "serve/engine.h"
+#include "serve/event_loop.h"
+#include "serve/transport.h"
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
 /// \file server.h
-/// The TCP front end of ipso::serve: newline-delimited JSON over a loopback
-/// (or any) TCP socket. One accept thread plus one thread per connection;
-/// each connection processes its requests in order (responses come back in
-/// request order), and cross-connection concurrency exercises the engine's
-/// pool, cache, and coalescing.
+/// The TCP front end of ipso::serve. Since PR 6 the listener is an epoll
+/// event loop (event_loop.h): a fixed number of shard threads multiplex all
+/// connections over non-blocking sockets, and two wire protocols are
+/// negotiated per connection from the first byte — newline-delimited JSON
+/// (compatibility mode, byte-identical to the PR 4/5 protocol) and the
+/// length-prefixed binary batched format (framing.h). TcpServer keeps its
+/// original surface: construct with an engine, start(), port(),
+/// connections_accepted(), shutdown().
 ///
-/// Shutdown semantics (the CI smoke test's contract): shutdown() stops the
-/// accept loop, tells every connection to finish its in-flight request and
-/// close, then drains the engine — every admitted request is answered, new
-/// ones are rejected with "draining".
+/// Shutdown semantics (the CI smoke test's contract): shutdown() stops
+/// accepting and reading immediately (eventfd wakeup, no poll tick), drains
+/// the engine — every admitted request is answered, new ones are rejected
+/// with "draining" — then flushes the remaining responses and closes every
+/// connection.
 
 namespace ipso::serve {
 
-/// Socket-layer failure: the failing syscall plus the errno text.
-struct NetError {
-  std::string message;
-};
-
-/// Listener configuration.
+/// Listener configuration. The first two fields keep their PR-4 order so
+/// `ServerConfig{host, port}` aggregate initialization stays valid; the
+/// rest tune the event loop and default sensibly.
 struct ServerConfig {
   std::string host = "127.0.0.1";  ///< bind address
   std::uint16_t port = 0;          ///< 0 = ephemeral (read back via port())
+  std::size_t shards = 1;          ///< epoll loop threads
+  std::size_t max_frame_bytes = 16u << 20;      ///< frame/line size bound
+  std::size_t write_high_watermark = 4u << 20;  ///< pause reads above
+  std::size_t write_low_watermark = 1u << 20;   ///< resume reads below
+  int listen_backlog = 1024;
 };
 
 class TcpServer {
@@ -47,43 +53,38 @@ class TcpServer {
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Binds, listens, and starts the accept loop. The error string names
+  /// Binds, listens, and starts the shard loops. The error string names
   /// the failing syscall and errno text.
   Expected<bool, NetError> start();
 
   /// The bound port (resolves ephemeral port 0); 0 before start().
-  std::uint16_t port() const noexcept { return port_; }
+  std::uint16_t port() const noexcept { return loop_.port(); }
 
   /// Stops accepting, finishes in-flight requests, drains the engine,
-  /// joins all threads. Idempotent.
+  /// flushes and closes every connection, joins all threads. Idempotent.
   void shutdown();
 
   /// Connections accepted so far.
   std::size_t connections_accepted() const noexcept {
-    return connections_accepted_.load(std::memory_order_relaxed);
+    return loop_.connections_accepted();
   }
 
- private:
-  void accept_loop();
-  void serve_connection(int fd);
+  /// Event-loop counter snapshot (wakeups, frames, bytes, stalls).
+  NetStats net_stats() const noexcept { return loop_.stats(); }
 
+ private:
   ServeEngine& engine_;
-  ServerConfig cfg_;
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
-  std::atomic<bool> stop_{false};
-  std::atomic<std::size_t> connections_accepted_{0};
-  std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> connections_;
-  bool shut_down_ = false;
+  EventLoopServer loop_;
+  std::atomic<bool> shut_down_{false};
 };
 
-/// Minimal blocking client for the protocol (the CLI tool and the tests).
+/// Minimal blocking JSON-lines client, kept for source compatibility with
+/// the PR 4/5 surface; new code should use serve::Client (client.h), which
+/// this wraps.
 class TcpClient {
  public:
   TcpClient() = default;
-  ~TcpClient();
+  ~TcpClient() = default;
 
   TcpClient(const TcpClient&) = delete;
   TcpClient& operator=(const TcpClient&) = delete;
@@ -96,15 +97,11 @@ class TcpClient {
   /// response line.
   Expected<std::string, NetError> roundtrip(const std::string& line);
 
-  void close();
-  bool connected() const noexcept { return fd_ >= 0; }
+  void close() { client_.close(); }
+  bool connected() const noexcept { return client_.connected(); }
 
  private:
-  Expected<bool, NetError> send_line(const std::string& line);
-  Expected<std::string, NetError> recv_line();
-
-  int fd_ = -1;
-  std::string buffer_;  ///< bytes received past the last returned line
+  Client client_{Proto::kJson};
 };
 
 }  // namespace ipso::serve

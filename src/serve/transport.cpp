@@ -1,0 +1,168 @@
+#include "serve/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+/// \file transport.cpp
+/// The one translation unit allowed to issue raw socket syscalls (see the
+/// raw-socket-io rule in tools/lint/run_lint.py). Everything here is a thin
+/// errno-faithful wrapper; policy (framing, batching, backpressure) lives a
+/// layer up.
+
+namespace ipso::serve::net {
+
+namespace {
+
+bool set_nonblocking(int fd) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) noexcept {
+  // Both wire protocols batch application-side; Nagle on top of that only
+  // adds delayed-ACK interactions, so it is disabled unconditionally.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+Expected<sockaddr_in, NetError> resolve(const std::string& host,
+                                        std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return NetError{"inet_pton: invalid address '" + host + "'"};
+  }
+  return addr;
+}
+
+}  // namespace
+
+std::string errno_text(const char* syscall_name) {
+  return std::string(syscall_name) + ": " + std::strerror(errno);
+}
+
+Expected<int, NetError> listen_tcp(const std::string& host,
+                                   std::uint16_t port, int backlog) {
+  auto addr = resolve(host, port);
+  if (!addr.has_value()) return addr.error();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return NetError{errno_text("socket")};
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&*addr), sizeof *addr) < 0) {
+    const NetError err{errno_text("bind")};
+    ::close(fd);
+    return err;
+  }
+  if (::listen(fd, backlog) < 0) {
+    const NetError err{errno_text("listen")};
+    ::close(fd);
+    return err;
+  }
+  if (!set_nonblocking(fd)) {
+    const NetError err{errno_text("fcntl")};
+    ::close(fd);
+    return err;
+  }
+  return fd;
+}
+
+Expected<int, NetError> connect_tcp(const std::string& host,
+                                    std::uint16_t port) {
+  auto addr = resolve(host, port);
+  if (!addr.has_value()) return addr.error();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return NetError{errno_text("socket")};
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&*addr), sizeof *addr) < 0) {
+    const NetError err{errno_text("connect")};
+    ::close(fd);
+    return err;
+  }
+  set_nodelay(fd);
+  return fd;
+}
+
+int accept_nonblocking(int listen_fd) {
+  const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+  if (fd >= 0) {
+    set_nodelay(fd);
+    return fd;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+      errno == ECONNABORTED) {
+    return -1;
+  }
+  return -2;
+}
+
+std::uint16_t local_port(int fd) noexcept {
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return 0;
+  }
+  return ntohs(bound.sin_port);
+}
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+IoResult recv_some(int fd, char* buf, std::size_t cap) {
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n > 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    if (n == 0) return {IoStatus::kClosed, 0};
+    if (errno == EINTR) continue;
+    return {IoStatus::kError, 0};
+  }
+}
+
+IoResult send_nonblocking(int fd, const char* data, std::size_t len) {
+  while (true) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n >= 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+IoResult recv_nonblocking(int fd, char* buf, std::size_t cap) {
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n > 0) return {IoStatus::kOk, static_cast<std::size_t>(n)};
+    if (n == 0) return {IoStatus::kClosed, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+void close_fd(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace ipso::serve::net

@@ -1,0 +1,77 @@
+#pragma once
+
+#include "core/expected.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// \file transport.h
+/// The socket seam of ipso::serve. Every raw socket syscall in the repo
+/// lives behind these helpers (transport.cpp) — the lint wall's
+/// raw-socket-io rule forbids `::send` / `::recv` anywhere else — so the
+/// event loop, the client library, and the tests all share one audited
+/// short-write/EINTR/SIGPIPE treatment.
+
+namespace ipso::serve {
+
+/// Socket-layer failure: the failing syscall plus the errno text.
+struct NetError {
+  std::string message;
+};
+
+namespace net {
+
+/// Non-blocking I/O outcome.
+enum class IoStatus {
+  kOk,          ///< made progress (`bytes` > 0)
+  kWouldBlock,  ///< EAGAIN/EWOULDBLOCK: retry on next readiness
+  kClosed,      ///< orderly peer close (reads only)
+  kError,       ///< hard error; close the connection
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  std::size_t bytes = 0;
+};
+
+/// errno formatted after the failing syscall name.
+[[nodiscard]] std::string errno_text(const char* syscall_name);
+
+/// Binds and listens on host:port (port 0 = ephemeral); the fd is
+/// non-blocking. The error string names the failing syscall + errno text.
+[[nodiscard]] Expected<int, NetError> listen_tcp(const std::string& host,
+                                                 std::uint16_t port,
+                                                 int backlog);
+
+/// Blocking connect to host:port with TCP_NODELAY set.
+[[nodiscard]] Expected<int, NetError> connect_tcp(const std::string& host,
+                                                  std::uint16_t port);
+
+/// Accepts one pending connection as a non-blocking, TCP_NODELAY fd.
+/// Returns kWouldBlock status via fd -1 when the backlog is empty; -2 on a
+/// hard accept error.
+[[nodiscard]] int accept_nonblocking(int listen_fd);
+
+/// The locally bound port of `fd` (resolves ephemeral port 0); 0 on error.
+[[nodiscard]] std::uint16_t local_port(int fd) noexcept;
+
+/// Blocking full-buffer send (handles short writes + EINTR; MSG_NOSIGNAL
+/// keeps a hung-up peer from raising SIGPIPE).
+[[nodiscard]] bool send_all(int fd, std::string_view data);
+
+/// Blocking single recv; bytes == 0 with kClosed on EOF.
+[[nodiscard]] IoResult recv_some(int fd, char* buf, std::size_t cap);
+
+/// Non-blocking send of as much of `data` as the socket accepts.
+[[nodiscard]] IoResult send_nonblocking(int fd, const char* data,
+                                        std::size_t len);
+
+/// Non-blocking recv into `buf`.
+[[nodiscard]] IoResult recv_nonblocking(int fd, char* buf, std::size_t cap);
+
+void close_fd(int fd) noexcept;
+
+}  // namespace net
+}  // namespace ipso::serve

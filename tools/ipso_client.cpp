@@ -18,12 +18,17 @@
 /// CSV inputs:
 ///   --factors FILE   columns n,EX,IN,q (header row; IN/q optional)
 ///   --speedup FILE   two columns n,S(n)
+///
+/// Wire mode: --proto json (default, newline-delimited) or --proto binary
+/// (length-prefixed batched frames). In 'raw' mode --pipeline N keeps up
+/// to N requests on the wire before the first response is read.
 
-#include "serve/server.h"
+#include "serve/client.h"
 #include "trace/cli_opts.h"
 #include "trace/csv.h"
 #include "trace/json.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -56,6 +61,9 @@ const char kUsage[] =
     "  --ns LIST         comma-separated prediction grid, e.g. 1,2,4,8\n"
     "  --knee-frac F     recommend knee threshold (default 0.9)\n"
     "  --deadline-ms D   per-request deadline\n"
+    "  --proto P         wire mode: json (default) or binary\n"
+    "  --pipeline N      raw mode: requests in flight before the first\n"
+    "                    read (default 1)\n"
     "  --help, -h        this text\n"
     "  --version         build-info string\n"
     "\n"
@@ -160,9 +168,9 @@ bool append_speedup_field(const std::string& path, std::string& req) {
 }
 
 /// One round trip; prints the response, returns true iff "ok":true.
-bool roundtrip_and_print(ipso::serve::TcpClient& client,
+bool roundtrip_and_print(ipso::serve::Client& client,
                          const std::string& request) {
-  auto response = client.roundtrip(request);
+  auto response = client.call(request);
   if (!response) {
     std::fprintf(stderr, "ipso_client: %s\n",
                  response.error().message.c_str());
@@ -206,7 +214,22 @@ int main(int argc, char** argv) {
   const auto port = static_cast<std::uint16_t>(std::strtoul(
       port_text.c_str(), nullptr, 10));
 
-  serve::TcpClient client;
+  const std::string proto_text = flag_string(argc, argv, "--proto", "json");
+  if (proto_text != "json" && proto_text != "binary") {
+    std::fprintf(stderr,
+                 "ipso_client: --proto must be json or binary, got '%s'\n",
+                 proto_text.c_str());
+    return 1;
+  }
+  const serve::Proto proto =
+      proto_text == "binary" ? serve::Proto::kBinary : serve::Proto::kJson;
+  const std::string pipeline_text =
+      flag_string(argc, argv, "--pipeline", "1");
+  std::size_t pipeline = static_cast<std::size_t>(
+      std::strtoul(pipeline_text.c_str(), nullptr, 10));
+  if (pipeline == 0) pipeline = 1;
+
+  serve::Client client(proto);
   if (auto connected = client.connect(host, port); !connected) {
     std::fprintf(stderr, "ipso_client: %s\n",
                  connected.error().message.c_str());
@@ -214,11 +237,36 @@ int main(int argc, char** argv) {
   }
 
   if (op == "raw") {
-    bool all_ok = true;
+    std::vector<std::string> lines;
     std::string line;
     while (std::getline(std::cin, line)) {
-      if (line.empty()) continue;
-      all_ok = roundtrip_and_print(client, line) && all_ok;
+      if (!line.empty()) lines.push_back(line);
+    }
+    bool all_ok = true;
+    // Pipelining window: put up to `pipeline` requests on the wire (one
+    // frame each in binary mode), then collect their responses in order.
+    for (std::size_t i = 0; i < lines.size(); i += pipeline) {
+      const std::size_t end = std::min(lines.size(), i + pipeline);
+      for (std::size_t j = i; j < end; ++j) {
+        if (auto sent = client.send_batch({lines[j]}); !sent) {
+          std::fprintf(stderr, "ipso_client: %s\n",
+                       sent.error().message.c_str());
+          return 1;
+        }
+      }
+      for (std::size_t j = i; j < end; ++j) {
+        auto batch = client.recv_batch(1);
+        if (!batch) {
+          std::fprintf(stderr, "ipso_client: %s\n",
+                       batch.error().message.c_str());
+          return 1;
+        }
+        for (const std::string& response : *batch) {
+          std::printf("%s\n", response.c_str());
+          all_ok = response.find("\"ok\":true") != std::string::npos &&
+                   all_ok;
+        }
+      }
     }
     return all_ok ? 0 : 1;
   }

@@ -5,8 +5,9 @@
 /// every admitted request is answered before the process exits 0.
 ///
 /// Usage:
-///   ipso_serve [--port N] [--host A] [--threads N] [--queue-cap N]
-///              [--cache-cap N] [--deadline-ms D] [--trace-out FILE]
+///   ipso_serve [--port N] [--host A] [--threads N] [--shards N]
+///              [--queue-cap N] [--cache-cap N] [--deadline-ms D]
+///              [--trace-out FILE]
 ///
 /// Prints "ipso_serve: listening on HOST:PORT" once ready (the smoke test
 /// greps this line for the resolved ephemeral port).
@@ -39,6 +40,7 @@ const char kUsage[] =
     "  --port N          TCP port to listen on (0 = ephemeral; default 0)\n"
     "  --host A          bind address (default 127.0.0.1)\n"
     "  --threads N       worker threads (0 = hardware default)\n"
+    "  --shards N        epoll event-loop threads (default 1)\n"
     "  --queue-cap N     admitted-request bound before 'overloaded'"
     " (default 256)\n"
     "  --cache-cap N     fit-cache capacity in entries (default 128)\n"
@@ -109,6 +111,9 @@ int main(int argc, char** argv) {
   server_cfg.host = flag_string(argc, argv, "--host", "127.0.0.1");
   server_cfg.port = static_cast<std::uint16_t>(
       flag_value(argc, argv, "--port", 0));
+  server_cfg.shards =
+      static_cast<std::size_t>(flag_value(argc, argv, "--shards", 1));
+  if (server_cfg.shards == 0) server_cfg.shards = 1;
 
   serve::ServeEngine engine(engine_cfg);
   serve::TcpServer server(engine, server_cfg);
@@ -136,12 +141,19 @@ int main(int argc, char** argv) {
   server.shutdown();
 
   const serve::ServeStats s = engine.stats();
+  const serve::NetStats n = server.net_stats();
   std::printf("ipso_serve: drained (received=%zu completed=%zu "
               "overloaded=%zu draining=%zu deadline=%zu parse_errors=%zu "
               "cache_hits=%zu cache_misses=%zu coalesced=%zu)\n",
               s.received, s.completed, s.overloaded, s.rejected_draining,
               s.deadline_expired, s.parse_errors, s.cache_hits,
               s.cache_misses, s.coalesced);
+  std::printf("ipso_serve: net (connections=%zu frames_in=%zu "
+              "frames_out=%zu requests_in=%zu bytes_in=%zu bytes_out=%zu "
+              "wakeups=%zu stalls=%zu protocol_errors=%zu)\n",
+              n.connections_accepted, n.frames_in, n.frames_out,
+              n.requests_in, n.bytes_in, n.bytes_out, n.wakeups,
+              n.backpressure_stalls, n.protocol_errors);
   std::fflush(stdout);
   return 0;
 }

@@ -30,6 +30,13 @@ examples may use the banned constructs as assertions):
   nolint-audit               every NOLINT must name its check —
                              NOLINT(check-name) — and carry a trailing
                              justification; bare NOLINTs fail the wall.
+  raw-socket-io              no raw ::send/::recv (or the msg/to variants)
+                             outside src/serve/transport.cpp: every socket
+                             byte moves through the audited transport seam
+                             (short writes, EINTR, SIGPIPE handled once).
+                             Scoped to src/, tools/ and bench/ — the CLI
+                             and the load bench must consume serve::Client,
+                             not sockets.
 
 Usage:
   tools/lint/run_lint.py                 # run the Python rules
@@ -177,6 +184,15 @@ RULES: list[Rule] = [
         include=["src/core/*.h", "src/serve/*.h"],
         why="use the domain types from core/domain.h in new signatures",
     ),
+    Rule(
+        name="raw-socket-io",
+        pattern=re.compile(r"::\s*(send|recv)(to|from|msg)?\s*\("),
+        include=["src/**/*.cpp", "src/**/*.h", "tools/*.cpp",
+                 "bench/*.cpp"],
+        exclude=["src/serve/transport.cpp"],
+        why="socket I/O goes through the serve::net transport seam "
+            "(transport.cpp is the one audited syscall site)",
+    ),
     NolintAuditRule(
         name="nolint-audit",
         pattern=_NOLINT_ANY,
@@ -214,6 +230,7 @@ SEEDED = {
     "raw-number-parse": "raw_parse.cpp",
     "unseeded-rng": "unseeded_rng.cpp",
     "naked-double-model-param": "naked_double.h",
+    "raw-socket-io": "raw_socket.cpp",
     "nolint-audit": "bare_nolint.cpp",
 }
 

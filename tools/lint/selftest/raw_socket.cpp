@@ -1,0 +1,13 @@
+// Seeded violation for the raw-socket-io rule: raw ::send / ::recv outside
+// src/serve/transport.cpp. Never compiled into anything; exists so
+// `run_lint.py --self-test` can prove the rule fires.
+
+#include <cstddef>
+
+long send_bytes(int fd, const char* data, std::size_t len) {
+  return ::send(fd, data, len, 0);  // the rule must fire here
+}
+
+long recv_bytes(int fd, char* buf, std::size_t cap) {
+  return ::recv(fd, buf, cap, 0);  // and here
+}
