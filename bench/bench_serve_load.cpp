@@ -28,13 +28,32 @@
 ///       across the batch >= 16 cells (the batching win is real, not
 ///       serialization trivia).
 ///
+/// `--router` switches to the sharded-tier sweep instead: replica count x
+/// placement policy x Zipf-skewed key popularity, every request flowing
+/// through an in-process Router fronting N ServeEngine replicas. The tier's
+/// own (n, throughput) curve is then fed through the repo's fit_factors —
+/// the serving tier is itself a fixed-size workload in the IPSO taxonomy —
+/// with Gunther's USL fitted on the same q(n) series as a cross-check.
+///
+///   C7  at >= 3 replicas, every placement and both wire protocols return
+///       responses byte-identical to a single standalone engine;
+///   C8  fit_factors succeeds on every placement's throughput curve and
+///       prints (delta, gamma, class).
+///
 /// Flags: --requests N, --points N (observations per series), --threads N,
 ///        --conns LIST, --batch LIST, --net-requests N, --no-net,
-///        --trace-out FILE.
+///        --router, --router-requests N, --router-points N, --router-keys N,
+///        --router-replicas LIST, --router-conns N, --router-batch N,
+///        --zipf S, --trace-out FILE.
 
+#include "core/classify.h"
+#include "core/fit.h"
 #include "serve/client.h"
 #include "serve/engine.h"
+#include "serve/router.h"
 #include "serve/server.h"
+#include "stats/random.h"
+#include "stats/series.h"
 #include "trace/cli_opts.h"
 #include "trace/json.h"
 #include "obs/export.h"
@@ -44,7 +63,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <future>
 #include <memory>
@@ -292,6 +313,384 @@ NetCell run_net_cell(ipso::serve::Proto proto, std::size_t conns,
   return cell;
 }
 
+double flag_double(int argc, char** argv, const char* flag, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == flag) return std::strtod(argv[i + 1], nullptr);
+  }
+  return fallback;
+}
+
+// ---------------------------------------------------------------------------
+// Router sweep (--router): replica count x placement x Zipf key popularity.
+// ---------------------------------------------------------------------------
+
+/// N in-process ServeEngine replicas, each behind its own TcpServer, plus
+/// the endpoint list a Router needs to front them.
+struct ReplicaTier {
+  std::vector<std::unique_ptr<ipso::serve::ServeEngine>> engines;
+  std::vector<std::unique_ptr<ipso::serve::TcpServer>> servers;
+  std::vector<ipso::serve::ReplicaEndpoint> endpoints;
+
+  bool start(std::size_t replicas, std::size_t cache_capacity) {
+    using namespace ipso;
+    for (std::size_t i = 0; i < replicas; ++i) {
+      serve::ServeConfig cfg;
+      cfg.threads = 1;
+      cfg.queue_capacity = 4096;
+      cfg.cache_capacity = cache_capacity;
+      engines.push_back(std::make_unique<serve::ServeEngine>(cfg));
+      servers.push_back(
+          std::make_unique<serve::TcpServer>(*engines.back(),
+                                             serve::ServerConfig{}));
+      if (auto started = servers.back()->start(); !started) {
+        std::fprintf(stderr, "router: replica %zu start failed: %s\n", i,
+                     started.error().message.c_str());
+        return false;
+      }
+      endpoints.push_back({"127.0.0.1", servers.back()->port()});
+    }
+    return true;
+  }
+
+  void shutdown() {
+    for (auto& s : servers) s->shutdown();
+  }
+};
+
+/// Zipf(s) sampling schedule over `keys` ranks: schedule[i] is the key index
+/// of the i-th request. Deterministic (seeded Rng + precomputed CDF), so
+/// every sweep cell replays the identical popularity-skewed stream.
+std::vector<std::size_t> zipf_schedule(std::size_t total, std::size_t keys,
+                                       double skew, std::uint64_t seed) {
+  std::vector<double> cdf(keys);
+  double mass = 0.0;
+  for (std::size_t k = 0; k < keys; ++k) {
+    mass += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+    cdf[k] = mass;
+  }
+  ipso::stats::Rng rng(seed);
+  std::vector<std::size_t> schedule(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const double u = rng.uniform() * mass;
+    schedule[i] = static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    if (schedule[i] >= keys) schedule[i] = keys - 1;
+  }
+  return schedule;
+}
+
+/// One tier cell: `replicas` engines behind a Router with `placement`,
+/// driven closed-loop over the binary protocol by `conns` connections each
+/// pipelining `batch`-record frames drawn from the Zipf schedule.
+NetCell run_router_cell(const std::string& placement, std::size_t replicas,
+                        const std::vector<std::string>& keyspace,
+                        const std::vector<std::size_t>& schedule,
+                        std::size_t conns, std::size_t batch) {
+  using namespace ipso;
+  NetCell cell;
+
+  ReplicaTier tier;
+  if (!tier.start(replicas, keyspace.size() + 8)) return cell;
+
+  serve::RouterConfig rcfg;
+  rcfg.replicas = tier.endpoints;
+  rcfg.placement = placement;
+  rcfg.max_upstream_batch = batch;
+  serve::Router router(rcfg);
+  if (auto started = router.start(); !started) {
+    std::fprintf(stderr, "router: start failed: %s\n",
+                 started.error().message.c_str());
+    tier.shutdown();
+    return cell;
+  }
+  const std::uint16_t port = router.port();
+
+  const std::size_t rounds =
+      std::max<std::size_t>(1, schedule.size() / (conns * batch));
+  cell.requests = rounds * conns * batch;
+
+  std::vector<std::unique_ptr<serve::Client>> clients;
+  for (std::size_t i = 0; i < conns; ++i) {
+    clients.push_back(
+        std::make_unique<serve::Client>(serve::Proto::kBinary));
+    if (auto c = clients.back()->connect("127.0.0.1", port); !c) {
+      std::fprintf(stderr, "router: connect failed: %s\n",
+                   c.error().message.c_str());
+      router.shutdown();
+      tier.shutdown();
+      return cell;
+    }
+  }
+
+  const std::size_t workers = std::min<std::size_t>(conns, 4);
+  std::atomic<std::size_t> failures{0};
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> pool;
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      const std::size_t lo = w * conns / workers;
+      const std::size_t hi = (w + 1) * conns / workers;
+      std::vector<std::string> records(batch);
+      for (std::size_t r = 0; r < rounds; ++r) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          for (std::size_t b = 0; b < batch; ++b) {
+            const std::size_t pos =
+                ((r * conns + i) * batch + b) % schedule.size();
+            records[b] = keyspace[schedule[pos]];
+          }
+          if (auto sent = clients[i]->send_batch(records); !sent) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          auto got = clients[i]->recv_batch(batch);
+          if (!got || got->size() != batch) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          for (const std::string& response : *got) {
+            if (response.find("\"ok\":true") == std::string::npos) {
+              failures.fetch_add(1, std::memory_order_relaxed);
+              return;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  clients.clear();
+  router.shutdown();
+  tier.shutdown();
+
+  if (failures.load() != 0) return cell;
+  cell.ok = true;
+  cell.reqs_per_s =
+      elapsed > 0 ? static_cast<double>(cell.requests) / elapsed : 0.0;
+  return cell;
+}
+
+/// C7: replays a deterministic corpus (keyed fits, repeats, ping, a parse
+/// error) through a 3-replica tier under every placement and both wire
+/// protocols, comparing every response to a standalone engine byte for
+/// byte. The `stats` op is the one legitimate divergence, so it is checked
+/// structurally instead: the router must answer it locally with its
+/// placement name.
+bool run_router_identity(const std::vector<std::string>& placements,
+                         int points) {
+  using namespace ipso;
+  std::vector<std::string> corpus;
+  corpus.push_back("{\"op\":\"ping\"}");
+  for (int i = 0; i < 6; ++i) corpus.push_back(fit_request(i, points));
+  corpus.push_back(fit_request(2, points));  // repeat: cache + affinity pin
+  corpus.push_back("this is not json");
+  corpus.push_back("{\"op\":\"ping\"}");
+
+  serve::ServeConfig ref_cfg;
+  ref_cfg.threads = 1;
+  serve::ServeEngine reference(ref_cfg);
+  std::vector<std::string> expected;
+  for (const std::string& req : corpus) expected.push_back(reference.handle(req));
+
+  bool identical = true;
+  for (const std::string& placement : placements) {
+    ReplicaTier tier;
+    if (!tier.start(3, 64)) return false;
+    serve::RouterConfig rcfg;
+    rcfg.replicas = tier.endpoints;
+    rcfg.placement = placement;
+    serve::Router router(rcfg);
+    if (auto started = router.start(); !started) {
+      std::fprintf(stderr, "router: start failed: %s\n",
+                   started.error().message.c_str());
+      tier.shutdown();
+      return false;
+    }
+    for (const serve::Proto proto :
+         {serve::Proto::kJson, serve::Proto::kBinary}) {
+      serve::Client client(proto);
+      if (auto c = client.connect("127.0.0.1", router.port()); !c) {
+        identical = false;
+        continue;
+      }
+      for (std::size_t i = 0; i < corpus.size(); ++i) {
+        const auto got = client.call(corpus[i]);
+        if (!got.has_value() || *got != expected[i]) {
+          std::printf("  mismatch [%s/%s] request %zu\n", placement.c_str(),
+                      serve::to_string(proto), i);
+          identical = false;
+        }
+      }
+      const auto stats = client.call("{\"op\":\"stats\"}");
+      if (!stats.has_value() ||
+          stats->find("\"router\":true") == std::string::npos ||
+          stats->find("\"placement\":\"" + placement + "\"") ==
+              std::string::npos) {
+        std::printf("  stats op not answered by the router [%s/%s]\n",
+                    placement.c_str(), serve::to_string(proto));
+        identical = false;
+      }
+    }
+    router.shutdown();
+    tier.shutdown();
+  }
+  return identical;
+}
+
+/// Closed-form least squares for Gunther's USL on the same q(n) series the
+/// IPSO fit consumes: n/S(n) - 1 = sigma*(n-1) + kappa*n*(n-1), linear in
+/// (sigma, kappa), so the 2x2 normal equations solve it exactly.
+struct UslFit {
+  double sigma = 0.0;
+  double kappa = 0.0;
+};
+
+UslFit fit_usl(const ipso::stats::Series& q) {
+  double s11 = 0.0, s12 = 0.0, s22 = 0.0, b1 = 0.0, b2 = 0.0;
+  for (const auto& p : q.points()) {
+    if (p.x <= 1.0) continue;
+    const double a1 = p.x - 1.0;
+    const double a2 = p.x * (p.x - 1.0);
+    s11 += a1 * a1;
+    s12 += a1 * a2;
+    s22 += a2 * a2;
+    b1 += a1 * p.y;
+    b2 += a2 * p.y;
+  }
+  const double det = s11 * s22 - s12 * s12;
+  UslFit fit;
+  if (std::abs(det) > 1e-12) {
+    fit.sigma = (b1 * s22 - b2 * s12) / det;
+    fit.kappa = (b2 * s11 - b1 * s12) / det;
+  } else if (s11 > 0.0) {
+    fit.sigma = b1 / s11;  // degenerate: one usable point, no kappa term
+  }
+  return fit;
+}
+
+/// The --router mode: sweep, C7 byte-identity, C8 IPSO fit of the tier.
+int run_router_bench(int argc, char** argv) {
+  using namespace ipso;
+
+  const std::size_t total = static_cast<std::size_t>(
+      std::max(64, flag_int(argc, argv, "--router-requests", 2400)));
+  const int points = std::max(8, flag_int(argc, argv, "--router-points", 96));
+  const std::size_t keys = static_cast<std::size_t>(
+      std::max(4, flag_int(argc, argv, "--router-keys", 48)));
+  const double skew = flag_double(argc, argv, "--zipf", 1.2);
+  const std::vector<std::size_t> replica_axis =
+      flag_list(argc, argv, "--router-replicas", {1, 2, 3});
+  const std::size_t conns = static_cast<std::size_t>(
+      std::max(1, flag_int(argc, argv, "--router-conns", 4)));
+  const std::size_t batch = static_cast<std::size_t>(
+      std::max(1, flag_int(argc, argv, "--router-batch", 16)));
+  const std::vector<std::string> placements = {"hash", "range", "affinity"};
+
+  std::printf("# bench_serve_load --router: %zu requests over %zu keys "
+              "(zipf %.2f), %d observations per series, %zu conns x "
+              "batch %zu\n\n",
+              total, keys, skew, points, conns, batch);
+
+  std::vector<std::string> keyspace;
+  keyspace.reserve(keys);
+  for (std::size_t k = 0; k < keys; ++k) {
+    keyspace.push_back(fit_request(static_cast<int>(k), points));
+  }
+  const std::vector<std::size_t> schedule =
+      zipf_schedule(total, keys, skew, 0x1b50u);
+
+  bool ok = true;
+
+  // --- C7: the tier is invisible -------------------------------------
+  std::printf("byte-identity: 3 replicas x {hash, range, affinity} x "
+              "{json, binary} vs a standalone engine\n");
+  if (run_router_identity(placements, std::min(points, 64))) {
+    std::printf("C7: every routed response byte-identical to single-node\n");
+  } else {
+    std::printf("CONTRACT VIOLATION (C7): routed responses diverge from a "
+                "standalone engine\n");
+    ok = false;
+  }
+
+  // --- throughput sweep + C8 fit ------------------------------------
+  std::printf("\n%-10s %9s %12s %10s\n", "placement", "replicas", "req/s",
+              "requests");
+  for (const std::string& placement : placements) {
+    stats::Series q("q(n)");
+    stats::Series ex("EX(n)");
+    double t1 = 0.0;
+    bool cells_ok = true;
+    for (const std::size_t n : replica_axis) {
+      const NetCell cell =
+          run_router_cell(placement, n, keyspace, schedule, conns, batch);
+      std::printf("%-10s %9zu %12.1f %10zu%s\n", placement.c_str(), n,
+                  cell.reqs_per_s, cell.requests, cell.ok ? "" : "  FAILED");
+      if (!cell.ok || cell.reqs_per_s <= 0.0) {
+        cells_ok = false;
+        continue;
+      }
+      if (n == replica_axis.front()) t1 = cell.reqs_per_s;
+      if (t1 > 0.0) {
+        const double nn = static_cast<double>(n);
+        const double speedup = cell.reqs_per_s / t1;
+        ex.add(nn, 1.0);
+        q.add(nn, speedup > 0.0 ? nn / speedup - 1.0 : 0.0);
+      }
+    }
+    if (!cells_ok || q.size() < replica_axis.size()) {
+      std::printf("CONTRACT VIOLATION (C8): %s sweep produced no usable "
+                  "throughput curve\n", placement.c_str());
+      ok = false;
+      continue;
+    }
+
+    // The tier itself is a fixed-size IPSO workload: the request stream is
+    // constant while n grows, all added cost is scale-out-induced, so the
+    // whole curve lands in the q(n) = beta*n^gamma term (delta = 0 by
+    // construction for fixed-size — exactly the paper's Section IV).
+    FactorMeasurements m;
+    m.eta = 1.0;
+    m.ex = ex;
+    m.q = q;
+    const Expected<FactorFits> fits =
+        fit_factors(WorkloadType::kFixedSize, m);
+    if (!fits.has_value()) {
+      std::printf("CONTRACT VIOLATION (C8): fit_factors failed for %s "
+                  "(%s)\n", placement.c_str(), to_string(fits.error()));
+      ok = false;
+      continue;
+    }
+    const Classification cls = classify(fits->params);
+    const UslFit usl = fit_usl(q);
+    std::printf("  IPSO fit [%s]: delta=%.3f gamma=%.3f beta=%.3f "
+                "class=%.*s\n",
+                placement.c_str(), fits->params.delta, fits->params.gamma,
+                fits->params.beta,
+                static_cast<int>(to_string(cls.type).size()),
+                to_string(cls.type).data());
+    std::printf("  USL cross-check [%s]: sigma=%.3f kappa=%.3f (same q(n) "
+                "series)\n", placement.c_str(), usl.sigma, usl.kappa);
+  }
+  if (ok) {
+    std::printf("\nC8: fit_factors succeeded on every placement's "
+                "throughput curve\n");
+  }
+
+  const double rss = peak_rss_mib();
+  std::printf("peak RSS: %.1f MiB\n", rss);
+  if (rss > 512.0) {
+    std::printf("CONTRACT VIOLATION (C4): peak RSS %.1f MiB exceeds the "
+                "512 MiB ceiling\n", rss);
+    ok = false;
+  }
+
+  std::printf("\n%s\n", ok ? "all serving contracts hold"
+                           : "SERVING CONTRACT VIOLATIONS -- see above");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -303,13 +702,22 @@ int main(int argc, char** argv) {
           "(cold/hot/saturation phases; enforces the cache-speedup,\n"
           "byte-identity, and bounded-backpressure contracts; plus a\n"
           "socket sweep of connections x batch x protocol over the epoll\n"
-          "front end).\n"
+          "front end). --router switches to the sharded-tier sweep:\n"
+          "replicas x placement x Zipf key skew through an in-process\n"
+          "Router, with the tier's own throughput curve fitted by\n"
+          "fit_factors (C7 byte-identity, C8 successful IPSO fit).\n"
           "Extra flags: --requests N, --points N, --conns LIST,\n"
-          "--batch LIST, --net-requests N, --no-net")) {
+          "--batch LIST, --net-requests N, --no-net, --router,\n"
+          "--router-requests N, --router-points N, --router-keys N,\n"
+          "--router-replicas LIST, --router-conns N, --router-batch N,\n"
+          "--zipf S")) {
     return 0;
   }
 
   obs::TraceSession trace_session(trace::trace_out_from_args(argc, argv));
+  if (has_flag(argc, argv, "--router")) {
+    return run_router_bench(argc, argv);
+  }
   // Default shape: few distinct fits, each over a long observation trace.
   // The changepoint search is O(points^2) while request parsing is
   // O(points), so large traces are exactly the workload the fit cache is

@@ -59,6 +59,11 @@ Expected<std::vector<std::string>, NetError> Client::call_batch(
 Expected<bool, NetError> Client::send_batch(
     const std::vector<std::string>& records) {
   if (fd_ < 0) return NetError{"not connected"};
+  // An empty batch is a no-op, not a zero-count frame: the matching
+  // recv_batch(0) returns no records, so putting bytes on the wire would
+  // desynchronize the send/recv pairing (and used to hang call_batch({})
+  // waiting for records a zero-count response never carries).
+  if (records.empty()) return true;
   if (!net::send_all(fd_, codec_->encode(records))) {
     return NetError{net::errno_text("send")};
   }
@@ -68,6 +73,11 @@ Expected<bool, NetError> Client::send_batch(
 Expected<std::vector<std::string>, NetError> Client::recv_batch(
     std::size_t expected_records) {
   if (fd_ < 0) return NetError{"not connected"};
+  // Mirror of the send_batch() no-op: nothing was sent, nothing to read.
+  // Without this, a JSON-mode recv_batch(0) with pipelined data already
+  // decoded would steal records from the next batch, and a binary-mode one
+  // would block on a response that never comes.
+  if (expected_records == 0) return std::vector<std::string>{};
   std::vector<std::string> out;
   out.reserve(expected_records);
   while (true) {

@@ -58,7 +58,8 @@ class Client {
 
   /// One batch in, one batch out: binary sends a single frame; JSON sends
   /// the records as consecutive lines. Responses come back in request
-  /// order.
+  /// order. An empty batch is a no-op returning an empty vector (nothing
+  /// is put on the wire in either protocol).
   [[nodiscard]] Expected<std::vector<std::string>, NetError> call_batch(
       const std::vector<std::string>& records);
 

@@ -67,8 +67,10 @@ void ServeEngine::submit_async(std::string line,
   if (!parsed) {
     {
       std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.received;  // every arrival counts, rejected or not
       ++stats_.parse_errors;
     }
+    instruments().received.add();
     instruments().parse_errors.add();
     done(error_response({}, Op::kUnknown, "parse_error", parsed.error()));
     return;
@@ -81,7 +83,9 @@ void ServeEngine::submit_async(std::string line,
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (draining_) {
+      ++stats_.received;
       ++stats_.rejected_draining;
+      instruments().received.add();
       instruments().draining.add();
       lock.unlock();
       done(error_response(req.id, req.op, "draining",
@@ -90,7 +94,9 @@ void ServeEngine::submit_async(std::string line,
       return;
     }
     if (stats_.queue_depth >= cfg_.queue_capacity) {
+      ++stats_.received;
       ++stats_.overloaded;
+      instruments().received.add();
       instruments().overloaded.add();
       lock.unlock();
       done(error_response(
@@ -115,9 +121,12 @@ void ServeEngine::submit_async(std::string line,
           std::chrono::duration<double>(Clock::now() - admitted_at).count();
       instruments().queue_wait.observe(waited);
       std::string response;
-      if (deadline_ms > 0.0 && waited * 1e3 > deadline_ms) {
+      const bool expired = deadline_ms > 0.0 && waited * 1e3 > deadline_ms;
+      if (expired) {
         // Expired in the queue: shedding it now is cheaper than computing
-        // an answer nobody is waiting for.
+        // an answer nobody is waiting for. Counted as deadline_expired,
+        // not completed — each arrival lands in exactly one outcome bucket
+        // (the ServeStats conservation identity).
         {
           std::lock_guard<std::mutex> lock(mu_);
           ++stats_.deadline_expired;
@@ -137,11 +146,11 @@ void ServeEngine::submit_async(std::string line,
           std::chrono::duration<double>(Clock::now() - admitted_at).count());
       {
         std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.completed;
+        if (!expired) ++stats_.completed;
         --stats_.queue_depth;
         instruments().queue_depth.set(static_cast<double>(stats_.queue_depth));
       }
-      instruments().completed.add();
+      if (!expired) instruments().completed.add();
       done(std::move(response));
     });
   }

@@ -56,9 +56,18 @@ struct ServeConfig {
 };
 
 /// Monotonic counters; snapshot via ServeEngine::stats().
+///
+/// Conservation identity: every arrival is counted in `received` and ends
+/// up in exactly one outcome bucket, so at all times
+///
+///   received == completed + deadline_expired + overloaded
+///             + rejected_draining + parse_errors + queue_depth
+///
+/// and once the engine is drained (queue_depth == 0) the five outcome
+/// counters partition `received` exactly. test_serve asserts this.
 struct ServeStats {
-  std::size_t received = 0;          ///< admitted requests
-  std::size_t completed = 0;         ///< admitted requests answered
+  std::size_t received = 0;          ///< every arrival, admitted or not
+  std::size_t completed = 0;         ///< answered with a computed response
   std::size_t overloaded = 0;        ///< rejected: queue full
   std::size_t rejected_draining = 0; ///< rejected: drain in progress
   std::size_t deadline_expired = 0;  ///< answered deadline_exceeded

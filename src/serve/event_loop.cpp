@@ -104,8 +104,8 @@ struct EventLoopServer::Shard {
   Clock::time_point finish_deadline{};
 };
 
-EventLoopServer::EventLoopServer(ServeEngine& engine, EventLoopConfig cfg)
-    : engine_(engine), cfg_(std::move(cfg)) {
+EventLoopServer::EventLoopServer(RequestHandler handler, EventLoopConfig cfg)
+    : handler_(std::move(handler)), cfg_(std::move(cfg)) {
   if (cfg_.shards == 0) cfg_.shards = 1;
   if (cfg_.write_low_watermark > cfg_.write_high_watermark) {
     cfg_.write_low_watermark = cfg_.write_high_watermark / 2;
@@ -446,7 +446,7 @@ void EventLoopServer::dispatch_batch(Shard& s, Conn& c, WireBatch wire) {
   Shard* shard = &s;
   const std::uint64_t conn_id = c.id;
   for (std::size_t i = 0; i < count; ++i) {
-    engine_.submit_async(
+    handler_(
         std::move(wire.records[i]),
         [this, shard, conn_id, batch, i](std::string response) {
           // Each worker owns slot i exclusively; the final decrement

@@ -1,12 +1,12 @@
 #pragma once
 
-#include "serve/engine.h"
 #include "serve/framing.h"
 #include "serve/transport.h"
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,14 +25,14 @@
 /// byte received (framing.h): binary batched frames or newline-JSON
 /// compatibility mode on the same port.
 ///
-/// Batching: one request frame of N records dispatches N engine requests
-/// and yields exactly one response frame in request order. JSON lines are
-/// batches of one; consecutive completed responses still coalesce into a
-/// single send when the loop flushes.
+/// Batching: one request frame of N records dispatches N handler
+/// invocations and yields exactly one response frame in request order. JSON
+/// lines are batches of one; consecutive completed responses still coalesce
+/// into a single send when the loop flushes.
 ///
 /// Threading: each connection belongs to exactly one shard and all its
-/// state is touched only by that shard's thread. Engine completion
-/// callbacks (worker threads) write into their own pre-sized response slot,
+/// state is touched only by that shard's thread. Handler completion
+/// callbacks (any thread) write into their own pre-sized response slot,
 /// decrement the batch's atomic remaining-count, and post the connection id
 /// to the shard's inbox + eventfd; the shard thread alone encodes and
 /// writes.
@@ -64,14 +64,23 @@ struct NetStats {
   std::size_t connections_open = 0;
 };
 
+/// What the loop does with each decoded request record: `handler(record,
+/// done)` must eventually invoke `done(response)` exactly once — inline or
+/// from any thread — with the single response record. This seam is how the
+/// same front end serves both a local ServeEngine (TcpServer) and the
+/// fan-out router (router.h), which completes records via upstream replies.
+using RequestHandler =
+    std::function<void(std::string, std::function<void(std::string)>)>;
+
 class EventLoopServer {
  public:
-  /// The engine must outlive the server. Construction does not bind.
-  EventLoopServer(ServeEngine& engine, EventLoopConfig cfg);
+  /// Everything `handler` captures must outlive the server. Construction
+  /// does not bind.
+  EventLoopServer(RequestHandler handler, EventLoopConfig cfg);
 
-  /// Implicit begin_drain() + finish() (without the engine drain — callers
+  /// Implicit begin_drain() + finish() (without the backend drain — callers
   /// that want the full answered-before-exit contract go through
-  /// TcpServer::shutdown()).
+  /// TcpServer::shutdown() or Router::shutdown()).
   ~EventLoopServer();
 
   EventLoopServer(const EventLoopServer&) = delete;
@@ -117,7 +126,7 @@ class EventLoopServer {
   void notify_completion(Shard& s, std::uint64_t conn_id);
   static void wake(Shard& s);
 
-  ServeEngine& engine_;
+  RequestHandler handler_;
   EventLoopConfig cfg_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

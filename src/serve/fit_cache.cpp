@@ -65,7 +65,22 @@ FitCache::Result FitCache::get_or_compute(
       // Coalesce: another request is fitting this key right now.
       ++stats_.coalesced;
       ready_cv_.wait(lock, [&] { return entry->ready; });
-      return {entry->outcome, false, true};
+      const FitOutcomePtr outcome = entry->outcome;
+      if (coalesce_wake_hook_) {
+        lock.unlock();
+        coalesce_wake_hook_();
+        lock.lock();
+      }
+      // A follower is a consumer too: refresh the key's LRU recency so a
+      // key kept hot purely by coalesced waiters doesn't age as untouched
+      // and get evicted mid-demand. Re-find the key — clear() or eviction
+      // may have dropped it while we waited (or while the hook ran), and
+      // only a READY mapped entry has a valid lru_it.
+      const auto again = entries_.find(key);
+      if (again != entries_.end() && again->second->ready) {
+        lru_.splice(lru_.begin(), lru_, again->second->lru_it);
+      }
+      return {outcome, false, true};
     }
     entry = std::make_shared<Entry>();
     entries_.emplace(key, entry);
@@ -111,6 +126,11 @@ FitCache::Stats FitCache::stats() const {
   Stats s = stats_;
   s.size = lru_.size();
   return s;
+}
+
+void FitCache::set_coalesce_wake_hook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  coalesce_wake_hook_ = std::move(hook);
 }
 
 void FitCache::clear() {

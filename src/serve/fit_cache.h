@@ -22,7 +22,9 @@
 /// (a slow fit never blocks lookups of other keys). Followers that arrive
 /// while a key is pending block until the leader publishes; the published
 /// outcome is immutable and shared by pointer, so readers never copy or
-/// race. Only READY entries occupy LRU slots — a pending entry cannot be
+/// race. Hits and served followers both refresh the key's LRU recency — a
+/// key kept hot purely by coalesced waiters is hot, not idle. Only READY
+/// entries occupy LRU slots — a pending entry cannot be
 /// evicted from under its followers, and the cache's memory is bounded by
 /// capacity + in-flight fits (itself bounded by the engine's admission
 /// queue).
@@ -76,6 +78,13 @@ class FitCache {
   /// Drops every READY entry (pending fits publish into an empty cache).
   void clear();
 
+  /// Test hook: runs on a *follower* thread after its leader publishes but
+  /// before the follower refreshes the key's LRU recency, with the cache
+  /// lock released (so the hook may call back into the cache). Lets tests
+  /// deterministically interleave an insertion into that window; never set
+  /// in production. Mirrors ServeConfig::fit_hook.
+  void set_coalesce_wake_hook(std::function<void()> hook);
+
  private:
   struct Entry {
     FitOutcomePtr outcome;  ///< null while the leader is computing
@@ -86,6 +95,7 @@ class FitCache {
   mutable std::mutex mu_;
   std::condition_variable ready_cv_;
   const std::size_t capacity_;
+  std::function<void()> coalesce_wake_hook_;  ///< test-only; see setter
   std::list<std::string> lru_;  ///< most-recent first; READY keys only
   std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
   Stats stats_;

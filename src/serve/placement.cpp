@@ -1,0 +1,116 @@
+#include "serve/placement.h"
+
+#include <algorithm>
+
+namespace ipso::serve {
+
+std::uint64_t placement_hash(std::string_view bytes) noexcept {
+  // FNV-1a 64. Chosen over std::hash for a pinned, documented algorithm:
+  // the routing table must not change across standard libraries.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+/// Hash of a small composite label without allocating.
+std::uint64_t label_hash(std::string_view prefix, std::uint64_t a,
+                         std::uint64_t b) {
+  char buf[48];
+  std::size_t n = 0;
+  for (const char c : prefix) buf[n++] = c;
+  for (int i = 0; i < 8; ++i) buf[n++] = static_cast<char>((a >> (8 * i)));
+  for (int i = 0; i < 8; ++i) buf[n++] = static_cast<char>((b >> (8 * i)));
+  return placement_hash(std::string_view(buf, n));
+}
+
+}  // namespace
+
+PlacementPolicy::PlacementPolicy(std::size_t replicas)
+    : replicas_(std::max<std::size_t>(1, replicas)) {}
+
+ConsistentHashPlacement::ConsistentHashPlacement(std::size_t replicas,
+                                                 std::size_t vnodes)
+    : PlacementPolicy(replicas) {
+  const std::size_t v = std::max<std::size_t>(1, vnodes);
+  ring_.reserve(replicas_ * v);
+  for (std::size_t r = 0; r < replicas_; ++r) {
+    for (std::size_t k = 0; k < v; ++k) {
+      ring_.push_back(VNode{label_hash("vnode:", r, k),
+                            static_cast<std::uint32_t>(r)});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const VNode& a, const VNode& b) {
+              // Tie-break on replica index so equal points (vanishingly
+              // rare) still sort deterministically.
+              return a.point != b.point ? a.point < b.point
+                                        : a.replica < b.replica;
+            });
+}
+
+std::size_t ConsistentHashPlacement::replica_for(std::string_view key) {
+  const std::uint64_t h = placement_hash(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const VNode& v, std::uint64_t point) { return v.point < point; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
+  return it->replica;
+}
+
+RangePlacement::RangePlacement(std::size_t replicas)
+    : PlacementPolicy(replicas) {}
+
+std::size_t RangePlacement::replica_for(std::string_view key) {
+  // floor(hash * N / 2^64) via the 128-bit multiply trick: block i owns
+  // the contiguous hash range [i*2^64/N, (i+1)*2^64/N).
+  const unsigned __int128 wide =
+      static_cast<unsigned __int128>(placement_hash(key)) * replicas_;
+  return static_cast<std::size_t>(wide >> 64);
+}
+
+AffinityPlacement::AffinityPlacement(std::size_t replicas,
+                                     std::size_t max_pins)
+    : PlacementPolicy(replicas),
+      max_pins_(max_pins == 0 ? 64 * 1024 : max_pins) {}
+
+std::size_t AffinityPlacement::replica_for(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = pins_.find(std::string(key));
+  if (it != pins_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.replica;
+  }
+  const std::size_t replica = next_replica_;
+  next_replica_ = (next_replica_ + 1) % replicas_;
+  lru_.emplace_front(key);
+  pins_.emplace(std::string(key), Pin{replica, lru_.begin()});
+  while (pins_.size() > max_pins_) {
+    pins_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return replica;
+}
+
+std::size_t AffinityPlacement::pins() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pins_.size();
+}
+
+std::unique_ptr<PlacementPolicy> make_placement(std::string_view name,
+                                                std::size_t replicas) {
+  if (name == "hash") {
+    return std::make_unique<ConsistentHashPlacement>(replicas);
+  }
+  if (name == "range") return std::make_unique<RangePlacement>(replicas);
+  if (name == "affinity") {
+    return std::make_unique<AffinityPlacement>(replicas);
+  }
+  return nullptr;
+}
+
+}  // namespace ipso::serve

@@ -21,7 +21,12 @@ EventLoopConfig loop_config(const ServerConfig& cfg) {
 }  // namespace
 
 TcpServer::TcpServer(ServeEngine& engine, ServerConfig cfg)
-    : engine_(engine), loop_(engine, loop_config(cfg)) {}
+    : engine_(engine),
+      loop_(
+          [&engine](std::string line, std::function<void(std::string)> done) {
+            engine.submit_async(std::move(line), std::move(done));
+          },
+          loop_config(cfg)) {}
 
 TcpServer::~TcpServer() { shutdown(); }
 

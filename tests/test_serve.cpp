@@ -160,6 +160,36 @@ TEST(FitCache, ClearDropsReadyEntries) {
   EXPECT_FALSE(cache.get_or_compute("a", compute).hit);
 }
 
+TEST(FitCache, CoalescedFollowersRefreshLruRecency) {
+  // Regression: a key kept hot purely by coalesced waiters used to age as
+  // untouched. Capacity 2: a leader computes "a" while a follower waits on
+  // it, and the wake hook inserts "b" in the window between the leader's
+  // publish and the follower's recency bump. With the fix the follower's
+  // serve re-fronts "a" (LRU order [a, b]), so inserting "c" evicts "b"
+  // and "a" still hits; without it "a" was the eviction victim while
+  // squarely in demand.
+  FitCache cache(2);
+  const auto instant = [] { return FitOutcome{FitError::kNotMeasured}; };
+  cache.set_coalesce_wake_hook([&] { cache.get_or_compute("b", instant); });
+
+  std::thread leader([&] {
+    cache.get_or_compute("a", [&]() -> FitOutcome {
+      // Hold the fit open until the follower is provably coalesced on it.
+      EXPECT_TRUE(eventually([&] { return cache.stats().coalesced >= 1; }));
+      return FitOutcome{FitError::kNotMeasured};
+    });
+  });
+  std::thread follower([&] { cache.get_or_compute("a", instant); });
+  leader.join();
+  follower.join();
+  cache.set_coalesce_wake_hook(nullptr);
+
+  EXPECT_FALSE(cache.get_or_compute("c", instant).hit);  // evicts "b"
+  EXPECT_TRUE(cache.get_or_compute("a", instant).hit)
+      << "the coalesced follower's use of 'a' must count as recency";
+  EXPECT_FALSE(cache.get_or_compute("b", instant).hit);  // the evictee
+}
+
 // ------------------------------------------------------------------ engine
 
 TEST(ServeEngine, PingFitAndExplicitParamsOps) {
@@ -203,8 +233,10 @@ TEST(ServeEngine, ParseErrorsDoNotConsumeQueueSlots) {
   EXPECT_TRUE(has_error(bad, "parse_error"));
   const ServeStats s = engine.stats();
   EXPECT_EQ(s.parse_errors, 1u);
-  EXPECT_EQ(s.received, 0u);
-  // The queue is untouched: a real request still fits.
+  // The rejected arrival still counts as received (conservation identity),
+  // but the queue is untouched: a real request still fits.
+  EXPECT_EQ(s.received, 1u);
+  EXPECT_EQ(s.queue_depth, 0u);
   EXPECT_TRUE(is_ok(engine.handle("{\"op\":\"ping\"}")));
 }
 
@@ -364,11 +396,15 @@ TEST(ServeEngine, DrainCompletesAdmittedAndRejectsNew) {
   cv.notify_all();
   drainer.join();
 
-  // Every admitted request was answered with a real response.
+  // Every admitted request was answered with a real response; the draining
+  // rejections count as received too, so conservation (not completed ==
+  // received) is the invariant.
   EXPECT_TRUE(is_ok(admitted.get()));
   EXPECT_TRUE(is_ok(queued.get()));
   const ServeStats s = engine.stats();
-  EXPECT_EQ(s.completed, s.received);
+  EXPECT_EQ(s.completed, 2u);
+  EXPECT_EQ(s.received, s.completed + s.deadline_expired + s.overloaded +
+                            s.rejected_draining + s.parse_errors);
   EXPECT_EQ(s.queue_depth, 0u);
 
   EXPECT_TRUE(has_error(engine.handle(fit_request(23)), "draining"));
@@ -410,6 +446,64 @@ TEST(ServeEngine, QueueDeadlineExpiresUnstartedRequests) {
   EXPECT_TRUE(has_error(expired, "deadline_exceeded")) << expired;
   EXPECT_EQ(fits.load(), 1) << "expired request must not run its fit";
   EXPECT_EQ(engine.stats().deadline_expired, 1u);
+}
+
+TEST(ServeEngine, StatsConserveAcrossEveryOutcome) {
+  // Drive exactly one request into each outcome bucket and check the
+  // ServeStats conservation identity: received == completed +
+  // deadline_expired + overloaded + rejected_draining + parse_errors once
+  // the queue is empty.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> fits{0};
+
+  ServeConfig cfg;
+  cfg.threads = 1;
+  cfg.queue_capacity = 2;
+  cfg.fit_hook = [&] {
+    if (fits.fetch_add(1) == 0) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    }
+  };
+  ServeEngine engine(cfg);
+
+  auto completed = engine.submit(fit_request(40));  // admitted, running
+  ASSERT_TRUE(eventually([&] { return fits.load() >= 1; }));
+
+  std::string victim_req = fit_request(41);
+  victim_req.insert(victim_req.size() - 1, ",\"deadline_ms\":1");
+  auto expired = engine.submit(victim_req);  // admitted, will expire queued
+
+  // Queue depth is now 2 (== capacity): the next arrival sheds.
+  const std::string overloaded = engine.handle(fit_request(42));
+  EXPECT_TRUE(has_error(overloaded, "overloaded")) << overloaded;
+  const std::string parse_error = engine.handle("{\"op\":");
+  EXPECT_TRUE(has_error(parse_error, "parse_error")) << parse_error;
+
+  std::this_thread::sleep_for(20ms);  // let the victim's deadline lapse
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_TRUE(is_ok(completed.get()));
+  EXPECT_TRUE(has_error(expired.get(), "deadline_exceeded"));
+
+  engine.drain();
+  EXPECT_TRUE(has_error(engine.handle(fit_request(43)), "draining"));
+
+  const ServeStats s = engine.stats();
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.deadline_expired, 1u);
+  EXPECT_EQ(s.overloaded, 1u);
+  EXPECT_EQ(s.parse_errors, 1u);
+  EXPECT_EQ(s.rejected_draining, 1u);
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_EQ(s.received, 5u);
+  EXPECT_EQ(s.received, s.completed + s.deadline_expired + s.overloaded +
+                            s.rejected_draining + s.parse_errors);
 }
 
 TEST(ServeEngine, LruEvictionForcesRefit) {

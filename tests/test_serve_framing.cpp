@@ -358,15 +358,62 @@ TEST_F(ServeWireTest, PipelinedFramesComeBackInOrder) {
 }
 
 TEST_F(ServeWireTest, ZeroCountFrameIsAnsweredWithZeroCountFrame) {
-  Client client(Proto::kBinary);
-  ASSERT_TRUE(client.connect("127.0.0.1", server_->port()).has_value());
-  auto responses = client.call_batch({});
-  ASSERT_TRUE(responses.has_value()) << responses.error().message;
-  EXPECT_TRUE(responses->empty());
-  // The connection must still be usable afterwards.
-  auto pong = client.call("{\"op\":\"ping\"}");
-  ASSERT_TRUE(pong.has_value()) << pong.error().message;
-  EXPECT_NE(pong->find("\"pong\":true"), std::string::npos);
+  // Client no longer emits zero-count frames (empty batches are no-ops; see
+  // EmptyBatchIsANoOpOnBothProtocols), but a foreign peer may: the server
+  // answers with a zero-count frame of its own and keeps the connection.
+  auto fd = net::connect_tcp("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.has_value()) << fd.error().message;
+  BinaryFrameCodec codec;
+  ASSERT_TRUE(net::send_all(*fd, codec.encode({})));
+  std::string buf;
+  std::vector<WireBatch> batches;
+  char chunk[4096];
+  while (batches.empty()) {
+    const net::IoResult r = net::recv_some(*fd, chunk, sizeof chunk);
+    ASSERT_EQ(r.status, net::IoStatus::kOk)
+        << "server closed before answering the empty frame";
+    buf.append(chunk, r.bytes);
+    auto ok = codec.decode(buf, batches);
+    ASSERT_TRUE(ok.has_value()) << ok.error().message;
+  }
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_FALSE(batches[0].error_frame);
+  EXPECT_TRUE(batches[0].records.empty());
+  net::close_fd(*fd);
+}
+
+TEST_F(ServeWireTest, EmptyBatchIsANoOpOnBothProtocols) {
+  // Regression: call_batch({}) used to put a zero-count frame on the wire
+  // in binary mode, and a pipelined JSON-mode recv_batch(0) could steal
+  // records decoded for the next batch, then hang in recv. An empty batch
+  // now sends nothing and returns an empty vector, and recv_batch(0)
+  // returns immediately — even interleaved into a pipelined sequence.
+  for (const Proto proto : {Proto::kJson, Proto::kBinary}) {
+    Client client(proto);
+    ASSERT_TRUE(client.connect("127.0.0.1", server_->port()).has_value());
+    auto responses = client.call_batch({});
+    ASSERT_TRUE(responses.has_value()) << responses.error().message;
+    EXPECT_TRUE(responses->empty()) << to_string(proto);
+
+    ASSERT_TRUE(
+        client.send_batch({"{\"op\":\"ping\",\"id\":\"a\"}"}).has_value());
+    ASSERT_TRUE(client.send_batch({}).has_value());
+    ASSERT_TRUE(
+        client.send_batch({"{\"op\":\"ping\",\"id\":\"b\"}"}).has_value());
+    auto first = client.recv_batch(1);
+    ASSERT_TRUE(first.has_value()) << first.error().message;
+    ASSERT_EQ(first->size(), 1u);
+    EXPECT_NE(first->front().find("\"id\":\"a\""), std::string::npos);
+    auto none = client.recv_batch(0);
+    ASSERT_TRUE(none.has_value()) << none.error().message;
+    EXPECT_TRUE(none->empty());
+    auto second = client.recv_batch(1);
+    ASSERT_TRUE(second.has_value()) << second.error().message;
+    ASSERT_EQ(second->size(), 1u);
+    EXPECT_NE(second->front().find("\"id\":\"b\""), std::string::npos)
+        << "recv_batch(0) must not steal the next batch's records ("
+        << to_string(proto) << ")";
+  }
 }
 
 TEST_F(ServeWireTest, GarbageAfterMagicGetsErrorFrameAndClose) {
