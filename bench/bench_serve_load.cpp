@@ -40,8 +40,21 @@
 ///   C8  fit_factors succeeds on every placement's throughput curve and
 ///       prints (delta, gamma, class).
 ///
+/// A warm-restart phase exercises the persistent fit store (src/store):
+/// one engine fits the corpus cold into a --store-dir, drains (flushing
+/// the warm set to disk), and a second engine on the same directory
+/// replays the corpus. Cold vs warm p50 fit latency is reported, and:
+///
+///   C9  the restarted engine serves every response byte-identical to the
+///       pre-restart engine with zero fits performed (all disk hits);
+///   C10 after a byte of a persisted segment is flipped, a restart skips
+///       the corrupted record (skipped counter > 0), re-fits it, and
+///       still answers the full corpus byte-identically -- corruption
+///       degrades to recomputation, never to a crash or a wrong answer.
+///
 /// Flags: --requests N, --points N (observations per series), --threads N,
 ///        --conns LIST, --batch LIST, --net-requests N, --no-net,
+///        --store-dir DIR (default: fresh temp dir), --no-store,
 ///        --router, --router-requests N, --router-points N, --router-keys N,
 ///        --router-replicas LIST, --router-conns N, --router-batch N,
 ///        --zipf S, --trace-out FILE.
@@ -54,6 +67,7 @@
 #include "serve/server.h"
 #include "stats/random.h"
 #include "stats/series.h"
+#include "store/segment.h"
 #include "trace/cli_opts.h"
 #include "trace/json.h"
 #include "obs/export.h"
@@ -66,6 +80,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <memory>
@@ -691,6 +706,148 @@ int run_router_bench(int argc, char** argv) {
   return ok ? 0 : 1;
 }
 
+/// The warm-restart phase: one engine fits the corpus cold into a
+/// persistent store directory and drains (flushing the warm set); a second
+/// engine on the same directory replays the corpus. Enforces C9 (warm
+/// responses byte-identical, zero fits performed) and C10 (a flipped byte
+/// in a persisted segment is skipped with a counter and re-fit, never a
+/// crash or a wrong answer). Returns false on contract violation.
+bool run_store_phase(const std::vector<std::string>& workload,
+                     std::size_t threads, int argc, char** argv) {
+  namespace fs = std::filesystem;
+  using namespace ipso;
+
+  const auto dir_flag =
+      trace::string_flag_from_args(argc, argv, "--store-dir", "");
+  if (!dir_flag.has_value()) {
+    std::printf("CONTRACT VIOLATION (C9): %s\n",
+                dir_flag.error().to_string().c_str());
+    return false;
+  }
+  std::string store_dir = *dir_flag;
+  bool own_dir = false;
+  if (store_dir.empty()) {
+    std::string tmpl =
+        (fs::temp_directory_path() / "bench_store_XXXXXX").string();
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+      std::printf("store: mkdtemp failed; skipping warm-restart phase\n");
+      return true;
+    }
+    store_dir = tmpl;
+    own_dir = true;
+  }
+
+  std::printf("\n# warm restart: persistent fit store at %s\n",
+              store_dir.c_str());
+
+  serve::ServeConfig cfg;
+  cfg.threads = threads;
+  cfg.cache_capacity = workload.size();
+  cfg.store_dir = store_dir;
+
+  bool ok = true;
+  PhaseResult cold;
+  {
+    serve::ServeEngine engine(cfg);
+    if (!engine.store_status()) {
+      std::printf("CONTRACT VIOLATION (C9): store failed to open: %s\n",
+                  engine.store_status().message.c_str());
+      return false;
+    }
+    cold = run_phase(engine, workload);
+    engine.drain();  // the SIGTERM path: flushes the warm set to disk
+  }
+
+  PhaseResult warm;
+  std::size_t warm_fits = 0, disk_hits = 0, recovered = 0;
+  {
+    serve::ServeEngine engine(cfg);
+    recovered = engine.store_stats().disk.records;
+    warm = run_phase(engine, workload);
+    warm_fits = engine.fits_performed();
+    disk_hits = engine.stats().disk_hits;
+  }
+  print_phase("cold-start", cold);
+  print_phase("warm-start", warm);
+  const double cold_p50 = percentile(cold.latencies_ms, 0.50);
+  const double warm_p50 = percentile(warm.latencies_ms, 0.50);
+  std::printf("\nwarm-restart fit latency: cold p50 %.3f ms vs warm p50 "
+              "%.3f ms (%.1fx); recovered=%zu disk_hits=%zu\n",
+              cold_p50, warm_p50, warm_p50 > 0 ? cold_p50 / warm_p50 : 1e9,
+              recovered, disk_hits);
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    if (cold.responses[i] != warm.responses[i]) ++mismatches;
+  }
+  if (mismatches != 0 || warm_fits != 0) {
+    std::printf("CONTRACT VIOLATION (C9): warm restart must serve "
+                "byte-identical responses without re-fitting "
+                "(mismatches=%zu fits_performed=%zu)\n",
+                mismatches, warm_fits);
+    ok = false;
+  } else {
+    std::printf("C9: %zu/%zu warm responses byte-identical, 0 fits "
+                "performed after restart\n",
+                workload.size(), workload.size());
+  }
+
+  // --- C10: flip one persisted byte, restart, expect a graceful skip ---
+  std::string victim;
+  for (const auto& entry : fs::directory_iterator(store_dir)) {
+    if (entry.path().extension() == ".seg" &&
+        (victim.empty() || entry.path().string() < victim)) {
+      victim = entry.path().string();
+    }
+  }
+  std::string img;
+  if (!victim.empty()) {
+    std::ifstream in(victim, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    img = os.str();
+  }
+  // Past the segment header and the first record's header: lands in the
+  // first record's key/value bytes, which its checksum covers.
+  const std::size_t corrupt_at =
+      store::kSegmentHeaderBytes + store::kRecordHeaderBytes + 48;
+  if (img.size() <= corrupt_at) {
+    std::printf("CONTRACT VIOLATION (C10): no persisted segment large "
+                "enough to corrupt\n");
+    ok = false;
+  } else {
+    img[corrupt_at] = static_cast<char>(img[corrupt_at] ^ 0x20);
+    std::ofstream(victim, std::ios::binary | std::ios::trunc)
+        .write(img.data(), static_cast<std::streamsize>(img.size()));
+
+    serve::ServeEngine engine(cfg);
+    const std::size_t skipped = engine.store_stats().disk.skipped_total();
+    const PhaseResult replay = run_phase(engine, workload);
+    std::size_t replay_mismatches = 0;
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+      if (cold.responses[i] != replay.responses[i]) ++replay_mismatches;
+    }
+    const std::size_t refits = engine.fits_performed();
+    if (skipped == 0 || refits == 0 || replay_mismatches != 0) {
+      std::printf("CONTRACT VIOLATION (C10): corrupted record must be "
+                  "skipped (skipped=%zu), re-fit (re-fits=%zu), and still "
+                  "answered byte-identically (mismatches=%zu)\n",
+                  skipped, refits, replay_mismatches);
+      ok = false;
+    } else {
+      std::printf("C10: corruption skipped gracefully (skipped=%zu "
+                  "re-fits=%zu, all %zu responses still byte-identical)\n",
+                  skipped, refits, workload.size());
+    }
+  }
+
+  if (own_dir) {
+    std::error_code ec;
+    fs::remove_all(store_dir, ec);
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -706,8 +863,12 @@ int main(int argc, char** argv) {
           "replicas x placement x Zipf key skew through an in-process\n"
           "Router, with the tier's own throughput curve fitted by\n"
           "fit_factors (C7 byte-identity, C8 successful IPSO fit).\n"
+          "A warm-restart phase persists fits to a store dir, restarts,\n"
+          "and replays (C9 byte-identical warm serving without re-fits,\n"
+          "C10 graceful skip of corrupted records).\n"
           "Extra flags: --requests N, --points N, --conns LIST,\n"
-          "--batch LIST, --net-requests N, --no-net, --router,\n"
+          "--batch LIST, --net-requests N, --no-net, --store-dir DIR,\n"
+          "--no-store, --router,\n"
           "--router-requests N, --router-points N, --router-keys N,\n"
           "--router-replicas LIST, --router-conns N, --router-batch N,\n"
           "--zipf S")) {
@@ -777,6 +938,11 @@ int main(int argc, char** argv) {
     const serve::ServeStats s = engine.stats();
     std::printf("cache: hits=%zu misses=%zu (fits performed: %zu)\n",
                 s.cache_hits, s.cache_misses, engine.fits_performed());
+  }
+
+  // --- warm restart: the persistent tier ------------------------------
+  if (!has_flag(argc, argv, "--no-store")) {
+    if (!run_store_phase(workload, threads, argc, argv)) ok = false;
   }
 
   // --- saturation: bounded admission ----------------------------------

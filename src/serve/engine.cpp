@@ -47,7 +47,9 @@ SpeedupPredictor predictor_from_params(const AsymptoticParams& p) {
 
 ServeEngine::ServeEngine(ServeConfig cfg)
     : cfg_(std::move(cfg)),
-      cache_(cfg_.cache_capacity),
+      store_(store::TieredStoreConfig{cfg_.cache_capacity, cfg_.store_dir,
+                                      cfg_.store_segment_bytes}),
+      store_status_(store_.open()),
       pool_(cfg_.threads) {}
 
 ServeEngine::~ServeEngine() { drain(); }
@@ -166,6 +168,9 @@ void ServeEngine::drain() {
     draining_ = true;
   }
   pool_.wait_idle();
+  // All admitted fits have published; persist the warm set before the
+  // process can exit (SIGTERM path of the daemon runs exactly this).
+  store_.flush();
 }
 
 bool ServeEngine::draining() const {
@@ -179,24 +184,26 @@ ServeStats ServeEngine::stats() const {
     std::lock_guard<std::mutex> lock(mu_);
     out = stats_;
   }
-  const FitCache::Stats cache = cache_.stats();
-  out.cache_hits = cache.hits;
-  out.cache_misses = cache.misses;
-  out.coalesced = cache.coalesced;
+  const store::TieredStore::Stats store = store_.stats();
+  out.cache_hits = store.cache.hits;
+  out.cache_misses = store.cache.misses;
+  out.coalesced = store.cache.coalesced;
+  out.disk_hits = store.tier.disk_hits;
   return out;
 }
 
 std::size_t ServeEngine::fits_performed() const {
-  return cache_.stats().misses;
+  return store_.fits_performed();
 }
 
-FitCache::Result ServeEngine::cached_fit(const Request& req) {
+store::TieredStore::Result ServeEngine::cached_fit(const Request& req) {
   const std::string key =
       canonical_fit_key(req.workload, req.eta, req.ex, req.in, req.q);
-  FitCache::Result result = cache_.get_or_compute(key, [this, &req] {
-    if (cfg_.fit_hook) cfg_.fit_hook();
-    return FitOutcome{fit_factors(req.workload, req.measurements())};
-  });
+  store::TieredStore::Result result =
+      store_.get_or_compute(key, [this, &req] {
+        if (cfg_.fit_hook) cfg_.fit_hook();
+        return FitOutcome{fit_factors(req.workload, req.measurements())};
+      });
   if (result.hit) {
     instruments().cache_hits.add();
   } else if (result.coalesced) {
@@ -230,7 +237,8 @@ std::string ServeEngine::dispatch(const Request& req) {
 
     case Op::kStats: {
       const ServeStats s = stats();
-      const FitCache::Stats c = cache_.stats();
+      const store::TieredStore::Stats st = store_.stats();
+      const store::FitCache::Stats& c = st.cache;
       std::ostringstream os;
       os << "{\"threads\":" << pool_.size()
          << ",\"queue_capacity\":" << cfg_.queue_capacity
@@ -242,15 +250,27 @@ std::string ServeEngine::dispatch(const Request& req) {
          << ",\"parse_errors\":" << s.parse_errors
          << ",\"queue_depth\":" << s.queue_depth
          << ",\"peak_queue_depth\":" << s.peak_queue_depth
-         << ",\"cache\":{\"capacity\":" << cfg_.cache_capacity
+         << ",\"cache\":{\"capacity\":" << store_.cache_capacity()
          << ",\"size\":" << c.size << ",\"hits\":" << c.hits
          << ",\"misses\":" << c.misses << ",\"coalesced\":" << c.coalesced
-         << ",\"evictions\":" << c.evictions << "}}";
+         << ",\"evictions\":" << c.evictions
+         << "},\"store\":{\"persistent\":"
+         << (st.persistent ? "true" : "false")
+         << ",\"disk_hits\":" << st.tier.disk_hits
+         << ",\"spilled\":" << st.tier.spilled
+         << ",\"spill_rejected\":" << st.tier.spill_rejected
+         << ",\"spill_errors\":" << st.tier.spill_errors
+         << ",\"decode_failures\":" << st.tier.decode_failures
+         << ",\"records\":" << st.disk.records
+         << ",\"segments\":" << st.disk.segments
+         << ",\"bytes\":" << st.disk.bytes
+         << ",\"recovered\":" << st.disk.recovered
+         << ",\"skipped\":" << st.disk.skipped_total() << "}}";
       return ok_response(req, os.str());
     }
 
     case Op::kFit: {
-      const FitCache::Result fit = cached_fit(req);
+      const store::TieredStore::Result fit = cached_fit(req);
       if (!fit.outcome->fits) {
         return error_response(req.id, req.op, "fit_failed",
                               to_string(fit.outcome->fits.error()));
@@ -266,7 +286,7 @@ std::string ServeEngine::dispatch(const Request& req) {
            << classification_json(classify(*req.params)) << "}";
         return ok_response(req, os.str());
       }
-      const FitCache::Result fit = cached_fit(req);
+      const store::TieredStore::Result fit = cached_fit(req);
       if (!fit.outcome->fits) {
         return error_response(req.id, req.op, "fit_failed",
                               to_string(fit.outcome->fits.error()));
@@ -286,7 +306,7 @@ std::string ServeEngine::dispatch(const Request& req) {
         params = *req.params;
         predictor.emplace(predictor_from_params(params));
       } else {
-        const FitCache::Result fit = cached_fit(req);
+        const store::TieredStore::Result fit = cached_fit(req);
         if (!fit.outcome->fits) {
           return error_response(req.id, req.op, "fit_failed",
                                 to_string(fit.outcome->fits.error()));

@@ -3,6 +3,7 @@
 #include "runtime/exec_pool.h"
 #include "serve/fit_cache.h"
 #include "serve/proto.h"
+#include "store/tiered_store.h"
 
 #include <cstddef>
 #include <functional>
@@ -12,10 +13,11 @@
 
 /// \file engine.h
 /// ServeEngine: the embeddable core of the model-serving subsystem. One
-/// engine owns a runtime::ExecPool worker pool, the LRU fit cache (with
-/// request coalescing), and a bounded admission queue, and exposes the full
-/// IPSO pipeline — fit / predict / classify / diagnose / recommend — as
-/// request lines in, response lines out.
+/// engine owns a runtime::ExecPool worker pool, the tiered fit store
+/// (DRAM LRU cache with request coalescing, plus an optional persistent
+/// disk tier — store/tiered_store.h), and a bounded admission queue, and
+/// exposes the full IPSO pipeline — fit / predict / classify / diagnose /
+/// recommend — as request lines in, response lines out.
 ///
 /// Guarantees:
 ///  * **Determinism** — a response is a pure function of the request line;
@@ -45,8 +47,14 @@ struct ServeConfig {
   std::size_t threads = 0;
   /// Admitted-but-unfinished request bound (queued + running).
   std::size_t queue_capacity = 256;
-  /// READY fit outcomes retained by the LRU cache.
+  /// READY fit outcomes retained by the DRAM tier of the fit store.
   std::size_t cache_capacity = 128;
+  /// Directory for the persistent fit tier; empty = DRAM-only. When set,
+  /// fits evicted from DRAM spill to versioned checksummed segments and a
+  /// restarted engine serves them back without re-fitting (warm restart).
+  std::string store_dir;
+  /// Active segment roll-over size for the persistent tier.
+  std::uint64_t store_segment_bytes = 4ull << 20;
   /// Deadline applied when a request carries none; 0 = no deadline.
   double default_deadline_ms = 0.0;
   /// Test hook: runs inside every *real* (non-cached, non-coalesced) fit
@@ -73,8 +81,9 @@ struct ServeStats {
   std::size_t deadline_expired = 0;  ///< answered deadline_exceeded
   std::size_t parse_errors = 0;      ///< rejected before admission
   std::size_t cache_hits = 0;
-  std::size_t cache_misses = 0;      ///< == underlying fits performed
+  std::size_t cache_misses = 0;      ///< DRAM misses (disk hit or real fit)
   std::size_t coalesced = 0;         ///< fits shared with an in-flight one
+  std::size_t disk_hits = 0;         ///< misses served from the disk tier
   std::size_t queue_depth = 0;       ///< admitted right now
   std::size_t peak_queue_depth = 0;  ///< high-water mark of queue_depth
 };
@@ -107,8 +116,10 @@ class ServeEngine {
   /// Synchronous convenience: submit(line).get().
   std::string handle(const std::string& line);
 
-  /// Stops admission and blocks until every admitted request has been
-  /// answered. Idempotent; submits during/after drain get "draining".
+  /// Stops admission, blocks until every admitted request has been
+  /// answered, then flushes the fit store (READY outcomes persist and the
+  /// active segment is synced). Idempotent; submits during/after drain get
+  /// "draining".
   void drain();
 
   /// True once drain() has begun.
@@ -117,15 +128,28 @@ class ServeEngine {
   /// Counter snapshot (includes live cache stats).
   ServeStats stats() const;
 
-  /// Underlying fit computations performed (cache misses). The coalescing
-  /// and caching acceptance tests key off this.
+  /// Full tiered-store snapshot (DRAM + tier-crossing + disk counters).
+  store::TieredStore::Stats store_stats() const { return store_.stats(); }
+
+  /// Outcome of opening the persistent tier (trivially ok when
+  /// store_dir is empty). A failed open degrades the engine to DRAM-only
+  /// rather than refusing to serve; the daemon reports the message.
+  const store::IoStatus& store_status() const noexcept {
+    return store_status_;
+  }
+
+  /// Underlying fit computations actually performed: DRAM misses minus
+  /// misses absorbed by the persistent tier (a promote decodes stored
+  /// bits, it does not re-fit). The coalescing, caching, and warm-restart
+  /// acceptance tests key off this.
   std::size_t fits_performed() const;
 
   /// Resolved worker-thread count.
   std::size_t threads() const noexcept { return pool_.size(); }
 
-  /// Drops cached fit outcomes (bench cold/hot phases).
-  void clear_cache() { cache_.clear(); }
+  /// Drops DRAM-cached fit outcomes (bench cold/hot phases). Persisted
+  /// records survive.
+  void clear_cache() { store_.clear_memory(); }
 
  private:
   /// Runs one admitted request; maps ContractViolation escapes to a
@@ -136,11 +160,12 @@ class ServeEngine {
   /// Dispatches one admitted request; returns the response line. May throw.
   std::string dispatch(const Request& req);
 
-  /// Fit (through the cache) for ops that need fitted factors.
-  FitCache::Result cached_fit(const Request& req);
+  /// Fit (through the tiered store) for ops that need fitted factors.
+  store::TieredStore::Result cached_fit(const Request& req);
 
   ServeConfig cfg_;
-  FitCache cache_;
+  store::TieredStore store_;
+  store::IoStatus store_status_;
   runtime::ExecPool pool_;
 
   mutable std::mutex mu_;  ///< admission state + stats

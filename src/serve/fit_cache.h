@@ -1,104 +1,18 @@
 #pragma once
 
-#include "core/domain.h"
-#include "core/fit.h"
-
-#include <condition_variable>
-#include <cstddef>
-#include <functional>
-#include <list>
-#include <memory>
-#include <mutex>
-#include <string>
-#include <unordered_map>
+#include "store/fit_cache.h"
 
 /// \file fit_cache.h
-/// The serving layer's fit memoization: an LRU cache keyed by a canonical
-/// byte-exact encoding of (workload type, eta, observation series), with
-/// request coalescing — concurrent lookups of the same key share one
-/// in-flight computation instead of fitting N times.
-///
-/// Concurrency contract: the compute callback runs with no cache lock held
-/// (a slow fit never blocks lookups of other keys). Followers that arrive
-/// while a key is pending block until the leader publishes; the published
-/// outcome is immutable and shared by pointer, so readers never copy or
-/// race. Hits and served followers both refresh the key's LRU recency — a
-/// key kept hot purely by coalesced waiters is hot, not idle. Only READY
-/// entries occupy LRU slots — a pending entry cannot be
-/// evicted from under its followers, and the cache's memory is bounded by
-/// capacity + in-flight fits (itself bounded by the engine's admission
-/// queue).
+/// Compatibility shim: the fit cache moved into the store subsystem when
+/// it became tier 0 of the tiered persistent store (store/fit_cache.h,
+/// store/tiered_store.h). Serve-layer code keeps its spelling; new code
+/// should include the store header directly.
 
 namespace ipso::serve {
 
-/// The cached unit of work: everything downstream ops derive from one
-/// observation set. Immutable once published.
-struct FitOutcome {
-  Expected<FactorFits> fits = FitError::kNotMeasured;
-};
-
-using FitOutcomePtr = std::shared_ptr<const FitOutcome>;
-
-/// Canonical cache key: the exact bit patterns of eta and every (x, y)
-/// observation, plus the workload type and per-series tags/lengths. Two
-/// requests map to the same key iff fit_factors() would see identical
-/// input, so a cache hit is always semantically exact (no epsilon
-/// comparisons, no hash collisions — the key *is* the input).
-[[nodiscard]] std::string canonical_fit_key(WorkloadType type, Eta eta,
-                                            const stats::Series& ex,
-                                            const stats::Series& in,
-                                            const stats::Series& q);
-
-/// LRU fit cache with coalescing. Thread-safe.
-class FitCache {
- public:
-  /// `capacity` is the number of READY outcomes retained (>= 1 enforced).
-  explicit FitCache(std::size_t capacity);
-
-  struct Result {
-    FitOutcomePtr outcome;
-    bool hit = false;        ///< served from cache without waiting
-    bool coalesced = false;  ///< waited on another request's in-flight fit
-  };
-
-  /// Returns the cached outcome for `key`, or runs `compute` (exactly once
-  /// across all concurrent callers of the same key) and caches it.
-  Result get_or_compute(const std::string& key,
-                        const std::function<FitOutcome()>& compute);
-
-  struct Stats {
-    std::size_t hits = 0;
-    std::size_t misses = 0;     ///< == number of compute() invocations
-    std::size_t coalesced = 0;  ///< followers that waited on a leader
-    std::size_t evictions = 0;
-    std::size_t size = 0;       ///< READY entries currently cached
-  };
-  Stats stats() const;
-
-  /// Drops every READY entry (pending fits publish into an empty cache).
-  void clear();
-
-  /// Test hook: runs on a *follower* thread after its leader publishes but
-  /// before the follower refreshes the key's LRU recency, with the cache
-  /// lock released (so the hook may call back into the cache). Lets tests
-  /// deterministically interleave an insertion into that window; never set
-  /// in production. Mirrors ServeConfig::fit_hook.
-  void set_coalesce_wake_hook(std::function<void()> hook);
-
- private:
-  struct Entry {
-    FitOutcomePtr outcome;  ///< null while the leader is computing
-    bool ready = false;
-    std::list<std::string>::iterator lru_it{};  ///< valid iff ready
-  };
-
-  mutable std::mutex mu_;
-  std::condition_variable ready_cv_;
-  const std::size_t capacity_;
-  std::function<void()> coalesce_wake_hook_;  ///< test-only; see setter
-  std::list<std::string> lru_;  ///< most-recent first; READY keys only
-  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
-  Stats stats_;
-};
+using store::FitOutcome;
+using store::FitOutcomePtr;
+using store::FitCache;
+using store::canonical_fit_key;
 
 }  // namespace ipso::serve

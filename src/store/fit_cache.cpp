@@ -1,10 +1,10 @@
-#include "serve/fit_cache.h"
+#include "store/fit_cache.h"
 
 #include <algorithm>
 #include <bit>
 #include <cstdint>
 
-namespace ipso::serve {
+namespace ipso::store {
 
 namespace {
 
@@ -98,8 +98,14 @@ FitCache::Result FitCache::get_or_compute(
         FitOutcome{FitError::kFitFailed});
   }
 
+  // Demotions are collected under the lock and delivered after it (the
+  // hook may spill to disk; a slow spill must not block lookups). The hook
+  // itself is copied under the lock: set_evict_hook may race the publish.
+  std::vector<std::pair<std::string, FitOutcomePtr>> evicted;
+  std::function<void(const std::string&, FitOutcomePtr)> evict_hook;
   {
     std::unique_lock<std::mutex> lock(mu_);
+    evict_hook = evict_hook_;
     entry->outcome = outcome;
     entry->ready = true;
     // clear() may have dropped the map entry while we computed; only a key
@@ -109,15 +115,32 @@ FitCache::Result FitCache::get_or_compute(
       lru_.push_front(key);
       entry->lru_it = lru_.begin();
       while (lru_.size() > capacity_) {
-        const std::string& victim = lru_.back();
-        entries_.erase(victim);
-        lru_.pop_back();
+        std::string victim = lru_.back();
+        // Frequency-driven admission: on the first overflow caused by this
+        // publication, the filter may judge the newcomer colder than the
+        // coldest resident — then the newcomer is the one demoted and the
+        // warm set stays intact (scan resistance).
+        if (admission_filter_ && victim != key &&
+            lru_.size() == capacity_ + 1 && !admission_filter_(key, victim)) {
+          victim = key;
+        }
+        const auto vit = entries_.find(victim);
+        if (vit != entries_.end()) {
+          evicted.emplace_back(victim, vit->second->outcome);
+          lru_.erase(vit->second->lru_it);
+          entries_.erase(vit);
+        }
         ++stats_.evictions;
       }
     }
     stats_.size = lru_.size();
   }
   ready_cv_.notify_all();
+  if (evict_hook) {
+    for (const auto& [victim_key, victim_outcome] : evicted) {
+      evict_hook(victim_key, victim_outcome);
+    }
+  }
   return {outcome, false, false};
 }
 
@@ -126,6 +149,32 @@ FitCache::Stats FitCache::stats() const {
   Stats s = stats_;
   s.size = lru_.size();
   return s;
+}
+
+std::vector<std::pair<std::string, FitOutcomePtr>> FitCache::snapshot_ready()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, FitOutcomePtr>> out;
+  out.reserve(lru_.size());
+  for (const std::string& key : lru_) {
+    const auto it = entries_.find(key);
+    if (it != entries_.end() && it->second->ready) {
+      out.emplace_back(key, it->second->outcome);
+    }
+  }
+  return out;
+}
+
+void FitCache::set_evict_hook(
+    std::function<void(const std::string&, FitOutcomePtr)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  evict_hook_ = std::move(hook);
+}
+
+void FitCache::set_admission_filter(
+    std::function<bool(const std::string&, const std::string&)> filter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  admission_filter_ = std::move(filter);
 }
 
 void FitCache::set_coalesce_wake_hook(std::function<void()> hook) {
@@ -143,4 +192,4 @@ void FitCache::clear() {
   stats_.size = 0;
 }
 
-}  // namespace ipso::serve
+}  // namespace ipso::store

@@ -1,0 +1,187 @@
+#include "store/fit_codec.h"
+
+#include <bit>
+#include <cstdint>
+
+namespace ipso::store {
+
+namespace {
+
+constexpr std::uint8_t kTagError = 0;
+constexpr std::uint8_t kTagValue = 1;
+constexpr std::uint8_t kMaxFitError =
+    static_cast<std::uint8_t>(FitError::kOutOfDomain);
+constexpr std::uint8_t kMaxWorkloadType =
+    static_cast<std::uint8_t>(WorkloadType::kMemoryBounded);
+
+void put_u64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(v & 0xFF));
+    v >>= 8;
+  }
+}
+
+void put_double(std::string* out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_linear(std::string* out, const stats::LinearFit& f) {
+  put_double(out, f.slope);
+  put_double(out, f.intercept);
+  put_double(out, f.r_squared);
+  put_double(out, f.slope_stderr);
+  put_double(out, f.intercept_stderr);
+}
+
+void put_power(std::string* out, const stats::PowerFit& f) {
+  put_double(out, f.coeff);
+  put_double(out, f.exponent);
+  put_double(out, f.r_squared);
+  put_double(out, f.exponent_stderr);
+}
+
+/// Sequential reader over the encoded bytes; `ok` latches false on any
+/// out-of-bounds read and every get_* then returns zeroes.
+struct Reader {
+  std::string_view bytes;
+  std::size_t off = 0;
+  bool ok = true;
+
+  std::uint8_t get_u8() {
+    if (!ok || bytes.size() - off < 1) {
+      ok = false;
+      return 0;
+    }
+    return static_cast<std::uint8_t>(bytes[off++]);
+  }
+
+  std::uint64_t get_u64() {
+    if (!ok || bytes.size() - off < 8) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) |
+          static_cast<unsigned char>(bytes[off + static_cast<std::size_t>(i)]);
+    }
+    off += 8;
+    return v;
+  }
+
+  double get_double() { return std::bit_cast<double>(get_u64()); }
+
+  stats::LinearFit get_linear() {
+    stats::LinearFit f;
+    f.slope = get_double();
+    f.intercept = get_double();
+    f.r_squared = get_double();
+    f.slope_stderr = get_double();
+    f.intercept_stderr = get_double();
+    return f;
+  }
+
+  stats::PowerFit get_power() {
+    stats::PowerFit f;
+    f.coeff = get_double();
+    f.exponent = get_double();
+    f.r_squared = get_double();
+    f.exponent_stderr = get_double();
+    return f;
+  }
+};
+
+template <typename T, typename PutFn>
+void put_expected(std::string* out, const Expected<T>& e, PutFn put_value) {
+  if (e.has_value()) {
+    out->push_back(static_cast<char>(kTagValue));
+    put_value(out, *e);
+  } else {
+    out->push_back(static_cast<char>(kTagError));
+    out->push_back(static_cast<char>(e.error()));
+  }
+}
+
+/// Reads one Expected<T>; returns nullopt-equivalent by flipping r->ok.
+template <typename T, typename GetFn>
+Expected<T> get_expected(Reader* r, GetFn get_value) {
+  const std::uint8_t tag = r->get_u8();
+  if (tag == kTagValue) return get_value(r);
+  if (tag != kTagError) {
+    r->ok = false;
+    return FitError::kFitFailed;
+  }
+  const std::uint8_t err = r->get_u8();
+  if (err > kMaxFitError) {
+    r->ok = false;
+    return FitError::kFitFailed;
+  }
+  return static_cast<FitError>(err);
+}
+
+}  // namespace
+
+std::string encode_factor_fits(const FactorFits& fits) {
+  std::string out;
+  out.reserve(2 + 1 + 9 * 8 + 3 * (1 + 12 * 8));
+  out.push_back(static_cast<char>(kFitCodecVersion));
+  out.push_back(static_cast<char>(fits.params.type));
+  out.push_back(static_cast<char>(fits.in_has_changepoint ? 1 : 0));
+  put_double(&out, fits.params.eta);
+  put_double(&out, fits.params.alpha);
+  put_double(&out, fits.params.delta);
+  put_double(&out, fits.params.beta);
+  put_double(&out, fits.params.gamma);
+  put_power(&out, fits.epsilon_fit);
+  put_expected(&out, fits.q_fit, [](std::string* o, const stats::PowerFit& f) {
+    put_power(o, f);
+  });
+  put_expected(&out, fits.in_linear,
+               [](std::string* o, const stats::LinearFit& f) {
+                 put_linear(o, f);
+               });
+  put_expected(&out, fits.in_segmented,
+               [](std::string* o, const stats::SegmentedFit& f) {
+                 put_linear(o, f.left);
+                 put_linear(o, f.right);
+                 put_double(o, f.knot);
+                 put_double(o, f.sse);
+               });
+  return out;
+}
+
+std::optional<FactorFits> decode_factor_fits(std::string_view bytes) {
+  Reader r{bytes};
+  if (r.get_u8() != kFitCodecVersion) return std::nullopt;
+  const std::uint8_t type = r.get_u8();
+  if (type > kMaxWorkloadType) return std::nullopt;
+  const std::uint8_t changepoint = r.get_u8();
+  if (changepoint > 1) return std::nullopt;
+
+  FactorFits fits;
+  fits.params.type = static_cast<WorkloadType>(type);
+  fits.in_has_changepoint = changepoint == 1;
+  fits.params.eta = r.get_double();
+  fits.params.alpha = r.get_double();
+  fits.params.delta = r.get_double();
+  fits.params.beta = r.get_double();
+  fits.params.gamma = r.get_double();
+  fits.epsilon_fit = r.get_power();
+  fits.q_fit = get_expected<stats::PowerFit>(
+      &r, [](Reader* rr) { return rr->get_power(); });
+  fits.in_linear = get_expected<stats::LinearFit>(
+      &r, [](Reader* rr) { return rr->get_linear(); });
+  fits.in_segmented =
+      get_expected<stats::SegmentedFit>(&r, [](Reader* rr) {
+        stats::SegmentedFit f;
+        f.left = rr->get_linear();
+        f.right = rr->get_linear();
+        f.knot = rr->get_double();
+        f.sse = rr->get_double();
+        return f;
+      });
+  if (!r.ok || r.off != bytes.size()) return std::nullopt;
+  return fits;
+}
+
+}  // namespace ipso::store

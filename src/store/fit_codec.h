@@ -1,0 +1,36 @@
+#pragma once
+
+#include "core/fit.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+/// \file fit_codec.h
+/// Byte-exact serialization of a READY fit outcome (core/fit.h
+/// FactorFits) for the persistent tier. Every double travels as its IEEE
+/// bit pattern (little-endian u64), so a decode(encode(x)) round trip is
+/// bit-identical — which is what makes a warm-restarted daemon's responses
+/// byte-identical to its predecessor's: the response JSON is a pure
+/// function of these bits.
+///
+/// Only successful fits are persisted (errors are cheap to recompute and
+/// carry no measurement value). The encoding carries its own version byte,
+/// independent of the segment format version: a codec bump invalidates
+/// values, a segment bump invalidates files, and the canonical fit key's
+/// leading version byte invalidates keys — three formats, three dials.
+
+namespace ipso::store {
+
+inline constexpr std::uint8_t kFitCodecVersion = 1;
+
+/// Serializes a FactorFits (including the per-component Expected tags).
+[[nodiscard]] std::string encode_factor_fits(const FactorFits& fits);
+
+/// Deserializes; nullopt on any mismatch (wrong codec version, bad enum
+/// value, or trailing/missing bytes) — the caller counts it as a skipped
+/// record, never trusts a partial decode.
+[[nodiscard]] std::optional<FactorFits> decode_factor_fits(
+    std::string_view bytes);
+
+}  // namespace ipso::store

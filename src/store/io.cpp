@@ -1,0 +1,213 @@
+#include "store/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+/// The one audited raw-file-I/O site (lint rule raw-file-io). Everything
+/// here is plain POSIX: open/write/pread/fsync/rename, with EINTR and
+/// short-write loops in exactly one place.
+
+namespace ipso::store {
+
+namespace {
+
+std::string errno_text(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+/// fsync the directory containing `path` so a rename into it is durable.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+IoStatus make_dirs(const std::string& dir) {
+  if (dir.empty()) return IoStatus::failure("make_dirs: empty path");
+  std::string prefix;
+  prefix.reserve(dir.size());
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') {
+      prefix.push_back(dir[i]);
+      continue;
+    }
+    if (i < dir.size()) prefix.push_back('/');
+    if (prefix.empty() || prefix == "/") continue;
+    if (::mkdir(prefix.c_str(), 0775) != 0 && errno != EEXIST) {
+      return IoStatus::failure(errno_text("mkdir", prefix));
+    }
+  }
+  struct ::stat st{};
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return IoStatus::failure("make_dirs: not a directory: " + dir);
+  }
+  return {};
+}
+
+bool file_exists(const std::string& path) {
+  struct ::stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+std::uint64_t file_size(const std::string& path) {
+  struct ::stat st{};
+  if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) return 0;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+Expected<std::string, IoError> read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return IoError{errno_text("open", path)};
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ::ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const IoError err{errno_text("read", path)};
+      ::close(fd);
+      return err;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Expected<std::string, IoError> read_range(const std::string& path,
+                                          std::uint64_t offset,
+                                          std::size_t len) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return IoError{errno_text("open", path)};
+  std::string out;
+  out.resize(len);
+  std::size_t got = 0;
+  while (got < len) {
+    const ::ssize_t n =
+        ::pread(fd, out.data() + got, len - got,
+                static_cast<::off_t>(offset + got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const IoError err{errno_text("pread", path)};
+      ::close(fd);
+      return err;
+    }
+    if (n == 0) break;  // EOF: shorter read than asked
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  out.resize(got);
+  return out;
+}
+
+IoStatus atomic_write_file(const std::string& path,
+                           const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0664);
+  if (fd < 0) return IoStatus::failure(errno_text("open", tmp));
+  std::size_t written = 0;
+  while (written < contents.size()) {
+    const ::ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const IoStatus st = IoStatus::failure(errno_text("write", tmp));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return st;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const IoStatus st = IoStatus::failure(errno_text("fsync", tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const IoStatus st = IoStatus::failure(errno_text("rename", tmp));
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  sync_parent_dir(path);
+  return {};
+}
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(other.fd_), size_(other.size_) {
+  other.fd_ = -1;
+  other.size_ = 0;
+}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    size_ = other.size_;
+    other.fd_ = -1;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+AppendFile::~AppendFile() { close(); }
+
+Expected<AppendFile, IoError> AppendFile::open(const std::string& path) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0664);
+  if (fd < 0) return IoError{errno_text("open", path)};
+  AppendFile out;
+  out.fd_ = fd;
+  out.size_ = file_size(path);
+  return out;
+}
+
+IoStatus AppendFile::append(const std::string& data) {
+  if (fd_ < 0) return IoStatus::failure("append: file not open");
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ::ssize_t n =
+        ::write(fd_, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::failure(std::string("write: ") + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  size_ += written;
+  return {};
+}
+
+IoStatus AppendFile::sync() {
+  if (fd_ < 0) return IoStatus::failure("sync: file not open");
+  if (::fsync(fd_) != 0) {
+    return IoStatus::failure(std::string("fsync: ") + std::strerror(errno));
+  }
+  return {};
+}
+
+void AppendFile::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace ipso::store

@@ -1,0 +1,98 @@
+#pragma once
+
+#include "core/expected.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+/// \file io.h
+/// The persistent store's raw file-I/O seam. Every raw file descriptor and
+/// stdio call the store makes lives behind this interface, and the lint
+/// wall (rule `raw-file-io`, mirroring `raw-socket-io`) enforces that
+/// io.cpp is the only implementation site in library code — short writes,
+/// EINTR, fsync ordering and atomic-rename publication are handled once,
+/// here, instead of at every call site.
+///
+/// Durability contract used by the store:
+///  * appends are flushed with fsync on seal_and_sync()/close, not per
+///    record — a crash loses at most the unsynced tail, which the segment
+///    scanner detects as a truncated record and skips with a counter;
+///  * atomic_write_file publishes via temp file + fsync + rename + parent
+///    directory fsync, so a manifest is either the old or the new bytes,
+///    never a torn mix.
+
+namespace ipso::store {
+
+/// Named I/O failure (errno text + the path involved).
+struct IoError {
+  std::string message;
+};
+
+/// Success/failure result for operations with no payload.
+struct IoStatus {
+  bool ok = true;
+  std::string message;
+
+  explicit operator bool() const noexcept { return ok; }
+  static IoStatus failure(std::string msg) { return {false, std::move(msg)}; }
+};
+
+/// Creates `dir` (and its parents) if absent. Existing directories are fine.
+[[nodiscard]] IoStatus make_dirs(const std::string& dir);
+
+/// True when `path` names an existing regular file.
+[[nodiscard]] bool file_exists(const std::string& path);
+
+/// Size of `path` in bytes; 0 when absent.
+[[nodiscard]] std::uint64_t file_size(const std::string& path);
+
+/// Reads the whole file into a string.
+[[nodiscard]] Expected<std::string, IoError> read_file(
+    const std::string& path);
+
+/// Reads `len` bytes at `offset`; shorter reads (EOF) return the bytes that
+/// exist. Used for point lookups into sealed segment records.
+[[nodiscard]] Expected<std::string, IoError> read_range(
+    const std::string& path, std::uint64_t offset, std::size_t len);
+
+/// Writes `contents` to `path` atomically: temp file in the same directory,
+/// fsync, rename over the target, fsync the directory.
+[[nodiscard]] IoStatus atomic_write_file(const std::string& path,
+                                         const std::string& contents);
+
+/// Append-only file handle (the active segment). Movable, not copyable;
+/// closes on destruction without syncing (call seal_and_sync first for
+/// durability).
+class AppendFile {
+ public:
+  AppendFile() = default;
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  ~AppendFile();
+
+  /// Opens `path` for appending, creating it if absent.
+  [[nodiscard]] static Expected<AppendFile, IoError> open(
+      const std::string& path);
+
+  /// Appends all of `data`, retrying short writes and EINTR.
+  [[nodiscard]] IoStatus append(const std::string& data);
+
+  /// Flushes appended bytes to stable storage.
+  [[nodiscard]] IoStatus sync();
+
+  /// Bytes written through this handle plus the size at open.
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+
+  [[nodiscard]] bool is_open() const noexcept { return fd_ >= 0; }
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace ipso::store

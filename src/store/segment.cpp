@@ -1,0 +1,159 @@
+#include "store/segment.h"
+
+namespace ipso::store {
+
+namespace {
+
+void put_u32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>(v & 0xFF));
+    v >>= 8;
+  }
+}
+
+void put_u64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>(v & 0xFF));
+    v >>= 8;
+  }
+}
+
+std::uint32_t get_u32(std::string_view b, std::size_t off) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(b[off + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::string_view b, std::size_t off) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(b[off + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+std::uint64_t record_checksum(std::uint8_t version, std::string_view key,
+                              std::string_view value) noexcept {
+  const char v = static_cast<char>(version);
+  std::uint64_t h = fnv1a64(std::string_view(&v, 1));
+  h = fnv1a64(key, h);
+  return fnv1a64(value, h);
+}
+
+/// Parsed record header; `total` is the whole record length in bytes.
+struct Header {
+  std::uint8_t version = 0;
+  std::uint32_t key_len = 0;
+  std::uint32_t value_len = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t total = 0;
+};
+
+/// Reads the fixed header at `off`. Returns false when the bytes cannot be
+/// a record start (bad magic, implausible lengths, or not enough bytes for
+/// the header) — the caller treats that as an unreachable (truncated) tail.
+bool read_header(std::string_view b, std::size_t off, Header* h) noexcept {
+  if (b.size() - off < kRecordHeaderBytes) return false;
+  if (get_u32(b, off) != kRecordMagic) return false;
+  h->version = static_cast<std::uint8_t>(b[off + 4]);
+  h->key_len = get_u32(b, off + 5);
+  h->value_len = get_u32(b, off + 9);
+  h->checksum = get_u64(b, off + 13);
+  if (h->key_len > kMaxRecordPartBytes || h->value_len > kMaxRecordPartBytes) {
+    return false;
+  }
+  h->total = kRecordHeaderBytes + static_cast<std::uint64_t>(h->key_len) +
+             h->value_len;
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view data, std::uint64_t h) noexcept {
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string segment_header() {
+  std::string out;
+  out.reserve(kSegmentHeaderBytes);
+  put_u32(&out, kSegmentMagic);
+  out.push_back(static_cast<char>(kSegmentFormatVersion));
+  out.append(3, '\0');
+  return out;
+}
+
+bool check_segment_header(std::string_view bytes) {
+  if (bytes.size() < kSegmentHeaderBytes) return false;
+  return get_u32(bytes, 0) == kSegmentMagic &&
+         static_cast<std::uint8_t>(bytes[4]) == kSegmentFormatVersion;
+}
+
+std::string encode_record(std::string_view key, std::string_view value,
+                          std::uint8_t version) {
+  std::string out;
+  out.reserve(kRecordHeaderBytes + key.size() + value.size());
+  put_u32(&out, kRecordMagic);
+  out.push_back(static_cast<char>(version));
+  put_u32(&out, static_cast<std::uint32_t>(key.size()));
+  put_u32(&out, static_cast<std::uint32_t>(value.size()));
+  put_u64(&out, record_checksum(version, key, value));
+  out.append(key);
+  out.append(value);
+  return out;
+}
+
+ScanStats scan_segment(std::string_view bytes,
+                       const std::function<void(const ScannedRecord&)>& fn) {
+  ScanStats stats;
+  if (!check_segment_header(bytes)) {
+    ++stats.bad_segment;
+    return stats;
+  }
+  std::size_t off = kSegmentHeaderBytes;
+  while (off < bytes.size()) {
+    Header h;
+    if (!read_header(bytes, off, &h) || bytes.size() - off < h.total) {
+      // Bad magic / implausible length / half-written tail: everything from
+      // here on is unreachable. Exactly what a crash mid-append leaves.
+      ++stats.truncated;
+      break;
+    }
+    const std::string_view key = bytes.substr(off + kRecordHeaderBytes,
+                                              h.key_len);
+    const std::string_view value = bytes.substr(
+        off + kRecordHeaderBytes + h.key_len, h.value_len);
+    if (record_checksum(h.version, key, value) != h.checksum) {
+      ++stats.skipped_checksum;
+    } else if (h.version != kSegmentFormatVersion) {
+      ++stats.skipped_version;
+    } else {
+      fn(ScannedRecord{key, value, off, h.total});
+      ++stats.recovered;
+    }
+    off += static_cast<std::size_t>(h.total);
+  }
+  return stats;
+}
+
+bool decode_record_at(std::string_view bytes, std::string_view* key,
+                      std::string_view* value) {
+  Header h;
+  if (!read_header(bytes, 0, &h)) return false;
+  if (bytes.size() != h.total) return false;
+  const std::string_view k = bytes.substr(kRecordHeaderBytes, h.key_len);
+  const std::string_view v =
+      bytes.substr(kRecordHeaderBytes + h.key_len, h.value_len);
+  if (record_checksum(h.version, k, v) != h.checksum) return false;
+  if (h.version != kSegmentFormatVersion) return false;
+  *key = k;
+  *value = v;
+  return true;
+}
+
+}  // namespace ipso::store

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+/// \file segment.h
+/// The on-disk segment format of the persistent fit store: an append-only
+/// sequence of versioned, checksummed records behind an 8-byte segment
+/// header. Everything is little-endian, explicitly serialized byte by byte
+/// (no struct dumps), so the format is stable across compilers.
+///
+///   segment  := header record*
+///   header   := magic:u32 ("ISEG") version:u8 reserved:u8[3]
+///   record   := rmagic:u32 ("IPSR") version:u8
+///               key_len:u32 value_len:u32
+///               checksum:u64        (FNV-1a 64 over version || key || value)
+///               key:u8[key_len] value:u8[value_len]
+///
+/// Scan behavior (crash safety / corruption tolerance — never a crash):
+///  * record magic mismatch, an implausible length, or fewer bytes than a
+///    whole record promised => the tail is unreachable; scanning stops and
+///    the remainder counts as `truncated` (this is exactly what a crash
+///    mid-append leaves behind);
+///  * checksum mismatch with a plausible header => that one record is
+///    skipped (`skipped_checksum`) and scanning continues at the next;
+///  * record version != the scanner's version => skipped
+///    (`skipped_version`), scanning continues — the checksum covers the
+///    version byte, so this is a deliberate format bump, not corruption.
+
+namespace ipso::store {
+
+inline constexpr std::uint32_t kSegmentMagic = 0x47455349;  // "ISEG" LE
+inline constexpr std::uint32_t kRecordMagic = 0x52535049;   // "IPSR" LE
+inline constexpr std::uint8_t kSegmentFormatVersion = 1;
+
+/// Header + per-record fixed sizes, for offset math at call sites.
+inline constexpr std::size_t kSegmentHeaderBytes = 8;
+inline constexpr std::size_t kRecordHeaderBytes = 4 + 1 + 4 + 4 + 8;
+
+/// Upper bound on a single key or value; a length field beyond this is
+/// treated as corruption (stops the scan) rather than an allocation.
+inline constexpr std::uint32_t kMaxRecordPartBytes = 1u << 30;
+
+/// FNV-1a 64 over `data`, continuing from `h` (seed the first call with
+/// kFnvOffsetBasis).
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data,
+                                    std::uint64_t h = kFnvOffsetBasis) noexcept;
+
+/// The 8-byte segment file header.
+[[nodiscard]] std::string segment_header();
+
+/// True when `bytes` starts with a valid current-version segment header.
+[[nodiscard]] bool check_segment_header(std::string_view bytes);
+
+/// Encodes one record. `version` defaults to the current format and exists
+/// so tests (and future migrations) can write records the current scanner
+/// must skip-with-a-counter.
+[[nodiscard]] std::string encode_record(
+    std::string_view key, std::string_view value,
+    std::uint8_t version = kSegmentFormatVersion);
+
+/// Outcome counters of one segment scan. `recovered` counts records
+/// delivered to the callback; the rest are skip reasons.
+struct ScanStats {
+  std::size_t recovered = 0;
+  std::size_t skipped_checksum = 0;  ///< plausible header, bad payload
+  std::size_t skipped_version = 0;   ///< valid record of another version
+  std::size_t truncated = 0;         ///< unreachable tails (0 or 1 per scan)
+  std::size_t bad_segment = 0;       ///< segment header missing/mismatched
+
+  ScanStats& operator+=(const ScanStats& o) noexcept {
+    recovered += o.recovered;
+    skipped_checksum += o.skipped_checksum;
+    skipped_version += o.skipped_version;
+    truncated += o.truncated;
+    bad_segment += o.bad_segment;
+    return *this;
+  }
+  [[nodiscard]] std::size_t skipped_total() const noexcept {
+    return skipped_checksum + skipped_version + truncated + bad_segment;
+  }
+};
+
+/// A record delivered by scan_segment: the key/value views (into the
+/// scanned buffer) plus the byte range of the whole record in the file,
+/// so callers can build an offset index for point reads.
+struct ScannedRecord {
+  std::string_view key;
+  std::string_view value;
+  std::uint64_t offset = 0;  ///< record start (the rmagic byte)
+  std::uint64_t length = 0;  ///< whole record, header included
+};
+
+/// Scans a whole segment image, delivering every intact current-version
+/// record in append order. Never throws on hostile input; all skip paths
+/// land in `stats`.
+ScanStats scan_segment(std::string_view bytes,
+                       const std::function<void(const ScannedRecord&)>& fn);
+
+/// Decodes the record at `bytes` (which must start at a record boundary,
+/// e.g. read back via the offset/length from a ScannedRecord). Returns
+/// false (and touches nothing) unless the record is intact, current
+/// version, and exactly `bytes.size()` long.
+[[nodiscard]] bool decode_record_at(std::string_view bytes,
+                                    std::string_view* key,
+                                    std::string_view* value);
+
+}  // namespace ipso::store

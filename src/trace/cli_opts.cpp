@@ -31,6 +31,29 @@ bool parse_double(const char* s, double* out) {
   return true;
 }
 
+/// Strict flag lookup: distinguishes absent from present-without-a-value
+/// (arg_value treats both as absent, which is right for the degrade-to-
+/// default scans above but wrong for named errors).
+enum class FlagState { kAbsent, kMissingValue, kHasValue };
+
+FlagState find_flag(int argc, char** argv, const std::string& flag,
+                    const char** value) {
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == flag) {
+      if (i + 1 >= argc) return FlagState::kMissingValue;
+      *value = argv[i + 1];
+      return FlagState::kHasValue;
+    }
+    if (arg.rfind(prefix, 0) == 0) {
+      *value = argv[i] + prefix.size();
+      return FlagState::kHasValue;
+    }
+  }
+  return FlagState::kAbsent;
+}
+
 }  // namespace
 
 std::string flag_help() {
@@ -75,9 +98,8 @@ bool handle_info_flags(int argc, char** argv, std::string_view description) {
   if (help) {
     const char* prog = argc > 0 && argv[0] != nullptr ? argv[0] : "ipso";
     if (!description.empty()) {
-      std::fwrite(description.data(), 1, description.size(), stdout);
-      std::fputc('\n', stdout);
-      std::fputc('\n', stdout);
+      std::printf("%.*s\n\n", static_cast<int>(description.size()),
+                  description.data());
     }
     std::printf("usage: %s [flags]\n\nflags:\n%s", prog, flag_help().c_str());
     return true;
@@ -146,6 +168,83 @@ CliOptions parse_cli_options(int argc, char** argv,
   opts.faults = fault_params_from_args(argc, argv, fault_base);
   opts.trace_out = trace_out_from_args(argc, argv);
   return opts;
+}
+
+std::string FlagError::to_string() const { return flag + ": " + message; }
+
+Expected<std::size_t, FlagError> size_flag_from_args(
+    int argc, char** argv, const std::string& flag, std::size_t fallback,
+    std::size_t min_value, std::size_t max_value) {
+  const char* v = nullptr;
+  switch (find_flag(argc, argv, flag, &v)) {
+    case FlagState::kAbsent:
+      return fallback;
+    case FlagState::kMissingValue:
+      return FlagError{flag, "missing a value"};
+    case FlagState::kHasValue:
+      break;
+  }
+  // strtoull happily wraps "-5" into a huge value; reject signs up front.
+  if (*v == '\0' || *v == '-' || *v == '+') {
+    return FlagError{flag, "expected an unsigned integer, got '" +
+                               std::string(v) + "'"};
+  }
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0') {
+    return FlagError{flag, "expected an unsigned integer, got '" +
+                               std::string(v) + "'"};
+  }
+  if (n < min_value || n > max_value) {
+    std::string range = "[" + std::to_string(min_value) + ", " +
+                        (max_value == std::numeric_limits<std::size_t>::max()
+                             ? std::string("inf")
+                             : std::to_string(max_value)) +
+                        "]";
+    return FlagError{flag,
+                     "value " + std::to_string(n) + " outside " + range};
+  }
+  return static_cast<std::size_t>(n);
+}
+
+Expected<double, FlagError> double_flag_from_args(
+    int argc, char** argv, const std::string& flag, double fallback,
+    double min_value, double max_value) {
+  const char* v = nullptr;
+  switch (find_flag(argc, argv, flag, &v)) {
+    case FlagState::kAbsent:
+      return fallback;
+    case FlagState::kMissingValue:
+      return FlagError{flag, "missing a value"};
+    case FlagState::kHasValue:
+      break;
+  }
+  double d = 0.0;
+  if (!parse_double(v, &d)) {
+    return FlagError{flag,
+                     "expected a number, got '" + std::string(v) + "'"};
+  }
+  if (!(d >= min_value && d <= max_value)) {  // NaN fails too
+    return FlagError{flag, "value " + std::to_string(d) + " outside [" +
+                               std::to_string(min_value) + ", " +
+                               std::to_string(max_value) + "]"};
+  }
+  return d;
+}
+
+Expected<std::string, FlagError> string_flag_from_args(
+    int argc, char** argv, const std::string& flag, std::string fallback) {
+  const char* v = nullptr;
+  switch (find_flag(argc, argv, flag, &v)) {
+    case FlagState::kAbsent:
+      return fallback;
+    case FlagState::kMissingValue:
+      return FlagError{flag, "missing a value"};
+    case FlagState::kHasValue:
+      break;
+  }
+  if (*v == '\0') return FlagError{flag, "expected a non-empty value"};
+  return std::string(v);
 }
 
 }  // namespace ipso::trace

@@ -1,8 +1,11 @@
 #pragma once
 
+#include "core/expected.h"
 #include "sim/fault.h"
 #include "trace/runner.h"
 
+#include <cstddef>
+#include <limits>
 #include <string>
 #include <string_view>
 
@@ -24,6 +27,12 @@
 /// Malformed or out-of-range values are ignored (the flag keeps its base
 /// value) so a typo degrades to defaults instead of aborting a long sweep;
 /// --help is how a user discovers the table instead of guessing.
+///
+/// Long-running daemons want the opposite policy: a typo'd --cache-cap
+/// silently running with the default is worse than refusing to start. The
+/// *_flag_from_args family below parses a single flag strictly and returns
+/// a named FlagError (which flag, what was wrong) instead of degrading;
+/// absent flags still yield the fallback.
 
 namespace ipso::trace {
 
@@ -65,5 +74,31 @@ struct CliOptions {
 /// the same way fault_params_from_args' `base` does.
 CliOptions parse_cli_options(int argc, char** argv,
                              sim::FaultModelParams fault_base = {});
+
+/// Named flag-parse failure: which flag was wrong and why. to_string()
+/// renders e.g. `--cache-cap: expected an unsigned integer, got 'lots'`.
+struct FlagError {
+  std::string flag;
+  std::string message;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Strict "--flag N" / "--flag=N" parse. Absent => `fallback`; present
+/// with a malformed, negative, or out-of-[min,max] value => FlagError
+/// (including a flag with no value at all).
+[[nodiscard]] Expected<std::size_t, FlagError> size_flag_from_args(
+    int argc, char** argv, const std::string& flag, std::size_t fallback,
+    std::size_t min_value = 0,
+    std::size_t max_value = std::numeric_limits<std::size_t>::max());
+
+/// Strict double flag, same contract as size_flag_from_args.
+[[nodiscard]] Expected<double, FlagError> double_flag_from_args(
+    int argc, char** argv, const std::string& flag, double fallback,
+    double min_value, double max_value);
+
+/// Strict string flag: absent => `fallback`; present but empty (or with no
+/// value) => FlagError.
+[[nodiscard]] Expected<std::string, FlagError> string_flag_from_args(
+    int argc, char** argv, const std::string& flag, std::string fallback);
 
 }  // namespace ipso::trace

@@ -6,11 +6,19 @@
 ///
 /// Usage:
 ///   ipso_serve [--port N] [--host A] [--threads N] [--shards N]
-///              [--queue-cap N] [--cache-cap N] [--deadline-ms D]
-///              [--trace-out FILE]
+///              [--queue-cap N] [--cache-cap N] [--store-dir DIR]
+///              [--deadline-ms D] [--trace-out FILE]
+///
+/// With --store-dir the fit store gains a persistent tier: fits evicted
+/// from DRAM spill to checksummed segments under DIR, the drain on
+/// SIGTERM flushes the warm set, and a restarted daemon pointed at the
+/// same DIR serves those fits byte-identically without re-fitting.
 ///
 /// Prints "ipso_serve: listening on HOST:PORT" once ready (the smoke test
-/// greps this line for the resolved ephemeral port).
+/// greps this line for the resolved ephemeral port). Malformed flag values
+/// are a refusal to start (exit 1 with the flag named on stderr), not a
+/// silent fall-through to defaults — a daemon that ignored a typo'd
+/// --cache-cap would "work" with the wrong capacity for weeks.
 
 #include "obs/export.h"
 #include "serve/engine.h"
@@ -43,39 +51,23 @@ const char kUsage[] =
     "  --shards N        epoll event-loop threads (default 1)\n"
     "  --queue-cap N     admitted-request bound before 'overloaded'"
     " (default 256)\n"
-    "  --cache-cap N     fit-cache capacity in entries (default 128)\n"
+    "  --cache-cap N     fit-store DRAM capacity in entries (default 128)\n"
+    "  --store-dir DIR   persistent fit-store directory (absent = "
+    "DRAM-only)\n"
     "  --deadline-ms D   default per-request deadline (0 = none)\n"
     "  --trace-out FILE  write a Chrome trace of the run on exit\n"
     "  --help, -h        this text\n"
     "  --version         build-info string\n";
 
-/// "--flag V" / "--flag=V" scan returning V as double, or `fallback`.
-double flag_value(int argc, char** argv, const char* flag, double fallback) {
-  const std::string eq = std::string(flag) + "=";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == flag && i + 1 < argc) {
-      char* end = nullptr;
-      const double v = std::strtod(argv[i + 1], &end);
-      if (end && *end == '\0') return v;
-    } else if (arg.rfind(eq, 0) == 0) {
-      char* end = nullptr;
-      const double v = std::strtod(arg.c_str() + eq.size(), &end);
-      if (end && *end == '\0') return v;
-    }
+/// Unwraps a strict flag parse (trace/cli_opts.h); a named error is fatal.
+template <typename T>
+T flag_or_die(const ipso::Expected<T, ipso::trace::FlagError>& parsed) {
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "ipso_serve: %s\n",
+                 parsed.error().to_string().c_str());
+    std::exit(1);
   }
-  return fallback;
-}
-
-std::string flag_string(int argc, char** argv, const char* flag,
-                        std::string fallback) {
-  const std::string eq = std::string(flag) + "=";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == flag && i + 1 < argc) return argv[i + 1];
-    if (arg.rfind(eq, 0) == 0) return arg.substr(eq.size());
-  }
-  return fallback;
+  return *parsed;
 }
 
 }  // namespace
@@ -98,24 +90,32 @@ int main(int argc, char** argv) {
   obs::TraceSession trace_session(trace::trace_out_from_args(argc, argv));
 
   serve::ServeConfig engine_cfg;
-  engine_cfg.threads =
-      static_cast<std::size_t>(flag_value(argc, argv, "--threads", 0));
-  engine_cfg.queue_capacity =
-      static_cast<std::size_t>(flag_value(argc, argv, "--queue-cap", 256));
-  engine_cfg.cache_capacity =
-      static_cast<std::size_t>(flag_value(argc, argv, "--cache-cap", 128));
-  engine_cfg.default_deadline_ms =
-      flag_value(argc, argv, "--deadline-ms", 0.0);
+  engine_cfg.threads = flag_or_die(
+      trace::size_flag_from_args(argc, argv, "--threads", 0, 0, 1024));
+  engine_cfg.queue_capacity = flag_or_die(
+      trace::size_flag_from_args(argc, argv, "--queue-cap", 256, 1));
+  engine_cfg.cache_capacity = flag_or_die(
+      trace::size_flag_from_args(argc, argv, "--cache-cap", 128, 1));
+  engine_cfg.store_dir = flag_or_die(
+      trace::string_flag_from_args(argc, argv, "--store-dir", ""));
+  engine_cfg.default_deadline_ms = flag_or_die(trace::double_flag_from_args(
+      argc, argv, "--deadline-ms", 0.0, 0.0, 1e9));
 
   serve::ServerConfig server_cfg;
-  server_cfg.host = flag_string(argc, argv, "--host", "127.0.0.1");
-  server_cfg.port = static_cast<std::uint16_t>(
-      flag_value(argc, argv, "--port", 0));
-  server_cfg.shards =
-      static_cast<std::size_t>(flag_value(argc, argv, "--shards", 1));
-  if (server_cfg.shards == 0) server_cfg.shards = 1;
+  server_cfg.host = flag_or_die(
+      trace::string_flag_from_args(argc, argv, "--host", "127.0.0.1"));
+  server_cfg.port = static_cast<std::uint16_t>(flag_or_die(
+      trace::size_flag_from_args(argc, argv, "--port", 0, 0, 65535)));
+  server_cfg.shards = flag_or_die(
+      trace::size_flag_from_args(argc, argv, "--shards", 1, 1, 64));
 
   serve::ServeEngine engine(engine_cfg);
+  if (!engine.store_status()) {
+    // A broken store directory degrades to DRAM-only serving rather than
+    // refusing traffic; the operator sees why on stderr.
+    std::fprintf(stderr, "ipso_serve: store: %s (serving DRAM-only)\n",
+                 engine.store_status().message.c_str());
+  }
   serve::TcpServer server(engine, server_cfg);
   if (auto started = server.start(); !started) {
     std::fprintf(stderr, "ipso_serve: %s\n", started.error().message.c_str());
@@ -125,11 +125,20 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
 
+  const store::TieredStore::Stats boot = engine.store_stats();
   std::printf("ipso_serve: listening on %s:%u (threads=%zu queue-cap=%zu "
-              "cache-cap=%zu)\n",
+              "cache-cap=%zu store=%s)\n",
               server_cfg.host.c_str(), static_cast<unsigned>(server.port()),
               engine.threads(), engine_cfg.queue_capacity,
-              engine_cfg.cache_capacity);
+              engine_cfg.cache_capacity,
+              engine_cfg.store_dir.empty() ? "none"
+                                           : engine_cfg.store_dir.c_str());
+  if (boot.persistent) {
+    std::printf("ipso_serve: store recovered (records=%zu segments=%zu "
+                "skipped=%zu)\n",
+                boot.disk.records, boot.disk.segments,
+                boot.disk.skipped_total());
+  }
   std::fflush(stdout);
 
   while (!g_stop) {
@@ -154,6 +163,14 @@ int main(int argc, char** argv) {
               n.connections_accepted, n.frames_in, n.frames_out,
               n.requests_in, n.bytes_in, n.bytes_out, n.wakeups,
               n.backpressure_stalls, n.protocol_errors);
+  if (!engine_cfg.store_dir.empty()) {
+    const store::TieredStore::Stats st = engine.store_stats();
+    std::printf("ipso_serve: store (records=%zu segments=%zu spilled=%zu "
+                "disk_hits=%zu recovered=%zu skipped=%zu)\n",
+                st.disk.records, st.disk.segments, st.tier.spilled,
+                st.tier.disk_hits, st.disk.recovered,
+                st.disk.skipped_total());
+  }
   std::fflush(stdout);
   return 0;
 }

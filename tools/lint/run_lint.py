@@ -37,6 +37,14 @@ examples may use the banned constructs as assertions):
                              Scoped to src/, tools/ and bench/ — the CLI
                              and the load bench must consume serve::Client,
                              not sockets.
+  raw-file-io                no raw file I/O (fopen/fwrite family, global
+                             ::open/::pread/::pwrite/::fsync and friends)
+                             outside src/store/io.cpp: durability ordering
+                             (fsync-before-rename, EINTR, short writes) is
+                             audited once, at the store's I/O seam. Console
+                             stdio (printf/fputs) is not file I/O and does
+                             not match; qualified names like
+                             AppendFile::open don't either.
 
 Usage:
   tools/lint/run_lint.py                 # run the Python rules
@@ -193,6 +201,21 @@ RULES: list[Rule] = [
         why="socket I/O goes through the serve::net transport seam "
             "(transport.cpp is the one audited syscall site)",
     ),
+    Rule(
+        name="raw-file-io",
+        # The lookbehind restricts ::open & co. to *global-scope* calls:
+        # qualified names (AppendFile::open, DiskTier::open) must not match.
+        pattern=re.compile(
+            r"\b(fopen|fdopen|freopen|fwrite|fread)\s*\("
+            r"|(?<![A-Za-z0-9_>])::\s*"
+            r"(open|openat|creat|pread|pwrite|fsync|fdatasync|ftruncate)"
+            r"\s*\("),
+        include=["src/**/*.cpp", "src/**/*.h", "tools/*.cpp",
+                 "bench/*.cpp"],
+        exclude=["src/store/io.cpp"],
+        why="file I/O goes through the store's io seam (io.cpp is the one "
+            "audited site for fsync ordering, EINTR and short writes)",
+    ),
     NolintAuditRule(
         name="nolint-audit",
         pattern=_NOLINT_ANY,
@@ -231,6 +254,7 @@ SEEDED = {
     "unseeded-rng": "unseeded_rng.cpp",
     "naked-double-model-param": "naked_double.h",
     "raw-socket-io": "raw_socket.cpp",
+    "raw-file-io": "raw_file.cpp",
     "nolint-audit": "bare_nolint.cpp",
 }
 

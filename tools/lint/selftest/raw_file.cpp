@@ -1,0 +1,16 @@
+// Seeded violation for the raw-file-io rule: raw stdio / POSIX file calls
+// outside src/store/io.cpp. Never compiled into anything; exists so
+// `run_lint.py --self-test` can prove the rule fires.
+
+#include <cstdio>
+
+int write_state(const char* path, const char* data, unsigned long len) {
+  FILE* f = fopen(path, "wb");  // the rule must fire here
+  if (f == nullptr) return -1;
+  fwrite(data, 1, len, f);  // and here
+  return fclose(f);
+}
+
+int sync_fd(int fd) {
+  return ::fsync(fd);  // and on a global-scope durability syscall
+}
