@@ -52,6 +52,15 @@
 ///       still answers the full corpus byte-identically -- corruption
 ///       degrades to recomputation, never to a crash or a wrong answer.
 ///
+/// A model-zoo phase drives the serve-protocol `compare` op on synthetic
+/// speedup curves of known shape:
+///
+///   C11 zoo selection is shape-driven -- Gunther's USL is selected over
+///       Amdahl on a contention-shaped q(n) curve, IPSO is selected on an
+///       Eq. 16 fixed-time series shaped like the paper's Fig. 9 curves,
+///       and a perfectly linear curve resolves deterministically to
+///       Amdahl via the registry-order tie-break.
+///
 /// Flags: --requests N, --points N (observations per series), --threads N,
 ///        --conns LIST, --batch LIST, --net-requests N, --no-net,
 ///        --store-dir DIR (default: fresh temp dir), --no-store,
@@ -61,6 +70,7 @@
 
 #include "core/classify.h"
 #include "core/fit.h"
+#include "models/usl.h"
 #include "serve/client.h"
 #include "serve/engine.h"
 #include "serve/router.h"
@@ -554,35 +564,101 @@ bool run_router_identity(const std::vector<std::string>& placements,
   return identical;
 }
 
-/// Closed-form least squares for Gunther's USL on the same q(n) series the
-/// IPSO fit consumes: n/S(n) - 1 = sigma*(n-1) + kappa*n*(n-1), linear in
-/// (sigma, kappa), so the 2x2 normal equations solve it exactly.
-struct UslFit {
-  double sigma = 0.0;
-  double kappa = 0.0;
-};
+/// One C11 case: drives the serve-protocol `compare` op with an inline
+/// observation set and checks which model the zoo selected.
+bool zoo_selects(ipso::serve::ServeEngine& engine, const char* label,
+                 const std::string& request, const char* expect) {
+  const std::string response = engine.handle(request);
+  const std::string needle =
+      "\"winner\":\"" + std::string(expect) + "\"";
+  if (response.find("\"ok\":true") != std::string::npos &&
+      response.find(needle) != std::string::npos) {
+    std::printf("  %-28s -> %s\n", label, expect);
+    return true;
+  }
+  std::printf("CONTRACT VIOLATION (C11): %s: expected winner '%s', got: "
+              "%s\n",
+              label, expect, response.c_str());
+  return false;
+}
 
-UslFit fit_usl(const ipso::stats::Series& q) {
-  double s11 = 0.0, s12 = 0.0, s22 = 0.0, b1 = 0.0, b2 = 0.0;
-  for (const auto& p : q.points()) {
-    if (p.x <= 1.0) continue;
-    const double a1 = p.x - 1.0;
-    const double a2 = p.x * (p.x - 1.0);
-    s11 += a1 * a1;
-    s12 += a1 * a2;
-    s22 += a2 * a2;
-    b1 += a1 * p.y;
-    b2 += a2 * p.y;
+/// C11: model selection is shape-driven. The zoo, asked over the serving
+/// protocol, must pick Gunther's USL on a contention-shaped q(n) curve
+/// (where Amdahl's single parameter cannot express the n*(n-1) term), and
+/// IPSO on an Eq. 16 fixed-time series shaped like the paper's Fig. 9
+/// curves (sublinear power-law compute scaling plus growing overhead,
+/// which neither USL nor the unified model reproduces). A perfectly
+/// linear curve must resolve deterministically to Amdahl via the
+/// registry-order tie-break (every model fits it exactly).
+bool run_zoo_contract() {
+  using namespace ipso;
+  std::printf("\n# model zoo: serve-protocol compare on synthetic "
+              "curves\n");
+  serve::ServeEngine engine;
+  bool ok = true;
+
+  const auto series_field = [](const stats::Series& s) {
+    std::string out = "\"observations\":[";
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (i) out += ",";
+      out += "[" + trace::json_double(s[i].x) + "," +
+             trace::json_double(s[i].y) + "]";
+    }
+    return out + "]";
+  };
+  const std::vector<double> ns{1, 2, 4, 8, 16, 24, 32, 48, 64};
+
+  // Contention-shaped q(n): exactly USL's sigma*(n-1) + kappa*n*(n-1).
+  {
+    stats::Series s("S(n)");
+    const double sigma = 0.05, kappa = 0.002;
+    for (const double n : ns) {
+      s.add(n, n / (1.0 + sigma * (n - 1.0) + kappa * n * (n - 1.0)));
+    }
+    ok = zoo_selects(engine, "contention q(n)",
+                     "{\"op\":\"compare\",\"workload\":\"fixed-size\"," +
+                         series_field(s) + "}",
+                     "usl") &&
+         ok;
   }
-  const double det = s11 * s22 - s12 * s12;
-  UslFit fit;
-  if (std::abs(det) > 1e-12) {
-    fit.sigma = (b1 * s22 - b2 * s12) / det;
-    fit.kappa = (b2 * s11 - b1 * s12) / det;
-  } else if (s11 > 0.0) {
-    fit.sigma = b1 / s11;  // degenerate: one usable point, no kappa term
+
+  // Fig. 9-shaped fixed-time curve: IPSO Eq. 16 with a sublinear compute
+  // exponent and a growing overhead term (eta=0.95, delta=0.5,
+  // beta=0.005, gamma=1.3).
+  {
+    stats::Series s("S(n)");
+    const double eta = 0.95, delta = 0.5, beta = 0.005, gamma = 1.3;
+    for (const double n : ns) {
+      const double num = eta * std::pow(n, delta) + 1.0 - eta;
+      const double den =
+          eta * std::pow(n, delta - 1.0) * (1.0 + beta * std::pow(n, gamma)) +
+          1.0 - eta;
+      s.add(n, num / den);
+    }
+    ok = zoo_selects(engine, "fig9 fixed-time Eq.16",
+                     "{\"op\":\"compare\",\"workload\":\"fixed-time\","
+                     "\"eta\":0.95," +
+                         series_field(s) + "}",
+                     "ipso") &&
+         ok;
   }
-  return fit;
+
+  // Perfect linear speedup: every model is exact; registry order decides.
+  {
+    stats::Series s("S(n)");
+    for (const double n : {1.0, 2.0, 4.0, 8.0, 16.0}) s.add(n, n);
+    ok = zoo_selects(engine, "linear speedup (tie)",
+                     "{\"op\":\"compare\",\"workload\":\"fixed-size\"," +
+                         series_field(s) + "}",
+                     "amdahl") &&
+         ok;
+  }
+
+  if (ok) {
+    std::printf("C11: zoo selection is shape-driven (usl on contention, "
+                "ipso on Eq. 16, amdahl on the exact tie)\n");
+  }
+  return ok;
 }
 
 /// The --router mode: sweep, C7 byte-identity, C8 IPSO fit of the tier.
@@ -678,15 +754,23 @@ int run_router_bench(int argc, char** argv) {
       continue;
     }
     const Classification cls = classify(fits->params);
-    const UslFit usl = fit_usl(q);
     std::printf("  IPSO fit [%s]: delta=%.3f gamma=%.3f beta=%.3f "
                 "class=%.*s\n",
                 placement.c_str(), fits->params.delta, fits->params.gamma,
                 fits->params.beta,
                 static_cast<int>(to_string(cls.type).size()),
                 to_string(cls.type).data());
-    std::printf("  USL cross-check [%s]: sigma=%.3f kappa=%.3f (same q(n) "
-                "series)\n", placement.c_str(), usl.sigma, usl.kappa);
+    // Gunther's USL on the same q(n) series, now through the model zoo's
+    // shared implementation (src/models/usl.h) instead of a bench-local
+    // copy of the normal equations.
+    if (const auto usl = models::UslModel::fit_from_q(q); usl.has_value()) {
+      std::printf("  USL cross-check [%s]: sigma=%.3f kappa=%.3f (same "
+                  "q(n) series)\n",
+                  placement.c_str(), usl->sigma, usl->kappa);
+    } else {
+      std::printf("  USL cross-check [%s]: degenerate series (%s)\n",
+                  placement.c_str(), to_string(usl.error()));
+    }
   }
   if (ok) {
     std::printf("\nC8: fit_factors succeeded on every placement's "
@@ -865,7 +949,10 @@ int main(int argc, char** argv) {
           "fit_factors (C7 byte-identity, C8 successful IPSO fit).\n"
           "A warm-restart phase persists fits to a store dir, restarts,\n"
           "and replays (C9 byte-identical warm serving without re-fits,\n"
-          "C10 graceful skip of corrupted records).\n"
+          "C10 graceful skip of corrupted records). A model-zoo phase\n"
+          "drives the compare op on synthetic curves (C11 shape-driven\n"
+          "selection: usl on contention, ipso on Eq. 16, amdahl on the\n"
+          "exact tie).\n"
           "Extra flags: --requests N, --points N, --conns LIST,\n"
           "--batch LIST, --net-requests N, --no-net, --store-dir DIR,\n"
           "--no-store, --router,\n"
@@ -944,6 +1031,9 @@ int main(int argc, char** argv) {
   if (!has_flag(argc, argv, "--no-store")) {
     if (!run_store_phase(workload, threads, argc, argv)) ok = false;
   }
+
+  // --- model zoo: C11 shape-driven selection --------------------------
+  if (!run_zoo_contract()) ok = false;
 
   // --- saturation: bounded admission ----------------------------------
   std::printf("\n");

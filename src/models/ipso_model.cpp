@@ -1,0 +1,120 @@
+#include "models/ipso_model.h"
+
+#include "core/model.h"
+#include "stats/nonlinear.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipso::models {
+namespace {
+
+/// Eq. 16 with α = 1 over a raw double n (the NodeCount boundary is applied
+/// by the public predictor; the simplex explores n from the series only).
+double eq16(double eta, double delta, double beta, double gamma,
+            double n) noexcept {
+  const double q = n > 1.0 ? beta * std::pow(n, gamma) : 0.0;
+  const double num = eta * std::pow(n, delta) + 1.0 - eta;
+  const double den = eta * std::pow(n, delta - 1.0) * (1.0 + q) + 1.0 - eta;
+  return num / den;
+}
+
+Expected<FactorFits> fit_fixed_size(const Observations& obs) {
+  FactorMeasurements m;
+  m.eta = obs.eta;
+  stats::Series ones("EX(n)");
+  stats::Series q("q(n)");
+  for (const auto& p : obs.speedup.points()) {
+    ones.add(p.x, 1.0);
+    // Eq. 16 (δ = 0, α = 1) inverted: q(n) = n·(1/S - (1-η))/η - 1.
+    q.add(p.x, p.x * (1.0 / p.y - (1.0 - obs.eta)) / obs.eta - 1.0);
+  }
+  m.ex = ones;
+  if (obs.eta < 1.0) m.in = ones;
+  m.q = q;
+  return fit_factors(WorkloadType::kFixedSize, m);
+}
+
+Expected<FactorFits> fit_fixed_time(const Observations& obs) {
+  std::size_t usable = 0;
+  for (const auto& p : obs.speedup.points()) {
+    if (p.x > 1.0) ++usable;
+  }
+  if (usable < 3) return FitError::kInsufficientData;
+
+  // Seed δ from the measured tail growth (S ~ n^δ when overhead is small),
+  // β/γ from modest defaults; the simplex refines all three.
+  double delta0 = obs.type == WorkloadType::kFixedSize ? 0.0 : 1.0;
+  const Expected<stats::PowerFit> tail = fit_tail_growth(obs.speedup);
+  if (tail.has_value()) delta0 = std::clamp(tail->exponent, 0.0, 1.0);
+
+  const double eta = obs.eta;
+  const auto model = [eta](const std::vector<double>& v, double n) {
+    const double delta = std::clamp(v[0], 0.0, 1.0);
+    const double beta = std::max(v[1], 0.0);
+    const double gamma = std::clamp(v[2], 0.0, 4.0);
+    return eq16(eta, delta, beta, gamma, n);
+  };
+  stats::NelderMeadOptions opts;
+  opts.max_iters = 4000;
+  const stats::MinimizeResult min =
+      stats::fit_curve(obs.speedup, model, {delta0, 0.01, 1.0}, opts);
+  if (min.params.size() != 3 || !std::isfinite(min.value)) {
+    return FitError::kFitFailed;
+  }
+  const double delta = std::clamp(min.params[0], 0.0, 1.0);
+  const double beta = std::max(min.params[1], 0.0);
+  const double gamma = std::clamp(min.params[2], 0.0, 4.0);
+
+  FactorFits out;
+  out.params = AsymptoticParams::make(obs.type, Eta(obs.eta), Alpha(1.0),
+                                      Delta(delta), Beta(beta), Gamma(gamma));
+  out.epsilon_fit = {1.0, delta, 1.0};
+  if (beta > 0.0 && gamma > 0.0) {
+    out.q_fit = stats::PowerFit{beta, gamma, 1.0};
+  } else {
+    out.q_fit = FitError::kNegligibleOverhead;
+  }
+  out.in_linear = obs.eta < 1.0 ? FitError::kNotMeasured
+                                : FitError::kNoSerialComponent;
+  out.in_segmented = FitError::kNotMeasured;
+  return out;
+}
+
+}  // namespace
+
+Expected<FactorFits> IpsoModel::fit_observations(const Observations& obs) {
+  std::size_t usable = 0;
+  for (const auto& p : obs.speedup.points()) {
+    if (p.x <= 0.0 || p.y <= 0.0) return FitError::kNonPositiveValue;
+    if (p.x > 1.0) ++usable;
+  }
+  if (usable < 2) return FitError::kInsufficientData;
+  if (obs.eta <= 0.0 || obs.eta > 1.0) return FitError::kOutOfDomain;
+  return obs.type == WorkloadType::kFixedSize ? fit_fixed_size(obs)
+                                              : fit_fixed_time(obs);
+}
+
+FittedModel IpsoModel::from_fits(const FactorFits& fits) {
+  const AsymptoticParams params = fits.params;
+  FittedModel out;
+  out.model = "ipso";
+  out.params = {{"eta", params.eta},
+                {"alpha", params.alpha},
+                {"delta", params.delta},
+                {"beta", params.beta},
+                {"gamma", params.gamma}};
+  out.param_count = params.type == WorkloadType::kFixedSize ? 2 : 3;
+  out.predict = [params](double n) {
+    return speedup_asymptotic(params, NodeCount(std::max(n, 1.0)));
+  };
+  return out;
+}
+
+Expected<FittedModel> IpsoModel::fit(const Observations& obs) const {
+  const Expected<FactorFits> fits = fit_observations(obs);
+  if (!fits.has_value()) return fits.error();
+  return from_fits(*fits);
+}
+
+}  // namespace ipso::models

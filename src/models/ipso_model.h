@@ -1,0 +1,49 @@
+#pragma once
+
+#include "core/fit.h"
+#include "models/scaling_model.h"
+
+/// \file ipso_model.h
+/// The IPSO asymptotic model (paper Eq. 16) as a zoo member, wrapping the
+/// repository's own `fit_factors`. Because the zoo fits from speedup
+/// observations alone (no per-phase workload split), the factor series are
+/// reconstructed from S(n):
+///
+///  - fixed-size (δ = 0 structurally, EX = 1): Eq. 16 inverts exactly to
+///    q(n) = n·(1/S - (1-η))/η - 1, the same series a workload trace would
+///    yield, and `fit_factors(kFixedSize, ...)` fits β, γ from it.
+///  - fixed-time: δ enters and the inversion is no longer closed-form, so
+///    (δ, β, γ) are fitted by Nelder-Mead on Eq. 16 directly (α = 1; with
+///    only S(n) observed, α is not separately identifiable from δ) and
+///    packed into a synthetic FactorFits.
+///
+/// Both paths end in a FactorFits, so the serve tier can cache and persist
+/// zoo refits through the same TieredStore + bit-exact codec as the `fit`
+/// op — warm restarts reuse them byte-identically.
+
+namespace ipso::models {
+
+/// IPSO (Eq. 16) as a zoo member.
+class IpsoModel final : public ScalingModel {
+ public:
+  const char* name() const noexcept override { return "ipso"; }
+  std::size_t param_count() const noexcept override { return 3; }
+
+  /// Fits via fit_observations and wraps the result (from_fits).
+  Expected<FittedModel> fit(const Observations& obs) const override;
+
+  /// The factor-fitting entry point: observations in, FactorFits out.
+  /// Exposed separately so the serve engine can route exactly this
+  /// computation through its TieredStore (cache + disk) and then rebuild
+  /// the FittedModel with from_fits — `fits_performed` counts zoo refits
+  /// the same way it counts `fit`-op misses.
+  [[nodiscard]] static Expected<FactorFits> fit_observations(
+      const Observations& obs);
+
+  /// Builds the zoo-facing FittedModel from factor fits (Eq. 16 predictor,
+  /// named η/α/δ/β/γ). param_count is 2 for fixed-size (β, γ free) and 3
+  /// for fixed-time (δ, β, γ free).
+  [[nodiscard]] static FittedModel from_fits(const FactorFits& fits);
+};
+
+}  // namespace ipso::models

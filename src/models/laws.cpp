@@ -1,0 +1,71 @@
+#include "models/laws.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipso::models {
+
+double residual_ss(const FittedModel& fitted, const stats::Series& speedup) {
+  double rss = 0.0;
+  for (const auto& p : speedup.points()) {
+    const double r = p.y - fitted.predict(p.x);
+    rss += r * r;
+  }
+  return rss;
+}
+
+double AmdahlModel::speedup(double f, double n) noexcept {
+  return 1.0 / ((1.0 - f) + f / n);
+}
+
+Expected<FittedModel> AmdahlModel::fit(const Observations& obs) const {
+  double sxx = 0.0;
+  double sxy = 0.0;
+  std::size_t usable = 0;
+  for (const auto& p : obs.speedup.points()) {
+    if (p.x <= 0.0 || p.y <= 0.0) return FitError::kNonPositiveValue;
+    if (p.x <= 1.0) continue;  // the transform is 0/0-free only for n > 1
+    const double x = 1.0 - 1.0 / p.x;
+    const double y = 1.0 - 1.0 / p.y;
+    sxx += x * x;
+    sxy += x * y;
+    ++usable;
+  }
+  if (usable < 1 || sxx <= 0.0) return FitError::kInsufficientData;
+  const double f = std::clamp(sxy / sxx, 0.0, 1.0);
+  FittedModel out;
+  out.model = name();
+  out.params = {{"f", f}};
+  out.param_count = param_count();
+  out.predict = [f](double n) { return speedup(f, n); };
+  return out;
+}
+
+double GustafsonModel::speedup(double f, double n) noexcept {
+  return (1.0 - f) + f * n;
+}
+
+Expected<FittedModel> GustafsonModel::fit(const Observations& obs) const {
+  double sxx = 0.0;
+  double sxy = 0.0;
+  std::size_t usable = 0;
+  for (const auto& p : obs.speedup.points()) {
+    if (p.x <= 0.0 || p.y <= 0.0) return FitError::kNonPositiveValue;
+    if (p.x <= 1.0) continue;
+    const double x = p.x - 1.0;
+    const double y = p.y - 1.0;
+    sxx += x * x;
+    sxy += x * y;
+    ++usable;
+  }
+  if (usable < 1 || sxx <= 0.0) return FitError::kInsufficientData;
+  const double f = std::clamp(sxy / sxx, 0.0, 1.0);
+  FittedModel out;
+  out.model = name();
+  out.params = {{"f", f}};
+  out.param_count = param_count();
+  out.predict = [f](double n) { return speedup(f, n); };
+  return out;
+}
+
+}  // namespace ipso::models

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "models/scaling_model.h"
+
+/// \file laws.h
+/// The classic speedup laws as degenerate zoo baselines. Both are one-
+/// parameter laws, linear in their transform, so the fits are closed-form
+/// OLS through the origin — exactly reproducible, no iteration.
+
+namespace ipso::models {
+
+/// Amdahl's law: S(n) = 1 / ((1-f) + f/n) with parallel fraction f in [0,1].
+/// The transform 1 - 1/S = f·(1 - 1/n) is linear through the origin, so
+/// f = Σ x·y / Σ x² over points with n > 1, clamped to [0,1].
+class AmdahlModel final : public ScalingModel {
+ public:
+  const char* name() const noexcept override { return "amdahl"; }
+  std::size_t param_count() const noexcept override { return 1; }
+  Expected<FittedModel> fit(const Observations& obs) const override;
+
+  /// The law itself, for direct evaluation.
+  [[nodiscard]] static double speedup(double f, double n) noexcept;
+};
+
+/// Gustafson's law: S(n) = (1-f) + f·n — scaled speedup, linear in n.
+/// The transform S - 1 = f·(n - 1) gives f = Σ (n-1)(S-1) / Σ (n-1)²,
+/// clamped to [0,1].
+class GustafsonModel final : public ScalingModel {
+ public:
+  const char* name() const noexcept override { return "gustafson"; }
+  std::size_t param_count() const noexcept override { return 1; }
+  Expected<FittedModel> fit(const Observations& obs) const override;
+
+  /// The law itself, for direct evaluation.
+  [[nodiscard]] static double speedup(double f, double n) noexcept;
+};
+
+}  // namespace ipso::models

@@ -1,0 +1,72 @@
+#pragma once
+
+#include "core/expected.h"
+#include "core/workload.h"
+#include "stats/series.h"
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// \file scaling_model.h
+/// The common interface of the scaling-law model zoo. IPSO (Eq. 16) is one
+/// point in a family of speedup laws — Gunther's USL, Schryen's unified
+/// model, and the classic Amdahl/Gustafson laws all predict S(n) from a
+/// handful of parameters fitted to the same `(n, speedup)` observations.
+/// Every law implements ScalingModel so the ModelZoo (zoo.h) can fit them
+/// side by side and select a winner by information criterion.
+
+namespace ipso::models {
+
+/// One observation set: speedup S(n) measured at scale-out degrees n,
+/// normalized so S(1) = 1. `eta` is the parallelizable fraction at n = 1
+/// (paper Eq. 9) where known; laws that cannot use it ignore it. `type`
+/// selects the external-scaling regime for the IPSO member (fixed-size
+/// forces delta = 0, paper Section IV).
+struct Observations {
+  WorkloadType type = WorkloadType::kFixedSize;
+  double eta = 1.0;
+  stats::Series speedup;  ///< (n, S(n)) points
+};
+
+/// A fitted law: named parameters in a deterministic order plus a predictor.
+/// `param_count` is the number of free parameters actually estimated — the
+/// k in AIC = m·ln(RSS/m) + 2k — which can be smaller than `params.size()`
+/// when a member reports derived or fixed values for inspection.
+struct FittedModel {
+  std::string model;                                   ///< registry name
+  std::vector<std::pair<std::string, double>> params;  ///< ordered, named
+  std::size_t param_count = 1;                         ///< free params (AIC k)
+  std::function<double(double)> predict;               ///< S(n), n >= 1
+};
+
+/// A scaling law that can be fitted to speedup observations. Implementations
+/// are stateless and deterministic: the same observations always produce the
+/// same FittedModel, bit for bit — the serve tier's byte-identity contract
+/// (responses are pure functions of request bytes) depends on it.
+class ScalingModel {
+ public:
+  virtual ~ScalingModel() = default;
+
+  /// Registry name, e.g. "amdahl", "usl", "ipso". Stable across releases:
+  /// the serve `compare` op exposes it on the wire.
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Number of free parameters the fit estimates (the AIC k).
+  [[nodiscard]] virtual std::size_t param_count() const noexcept = 0;
+
+  /// Fits the law to the observations. Errors use the shared FitError
+  /// vocabulary: kInsufficientData (too few usable points for this law's
+  /// parameter count), kNonPositiveValue (a speedup or n <= 0),
+  /// kFitFailed (the regression or simplex rejected the data).
+  [[nodiscard]] virtual Expected<FittedModel> fit(
+      const Observations& obs) const = 0;
+};
+
+/// Residual sum of squares of a fitted model over observations, in S-space.
+/// All zoo members are scored in the same space so AIC values compare.
+[[nodiscard]] double residual_ss(const FittedModel& fitted,
+                                 const stats::Series& speedup);
+
+}  // namespace ipso::models

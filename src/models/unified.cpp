@@ -1,0 +1,79 @@
+#include "models/unified.h"
+
+#include "models/laws.h"
+#include "stats/nonlinear.h"
+#include "stats/regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipso::models {
+namespace {
+
+UnifiedParams clamp_params(const std::vector<double>& v) noexcept {
+  UnifiedParams p;
+  p.f = std::clamp(v[0], 0.0, 1.0);
+  p.c = std::max(v[1], 0.0);
+  p.g = std::clamp(v[2], 0.0, 4.0);
+  return p;
+}
+
+}  // namespace
+
+double UnifiedModel::speedup(const UnifiedParams& p, double n) noexcept {
+  // Overhead is structural only for n > 1: like IPSO's q(1) = 0, a
+  // sequential run pays no parallelization overhead, so S(1) = 1 exactly.
+  const double overhead = n > 1.0 ? p.c * std::pow(n, p.g) : 0.0;
+  return 1.0 / ((1.0 - p.f) + p.f / n + overhead);
+}
+
+Expected<FittedModel> UnifiedModel::fit(const Observations& obs) const {
+  std::size_t usable = 0;
+  for (const auto& p : obs.speedup.points()) {
+    if (p.x <= 0.0 || p.y <= 0.0) return FitError::kNonPositiveValue;
+    if (p.x > 1.0) ++usable;
+  }
+  if (usable < 3) return FitError::kInsufficientData;
+
+  // Seed f from the closed-form Amdahl fit, then seed (c, g) from a
+  // log-log regression of the residual overhead r = 1/S - ((1-f) + f/n).
+  const AmdahlModel amdahl;
+  const Expected<FittedModel> seed_fit = amdahl.fit(obs);
+  const double f0 = seed_fit.has_value() ? seed_fit->params.front().second
+                                         : 0.9;
+  stats::Series residual("overhead");
+  for (const auto& p : obs.speedup.points()) {
+    if (p.x <= 1.0) continue;
+    const double r = 1.0 / p.y - ((1.0 - f0) + f0 / p.x);
+    if (r > 0.0) residual.add(p.x, r);
+  }
+  double c0 = 1e-3;
+  double g0 = 1.0;
+  if (residual.size() >= 2) {
+    const stats::PowerFit pf = stats::fit_power(residual);
+    if (pf.coeff > 0.0) {
+      c0 = pf.coeff;
+      g0 = std::clamp(pf.exponent, 0.0, 4.0);
+    }
+  }
+
+  const auto objective = [](const std::vector<double>& v, double n) {
+    return speedup(clamp_params(v), n);
+  };
+  stats::NelderMeadOptions opts;
+  opts.max_iters = 4000;
+  const stats::MinimizeResult min =
+      stats::fit_curve(obs.speedup, objective, {f0, c0, g0}, opts);
+  if (min.params.size() != 3 || !std::isfinite(min.value)) {
+    return FitError::kFitFailed;
+  }
+  const UnifiedParams p = clamp_params(min.params);
+  FittedModel out;
+  out.model = name();
+  out.params = {{"f", p.f}, {"c", p.c}, {"g", p.g}};
+  out.param_count = param_count();
+  out.predict = [p](double n) { return speedup(p, n); };
+  return out;
+}
+
+}  // namespace ipso::models

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "models/scaling_model.h"
+
+/// \file unified.h
+/// Schryen-style unified speedup model. Schryen's framework puts the
+/// classic laws on one asymptotic footing: inverted speedup is a parallel
+/// fraction term plus an explicit parallelization-overhead term,
+///
+///   S(n) = 1 / ((1-f) + f/n + c·n^g),   f ∈ [0,1], c ≥ 0, g ≥ 0.
+///
+/// c = 0 recovers Amdahl exactly; c > 0 adds the overhead growth that
+/// produces sublinear and retrograde scaling (IPSO's q(n) plays the same
+/// role in Eq. 16). Three free parameters, fitted by Nelder-Mead in
+/// S-space, seeded from the closed-form Amdahl fit plus a log-log
+/// regression of the residual overhead.
+
+namespace ipso::models {
+
+/// Unified-model parameters.
+struct UnifiedParams {
+  double f = 1.0;  ///< parallel fraction, clamped to [0,1]
+  double c = 0.0;  ///< overhead coefficient, clamped to >= 0
+  double g = 1.0;  ///< overhead exponent, clamped to >= 0
+};
+
+/// The unified speedup model as a zoo member.
+class UnifiedModel final : public ScalingModel {
+ public:
+  const char* name() const noexcept override { return "unified"; }
+  std::size_t param_count() const noexcept override { return 3; }
+
+  /// Requires >= 3 points with n > 1 (three free parameters). The simplex
+  /// objective clamps parameters into their domain, so the returned fit is
+  /// always in-domain and the minimization is deterministic.
+  Expected<FittedModel> fit(const Observations& obs) const override;
+
+  /// The law itself, for direct evaluation.
+  [[nodiscard]] static double speedup(const UnifiedParams& p,
+                                      double n) noexcept;
+};
+
+}  // namespace ipso::models

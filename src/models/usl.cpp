@@ -1,0 +1,52 @@
+#include "models/usl.h"
+
+#include <cmath>
+
+namespace ipso::models {
+
+double UslModel::speedup(const UslParams& p, double n) noexcept {
+  return n / (1.0 + p.sigma * (n - 1.0) + p.kappa * n * (n - 1.0));
+}
+
+Expected<UslParams> UslModel::fit_from_q(const stats::Series& q) {
+  double s11 = 0.0, s12 = 0.0, s22 = 0.0, b1 = 0.0, b2 = 0.0;
+  for (const auto& p : q.points()) {
+    if (p.x <= 1.0) continue;
+    const double a1 = p.x - 1.0;
+    const double a2 = p.x * (p.x - 1.0);
+    s11 += a1 * a1;
+    s12 += a1 * a2;
+    s22 += a2 * a2;
+    b1 += a1 * p.y;
+    b2 += a2 * p.y;
+  }
+  if (s11 <= 0.0) return FitError::kInsufficientData;
+  const double det = s11 * s22 - s12 * s12;
+  UslParams fit;
+  if (std::abs(det) > 1e-12) {
+    fit.sigma = (b1 * s22 - b2 * s12) / det;
+    fit.kappa = (b2 * s11 - b1 * s12) / det;
+  } else {
+    fit.sigma = b1 / s11;  // degenerate: one usable n, no kappa term
+  }
+  return fit;
+}
+
+Expected<FittedModel> UslModel::fit(const Observations& obs) const {
+  stats::Series q("q(n)");
+  for (const auto& p : obs.speedup.points()) {
+    if (p.x <= 0.0 || p.y <= 0.0) return FitError::kNonPositiveValue;
+    q.add(p.x, p.x / p.y - 1.0);
+  }
+  const Expected<UslParams> params = fit_from_q(q);
+  if (!params.has_value()) return params.error();
+  const UslParams usl = *params;
+  FittedModel out;
+  out.model = name();
+  out.params = {{"sigma", usl.sigma}, {"kappa", usl.kappa}};
+  out.param_count = param_count();
+  out.predict = [usl](double n) { return speedup(usl, n); };
+  return out;
+}
+
+}  // namespace ipso::models

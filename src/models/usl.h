@@ -1,0 +1,42 @@
+#pragma once
+
+#include "models/scaling_model.h"
+
+/// \file usl.h
+/// Gunther's Universal Scalability Law: S(n) = n / (1 + σ(n-1) + κn(n-1)).
+/// σ is contention (serialization) and κ is coherency (crosstalk); κ > 0
+/// gives the law its retrograde region — the type-IV peak in IPSO's
+/// taxonomy. The fit is closed-form: n/S - 1 = σ(n-1) + κn(n-1) is linear
+/// in (σ, κ), so the 2x2 normal equations solve it exactly. This was
+/// PR 7's C8 cross-check, inlined in bench_serve_load; it lives here now
+/// so the bench and the zoo can never disagree.
+
+namespace ipso::models {
+
+/// USL parameters: contention σ and coherency κ.
+struct UslParams {
+  double sigma = 0.0;
+  double kappa = 0.0;
+};
+
+/// Gunther's USL as a zoo member.
+class UslModel final : public ScalingModel {
+ public:
+  const char* name() const noexcept override { return "usl"; }
+  std::size_t param_count() const noexcept override { return 2; }
+
+  /// Fits over speedup observations via the q(n) = n/S(n) - 1 transform.
+  Expected<FittedModel> fit(const Observations& obs) const override;
+
+  /// Closed-form least squares on a measured q(n) = n/S(n) - 1 series —
+  /// the same series the IPSO q-fit consumes. Points with n <= 1 are
+  /// skipped (q(1) = 0 is structural, not informative). Degenerate input
+  /// (one usable n) fits σ alone with κ = 0; no usable points is
+  /// kInsufficientData.
+  [[nodiscard]] static Expected<UslParams> fit_from_q(const stats::Series& q);
+
+  /// The law itself, for direct evaluation.
+  [[nodiscard]] static double speedup(const UslParams& p, double n) noexcept;
+};
+
+}  // namespace ipso::models

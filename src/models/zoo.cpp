@@ -1,0 +1,124 @@
+#include "models/zoo.h"
+
+#include "models/ipso_model.h"
+#include "models/laws.h"
+#include "models/unified.h"
+#include "models/usl.h"
+
+#include <cmath>
+#include <string_view>
+
+namespace ipso::models {
+namespace {
+
+/// Sentinel charged per leave-out whose refit fails: large enough to lose
+/// every tie-break, finite so the scoreboard stays printable.
+constexpr double kFailedLeaveOutError = 1e12;
+
+/// AIC ties below this are "equal evidence" and fall through to CV error.
+constexpr double kAicTie = 1e-9;
+
+/// Fits one law, preferring the hook for the IPSO member's factor fit.
+Expected<FittedModel> fit_law(const ScalingModel& law, const Observations& obs,
+                              const IpsoFitHook& ipso_hook) {
+  if (ipso_hook && std::string_view(law.name()) == "ipso") {
+    const Expected<FactorFits> fits = ipso_hook(obs);
+    if (!fits.has_value()) return fits.error();
+    return IpsoModel::from_fits(*fits);
+  }
+  return law.fit(obs);
+}
+
+/// Mean squared leave-one-out error. Refits exclude the hook: the held-out
+/// fits are throwaways and must not churn the serve tier's cache. Failed
+/// refits charge a deterministic sentinel so laws that only just fit (m at
+/// their parameter floor) rank below laws that stay stable under deletion.
+double loo_cv(const ScalingModel& law, const Observations& obs) {
+  const std::size_t m = obs.speedup.size();
+  double total = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    Observations rest;
+    rest.type = obs.type;
+    rest.eta = obs.eta;
+    rest.speedup = stats::Series(obs.speedup.name());
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j != i) rest.speedup.add(obs.speedup[j].x, obs.speedup[j].y);
+    }
+    const Expected<FittedModel> refit = law.fit(rest);
+    if (!refit.has_value()) {
+      total += kFailedLeaveOutError;
+      continue;
+    }
+    const double r = obs.speedup[i].y - refit->predict(obs.speedup[i].x);
+    total += r * r;
+  }
+  return m > 0 ? total / static_cast<double>(m) : 0.0;
+}
+
+}  // namespace
+
+double aic_score(double rss, std::size_t m, std::size_t k) {
+  const double md = static_cast<double>(m);
+  return md * std::log(std::max(rss, 1e-30) / md) +
+         2.0 * static_cast<double>(k);
+}
+
+ModelZoo::ModelZoo() {
+  laws_.push_back(std::make_unique<AmdahlModel>());
+  laws_.push_back(std::make_unique<GustafsonModel>());
+  laws_.push_back(std::make_unique<UslModel>());
+  laws_.push_back(std::make_unique<UnifiedModel>());
+  laws_.push_back(std::make_unique<IpsoModel>());
+}
+
+Expected<ZooResult> ModelZoo::compare(const Observations& obs,
+                                      const IpsoFitHook& ipso_hook) const {
+  std::size_t usable = 0;
+  for (const auto& p : obs.speedup.points()) {
+    if (p.x > 1.0) ++usable;
+  }
+  if (usable < 2) return FitError::kInsufficientData;
+
+  ZooResult result;
+  result.scores.reserve(laws_.size());
+  const std::size_t m = obs.speedup.size();
+  for (const auto& law : laws_) {
+    ModelScore score;
+    score.model = law->name();
+    const Expected<FittedModel> fitted = fit_law(*law, obs, ipso_hook);
+    if (!fitted.has_value()) {
+      score.error = to_string(fitted.error());
+      result.scores.push_back(std::move(score));
+      continue;
+    }
+    score.ok = true;
+    score.params = fitted->params;
+    score.param_count = fitted->param_count;
+    score.rss = residual_ss(*fitted, obs.speedup);
+    score.aic = aic_score(score.rss, m, fitted->param_count);
+    score.cv = loo_cv(*law, obs);
+    score.predict = fitted->predict;
+    result.scores.push_back(std::move(score));
+  }
+
+  bool any = false;
+  for (std::size_t i = 0; i < result.scores.size(); ++i) {
+    const ModelScore& s = result.scores[i];
+    if (!s.ok) continue;
+    if (!any) {
+      any = true;
+      result.winner = i;
+      continue;
+    }
+    const ModelScore& best = result.scores[result.winner];
+    if (s.aic < best.aic - kAicTie ||
+        (std::abs(s.aic - best.aic) <= kAicTie && s.cv < best.cv)) {
+      result.winner = i;
+    }
+  }
+  if (!any) return FitError::kFitFailed;
+  result.winner_name = result.scores[result.winner].model;
+  return result;
+}
+
+}  // namespace ipso::models

@@ -1,0 +1,80 @@
+#pragma once
+
+#include "core/fit.h"
+#include "models/scaling_model.h"
+
+#include <memory>
+
+/// \file zoo.h
+/// The model zoo: fit every registered scaling law over one observation set
+/// and pick a winner by information criterion. Selection rule:
+///
+///   AIC = m·ln(max(RSS, ε)/m) + 2k         (RSS in S-space, ε = 1e-30 so a
+///                                           perfect fit scores finite)
+///
+/// lowest AIC wins; AIC ties (|ΔAIC| < 1e-9) break on leave-one-out
+/// cross-validated error; a residual tie breaks on registry order, which is
+/// fixed (amdahl, gustafson, usl, unified, ipso) — so perfectly linear
+/// speedup, where every law fits exactly, deterministically selects amdahl
+/// (f = 1), the fewest-assumption explanation. Every step is a pure
+/// function of the observations: the serve `compare` op's byte-identity
+/// contract (JSON vs binary, routed vs standalone, cold vs warm restart)
+/// rests on this determinism.
+
+namespace ipso::models {
+
+/// Per-model scoreboard row. `ok` is false when the law could not be
+/// fitted (e.g. unified needs >= 3 points with n > 1); `error` then names
+/// the FitError and the numeric fields are unset sentinels.
+struct ModelScore {
+  std::string model;          ///< registry name
+  bool ok = false;
+  std::string error;          ///< FitError name when !ok, empty otherwise
+  std::vector<std::pair<std::string, double>> params;  ///< named, ordered
+  std::size_t param_count = 0;  ///< AIC k
+  double rss = 0.0;           ///< residual sum of squares, S-space
+  double aic = 0.0;           ///< m·ln(max(RSS, ε)/m) + 2k
+  double cv = 0.0;            ///< mean squared leave-one-out error
+  std::function<double(double)> predict;  ///< S(n) when ok, empty otherwise
+};
+
+/// Scoreboard + verdict for one observation set.
+struct ZooResult {
+  std::vector<ModelScore> scores;  ///< registry order, one row per law
+  std::size_t winner = 0;          ///< index into `scores`
+  std::string winner_name;         ///< scores[winner].model
+};
+
+/// Replacement fitter for the IPSO member: observations in, FactorFits
+/// out. The serve engine supplies one that routes through its TieredStore,
+/// so zoo refits hit the same cache/disk/coalescing path as the `fit` op.
+using IpsoFitHook = std::function<Expected<FactorFits>(const Observations&)>;
+
+/// Fits all registered laws over one observation set.
+class ModelZoo {
+ public:
+  /// Registers the fixed zoo: amdahl, gustafson, usl, unified, ipso.
+  ModelZoo();
+
+  /// Fits every law and selects the winner. Requires >= 2 points with
+  /// n > 1 (kInsufficientData otherwise); individual law failures land in
+  /// the scoreboard as !ok rows, but if *no* law fits the whole compare
+  /// reports kFitFailed. `ipso_hook`, when set, replaces the IPSO member's
+  /// factor fit (see IpsoFitHook).
+  [[nodiscard]] Expected<ZooResult> compare(
+      const Observations& obs, const IpsoFitHook& ipso_hook = nullptr) const;
+
+  /// The registered laws, in registry (tie-break) order.
+  [[nodiscard]] const std::vector<std::unique_ptr<ScalingModel>>& laws()
+      const noexcept {
+    return laws_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<ScalingModel>> laws_;
+};
+
+/// AIC over m points: m·ln(max(rss, 1e-30)/m) + 2k.
+[[nodiscard]] double aic_score(double rss, std::size_t m, std::size_t k);
+
+}  // namespace ipso::models

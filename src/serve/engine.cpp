@@ -1,6 +1,7 @@
 #include "serve/engine.h"
 
 #include "core/contracts.h"
+#include "models/ipso_model.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "trace/json.h"
@@ -50,6 +51,7 @@ ServeEngine::ServeEngine(ServeConfig cfg)
       store_(store::TieredStoreConfig{cfg_.cache_capacity, cfg_.store_dir,
                                       cfg_.store_segment_bytes}),
       store_status_(store_.open()),
+      observations_(cfg_.observe),
       pool_(cfg_.threads) {}
 
 ServeEngine::~ServeEngine() { drain(); }
@@ -265,7 +267,15 @@ std::string ServeEngine::dispatch(const Request& req) {
          << ",\"segments\":" << st.disk.segments
          << ",\"bytes\":" << st.disk.bytes
          << ",\"recovered\":" << st.disk.recovered
-         << ",\"skipped\":" << st.disk.skipped_total() << "}}";
+         << ",\"skipped\":" << st.disk.skipped_total()
+         << ",\"invalidations\":" << st.tier.invalidations << "}";
+      const ObservationStore::Stats ob = observations_.stats();
+      os << ",\"observe\":{\"keys\":" << ob.keys
+         << ",\"points\":" << ob.points << ",\"observed\":" << ob.observed
+         << ",\"material\":" << ob.material
+         << ",\"absorbed\":" << ob.absorbed
+         << ",\"evicted_keys\":" << ob.evicted_keys
+         << "},\"fits_performed\":" << fits_performed() << "}";
       return ok_response(req, os.str());
     }
 
@@ -336,10 +346,83 @@ std::string ServeEngine::dispatch(const Request& req) {
       return ok_response(req, diagnose_result_json(*report));
     }
 
+    case Op::kObserve:
+      return dispatch_observe(req);
+
+    case Op::kCompare:
+      return dispatch_compare(req);
+
     case Op::kUnknown:
       break;
   }
   return error_response(req.id, req.op, "internal", "unhandled op");
+}
+
+std::string ServeEngine::dispatch_observe(const Request& req) {
+  ObservationStore::ObserveResult r = observations_.observe(
+      req.workload_key, req.observe_n, req.observe_value);
+  // A material change supersedes the window's recorded zoo fit: drop it
+  // from every store tier so the next compare is a genuine refit (the
+  // fits_performed delta the acceptance test keys off).
+  if (!r.superseded_fit_key.empty()) store_.invalidate(r.superseded_fit_key);
+  return ok_response(req, observe_result_json(req.workload_key, r));
+}
+
+std::string ServeEngine::dispatch_compare(const Request& req) {
+  models::Observations obs;
+  obs.type = req.workload;
+  obs.eta = req.eta;
+  std::uint64_t version = 0;
+  const bool keyed = !req.workload_key.empty();
+  if (keyed) {
+    auto snap = observations_.snapshot(req.workload_key);
+    if (!snap) {
+      return error_response(
+          req.id, req.op, "bad_request",
+          "unknown workload key '" + req.workload_key + "'");
+    }
+    obs.speedup = std::move(snap->window);
+    version = snap->version;
+  } else {
+    obs.speedup = req.observations;
+  }
+
+  // The IPSO member's factor fit routes through the tiered store under a
+  // zoo-namespaced content key ('Z' + the fit-op key encoding, so it can
+  // never collide with an 'F' fit-op key), which makes compare refits
+  // count in fits_performed, coalesce across concurrent compares of the
+  // same window, and survive a --store-dir warm restart byte-identically.
+  std::string fit_key = store::canonical_fit_key(
+      obs.type, obs.eta, obs.speedup, stats::Series(), stats::Series());
+  fit_key[0] = 'Z';
+  const models::IpsoFitHook hook =
+      [this, &fit_key](
+          const models::Observations& o) -> Expected<FactorFits> {
+    const store::TieredStore::Result r =
+        store_.get_or_compute(fit_key, [this, &o] {
+          if (cfg_.fit_hook) cfg_.fit_hook();
+          return store::FitOutcome{models::IpsoModel::fit_observations(o)};
+        });
+    if (r.hit) {
+      instruments().cache_hits.add();
+    } else if (r.coalesced) {
+      instruments().coalesced.add();
+    } else {
+      instruments().cache_misses.add();
+    }
+    return r.outcome->fits;
+  };
+  const Expected<models::ZooResult> zoo = zoo_.compare(obs, hook);
+  if (!zoo.has_value()) {
+    return error_response(req.id, req.op, "fit_failed",
+                          to_string(zoo.error()));
+  }
+  // Remember which store key this window's fit lives under, so a future
+  // material observe can invalidate it (no-op if the window already moved).
+  if (keyed) observations_.note_fit(req.workload_key, version, fit_key);
+  return ok_response(
+      req, compare_result_json(*zoo, keyed ? req.workload_key : std::string(),
+                               obs.speedup));
 }
 
 }  // namespace ipso::serve

@@ -1,7 +1,9 @@
 #pragma once
 
+#include "models/zoo.h"
 #include "runtime/exec_pool.h"
 #include "serve/fit_cache.h"
+#include "serve/observe.h"
 #include "serve/proto.h"
 #include "store/tiered_store.h"
 
@@ -57,6 +59,9 @@ struct ServeConfig {
   std::uint64_t store_segment_bytes = 4ull << 20;
   /// Deadline applied when a request carries none; 0 = no deadline.
   double default_deadline_ms = 0.0;
+  /// Streaming observation windows behind the observe/compare ops:
+  /// per-workload window capacity, key bound, materiality threshold.
+  ObserveConfig observe;
   /// Test hook: runs inside every *real* (non-cached, non-coalesced) fit
   /// computation, on the worker thread. Lets tests hold a fit in flight to
   /// prove coalescing; never set in production.
@@ -131,6 +136,11 @@ class ServeEngine {
   /// Full tiered-store snapshot (DRAM + tier-crossing + disk counters).
   store::TieredStore::Stats store_stats() const { return store_.stats(); }
 
+  /// Observation-window counters (keys, points, material/absorbed splits).
+  ObservationStore::Stats observe_stats() const {
+    return observations_.stats();
+  }
+
   /// Outcome of opening the persistent tier (trivially ok when
   /// store_dir is empty). A failed open degrades the engine to DRAM-only
   /// rather than refusing to serve; the daemon reports the message.
@@ -163,9 +173,15 @@ class ServeEngine {
   /// Fit (through the tiered store) for ops that need fitted factors.
   store::TieredStore::Result cached_fit(const Request& req);
 
+  /// The observe/compare ops (split out of dispatch for readability).
+  std::string dispatch_observe(const Request& req);
+  std::string dispatch_compare(const Request& req);
+
   ServeConfig cfg_;
   store::TieredStore store_;
   store::IoStatus store_status_;
+  ObservationStore observations_;
+  models::ModelZoo zoo_;
   runtime::ExecPool pool_;
 
   mutable std::mutex mu_;  ///< admission state + stats

@@ -1,0 +1,117 @@
+#include "serve/observe.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipso::serve {
+
+ObservationStore::ObservationStore(ObserveConfig cfg) : cfg_(cfg) {
+  cfg_.window_capacity = std::max<std::size_t>(1, cfg_.window_capacity);
+  cfg_.max_keys = std::max<std::size_t>(1, cfg_.max_keys);
+}
+
+ObservationStore::Window& ObservationStore::touch(const std::string& key) {
+  const auto it = windows_.find(key);
+  if (it != windows_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second;
+  }
+  while (windows_.size() >= cfg_.max_keys && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    const auto vit = windows_.find(victim);
+    if (vit != windows_.end()) {
+      stats_.points -= std::min(stats_.points, vit->second.points.size());
+      windows_.erase(vit);
+      ++stats_.evicted_keys;
+    }
+  }
+  lru_.push_front(key);
+  Window& w = windows_[key];
+  w.lru_it = lru_.begin();
+  return w;
+}
+
+ObservationStore::ObserveResult ObservationStore::observe(
+    const std::string& key, double n, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.observed;
+  Window& w = touch(key);
+  ObserveResult result;
+
+  const auto existing = w.points.find(n);
+  if (existing != w.points.end()) {
+    const double rel = std::abs(value - existing->second) /
+                       std::max(std::abs(existing->second), 1e-12);
+    if (rel <= cfg_.material_threshold) {
+      // Absorbed: keep the stored value, so the window bytes — and the
+      // content-derived fit-store key — are unchanged and cached zoo fits
+      // stay valid.
+      result.absorbed = true;
+      ++stats_.absorbed;
+    } else {
+      existing->second = value;
+      result.material = true;
+    }
+  } else {
+    w.points.emplace(n, value);
+    ++stats_.points;
+    if (w.points.size() > cfg_.window_capacity) {
+      // Evict the smallest n: asymptotic fits weight the tail, and this
+      // keeps the window a pure function of the point set, independent of
+      // arrival order.
+      stats_.points -= 1;
+      const bool dropped_self = w.points.begin()->first == n;
+      w.points.erase(w.points.begin());
+      if (dropped_self) {
+        result.dropped = true;  // the incoming point itself fell off
+      } else {
+        result.material = true;
+      }
+    } else {
+      result.material = true;
+    }
+  }
+
+  if (result.material) {
+    ++w.version;
+    ++stats_.material;
+    if (!w.fit_key.empty()) {
+      result.superseded_fit_key = std::move(w.fit_key);
+      w.fit_key.clear();
+    }
+  }
+  result.version = w.version;
+  for (const auto& [x, y] : w.points) result.window.add(x, y);
+  return result;
+}
+
+std::optional<ObservationStore::WindowSnapshot> ObservationStore::snapshot(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = windows_.find(key);
+  if (it == windows_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  WindowSnapshot snap;
+  snap.version = it->second.version;
+  for (const auto& [x, y] : it->second.points) snap.window.add(x, y);
+  return snap;
+}
+
+void ObservationStore::note_fit(const std::string& key, std::uint64_t version,
+                                std::string fit_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = windows_.find(key);
+  if (it == windows_.end() || it->second.version != version) return;
+  it->second.fit_key = std::move(fit_key);
+  it->second.fit_version = version;
+}
+
+ObservationStore::Stats ObservationStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.keys = windows_.size();
+  return s;
+}
+
+}  // namespace ipso::serve

@@ -1,0 +1,120 @@
+#pragma once
+
+#include "stats/series.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+/// \file observe.h
+/// Streaming observation windows — the state behind the serve `observe` op.
+/// A long-lived engine accepts incremental `(workload_key, n, speedup)`
+/// points; each workload key owns a bounded window of the latest value per
+/// scale-out degree n, and the `compare` op runs the model zoo over a
+/// window snapshot. This is the paper's proposed measurement-based online
+/// provisioner, generalized to a model portfolio (ROADMAP).
+///
+/// Windows are **value-deterministic**: the window after a sequence of
+/// observes is a pure function of the multiset of points seen (ordered
+/// only by per-n recency for repeated n), not of arrival interleaving —
+/// points live in a map ordered by n, and capacity overflow always evicts
+/// the smallest n (asymptotic fits weight the tail; the small-n regime is
+/// the first to age out). The serve tier's byte-identity contract (routed
+/// vs standalone, JSON vs binary) holds for any replica that saw the same
+/// observe sequence — the router keeps a workload key sticky to one
+/// replica for exactly this reason.
+///
+/// **Materiality**: a point changes the window only when it adds a new n
+/// or moves an existing n's value by more than a relative threshold.
+/// Sub-threshold repeats are absorbed — the stored value is kept, so the
+/// window bytes (and therefore the content-derived fit-store key) are
+/// unchanged and cached zoo fits stay valid. A material change bumps the
+/// window version and surrenders the previously recorded fit-store key so
+/// the engine can invalidate the superseded fit in every tier.
+///
+/// Thread-safe; one mutex, no I/O, no system clock.
+
+namespace ipso::serve {
+
+/// Observation-window tuning (ServeConfig carries these through).
+struct ObserveConfig {
+  /// Max distinct n per workload window; overflow evicts the smallest n.
+  std::size_t window_capacity = 64;
+  /// Max workload keys held; overflow evicts the least-recently-observed.
+  std::size_t max_keys = 4096;
+  /// Relative value change at an existing n below which a point is
+  /// absorbed (the window is byte-unchanged and no refit is triggered).
+  double material_threshold = 0.01;
+};
+
+class ObservationStore {
+ public:
+  explicit ObservationStore(ObserveConfig cfg = {});
+
+  struct ObserveResult {
+    stats::Series window{"S(n)"};  ///< snapshot after the point was applied
+    std::uint64_t version = 0;     ///< bumped once per material change
+    bool material = false;         ///< this point changed the window
+    bool absorbed = false;         ///< sub-threshold repeat of an existing n
+    bool dropped = false;          ///< full window, n smaller than all kept
+    /// Fit-store key recorded by note_fit for the superseded window, handed
+    /// back exactly once so the caller invalidates it in the TieredStore.
+    std::string superseded_fit_key;
+  };
+
+  /// Applies one point to `key`'s window (creating the window if needed).
+  ObserveResult observe(const std::string& key, double n, double value);
+
+  struct WindowSnapshot {
+    stats::Series window{"S(n)"};
+    std::uint64_t version = 0;
+  };
+
+  /// Point-in-time copy of a window; nullopt for an unknown key. Refreshes
+  /// the key's recency (a compared key is a live key).
+  std::optional<WindowSnapshot> snapshot(const std::string& key);
+
+  /// Records the fit-store key of a zoo fit computed over `key`'s window
+  /// at `version`, so the next material observe can invalidate it. Ignored
+  /// when the window has already moved past `version` (the fit is stale on
+  /// arrival; content-derived store keys make it unreachable anyway).
+  void note_fit(const std::string& key, std::uint64_t version,
+                std::string fit_key);
+
+  struct Stats {
+    std::size_t keys = 0;          ///< windows currently held
+    std::size_t points = 0;        ///< observation points currently held
+    std::size_t observed = 0;      ///< observe() calls
+    std::size_t material = 0;      ///< window-changing observes
+    std::size_t absorbed = 0;      ///< sub-threshold repeats
+    std::size_t evicted_keys = 0;  ///< windows evicted by max_keys pressure
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Window {
+    std::map<double, double> points;  ///< n -> latest value, ordered by n
+    std::uint64_t version = 0;
+    std::uint64_t fit_version = 0;  ///< version fit_key was recorded at
+    std::string fit_key;            ///< store key of the last zoo fit
+    std::list<std::string>::iterator lru_it{};
+  };
+
+  /// Touches (or creates) `key`'s window and refreshes its LRU recency.
+  /// Caller holds mu_. May evict the least-recently-observed other key.
+  Window& touch(const std::string& key);
+
+  ObserveConfig cfg_;
+  mutable std::mutex mu_;
+  std::list<std::string> lru_;  ///< most-recently observed first
+  std::unordered_map<std::string, Window> windows_;
+  Stats stats_;
+};
+
+}  // namespace ipso::serve

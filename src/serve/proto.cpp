@@ -3,6 +3,7 @@
 #include "core/domain.h"
 #include "trace/json.h"
 
+#include <cmath>
 #include <sstream>
 
 namespace ipso::serve {
@@ -18,6 +19,8 @@ std::string_view to_string(Op op) noexcept {
     case Op::kClassify: return "classify";
     case Op::kDiagnose: return "diagnose";
     case Op::kRecommend: return "recommend";
+    case Op::kObserve: return "observe";
+    case Op::kCompare: return "compare";
     case Op::kStats: return "stats";
     case Op::kUnknown: return "unknown";
   }
@@ -31,6 +34,8 @@ Op op_from_string(std::string_view name) noexcept {
   if (name == "classify") return Op::kClassify;
   if (name == "diagnose") return Op::kDiagnose;
   if (name == "recommend") return Op::kRecommend;
+  if (name == "observe") return Op::kObserve;
+  if (name == "compare") return Op::kCompare;
   if (name == "stats") return Op::kStats;
   return Op::kUnknown;
 }
@@ -232,6 +237,34 @@ Expected<Request, std::string> parse_request(const std::string& line) {
       req.ns.push_back(n.as_number());
     }
   }
+  if (const auto* v = root.get("key")) {
+    if (!v->is_string()) return std::string("'key' must be a string");
+    req.workload_key = v->as_string();
+  }
+  if (const auto* v = root.get("n")) {
+    req.observe_n = v->as_number(0.0);
+    if (!std::isfinite(req.observe_n) || req.observe_n < 1.0) {
+      return std::string("'n' must be a finite number >= 1");
+    }
+  }
+  if (const auto* v = root.get("value")) {
+    req.observe_value = v->as_number(0.0);
+    if (!std::isfinite(req.observe_value) || req.observe_value <= 0.0) {
+      return std::string("'value' must be a finite number > 0");
+    }
+  }
+  if (const auto* v = root.get("observations")) {
+    if (!read_series(*v, &req.observations, &error, "observations")) {
+      return error;
+    }
+    for (const auto& p : req.observations.points()) {
+      if (!std::isfinite(p.x) || p.x < 1.0 || !std::isfinite(p.y) ||
+          p.y <= 0.0) {
+        return std::string(
+            "'observations' entries must have n >= 1 and speedup > 0");
+      }
+    }
+  }
   if (const auto* v = root.get("knee_frac")) {
     req.knee_frac = v->as_number(0.9);
     if (req.knee_frac <= 0.0 || req.knee_frac > 1.0) {
@@ -264,6 +297,26 @@ Expected<Request, std::string> parse_request(const std::string& line) {
     case Op::kDiagnose:
       if (req.speedup.size() < 3) {
         return std::string("'diagnose' requires >= 3 'speedup' points");
+      }
+      break;
+    case Op::kObserve:
+      if (req.workload_key.empty()) {
+        return std::string("'observe' requires a non-empty 'key'");
+      }
+      if (req.observe_n < 1.0) {
+        return std::string("'observe' requires 'n' >= 1");
+      }
+      if (req.observe_value <= 0.0) {
+        return std::string("'observe' requires 'value' > 0");
+      }
+      break;
+    case Op::kCompare:
+      if (req.workload_key.empty() == req.observations.empty()) {
+        return std::string(
+            "'compare' requires exactly one of 'key' or 'observations'");
+      }
+      if (!req.observations.empty() && req.observations.size() < 2) {
+        return std::string("'compare' requires >= 2 'observations' points");
       }
       break;
     case Op::kPing:
@@ -392,6 +445,52 @@ std::string diagnose_result_json(const DiagnosticReport& report) {
     os << "{\"absent\":\"" << to_string(report.matched.error()) << "\"}";
   }
   os << ",\"summary\":\"" << json_escape(report.summary) << "\"}";
+  return os.str();
+}
+
+std::string observe_result_json(const std::string& key,
+                                const ObservationStore::ObserveResult& r) {
+  std::ostringstream os;
+  os << "{\"key\":\"" << json_escape(key) << "\",\"material\":"
+     << (r.material ? "true" : "false")
+     << ",\"absorbed\":" << (r.absorbed ? "true" : "false")
+     << ",\"dropped\":" << (r.dropped ? "true" : "false")
+     << ",\"version\":" << r.version << ",\"points\":" << r.window.size()
+     << ",\"window\":";
+  append_series_points(os, r.window);
+  os << "}";
+  return os.str();
+}
+
+std::string compare_result_json(const models::ZooResult& zoo,
+                                const std::string& key,
+                                const stats::Series& window) {
+  std::ostringstream os;
+  os << "{";
+  if (!key.empty()) os << "\"key\":\"" << json_escape(key) << "\",";
+  os << "\"observations\":";
+  append_series_points(os, window);
+  os << ",\"models\":[";
+  for (std::size_t i = 0; i < zoo.scores.size(); ++i) {
+    if (i) os << ",";
+    const models::ModelScore& s = zoo.scores[i];
+    os << "{\"model\":\"" << s.model << "\",\"ok\":"
+       << (s.ok ? "true" : "false");
+    if (!s.ok) {
+      os << ",\"error\":\"" << json_escape(s.error) << "\"}";
+      continue;
+    }
+    os << ",\"k\":" << s.param_count << ",\"params\":{";
+    for (std::size_t j = 0; j < s.params.size(); ++j) {
+      if (j) os << ",";
+      os << "\"" << s.params[j].first
+         << "\":" << json_double(s.params[j].second);
+    }
+    os << "},\"rss\":" << json_double(s.rss)
+       << ",\"aic\":" << json_double(s.aic) << ",\"cv\":" << json_double(s.cv)
+       << "}";
+  }
+  os << "],\"winner\":\"" << zoo.winner_name << "\"}";
   return os.str();
 }
 

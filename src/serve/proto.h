@@ -4,6 +4,8 @@
 #include "core/diagnose.h"
 #include "core/fit.h"
 #include "core/predict.h"
+#include "models/zoo.h"
+#include "serve/observe.h"
 #include "stats/series.h"
 
 #include <optional>
@@ -19,7 +21,7 @@
 /// Request grammar (field order free; unknown fields ignored):
 ///
 ///   {"op":"fit"|"predict"|"classify"|"diagnose"|"recommend"
-///         |"ping"|"stats",
+///         |"observe"|"compare"|"ping"|"stats",
 ///    "id":"r1",                       // optional, echoed back verbatim
 ///    "workload":"fixed-time"|"fixed-size"|"memory-bounded",
 ///    "eta":0.59,                      // parallelizable fraction at n = 1
@@ -32,6 +34,9 @@
 ///    "speedup":[[n,S(n)],...],        // diagnose input
 ///    "ns":[1,2,4,...],                // predict/recommend grid
 ///    "knee_frac":0.9,                 // recommend knee threshold
+///    "key":"etl-hourly",              // workload window key (observe/compare)
+///    "n":8, "value":5.2,              // one streamed point (observe)
+///    "observations":[[n,S(n)],...],   // inline list (compare without a key)
 ///    "deadline_ms":500}               // per-request deadline (0 = none)
 ///
 /// Response: {"id":...,"op":"...","ok":true,"result":{...}} on success,
@@ -51,6 +56,8 @@ enum class Op {
   kClassify,   ///< fit (or take params) -> scaling-type classification
   kDiagnose,   ///< speedup curve (+ optional factors) -> diagnostic report
   kRecommend,  ///< fit (or take params) -> provisioning plan (n*, knee)
+  kObserve,    ///< stream one (key, n, S) point into a workload window
+  kCompare,    ///< model zoo over a window (or inline list) -> scoreboard
   kStats,      ///< server counters (not deterministic, never cached)
   kUnknown,
 };
@@ -71,6 +78,10 @@ struct Request {
   std::optional<AsymptoticParams> params;  ///< explicit-params fast path
   std::vector<double> ns;                  ///< empty = default grid
   double knee_frac = 0.9;
+  std::string workload_key;                ///< observe/compare window key
+  double observe_n = 0.0;                  ///< observe: scale-out degree
+  double observe_value = 0.0;              ///< observe: measured speedup
+  stats::Series observations{"S(n)"};      ///< compare: inline point list
   double deadline_ms = 0.0;                ///< 0 = no deadline
 
   /// True when factor observations were supplied (the fit path).
@@ -106,5 +117,18 @@ struct Request {
 [[nodiscard]] std::string recommend_result_json(const AsymptoticParams& p,
                                                 const ProvisioningPlan& plan);
 [[nodiscard]] std::string diagnose_result_json(const DiagnosticReport& report);
+/// {"key":...,"material":...,"absorbed":...,"dropped":...,"version":...,
+///  "points":N,"window":[[n,S],...]} — a pure function of the observe
+/// sequence for the key, so replicas that saw the same stream answer
+/// byte-identically.
+[[nodiscard]] std::string observe_result_json(
+    const std::string& key, const ObservationStore::ObserveResult& r);
+/// {"key":...(omitted when inline),"observations":[[n,S],...],"models":
+///  [{"model":...,"ok":...,...}],"winner":"..."} — deterministic field
+/// order, max_digits10 doubles; carries no engine state, so JSON/binary,
+/// routed/standalone, and cold/warm-restart answers are byte-identical.
+[[nodiscard]] std::string compare_result_json(const models::ZooResult& zoo,
+                                              const std::string& key,
+                                              const stats::Series& window);
 
 }  // namespace ipso::serve

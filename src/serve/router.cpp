@@ -154,7 +154,23 @@ void Router::route(std::string record,
   std::size_t replica = 0;
   std::string id;
   Op op = Op::kUnknown;
-  if (parsed.has_value() && parsed->has_observations()) {
+  const bool window_keyed =
+      parsed.has_value() && !parsed->workload_key.empty() &&
+      (parsed->op == Op::kObserve || parsed->op == Op::kCompare);
+  if (window_keyed) {
+    // Observation-window traffic is sticky by workload key: every observe
+    // and keyed compare for one key must land on the replica that holds
+    // that key's window, or the window (and the responses derived from it)
+    // would fragment across the tier. The "W:" namespace keeps these
+    // placement keys disjoint from canonical fit keys, whose first byte is
+    // a format version.
+    replica = placement_->replica_for("W:" + parsed->workload_key);
+    id = parsed->id;
+    op = parsed->op;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.routed_keyed;
+    ++stats_.per_replica[replica];
+  } else if (parsed.has_value() && parsed->has_observations()) {
     // Keyed: the same canonical bytes the replica's fit cache will key on,
     // so placement and caching agree about key identity by construction.
     const std::string key = canonical_fit_key(

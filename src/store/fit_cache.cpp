@@ -182,6 +182,16 @@ void FitCache::set_coalesce_wake_hook(std::function<void()> hook) {
   coalesce_wake_hook_ = std::move(hook);
 }
 
+bool FitCache::erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second->ready) return false;
+  lru_.erase(it->second->lru_it);
+  entries_.erase(it);
+  stats_.size = lru_.size();
+  return true;
+}
+
 void FitCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   // Pending entries stay in the map (their leaders will publish and then

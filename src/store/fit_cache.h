@@ -98,6 +98,12 @@ class FitCache {
   /// Does not fire the evict hook.
   void clear();
 
+  /// Drops one READY entry by key; returns true when it was present.
+  /// Pending entries are untouched (their leader publishes normally).
+  /// Deliberately does not fire the evict hook: invalidation supersedes a
+  /// fit, and superseded data must not be spilled to the persistent tier.
+  bool erase(const std::string& key);
+
   /// Point-in-time copy of every READY (key, outcome) pair, most recent
   /// first. The flush path of the tiered store.
   std::vector<std::pair<std::string, FitOutcomePtr>> snapshot_ready() const;

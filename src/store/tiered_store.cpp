@@ -138,6 +138,17 @@ void TieredStore::flush() {
   if (auto st = disk_.flush(); !st) ++tier_.spill_errors;
 }
 
+bool TieredStore::invalidate(const std::string& key) {
+  const bool dram = cache_.erase(key);
+  bool disk = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (has_disk_ && disk_.is_open()) disk = disk_.invalidate(key) > 0;
+    if (dram || disk) ++tier_.invalidations;
+  }
+  return dram || disk;
+}
+
 void TieredStore::clear_memory() { cache_.clear(); }
 
 TieredStore::Stats TieredStore::stats() const {

@@ -53,6 +53,7 @@ struct TierStats {
   std::size_t spill_rejected = 0;   ///< evictions judged too cold to keep
   std::size_t spill_errors = 0;     ///< I/O or encode failures on spill
   std::size_t decode_failures = 0;  ///< disk records that failed to decode
+  std::size_t invalidations = 0;    ///< invalidate() calls that dropped data
 };
 
 class TieredStore {
@@ -85,6 +86,13 @@ class TieredStore {
   /// makes the bench's warm phase honest: byte-identical responses must
   /// come from disk, not from lingering DRAM).
   void clear_memory();
+
+  /// Drops `key` from every tier: the READY DRAM entry and the disk index
+  /// entries (record bytes stay orphaned until compaction). The observe
+  /// path calls this when a workload's window changes materially — the
+  /// superseded window's fit must not survive anywhere, so the next
+  /// compare is a genuine refit. Returns true when anything was dropped.
+  bool invalidate(const std::string& key);
 
   struct Stats {
     FitCache::Stats cache;

@@ -13,6 +13,10 @@
 ///   predict     predict S(n) over a grid
 ///   recommend   provisioning plan (n*, knee)
 ///   diagnose    diagnose a measured speedup curve (--speedup CSV)
+///   observe     stream one speedup point into a server-side window
+///               (--key K --n N --value S)
+///   compare     model-zoo scoreboard over a server window (--key K) or
+///               an inline curve (--speedup CSV)
 ///   raw         read request lines from stdin, round-trip each
 ///
 /// CSV inputs:
@@ -22,6 +26,10 @@
 /// Wire mode: --proto json (default, newline-delimited) or --proto binary
 /// (length-prefixed batched frames). In 'raw' mode --pipeline N keeps up
 /// to N requests on the wire before the first response is read.
+///
+/// Malformed flag values are a refusal to run (exit 1 with the flag named
+/// on stderr), not a silent fall-through to defaults — the same strict
+/// policy as ipso_serve and ipso_router.
 
 #include "serve/client.h"
 #include "trace/cli_opts.h"
@@ -29,11 +37,13 @@
 #include "trace/json.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -47,7 +57,8 @@ const char kUsage[] =
     "\n"
     "usage: ipso_client <op> --port N [flags]\n"
     "\n"
-    "ops: ping stats fit classify predict recommend diagnose raw\n"
+    "ops: ping stats fit classify predict recommend diagnose observe\n"
+    "     compare raw\n"
     "\n"
     "flags:\n"
     "  --host A          server address (default 127.0.0.1)\n"
@@ -57,7 +68,11 @@ const char kUsage[] =
     "                    (default fixed-time)\n"
     "  --eta F           parallelizable fraction at n = 1 (default 1.0)\n"
     "  --factors FILE    factor observations CSV: columns n,EX[,IN[,q]]\n"
-    "  --speedup FILE    measured speedup CSV: columns n,S(n) (diagnose)\n"
+    "  --speedup FILE    measured speedup CSV: columns n,S(n)\n"
+    "                    (diagnose; inline curve for compare)\n"
+    "  --key K           observation-window key (observe; keyed compare)\n"
+    "  --n N             node count of the observed point (observe)\n"
+    "  --value S         measured speedup of the observed point (observe)\n"
     "  --ns LIST         comma-separated prediction grid, e.g. 1,2,4,8\n"
     "  --knee-frac F     recommend knee threshold (default 0.9)\n"
     "  --deadline-ms D   per-request deadline\n"
@@ -70,15 +85,31 @@ const char kUsage[] =
     "'raw' reads newline-delimited JSON requests from stdin and prints one\n"
     "response line per request (exit 1 if any response has \"ok\":false).\n";
 
-std::string flag_string(int argc, char** argv, const char* flag,
-                        std::string fallback) {
-  const std::string eq = std::string(flag) + "=";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == flag && i + 1 < argc) return argv[i + 1];
-    if (arg.rfind(eq, 0) == 0) return arg.substr(eq.size());
+/// Unwraps a strict flag parse (trace/cli_opts.h); a named error is fatal.
+template <typename T>
+T flag_or_die(const ipso::Expected<T, ipso::trace::FlagError>& parsed) {
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "ipso_client: %s\n",
+                 parsed.error().to_string().c_str());
+    std::exit(1);
   }
-  return fallback;
+  return *parsed;
+}
+
+/// Strict string flag with an empty fallback; "" means "absent".
+std::string string_flag(int argc, char** argv, const char* flag,
+                        std::string fallback = "") {
+  return flag_or_die(ipso::trace::string_flag_from_args(
+      argc, argv, flag, std::move(fallback)));
+}
+
+/// Strict double flag; NaN means "absent" (the parser range-checks present
+/// values only, so the NaN fallback passes through untouched).
+double double_flag(int argc, char** argv, const char* flag, double min_value,
+                   double max_value) {
+  return flag_or_die(ipso::trace::double_flag_from_args(
+      argc, argv, flag, std::numeric_limits<double>::quiet_NaN(), min_value,
+      max_value));
 }
 
 bool has_flag(int argc, char** argv, const char* flag) {
@@ -151,7 +182,10 @@ bool append_factor_fields(const std::string& path, std::string& req) {
   return true;
 }
 
-bool append_speedup_field(const std::string& path, std::string& req) {
+/// Loads the two-column speedup CSV and appends it under `field` —
+/// "speedup" for diagnose, "observations" for an inline compare.
+bool append_speedup_field(const std::string& path, const char* field,
+                          std::string& req) {
   std::ifstream file(path);
   if (!file) {
     std::fprintf(stderr, "ipso_client: cannot open '%s'\n", path.c_str());
@@ -163,7 +197,7 @@ bool append_speedup_field(const std::string& path, std::string& req) {
                  series.error().message().c_str());
     return false;
   }
-  req += ",\"speedup\":" + series_json(*series);
+  req += ",\"" + std::string(field) + "\":" + series_json(*series);
   return true;
 }
 
@@ -198,23 +232,23 @@ int main(int argc, char** argv) {
   const std::string op = argv[1];
   const bool known_op = op == "ping" || op == "stats" || op == "fit" ||
                         op == "classify" || op == "predict" ||
-                        op == "recommend" || op == "diagnose" || op == "raw";
+                        op == "recommend" || op == "diagnose" ||
+                        op == "observe" || op == "compare" || op == "raw";
   if (!known_op) {
     std::fprintf(stderr, "ipso_client: unknown op '%s' (try --help)\n",
                  op.c_str());
     return 1;
   }
 
-  const std::string host = flag_string(argc, argv, "--host", "127.0.0.1");
-  const std::string port_text = flag_string(argc, argv, "--port", "");
-  if (port_text.empty()) {
+  const std::string host = string_flag(argc, argv, "--host", "127.0.0.1");
+  const std::size_t port = flag_or_die(
+      trace::size_flag_from_args(argc, argv, "--port", 0, 0, 65535));
+  if (port == 0) {
     std::fprintf(stderr, "ipso_client: --port is required\n");
     return 1;
   }
-  const auto port = static_cast<std::uint16_t>(std::strtoul(
-      port_text.c_str(), nullptr, 10));
 
-  const std::string proto_text = flag_string(argc, argv, "--proto", "json");
+  const std::string proto_text = string_flag(argc, argv, "--proto", "json");
   if (proto_text != "json" && proto_text != "binary") {
     std::fprintf(stderr,
                  "ipso_client: --proto must be json or binary, got '%s'\n",
@@ -223,14 +257,13 @@ int main(int argc, char** argv) {
   }
   const serve::Proto proto =
       proto_text == "binary" ? serve::Proto::kBinary : serve::Proto::kJson;
-  const std::string pipeline_text =
-      flag_string(argc, argv, "--pipeline", "1");
-  std::size_t pipeline = static_cast<std::size_t>(
-      std::strtoul(pipeline_text.c_str(), nullptr, 10));
-  if (pipeline == 0) pipeline = 1;
+  const std::size_t pipeline = flag_or_die(
+      trace::size_flag_from_args(argc, argv, "--pipeline", 1, 1, 65536));
 
   serve::Client client(proto);
-  if (auto connected = client.connect(host, port); !connected) {
+  if (auto connected =
+          client.connect(host, static_cast<std::uint16_t>(port));
+      !connected) {
     std::fprintf(stderr, "ipso_client: %s\n",
                  connected.error().message.c_str());
     return 1;
@@ -272,45 +305,69 @@ int main(int argc, char** argv) {
   }
 
   std::string req = "{\"op\":\"" + op + "\"";
-  if (const std::string id = flag_string(argc, argv, "--id", ""); !id.empty())
+  if (const std::string id = string_flag(argc, argv, "--id"); !id.empty())
     req += ",\"id\":\"" + trace::json_escape(id) + "\"";
-  if (const std::string w = flag_string(argc, argv, "--workload", "");
+  if (const std::string w = string_flag(argc, argv, "--workload");
       !w.empty()) {
     req += ",\"workload\":\"" + trace::json_escape(w) + "\"";
   }
-  if (const std::string eta = flag_string(argc, argv, "--eta", "");
-      !eta.empty()) {
-    req += ",\"eta\":" + eta;
+  if (const std::string key = string_flag(argc, argv, "--key");
+      !key.empty()) {
+    req += ",\"key\":\"" + trace::json_escape(key) + "\"";
   }
-  if (const std::string factors = flag_string(argc, argv, "--factors", "");
+  if (const double eta = double_flag(argc, argv, "--eta", 1e-12, 1.0);
+      !std::isnan(eta)) {
+    req += ",\"eta\":" + trace::json_double(eta);
+  }
+  if (const double n = double_flag(argc, argv, "--n", 1.0, 1e12);
+      !std::isnan(n)) {
+    req += ",\"n\":" + trace::json_double(n);
+  }
+  if (const double v = double_flag(argc, argv, "--value", 1e-12, 1e12);
+      !std::isnan(v)) {
+    req += ",\"value\":" + trace::json_double(v);
+  }
+  if (const std::string factors = string_flag(argc, argv, "--factors");
       !factors.empty()) {
     if (!append_factor_fields(factors, req)) return 1;
   }
-  if (const std::string speedup = flag_string(argc, argv, "--speedup", "");
+  if (const std::string speedup = string_flag(argc, argv, "--speedup");
       !speedup.empty()) {
-    if (!append_speedup_field(speedup, req)) return 1;
+    // The same CSV feeds diagnose (as the curve to diagnose) and compare
+    // (as the inline observation set the zoo scores).
+    const char* field = op == "compare" ? "observations" : "speedup";
+    if (!append_speedup_field(speedup, field, req)) return 1;
   }
-  if (const std::string ns = flag_string(argc, argv, "--ns", "");
-      !ns.empty()) {
+  if (const std::string ns = string_flag(argc, argv, "--ns"); !ns.empty()) {
     req += ",\"ns\":[";
     std::istringstream is(ns);
     std::string tok;
     bool first = true;
     while (std::getline(is, tok, ',')) {
       if (tok.empty()) continue;
+      double grid_n = 0.0;
+      std::istringstream ts(tok);
+      if (!(ts >> grid_n) || !(ts >> std::ws).eof() || !(grid_n >= 1.0)) {
+        std::fprintf(stderr,
+                     "ipso_client: --ns: expected a node count >= 1, got "
+                     "'%s'\n",
+                     tok.c_str());
+        return 1;
+      }
       if (!first) req += ",";
       first = false;
-      req += tok;
+      req += trace::json_double(grid_n);
     }
     req += "]";
   }
-  if (const std::string knee = flag_string(argc, argv, "--knee-frac", "");
-      !knee.empty()) {
-    req += ",\"knee_frac\":" + knee;
+  if (const double knee = double_flag(argc, argv, "--knee-frac", 1e-12, 1.0);
+      !std::isnan(knee)) {
+    req += ",\"knee_frac\":" + trace::json_double(knee);
   }
-  if (const std::string dl = flag_string(argc, argv, "--deadline-ms", "");
-      !dl.empty()) {
-    req += ",\"deadline_ms\":" + dl;
+  if (const double dl =
+          double_flag(argc, argv, "--deadline-ms", 0.0, 1e9);
+      !std::isnan(dl)) {
+    req += ",\"deadline_ms\":" + trace::json_double(dl);
   }
   req += "}";
 

@@ -13,7 +13,9 @@
 ///               [--trace-out FILE]
 ///
 /// Prints "ipso_router: listening on HOST:PORT" once ready (the smoke test
-/// greps this line for the resolved ephemeral port).
+/// greps this line for the resolved ephemeral port). Malformed flag values
+/// are a refusal to start (exit 1 with the flag named on stderr), not a
+/// silent fall-through to defaults — the same policy as ipso_serve.
 
 #include "obs/export.h"
 #include "serve/router.h"
@@ -50,33 +52,15 @@ const char kUsage[] =
     "  --help, -h        this text\n"
     "  --version         build-info string\n";
 
-/// "--flag V" / "--flag=V" scan returning V as double, or `fallback`.
-double flag_value(int argc, char** argv, const char* flag, double fallback) {
-  const std::string eq = std::string(flag) + "=";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == flag && i + 1 < argc) {
-      char* end = nullptr;
-      const double v = std::strtod(argv[i + 1], &end);
-      if (end && *end == '\0') return v;
-    } else if (arg.rfind(eq, 0) == 0) {
-      char* end = nullptr;
-      const double v = std::strtod(arg.c_str() + eq.size(), &end);
-      if (end && *end == '\0') return v;
-    }
+/// Unwraps a strict flag parse (trace/cli_opts.h); a named error is fatal.
+template <typename T>
+T flag_or_die(const ipso::Expected<T, ipso::trace::FlagError>& parsed) {
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "ipso_router: %s\n",
+                 parsed.error().to_string().c_str());
+    std::exit(1);
   }
-  return fallback;
-}
-
-std::string flag_string(int argc, char** argv, const char* flag,
-                        std::string fallback) {
-  const std::string eq = std::string(flag) + "=";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == flag && i + 1 < argc) return argv[i + 1];
-    if (arg.rfind(eq, 0) == 0) return arg.substr(eq.size());
-  }
-  return fallback;
+  return *parsed;
 }
 
 /// "h1:p1,h2:p2,..." -> endpoints; returns false on any malformed element.
@@ -123,17 +107,21 @@ int main(int argc, char** argv) {
   obs::TraceSession trace_session(trace::trace_out_from_args(argc, argv));
 
   serve::RouterConfig cfg;
-  cfg.host = flag_string(argc, argv, "--host", "127.0.0.1");
-  cfg.port = static_cast<std::uint16_t>(flag_value(argc, argv, "--port", 0));
-  cfg.shards = static_cast<std::size_t>(flag_value(argc, argv, "--shards", 1));
-  if (cfg.shards == 0) cfg.shards = 1;
-  cfg.placement = flag_string(argc, argv, "--placement", "hash");
-  cfg.connections_per_replica = static_cast<std::size_t>(
-      flag_value(argc, argv, "--conns-per-replica", 2));
-  cfg.max_upstream_batch = static_cast<std::size_t>(
-      flag_value(argc, argv, "--upstream-batch", 64));
+  cfg.host = flag_or_die(
+      trace::string_flag_from_args(argc, argv, "--host", "127.0.0.1"));
+  cfg.port = static_cast<std::uint16_t>(flag_or_die(
+      trace::size_flag_from_args(argc, argv, "--port", 0, 0, 65535)));
+  cfg.shards = flag_or_die(
+      trace::size_flag_from_args(argc, argv, "--shards", 1, 1, 64));
+  cfg.placement = flag_or_die(
+      trace::string_flag_from_args(argc, argv, "--placement", "hash"));
+  cfg.connections_per_replica = flag_or_die(trace::size_flag_from_args(
+      argc, argv, "--conns-per-replica", 2, 1, 256));
+  cfg.max_upstream_batch = flag_or_die(trace::size_flag_from_args(
+      argc, argv, "--upstream-batch", 64, 1, 65536));
 
-  const std::string replicas = flag_string(argc, argv, "--replicas", "");
+  const std::string replicas = flag_or_die(
+      trace::string_flag_from_args(argc, argv, "--replicas", ""));
   if (replicas.empty() || !parse_replicas(replicas, &cfg.replicas)) {
     std::fprintf(stderr,
                  "ipso_router: --replicas HOST:PORT[,HOST:PORT...] is "
