@@ -70,6 +70,7 @@
 
 #include "core/classify.h"
 #include "core/fit.h"
+#include "core/sync.h"
 #include "models/usl.h"
 #include "serve/client.h"
 #include "serve/engine.h"
@@ -93,6 +94,7 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -183,6 +185,49 @@ double peak_rss_mib() {
     }
   }
   return 0.0;
+}
+
+/// Per-named-mutex hold/contention table — the baseline for lock-splitting
+/// work (which locks are fought over, e.g. the per-shard serve.engine mutex
+/// vs the store tiers). Counters exist only under -DIPSO_SYNC_STATS=ON;
+/// default builds print the one-line notice so the absence is visible in
+/// archived bench output rather than ambiguous.
+void print_mutex_profile() {
+  using ipso::sync::MutexProfile;
+  if (!ipso::sync::stats_compiled_in()) {
+    std::printf("\nmutex profile: compiled out "
+                "(rebuild with -DIPSO_SYNC_STATS=ON)\n");
+    return;
+  }
+  // profile() yields one row per mutex *instance* (each shard engine is its
+  // own "serve.engine" row); fold per capability name and report the
+  // instance count so per-shard structure stays visible without a
+  // hundred-row table.
+  struct Agg {
+    std::uint64_t instances = 0, acquisitions = 0, contended = 0,
+                  hold_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const MutexProfile& p : ipso::sync::profile()) {
+    Agg& a = by_name[p.name];
+    ++a.instances;
+    a.acquisitions += p.acquisitions;
+    a.contended += p.contended;
+    a.hold_ns += p.hold_ns;
+  }
+  std::printf("\nmutex profile (IPSO_SYNC_STATS):\n");
+  std::printf("  %-24s %9s %12s %12s %10s %9s\n", "capability", "instances",
+              "acquisitions", "contended", "hold_ms", "contend%");
+  for (const auto& [name, a] : by_name) {
+    if (a.acquisitions == 0) continue;
+    std::printf("  %-24s %9llu %12llu %12llu %10.2f %8.2f%%\n", name.c_str(),
+                static_cast<unsigned long long>(a.instances),
+                static_cast<unsigned long long>(a.acquisitions),
+                static_cast<unsigned long long>(a.contended),
+                static_cast<double>(a.hold_ns) / 1e6,
+                100.0 * static_cast<double>(a.contended) /
+                    static_cast<double>(a.acquisitions));
+  }
 }
 
 int flag_int(int argc, char** argv, const char* flag, int fallback) {
@@ -1160,6 +1205,8 @@ int main(int argc, char** argv) {
       }
     }
   }
+
+  print_mutex_profile();
 
   const double rss = peak_rss_mib();
   std::printf("peak RSS: %.1f MiB\n", rss);

@@ -67,7 +67,7 @@ std::size_t MetricsRegistry::register_name(
     std::unordered_map<std::string, std::size_t>* map,
     std::vector<std::string>* names, const std::string& name,
     std::size_t cap) {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   const auto it = map->find(name);
   if (it != map->end()) return it->second;
   if (names->size() >= cap) return kInvalidInstrument;
@@ -92,7 +92,7 @@ std::size_t MetricsRegistry::histogram_id(const std::string& name) {
 
 MetricsRegistry::Shard& MetricsRegistry::find_or_create_shard() {
   const std::thread::id me = std::this_thread::get_id();
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   for (const auto& s : shards_) {
     if (s->owner == me) return *s;
   }
@@ -133,7 +133,7 @@ void MetricsRegistry::observe(std::size_t histogram, double value) noexcept {
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot out;
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   for (std::size_t i = 0; i < counter_names_.size(); ++i) {
     double total = 0.0;
     for (const auto& s : shards_) {
@@ -160,7 +160,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() noexcept {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   for (auto& g : gauges_) g.store(0.0, std::memory_order_relaxed);
   for (const auto& s : shards_) {
     for (auto& c : s->counters) c.store(0.0, std::memory_order_relaxed);

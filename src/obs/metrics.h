@@ -6,11 +6,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "core/sync.h"
 
 /// \file metrics.h
 /// Lock-cheap metrics for the always-on telemetry layer (ipso::obs).
@@ -96,9 +97,9 @@ class MetricsRegistry {
 
   /// Name -> stable id; the same name always yields the same id. Returns
   /// kInvalidInstrument when the capacity for that kind is exhausted.
-  std::size_t counter_id(const std::string& name);
-  std::size_t gauge_id(const std::string& name);
-  std::size_t histogram_id(const std::string& name);
+  std::size_t counter_id(const std::string& name) IPSO_EXCLUDES(mu_);
+  std::size_t gauge_id(const std::string& name) IPSO_EXCLUDES(mu_);
+  std::size_t histogram_id(const std::string& name) IPSO_EXCLUDES(mu_);
 
   /// Hot-path updates (relaxed atomics; invalid ids are ignored).
   void add(std::size_t counter, double delta) noexcept;
@@ -107,10 +108,10 @@ class MetricsRegistry {
 
   /// Merges every shard. Relaxed reads: a snapshot taken while writers run
   /// is a consistent-enough point-in-time view, not a barrier.
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const IPSO_EXCLUDES(mu_);
 
   /// Zeroes every counter/gauge/histogram cell (names and ids survive).
-  void reset() noexcept;
+  void reset() noexcept IPSO_EXCLUDES(mu_);
 
  private:
   struct Shard {
@@ -123,23 +124,32 @@ class MetricsRegistry {
         hist_buckets{};
   };
 
-  Shard& local_shard() noexcept;
-  Shard& find_or_create_shard();
+  Shard& local_shard() noexcept IPSO_EXCLUDES(mu_);
+  Shard& find_or_create_shard() IPSO_EXCLUDES(mu_);
   std::size_t register_name(std::unordered_map<std::string, std::size_t>* map,
                             std::vector<std::string>* names,
-                            const std::string& name, std::size_t cap);
+                            const std::string& name, std::size_t cap)
+      IPSO_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;  ///< guards the name maps and the shard list
-  std::unordered_map<std::string, std::size_t> counter_ids_;
-  std::unordered_map<std::string, std::size_t> gauge_ids_;
-  std::unordered_map<std::string, std::size_t> histogram_ids_;
-  std::vector<std::string> counter_names_;
-  std::vector<std::string> gauge_names_;
-  std::vector<std::string> histogram_names_;
+  /// Guards the name maps and the shard list (DESIGN.md §13, capability
+  /// "obs.registry" — a leaf: the engine increments instruments while
+  /// holding its own mutex, so nothing here may call back out). Shard
+  /// *contents* are relaxed atomics read while writers run; only the list
+  /// and the name tables need the lock.
+  mutable sync::Mutex mu_;
+  std::unordered_map<std::string, std::size_t> counter_ids_
+      IPSO_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::size_t> gauge_ids_
+      IPSO_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::size_t> histogram_ids_
+      IPSO_GUARDED_BY(mu_);
+  std::vector<std::string> counter_names_ IPSO_GUARDED_BY(mu_);
+  std::vector<std::string> gauge_names_ IPSO_GUARDED_BY(mu_);
+  std::vector<std::string> histogram_names_ IPSO_GUARDED_BY(mu_);
   std::array<std::atomic<double>, kMaxGauges> gauges_{};
   /// Shards live until the registry dies: a worker thread that exits simply
   /// stops writing, and its totals keep contributing to snapshots.
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Shard>> shards_ IPSO_GUARDED_BY(mu_);
 };
 
 #if defined(IPSO_OBS_DISABLED)

@@ -14,7 +14,7 @@ Tracer& Tracer::global() noexcept {
 }
 
 std::uint32_t Tracer::make_track(const std::string& label, bool simulated) {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   if (tracks_.size() >= kMaxTracks) {
     ++dropped_;  // spans for this would-be track count as dropped below too
     return kInvalidTrack;
@@ -37,19 +37,19 @@ std::uint32_t Tracer::thread_track() {
 
 void Tracer::name_thread_track(const std::string& label) {
   const std::uint32_t id = thread_track();
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   if (id < tracks_.size()) tracks_[id].label = label;
 }
 
 void Tracer::record(SpanRecord rec) noexcept {
   if (!enabled() || rec.track == kInvalidTrack) {
     if (rec.track == kInvalidTrack) {
-      std::lock_guard<std::mutex> lk(mu_);
+      sync::MutexLock lk(mu_);
       ++dropped_;
     }
     return;
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(rec));
     return;
@@ -67,7 +67,7 @@ double Tracer::now_us() const noexcept {
 }
 
 std::vector<SpanRecord> Tracer::spans() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   if (ring_.size() < capacity_ || next_ == 0) return ring_;
   // Rotate so the result is in insertion order.
   std::vector<SpanRecord> out;
@@ -80,17 +80,17 @@ std::vector<SpanRecord> Tracer::spans() const {
 }
 
 std::vector<Tracer::TrackInfo> Tracer::tracks() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   return tracks_;
 }
 
 std::uint64_t Tracer::dropped() const noexcept {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   return dropped_;
 }
 
 void Tracer::clear() noexcept {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   ring_.clear();
   next_ = 0;
   dropped_ = 0;

@@ -5,9 +5,10 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "core/sync.h"
 
 /// \file span.h
 /// Structured span tracing (ipso::obs). Spans land in a bounded ring buffer
@@ -58,28 +59,29 @@ class Tracer {
   /// Registers a track. Simulated tracks are capped (kMaxTracks): a sweep
   /// can run a job per track, and an unbounded trace would not load; past
   /// the cap an invalid track is returned and its spans are dropped.
-  std::uint32_t make_track(const std::string& label, bool simulated);
+  std::uint32_t make_track(const std::string& label, bool simulated)
+      IPSO_EXCLUDES(mu_);
 
   /// The calling thread's real-time track (created on first use).
   std::uint32_t thread_track();
 
   /// Names the calling thread's track (e.g. "pool-worker-3").
-  void name_thread_track(const std::string& label);
+  void name_thread_track(const std::string& label) IPSO_EXCLUDES(mu_);
 
   /// Appends to the ring; drops (and counts) when full or the track is
   /// invalid. No-op while obs is disabled.
-  void record(SpanRecord rec) noexcept;
+  void record(SpanRecord rec) noexcept IPSO_EXCLUDES(mu_);
 
   /// Microseconds since the tracer epoch (process start), steady clock.
   double now_us() const noexcept;
 
-  std::vector<SpanRecord> spans() const;
-  std::vector<TrackInfo> tracks() const;
-  std::uint64_t dropped() const noexcept;
+  std::vector<SpanRecord> spans() const IPSO_EXCLUDES(mu_);
+  std::vector<TrackInfo> tracks() const IPSO_EXCLUDES(mu_);
+  std::uint64_t dropped() const noexcept IPSO_EXCLUDES(mu_);
   std::size_t capacity() const noexcept { return capacity_; }
 
   /// Empties the ring and resets the drop counter (tracks survive).
-  void clear() noexcept;
+  void clear() noexcept IPSO_EXCLUDES(mu_);
 
   static constexpr std::size_t kMaxTracks = 4096;
   static constexpr std::uint32_t kInvalidTrack =
@@ -88,11 +90,14 @@ class Tracer {
  private:
   const std::size_t capacity_;
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> ring_;  ///< insertion order; bounded by capacity_
-  std::size_t next_ = 0;          ///< overwrite cursor once full
-  std::uint64_t dropped_ = 0;
-  std::vector<TrackInfo> tracks_;
+  /// DESIGN.md §13, capability "obs.tracer" — a leaf held only over ring
+  /// pushes and snapshots.
+  mutable sync::Mutex mu_;
+  /// Insertion order; bounded by capacity_.
+  std::vector<SpanRecord> ring_ IPSO_GUARDED_BY(mu_);
+  std::size_t next_ IPSO_GUARDED_BY(mu_) = 0;  ///< overwrite cursor once full
+  std::uint64_t dropped_ IPSO_GUARDED_BY(mu_) = 0;
+  std::vector<TrackInfo> tracks_ IPSO_GUARDED_BY(mu_);
 };
 
 #if defined(IPSO_OBS_DISABLED)

@@ -1,5 +1,6 @@
 #include "runtime/exec_pool.h"
 
+#include "core/sync.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -59,7 +60,7 @@ ExecPool::ExecPool(std::size_t threads) {
 
 ExecPool::~ExecPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -69,7 +70,7 @@ ExecPool::~ExecPool() {
 void ExecPool::submit(std::function<void()> task) {
   std::size_t depth;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     queue_.push_back(std::move(task));
     depth = queue_.size();
   }
@@ -81,8 +82,10 @@ void ExecPool::submit(std::function<void()> task) {
 }
 
 void ExecPool::wait_idle() {
-  std::unique_lock<std::mutex> lk(mu_);
-  idle_cv_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+  sync::MutexLock lk(mu_);
+  idle_cv_.wait(mu_, [this]() IPSO_REQUIRES(mu_) {
+    return queue_.empty() && active_ == 0;
+  });
 }
 
 void ExecPool::worker_loop(std::size_t index) {
@@ -96,8 +99,10 @@ void ExecPool::worker_loop(std::size_t index) {
     const auto wait_t0 = observing ? Clock::now() : Clock::time_point{};
     std::size_t depth;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      sync::MutexLock lk(mu_);
+      work_cv_.wait(mu_, [this]() IPSO_REQUIRES(mu_) {
+        return stop_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -125,7 +130,7 @@ void ExecPool::worker_loop(std::size_t index) {
       busy.add(s);
     }
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      sync::MutexLock lk(mu_);
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
@@ -140,9 +145,9 @@ void ExecPool::parallel_for(std::size_t count,
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex mu;
-    std::condition_variable cv;
+    sync::Mutex mu;
+    std::exception_ptr error IPSO_GUARDED_BY(mu);
+    sync::CondVar cv;
   };
   auto shared = std::make_shared<Shared>();
   const auto* body_ptr = &body;
@@ -159,12 +164,12 @@ void ExecPool::parallel_for(std::size_t count,
         if (!shared->failed.load(std::memory_order_relaxed)) (*body_ptr)(i);
       } catch (...) {
         if (!shared->failed.exchange(true)) {
-          std::lock_guard<std::mutex> lk(shared->mu);
+          sync::MutexLock lk(shared->mu);
           shared->error = std::current_exception();
         }
       }
       if (shared->done.fetch_add(1) + 1 == count) {
-        std::lock_guard<std::mutex> lk(shared->mu);
+        sync::MutexLock lk(shared->mu);
         shared->cv.notify_all();
       }
     }
@@ -174,11 +179,21 @@ void ExecPool::parallel_for(std::size_t count,
   for (std::size_t i = 0; i + 1 < helpers; ++i) submit(drain);
   drain();
 
+  // Copy the exception pointer out while still holding the mutex: the old
+  // code read shared->error unlocked after the wait, relying on the cv
+  // barrier alone, which left a window where a late-failing helper's store
+  // to error raced the caller's read (the `failed` flag flips before the
+  // pointer is written). Flagged by thread-safety analysis; see
+  // test_runtime_pool's ParallelForLateThrowRace regression.
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lk(shared->mu);
-    shared->cv.wait(lk, [&] { return shared->done.load() >= count; });
+    sync::MutexLock lk(shared->mu);
+    shared->cv.wait(shared->mu, [&]() IPSO_REQUIRES(shared->mu) {
+      return shared->done.load() >= count;
+    });
+    error = shared->error;
   }
-  if (shared->failed.load()) std::rethrow_exception(shared->error);
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace ipso::runtime

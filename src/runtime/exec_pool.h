@@ -1,12 +1,12 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/sync.h"
 
 /// \file exec_pool.h
 /// A small fixed-size thread pool for the experiment harness. Sweep grids
@@ -23,6 +23,11 @@ namespace ipso::runtime {
 std::size_t default_thread_count(std::size_t requested = 0) noexcept;
 
 /// Fixed-size worker pool with a FIFO task queue.
+///
+/// Lock discipline (DESIGN.md §13, capability "runtime.pool"): `mu_` guards
+/// the queue and the active-task count. It is a leaf in the engine→pool
+/// order: ServeEngine::submit_async calls submit() while holding the engine
+/// mutex, so nothing here may call back into serve.
 class ExecPool {
  public:
   /// Spawns `threads` workers; 0 means default_thread_count().
@@ -36,10 +41,10 @@ class ExecPool {
   std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueues a task for asynchronous execution.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) IPSO_EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no task is running.
-  void wait_idle();
+  void wait_idle() IPSO_EXCLUDES(mu_);
 
   /// Runs body(0) .. body(count-1) across the pool, with the calling thread
   /// participating. Indices are claimed dynamically (chunk size 1), so
@@ -47,17 +52,18 @@ class ExecPool {
   /// finished; if any invocation threw, the first exception is rethrown
   /// here and the remaining unclaimed indices are skipped.
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body)
+      IPSO_EXCLUDES(mu_);
 
  private:
-  void worker_loop(std::size_t index);
+  void worker_loop(std::size_t index) IPSO_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  sync::Mutex mu_{"runtime.pool"};
+  sync::CondVar work_cv_;
+  sync::CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ IPSO_GUARDED_BY(mu_);
+  std::size_t active_ IPSO_GUARDED_BY(mu_) = 0;
+  bool stop_ IPSO_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

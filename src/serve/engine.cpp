@@ -70,7 +70,7 @@ void ServeEngine::submit_async(std::string line,
   auto parsed = parse_request(line);
   if (!parsed) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(mu_);
       ++stats_.received;  // every arrival counts, rejected or not
       ++stats_.parse_errors;
     }
@@ -85,7 +85,7 @@ void ServeEngine::submit_async(std::string line,
   const Clock::time_point admitted_at = Clock::now();
 
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     if (draining_) {
       ++stats_.received;
       ++stats_.rejected_draining;
@@ -132,7 +132,7 @@ void ServeEngine::submit_async(std::string line,
         // not completed — each arrival lands in exactly one outcome bucket
         // (the ServeStats conservation identity).
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          sync::MutexLock lock(mu_);
           ++stats_.deadline_expired;
         }
         instruments().deadline.add();
@@ -149,7 +149,7 @@ void ServeEngine::submit_async(std::string line,
       instruments().latency.observe(
           std::chrono::duration<double>(Clock::now() - admitted_at).count());
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(mu_);
         if (!expired) ++stats_.completed;
         --stats_.queue_depth;
         instruments().queue_depth.set(static_cast<double>(stats_.queue_depth));
@@ -166,7 +166,7 @@ std::string ServeEngine::handle(const std::string& line) {
 
 void ServeEngine::drain() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     draining_ = true;
   }
   pool_.wait_idle();
@@ -176,14 +176,14 @@ void ServeEngine::drain() {
 }
 
 bool ServeEngine::draining() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return draining_;
 }
 
 ServeStats ServeEngine::stats() const {
   ServeStats out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     out = stats_;
   }
   const store::TieredStore::Stats store = store_.stats();

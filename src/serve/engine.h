@@ -10,8 +10,9 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <string>
+
+#include "core/sync.h"
 
 /// \file engine.h
 /// ServeEngine: the embeddable core of the model-serving subsystem. One
@@ -107,7 +108,7 @@ class ServeEngine {
   /// response line (success, error, or rejection) — never throws, never
   /// hangs. Rejections (parse error, overloaded, draining) resolve
   /// immediately on the calling thread.
-  std::future<std::string> submit(std::string line);
+  std::future<std::string> submit(std::string line) IPSO_EXCLUDES(mu_);
 
   /// Callback flavor of submit() for the event-loop front end, which cannot
   /// block on futures. `done` is invoked exactly once with the response
@@ -116,7 +117,8 @@ class ServeEngine {
   /// be cheap and must not re-enter the engine. Every callback for work
   /// admitted before drain() has completed by the time drain() returns.
   void submit_async(std::string line,
-                    std::function<void(std::string)> done);
+                    std::function<void(std::string)> done)
+      IPSO_EXCLUDES(mu_);
 
   /// Synchronous convenience: submit(line).get().
   std::string handle(const std::string& line);
@@ -125,13 +127,13 @@ class ServeEngine {
   /// answered, then flushes the fit store (READY outcomes persist and the
   /// active segment is synced). Idempotent; submits during/after drain get
   /// "draining".
-  void drain();
+  void drain() IPSO_EXCLUDES(mu_);
 
   /// True once drain() has begun.
-  bool draining() const;
+  bool draining() const IPSO_EXCLUDES(mu_);
 
   /// Counter snapshot (includes live cache stats).
-  ServeStats stats() const;
+  ServeStats stats() const IPSO_EXCLUDES(mu_);
 
   /// Full tiered-store snapshot (DRAM + tier-crossing + disk counters).
   store::TieredStore::Stats store_stats() const { return store_.stats(); }
@@ -184,9 +186,12 @@ class ServeEngine {
   models::ModelZoo zoo_;
   runtime::ExecPool pool_;
 
-  mutable std::mutex mu_;  ///< admission state + stats
-  bool draining_ = false;
-  ServeStats stats_;
+  /// Admission state + stats (DESIGN.md §13, capability "serve.engine").
+  /// Order rank 1: held while calling pool_.submit() (engine → pool edge);
+  /// never taken by store, observe, or obs code.
+  mutable sync::Mutex mu_{"serve.engine"};
+  bool draining_ IPSO_GUARDED_BY(mu_) = false;
+  ServeStats stats_ IPSO_GUARDED_BY(mu_);
 };
 
 }  // namespace ipso::serve

@@ -10,7 +10,6 @@
 #include <cerrno>
 #include <chrono>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -90,14 +89,19 @@ struct EventLoopServer::Shard {
   std::thread thread;
 
   // Inbox: filled by other threads (acceptor shard, engine workers,
-  // begin_drain/finish), drained by this shard's loop.
-  std::mutex inbox_mu;
-  std::vector<int> pending_accepts;
-  std::vector<std::uint64_t> completions;
-  bool drain_requested = false;
-  bool finish_requested = false;
+  // begin_drain/finish), drained by this shard's loop. DESIGN.md §13,
+  // capability "serve.net.shard" — a leaf held only over vector swaps and
+  // flag flips.
+  sync::Mutex inbox_mu;
+  std::vector<int> pending_accepts IPSO_GUARDED_BY(inbox_mu);
+  std::vector<std::uint64_t> completions IPSO_GUARDED_BY(inbox_mu);
+  bool drain_requested IPSO_GUARDED_BY(inbox_mu) = false;
+  bool finish_requested IPSO_GUARDED_BY(inbox_mu) = false;
 
-  // Loop-thread-only state.
+  // Loop-thread-only state below: owned by this shard's thread for the
+  // thread's whole lifetime (thread confinement, not locking), so it is
+  // deliberately unannotated.
+
   std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
   bool draining = false;
   bool finishing = false;
@@ -152,7 +156,7 @@ Expected<bool, NetError> EventLoopServer::start() {
   for (auto& shard : shards_) {
     shard->thread = std::thread([this, s = shard.get()] { shard_loop(*s); });
   }
-  started_ = true;
+  started_.store(true, std::memory_order_release);
   return true;
 }
 
@@ -176,10 +180,13 @@ NetStats EventLoopServer::stats() const noexcept {
 }
 
 void EventLoopServer::begin_drain() {
-  if (!started_ || drain_begun_.exchange(true)) return;
+  if (!started_.load(std::memory_order_acquire) ||
+      drain_begun_.exchange(true)) {
+    return;
+  }
   for (auto& shard : shards_) {
     {
-      std::lock_guard<std::mutex> lock(shard->inbox_mu);
+      sync::MutexLock lock(shard->inbox_mu);
       shard->drain_requested = true;
     }
     wake(*shard);
@@ -187,10 +194,13 @@ void EventLoopServer::begin_drain() {
 }
 
 void EventLoopServer::finish() {
-  if (!started_ || finished_.exchange(true)) return;
+  if (!started_.load(std::memory_order_acquire) ||
+      finished_.exchange(true)) {
+    return;
+  }
   for (auto& shard : shards_) {
     {
-      std::lock_guard<std::mutex> lock(shard->inbox_mu);
+      sync::MutexLock lock(shard->inbox_mu);
       shard->finish_requested = true;
     }
     wake(*shard);
@@ -216,7 +226,7 @@ void EventLoopServer::wake(Shard& s) {
 void EventLoopServer::notify_completion(Shard& s, std::uint64_t conn_id) {
   bool need_wake;
   {
-    std::lock_guard<std::mutex> lock(s.inbox_mu);
+    sync::MutexLock lock(s.inbox_mu);
     // Only the push that makes the inbox non-empty must signal: the loop
     // drains the whole inbox per wakeup, so later pushes piggyback.
     need_wake = s.completions.empty();
@@ -276,7 +286,7 @@ void EventLoopServer::shard_loop(Shard& s) {
     bool drain_now = false;
     bool finish_now = false;
     {
-      std::lock_guard<std::mutex> lock(s.inbox_mu);
+      sync::MutexLock lock(s.inbox_mu);
       accepts.swap(s.pending_accepts);
       completions.swap(s.completions);
       drain_now = s.drain_requested;
@@ -342,7 +352,7 @@ void EventLoopServer::handle_accept(Shard& s) {
     } else {
       bool need_wake;
       {
-        std::lock_guard<std::mutex> lock(target.inbox_mu);
+        sync::MutexLock lock(target.inbox_mu);
         need_wake = target.pending_accepts.empty();
         target.pending_accepts.push_back(fd);
       }

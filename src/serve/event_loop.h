@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "core/sync.h"
+
 /// \file event_loop.h
 /// The epoll front end of ipso::serve: N shard threads, each running one
 /// epoll readiness loop over non-blocking sockets. Replaces the PR-4
@@ -132,7 +134,12 @@ class EventLoopServer {
   std::uint16_t port_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> next_conn_id_{2};  ///< 0/1 = wake/listen tags
-  bool started_ = false;
+  /// Atomic, not plain: start() runs on the owning thread but begin_drain()
+  /// and finish() are fair game from any thread (Router::shutdown, signal
+  /// paths), and the old unsynchronized bool was a data race the
+  /// thread-safety migration flagged (see test_serve_framing's
+  /// CrossThreadDrain regression).
+  std::atomic<bool> started_{false};
   std::atomic<bool> drain_begun_{false};
   std::atomic<bool> finished_{false};
 

@@ -34,7 +34,7 @@ ObservationStore::Window& ObservationStore::touch(const std::string& key) {
 
 ObservationStore::ObserveResult ObservationStore::observe(
     const std::string& key, double n, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   ++stats_.observed;
   Window& w = touch(key);
   ObserveResult result;
@@ -88,7 +88,7 @@ ObservationStore::ObserveResult ObservationStore::observe(
 
 std::optional<ObservationStore::WindowSnapshot> ObservationStore::snapshot(
     const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   const auto it = windows_.find(key);
   if (it == windows_.end()) return std::nullopt;
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
@@ -100,7 +100,7 @@ std::optional<ObservationStore::WindowSnapshot> ObservationStore::snapshot(
 
 void ObservationStore::note_fit(const std::string& key, std::uint64_t version,
                                 std::string fit_key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   const auto it = windows_.find(key);
   if (it == windows_.end() || it->second.version != version) return;
   it->second.fit_key = std::move(fit_key);
@@ -108,7 +108,7 @@ void ObservationStore::note_fit(const std::string& key, std::uint64_t version,
 }
 
 ObservationStore::Stats ObservationStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   Stats s = stats_;
   s.keys = windows_.size();
   return s;

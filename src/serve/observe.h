@@ -6,11 +6,12 @@
 #include <cstdint>
 #include <list>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
+
+#include "core/sync.h"
 
 /// \file observe.h
 /// Streaming observation windows — the state behind the serve `observe` op.
@@ -69,7 +70,8 @@ class ObservationStore {
   };
 
   /// Applies one point to `key`'s window (creating the window if needed).
-  ObserveResult observe(const std::string& key, double n, double value);
+  ObserveResult observe(const std::string& key, double n, double value)
+      IPSO_EXCLUDES(mu_);
 
   struct WindowSnapshot {
     stats::Series window{"S(n)"};
@@ -78,14 +80,15 @@ class ObservationStore {
 
   /// Point-in-time copy of a window; nullopt for an unknown key. Refreshes
   /// the key's recency (a compared key is a live key).
-  std::optional<WindowSnapshot> snapshot(const std::string& key);
+  std::optional<WindowSnapshot> snapshot(const std::string& key)
+      IPSO_EXCLUDES(mu_);
 
   /// Records the fit-store key of a zoo fit computed over `key`'s window
   /// at `version`, so the next material observe can invalidate it. Ignored
   /// when the window has already moved past `version` (the fit is stale on
   /// arrival; content-derived store keys make it unreachable anyway).
   void note_fit(const std::string& key, std::uint64_t version,
-                std::string fit_key);
+                std::string fit_key) IPSO_EXCLUDES(mu_);
 
   struct Stats {
     std::size_t keys = 0;          ///< windows currently held
@@ -95,7 +98,7 @@ class ObservationStore {
     std::size_t absorbed = 0;      ///< sub-threshold repeats
     std::size_t evicted_keys = 0;  ///< windows evicted by max_keys pressure
   };
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const IPSO_EXCLUDES(mu_);
 
  private:
   struct Window {
@@ -107,14 +110,17 @@ class ObservationStore {
   };
 
   /// Touches (or creates) `key`'s window and refreshes its LRU recency.
-  /// Caller holds mu_. May evict the least-recently-observed other key.
-  Window& touch(const std::string& key);
+  /// May evict the least-recently-observed other key.
+  Window& touch(const std::string& key) IPSO_REQUIRES(mu_);
 
   ObserveConfig cfg_;
-  mutable std::mutex mu_;
-  std::list<std::string> lru_;  ///< most-recently observed first
-  std::unordered_map<std::string, Window> windows_;
-  Stats stats_;
+  /// DESIGN.md §13, capability "serve.observe" — a leaf: observe/compare
+  /// hold it only over in-memory window mutation, never across store or
+  /// engine calls.
+  mutable sync::Mutex mu_{"serve.observe"};
+  std::list<std::string> lru_ IPSO_GUARDED_BY(mu_);  ///< most recent first
+  std::unordered_map<std::string, Window> windows_ IPSO_GUARDED_BY(mu_);
+  Stats stats_ IPSO_GUARDED_BY(mu_);
 };
 
 }  // namespace ipso::serve

@@ -79,7 +79,7 @@ AffinityPlacement::AffinityPlacement(std::size_t replicas,
       max_pins_(max_pins == 0 ? 64 * 1024 : max_pins) {}
 
 std::size_t AffinityPlacement::replica_for(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   const auto it = pins_.find(std::string(key));
   if (it != pins_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
@@ -97,7 +97,7 @@ std::size_t AffinityPlacement::replica_for(std::string_view key) {
 }
 
 std::size_t AffinityPlacement::pins() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return pins_.size();
 }
 

@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "core/sync.h"
 
 /// \file placement.h
 /// Placement policies for the sharded serving tier: given a routing key
@@ -99,24 +100,29 @@ class AffinityPlacement final : public PlacementPolicy {
  public:
   /// `max_pins` bounds the pin table; 0 picks a generous default.
   explicit AffinityPlacement(std::size_t replicas, std::size_t max_pins = 0);
-  [[nodiscard]] std::size_t replica_for(std::string_view key) override;
+  [[nodiscard]] std::size_t replica_for(std::string_view key) override
+      IPSO_EXCLUDES(mu_);
   [[nodiscard]] const char* name() const noexcept override {
     return "affinity";
   }
 
   /// Current pin-table size (tests assert the bound holds).
-  [[nodiscard]] std::size_t pins() const;
+  [[nodiscard]] std::size_t pins() const IPSO_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
+  /// DESIGN.md §13, capability "serve.placement" — a leaf held only over
+  /// the pin-table lookup/update.
+  mutable sync::Mutex mu_;
   const std::size_t max_pins_;
-  std::size_t next_replica_ = 0;  ///< round-robin cursor for fresh pins
-  std::list<std::string> lru_;    ///< most-recently-pinned first
+  /// Round-robin cursor for fresh pins.
+  std::size_t next_replica_ IPSO_GUARDED_BY(mu_) = 0;
+  /// Most-recently-pinned first.
+  std::list<std::string> lru_ IPSO_GUARDED_BY(mu_);
   struct Pin {
     std::size_t replica;
     std::list<std::string>::iterator lru_it;
   };
-  std::unordered_map<std::string, Pin> pins_;
+  std::unordered_map<std::string, Pin> pins_ IPSO_GUARDED_BY(mu_);
 };
 
 /// Factory for --placement: "hash", "range", or "affinity". Returns null

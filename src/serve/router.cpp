@@ -46,7 +46,7 @@ Expected<bool, NetError> Router::start() {
                     "' (expected hash, range, or affinity)"};
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    sync::MutexLock lock(stats_mu_);
     stats_.per_replica.assign(cfg_.replicas.size(), 0);
   }
   conn_cursor_.clear();
@@ -65,7 +65,7 @@ Expected<bool, NetError> Router::start() {
   if (!started.has_value()) {
     for (auto& up : upstreams_) {
       {
-        std::lock_guard<std::mutex> lock(up->mu);
+        sync::MutexLock lock(up->mu);
         up->stop = true;
       }
       up->cv.notify_all();
@@ -87,7 +87,7 @@ void Router::shutdown() {
   stopping_.store(true, std::memory_order_release);
   for (auto& up : upstreams_) {
     {
-      std::lock_guard<std::mutex> lock(up->mu);
+      sync::MutexLock lock(up->mu);
       up->stop = true;
     }
     up->cv.notify_all();
@@ -103,14 +103,14 @@ const char* Router::placement_name() const noexcept {
 }
 
 RouterStats Router::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  sync::MutexLock lock(stats_mu_);
   return stats_;
 }
 
 void Router::route(std::string record,
                    std::function<void(std::string)> done) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    sync::MutexLock lock(stats_mu_);
     ++stats_.received;
   }
 
@@ -125,7 +125,7 @@ void Router::route(std::string record,
     // text never forks between tiers).
     if (stopping_.load(std::memory_order_acquire)) {
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        sync::MutexLock lock(stats_mu_);
         ++stats_.rejected_draining;
       }
       done(error_response({}, Op::kUnknown, "parse_error", parsed.error()));
@@ -136,14 +136,14 @@ void Router::route(std::string record,
     // shard of the tier, not the tier.
     std::string response = local_stats_response(parsed->id);
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      sync::MutexLock lock(stats_mu_);
       ++stats_.answered_local;
     }
     done(std::move(response));
     return;
   } else if (stopping_.load(std::memory_order_acquire)) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      sync::MutexLock lock(stats_mu_);
       ++stats_.rejected_draining;
     }
     done(error_response(parsed->id, parsed->op, "draining",
@@ -167,7 +167,7 @@ void Router::route(std::string record,
     replica = placement_->replica_for("W:" + parsed->workload_key);
     id = parsed->id;
     op = parsed->op;
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    sync::MutexLock lock(stats_mu_);
     ++stats_.routed_keyed;
     ++stats_.per_replica[replica];
   } else if (parsed.has_value() && parsed->has_observations()) {
@@ -178,7 +178,7 @@ void Router::route(std::string record,
     replica = placement_->replica_for(key);
     id = parsed->id;
     op = parsed->op;
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    sync::MutexLock lock(stats_mu_);
     ++stats_.routed_keyed;
     ++stats_.per_replica[replica];
   } else {
@@ -188,7 +188,7 @@ void Router::route(std::string record,
       id = parsed->id;
       op = parsed->op;
     }
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    sync::MutexLock lock(stats_mu_);
     ++stats_.routed_keyless;
     ++stats_.per_replica[replica];
   }
@@ -199,7 +199,7 @@ void Router::route(std::string record,
   Upstream& up = *upstreams_[replica * cfg_.connections_per_replica + conn];
   bool enqueued = false;
   {
-    std::lock_guard<std::mutex> lock(up.mu);
+    sync::MutexLock lock(up.mu);
     if (!up.stop) {
       up.queue.push_back(
           Upstream::Pending{std::move(record), id, op, std::move(done)});
@@ -213,7 +213,7 @@ void Router::route(std::string record,
   // The worker may already have drained and exited; answering here keeps
   // the "every record gets a response" invariant.
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    sync::MutexLock lock(stats_mu_);
     ++stats_.rejected_draining;
   }
   done(error_response(id, op, "draining",
@@ -225,8 +225,11 @@ void Router::upstream_loop(Upstream& up) {
   for (;;) {
     std::vector<Upstream::Pending> batch;
     {
-      std::unique_lock<std::mutex> lock(up.mu);
-      up.cv.wait(lock, [&] { return up.stop || !up.queue.empty(); });
+      sync::MutexLock lock(up.mu);
+      up.cv.wait(up.mu,
+                 [&]() IPSO_REQUIRES(up.mu) {
+                   return up.stop || !up.queue.empty();
+                 });
       if (up.queue.empty()) return;  // stop && drained
       while (!up.queue.empty() && batch.size() < cfg_.max_upstream_batch) {
         batch.push_back(std::move(up.queue.front()));
@@ -239,7 +242,7 @@ void Router::upstream_loop(Upstream& up) {
       auto connected = up.client.connect(endpoint.host, endpoint.port);
       ok = connected.has_value();
       if (ok) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        sync::MutexLock lock(stats_mu_);
         ++stats_.reconnects;
       }
     }
@@ -254,7 +257,7 @@ void Router::upstream_loop(Upstream& up) {
       // responses and the connection is abandoned.
       if (responses.has_value() && responses->size() == batch.size()) {
         {
-          std::lock_guard<std::mutex> lock(stats_mu_);
+          sync::MutexLock lock(stats_mu_);
           ++stats_.upstream_batches;
         }
         for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -266,7 +269,7 @@ void Router::upstream_loop(Upstream& up) {
     }
 
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      sync::MutexLock lock(stats_mu_);
       stats_.upstream_errors += batch.size();
     }
     const std::string detail = "replica " + endpoint.host + ":" +

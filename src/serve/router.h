@@ -8,16 +8,16 @@
 #include "serve/transport.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "core/sync.h"
 
 /// \file router.h
 /// ipso::serve::Router — the sharded serving tier's front door. A thin
@@ -109,7 +109,7 @@ class Router {
   /// threads. Idempotent.
   void shutdown();
 
-  [[nodiscard]] RouterStats stats() const;
+  [[nodiscard]] RouterStats stats() const IPSO_EXCLUDES(stats_mu_);
 
   /// Front-end event-loop counters.
   [[nodiscard]] NetStats net_stats() const noexcept { return loop_.stats(); }
@@ -122,23 +122,26 @@ class Router {
   /// worker thread that drains a FIFO of pending records in batches.
   struct Upstream {
     std::size_t replica = 0;  ///< index into cfg_.replicas
-    Client client{Proto::kBinary};
-    std::mutex mu;
-    std::condition_variable cv;
+    Client client{Proto::kBinary};  ///< worker-thread-only (no lock needed)
+    /// DESIGN.md §13, capability "serve.router.upstream" — a leaf guarding
+    /// one connection's FIFO; never held across the socket write.
+    sync::Mutex mu;
+    sync::CondVar cv;
     struct Pending {
       std::string record;
       std::string id;          ///< parsed request id (for error responses)
       Op op = Op::kUnknown;    ///< parsed op (ditto)
       std::function<void(std::string)> done;
     };
-    std::deque<Pending> queue;
-    bool stop = false;
+    std::deque<Pending> queue IPSO_GUARDED_BY(mu);
+    bool stop IPSO_GUARDED_BY(mu) = false;
     std::thread worker;
   };
 
   /// The front end's RequestHandler: parse, place, enqueue (or answer
   /// locally).
-  void route(std::string record, std::function<void(std::string)> done);
+  void route(std::string record, std::function<void(std::string)> done)
+      IPSO_EXCLUDES(stats_mu_);
 
   /// Worker-thread body for one upstream connection.
   void upstream_loop(Upstream& up);
@@ -156,8 +159,10 @@ class Router {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> shut_down_{false};
 
-  mutable std::mutex stats_mu_;
-  RouterStats stats_;
+  /// DESIGN.md §13, capability "serve.router.stats" — a leaf held only
+  /// over counter bumps and snapshots.
+  mutable sync::Mutex stats_mu_{"serve.router.stats"};
+  RouterStats stats_ IPSO_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace ipso::serve

@@ -52,7 +52,7 @@ FitCache::Result FitCache::get_or_compute(
     const std::string& key, const std::function<FitOutcome()>& compute) {
   std::shared_ptr<Entry> entry;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       entry = it->second;
@@ -64,11 +64,14 @@ FitCache::Result FitCache::get_or_compute(
       }
       // Coalesce: another request is fitting this key right now.
       ++stats_.coalesced;
-      ready_cv_.wait(lock, [&] { return entry->ready; });
+      ready_cv_.wait(mu_, [&]() IPSO_REQUIRES(mu_) { return entry->ready; });
       const FitOutcomePtr outcome = entry->outcome;
-      if (coalesce_wake_hook_) {
+      // The hook may call back into the cache, so it runs unlocked; the
+      // copy keeps the hook itself from racing its setter.
+      const std::function<void()> wake_hook = coalesce_wake_hook_;
+      if (wake_hook) {
         lock.unlock();
-        coalesce_wake_hook_();
+        wake_hook();
         lock.lock();
       }
       // A follower is a consumer too: refresh the key's LRU recency so a
@@ -104,7 +107,7 @@ FitCache::Result FitCache::get_or_compute(
   std::vector<std::pair<std::string, FitOutcomePtr>> evicted;
   std::function<void(const std::string&, FitOutcomePtr)> evict_hook;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     evict_hook = evict_hook_;
     entry->outcome = outcome;
     entry->ready = true;
@@ -145,7 +148,7 @@ FitCache::Result FitCache::get_or_compute(
 }
 
 FitCache::Stats FitCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   Stats s = stats_;
   s.size = lru_.size();
   return s;
@@ -153,7 +156,7 @@ FitCache::Stats FitCache::stats() const {
 
 std::vector<std::pair<std::string, FitOutcomePtr>> FitCache::snapshot_ready()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   std::vector<std::pair<std::string, FitOutcomePtr>> out;
   out.reserve(lru_.size());
   for (const std::string& key : lru_) {
@@ -167,23 +170,23 @@ std::vector<std::pair<std::string, FitOutcomePtr>> FitCache::snapshot_ready()
 
 void FitCache::set_evict_hook(
     std::function<void(const std::string&, FitOutcomePtr)> hook) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   evict_hook_ = std::move(hook);
 }
 
 void FitCache::set_admission_filter(
     std::function<bool(const std::string&, const std::string&)> filter) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   admission_filter_ = std::move(filter);
 }
 
 void FitCache::set_coalesce_wake_hook(std::function<void()> hook) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   coalesce_wake_hook_ = std::move(hook);
 }
 
 bool FitCache::erase(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end() || !it->second->ready) return false;
   lru_.erase(it->second->lru_it);
@@ -193,7 +196,7 @@ bool FitCache::erase(const std::string& key) {
 }
 
 void FitCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   // Pending entries stay in the map (their leaders will publish and then
   // find themselves evicted-on-arrival if clear ran in between); ready
   // entries drop now.

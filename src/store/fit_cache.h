@@ -3,16 +3,16 @@
 #include "core/domain.h"
 #include "core/fit.h"
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "core/sync.h"
 
 /// \file fit_cache.h
 /// The DRAM tier (tier 0) of the fit store: an LRU cache keyed by a
@@ -80,7 +80,8 @@ class FitCache {
   /// Returns the cached outcome for `key`, or runs `compute` (exactly once
   /// across all concurrent callers of the same key) and caches it.
   Result get_or_compute(const std::string& key,
-                        const std::function<FitOutcome()>& compute);
+                        const std::function<FitOutcome()>& compute)
+      IPSO_EXCLUDES(mu_);
 
   struct Stats {
     std::size_t hits = 0;
@@ -89,30 +90,32 @@ class FitCache {
     std::size_t evictions = 0;
     std::size_t size = 0;       ///< READY entries currently cached
   };
-  Stats stats() const;
+  Stats stats() const IPSO_EXCLUDES(mu_);
 
   /// Configured capacity (READY entries retained).
   std::size_t capacity() const noexcept { return capacity_; }
 
   /// Drops every READY entry (pending fits publish into an empty cache).
   /// Does not fire the evict hook.
-  void clear();
+  void clear() IPSO_EXCLUDES(mu_);
 
   /// Drops one READY entry by key; returns true when it was present.
   /// Pending entries are untouched (their leader publishes normally).
   /// Deliberately does not fire the evict hook: invalidation supersedes a
   /// fit, and superseded data must not be spilled to the persistent tier.
-  bool erase(const std::string& key);
+  bool erase(const std::string& key) IPSO_EXCLUDES(mu_);
 
   /// Point-in-time copy of every READY (key, outcome) pair, most recent
   /// first. The flush path of the tiered store.
-  std::vector<std::pair<std::string, FitOutcomePtr>> snapshot_ready() const;
+  std::vector<std::pair<std::string, FitOutcomePtr>> snapshot_ready() const
+      IPSO_EXCLUDES(mu_);
 
   /// Demotion callback: every READY entry evicted by capacity pressure is
   /// handed over with no cache lock held (the hook may do I/O, and may be
   /// invoked concurrently from different leader threads).
   void set_evict_hook(
-      std::function<void(const std::string&, FitOutcomePtr)> hook);
+      std::function<void(const std::string&, FitOutcomePtr)> hook)
+      IPSO_EXCLUDES(mu_);
 
   /// Admission filter, consulted when publishing a new entry overflows the
   /// cache: admit(incoming, victim) == false evicts the *incoming* key
@@ -122,32 +125,46 @@ class FitCache {
   void set_admission_filter(
       std::function<bool(const std::string& incoming,
                          const std::string& victim)>
-          filter);
+          filter) IPSO_EXCLUDES(mu_);
 
   /// Test hook: runs on a *follower* thread after its leader publishes but
   /// before the follower refreshes the key's LRU recency, with the cache
   /// lock released (so the hook may call back into the cache). Lets tests
   /// deterministically interleave an insertion into that window; never set
   /// in production. Mirrors ServeConfig::fit_hook.
-  void set_coalesce_wake_hook(std::function<void()> hook);
+  void set_coalesce_wake_hook(std::function<void()> hook)
+      IPSO_EXCLUDES(mu_);
 
  private:
+  /// Entry fields are guarded by the cache's mu_ as well (every access in
+  /// fit_cache.cpp is under the lock), but the analysis cannot express
+  /// "guarded by the owning container's mutex" for a heap-shared node, so
+  /// the discipline is documented here and enforced by review + TSan.
   struct Entry {
     FitOutcomePtr outcome;  ///< null while the leader is computing
     bool ready = false;
     std::list<std::string>::iterator lru_it{};  ///< valid iff ready
   };
 
-  mutable std::mutex mu_;
-  std::condition_variable ready_cv_;
+  /// DESIGN.md §13, capability "store.cache", order rank 2: held while the
+  /// admission filter runs (which takes the TieredStore mutex — the
+  /// cache → store edge), and taken by TieredStore flush/invalidate paths
+  /// that never hold their own mutex at that point. Never held across
+  /// compute() or the evict hook.
+  mutable sync::Mutex mu_{"store.cache"};
+  sync::CondVar ready_cv_;
   const std::size_t capacity_;
-  std::function<void()> coalesce_wake_hook_;  ///< test-only; see setter
-  std::function<void(const std::string&, FitOutcomePtr)> evict_hook_;
+  /// Test-only; see setter.
+  std::function<void()> coalesce_wake_hook_ IPSO_GUARDED_BY(mu_);
+  std::function<void(const std::string&, FitOutcomePtr)> evict_hook_
+      IPSO_GUARDED_BY(mu_);
   std::function<bool(const std::string&, const std::string&)>
-      admission_filter_;
-  std::list<std::string> lru_;  ///< most-recent first; READY keys only
-  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
-  Stats stats_;
+      admission_filter_ IPSO_GUARDED_BY(mu_);
+  /// Most-recent first; READY keys only.
+  std::list<std::string> lru_ IPSO_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::shared_ptr<Entry>> entries_
+      IPSO_GUARDED_BY(mu_);
+  Stats stats_ IPSO_GUARDED_BY(mu_);
 };
 
 }  // namespace ipso::store

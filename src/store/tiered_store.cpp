@@ -41,7 +41,7 @@ TieredStore::TieredStore(TieredStoreConfig cfg)
     });
     cache_.set_admission_filter(
         [this](const std::string& incoming, const std::string& victim) {
-          std::lock_guard<std::mutex> lock(mu_);
+          sync::MutexLock lock(mu_);
           return sketch_.estimate(incoming) >= sketch_.estimate(victim);
         });
   }
@@ -52,7 +52,7 @@ TieredStore::~TieredStore() { flush(); }
 IoStatus TieredStore::open() {
   if (!has_disk_) return {};
   obs::ScopedSpan span("store recover", "store");
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   const IoStatus st = disk_.open();
   if (st) {
     const DiskTierStats& d = disk_.stats();
@@ -69,7 +69,7 @@ IoStatus TieredStore::open() {
 TieredStore::Result TieredStore::get_or_compute(
     const std::string& key, const std::function<FitOutcome()>& compute) {
   if (has_disk_) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     sketch_.record(key);
   }
 
@@ -80,18 +80,18 @@ TieredStore::Result TieredStore::get_or_compute(
     if (has_disk_) {
       std::optional<std::string> bytes;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(mu_);
         bytes = disk_.get(key);
       }
       if (bytes) {
         if (auto fits = decode_factor_fits(*bytes)) {
           instruments().promoted.add();
-          std::lock_guard<std::mutex> lock(mu_);
+          sync::MutexLock lock(mu_);
           ++tier_.disk_hits;
           disk_hit = true;
           return FitOutcome{std::move(*fits)};
         }
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(mu_);
         ++tier_.decode_failures;
       }
     }
@@ -105,7 +105,7 @@ TieredStore::Result TieredStore::get_or_compute(
 void TieredStore::spill(const std::string& key, const FitOutcomePtr& outcome) {
   // Only successful fits carry measurement value; errors recompute cheaply.
   if (!outcome || !outcome->fits.has_value()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   if (!disk_.is_open()) return;
   if (sketch_.estimate(key) < cfg_.spill_min_freq) {
     ++tier_.spill_rejected;
@@ -124,7 +124,7 @@ void TieredStore::flush() {
   if (!has_disk_) return;
   obs::ScopedSpan span("store flush", "store");
   const auto ready = cache_.snapshot_ready();
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   if (!disk_.is_open()) return;
   for (const auto& [key, outcome] : ready) {
     if (!outcome || !outcome->fits.has_value()) continue;
@@ -142,7 +142,7 @@ bool TieredStore::invalidate(const std::string& key) {
   const bool dram = cache_.erase(key);
   bool disk = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     if (has_disk_ && disk_.is_open()) disk = disk_.invalidate(key) > 0;
     if (dram || disk) ++tier_.invalidations;
   }
@@ -154,7 +154,7 @@ void TieredStore::clear_memory() { cache_.clear(); }
 TieredStore::Stats TieredStore::stats() const {
   Stats s;
   s.cache = cache_.stats();
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   s.tier = tier_;
   s.disk = disk_.stats();
   s.persistent = has_disk_;
@@ -163,7 +163,7 @@ TieredStore::Stats TieredStore::stats() const {
 
 std::size_t TieredStore::fits_performed() const {
   const std::size_t misses = cache_.stats().misses;
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return misses - std::min(misses, tier_.disk_hits);
 }
 

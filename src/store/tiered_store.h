@@ -7,8 +7,9 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "core/sync.h"
 
 /// \file tiered_store.h
 /// The store facade the serve layer talks to: tier 0 is the DRAM FitCache
@@ -64,7 +65,7 @@ class TieredStore {
   /// Opens (or creates) the disk tier when store_dir is set. Returns the
   /// recovery outcome; a DRAM-only store trivially succeeds. Corrupt
   /// records are counted, never an error. Call once before serving.
-  [[nodiscard]] IoStatus open();
+  [[nodiscard]] IoStatus open() IPSO_EXCLUDES(mu_);
 
   struct Result {
     FitOutcomePtr outcome;
@@ -75,12 +76,13 @@ class TieredStore {
 
   /// The single lookup entry point: DRAM, then disk, then `compute`.
   Result get_or_compute(const std::string& key,
-                        const std::function<FitOutcome()>& compute);
+                        const std::function<FitOutcome()>& compute)
+      IPSO_EXCLUDES(mu_);
 
   /// Persists every READY DRAM outcome (unlike eviction spills this is
   /// not frequency-gated: an explicit flush keeps everything) and syncs.
   /// The drain path of the serve engine, and the destructor's last act.
-  void flush();
+  void flush() IPSO_EXCLUDES(mu_);
 
   /// Drops the DRAM tier only (persisted records survive — this is what
   /// makes the bench's warm phase honest: byte-identical responses must
@@ -92,7 +94,7 @@ class TieredStore {
   /// path calls this when a workload's window changes materially — the
   /// superseded window's fit must not survive anywhere, so the next
   /// compare is a genuine refit. Returns true when anything was dropped.
-  bool invalidate(const std::string& key);
+  bool invalidate(const std::string& key) IPSO_EXCLUDES(mu_);
 
   struct Stats {
     FitCache::Stats cache;
@@ -100,7 +102,7 @@ class TieredStore {
     DiskTierStats disk;
     bool persistent = false;
   };
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const IPSO_EXCLUDES(mu_);
 
   [[nodiscard]] std::size_t cache_capacity() const noexcept {
     return cache_.capacity();
@@ -109,22 +111,27 @@ class TieredStore {
 
   /// Fits actually computed: DRAM misses minus the misses the disk tier
   /// absorbed. The warm-restart contract ("no re-fit") is this == 0.
-  [[nodiscard]] std::size_t fits_performed() const;
+  [[nodiscard]] std::size_t fits_performed() const IPSO_EXCLUDES(mu_);
 
   /// Test hook, forwarded to the DRAM tier (see FitCache).
   void set_coalesce_wake_hook(std::function<void()> hook);
 
  private:
-  void spill(const std::string& key, const FitOutcomePtr& outcome);
+  void spill(const std::string& key, const FitOutcomePtr& outcome)
+      IPSO_EXCLUDES(mu_);
 
   TieredStoreConfig cfg_;
   FitCache cache_;
   bool has_disk_ = false;
 
-  mutable std::mutex mu_;  ///< guards disk_, sketch_, tier_ (never cache_)
-  DiskTier disk_;
-  FrequencySketch sketch_;
-  TierStats tier_;
+  /// Guards disk_, sketch_, tier_ — never cache_. DESIGN.md §13,
+  /// capability "store.tiered", order rank 3: acquired *inside* the DRAM
+  /// tier's "store.cache" lock (the admission filter runs under it), so no
+  /// store-mutex holder may ever call back into cache_.
+  mutable sync::Mutex mu_{"store.tiered"};
+  DiskTier disk_ IPSO_GUARDED_BY(mu_);
+  FrequencySketch sketch_ IPSO_GUARDED_BY(mu_);
+  TierStats tier_ IPSO_GUARDED_BY(mu_);
 };
 
 }  // namespace ipso::store

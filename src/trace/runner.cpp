@@ -160,12 +160,12 @@ SparkSweepPoint run_spark_point(
 ExperimentRunner::ExperimentRunner(RunnerConfig cfg) : pool_(cfg.threads) {}
 
 void ExperimentRunner::on_progress(ProgressCallback cb) {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   progress_ = std::move(cb);
 }
 
 RunnerMetrics ExperimentRunner::metrics() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  sync::MutexLock lk(mu_);
   return metrics_;
 }
 
@@ -177,11 +177,11 @@ void ExperimentRunner::record_task(const std::string& sweep_label, double n,
   // stream observes `completed` (and the metrics snapshot) strictly
   // increasing; mu_ is only held for the counter update, so the callback is
   // free to call metrics() without self-deadlocking.
-  std::lock_guard<std::mutex> progress_lk(progress_mu_);
+  sync::MutexLock progress_lk(progress_mu_);
   TaskEvent ev{sweep_label, n, rep, 0, total, wall_seconds, {}};
   ProgressCallback cb;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     ++metrics_.tasks_completed;
     metrics_.busy_seconds += wall_seconds;
     ++*completed;
@@ -267,7 +267,7 @@ MrSweepResult ExperimentRunner::run_mr_sweep(const mr::MrWorkloadSpec& workload,
   }
 
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     ++metrics_.sweeps_run;
     metrics_.wall_seconds += seconds_since(sweep_t0);
   }
@@ -333,7 +333,7 @@ SparkSweepResult ExperimentRunner::run_spark_sweep(
   }
 
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    sync::MutexLock lk(mu_);
     ++metrics_.sweeps_run;
     metrics_.wall_seconds += seconds_since(sweep_t0);
   }

@@ -5,8 +5,9 @@
 
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <string>
+
+#include "core/sync.h"
 
 /// \file runner.h
 /// ExperimentRunner: the parallel sweep engine behind every experiment in
@@ -65,7 +66,7 @@ class ExperimentRunner {
   /// events carry strictly increasing `completed` and metrics snapshots.
   /// The callback may call metrics() — the counters are guarded by a
   /// different mutex than the one serializing delivery.
-  void on_progress(ProgressCallback cb);
+  void on_progress(ProgressCallback cb) IPSO_EXCLUDES(mu_);
 
   /// Resolved worker-thread count.
   std::size_t threads() const noexcept { return pool_.size(); }
@@ -84,22 +85,27 @@ class ExperimentRunner {
       const sim::ClusterConfig& base, const SparkSweepConfig& sweep);
 
   /// Snapshot of the aggregate counters.
-  RunnerMetrics metrics() const;
+  RunnerMetrics metrics() const IPSO_EXCLUDES(mu_);
 
  private:
   void record_task(const std::string& sweep_label, double n, std::size_t rep,
                    std::size_t total, std::size_t* completed,
-                   double wall_seconds);
+                   double wall_seconds) IPSO_EXCLUDES(progress_mu_, mu_);
 
   runtime::ExecPool pool_;
   /// Outer delivery lock: held across counter update + snapshot + callback,
-  /// so events arrive serialized and in counter order.
-  std::mutex progress_mu_;
+  /// so events arrive serialized and in counter order. Guards no fields by
+  /// design — it exists purely to order deliveries, so the guarded-by audit
+  /// is waived for it. DESIGN.md §13, capability "trace.progress", acquired
+  /// strictly before mu_.
+  sync::Mutex progress_mu_  // NOLINT(guarded-by-audit): pure delivery-ordering lock; state lives under mu_
+      IPSO_ACQUIRED_BEFORE(mu_);
   /// Inner state lock (metrics_ and progress_). Never held while the user
   /// callback runs, so a callback may call metrics() without deadlocking.
-  mutable std::mutex mu_;
-  ProgressCallback progress_;
-  RunnerMetrics metrics_;
+  /// DESIGN.md §13, capability "trace.runner".
+  mutable sync::Mutex mu_;
+  ProgressCallback progress_ IPSO_GUARDED_BY(mu_);
+  RunnerMetrics metrics_ IPSO_GUARDED_BY(mu_);
 };
 
 }  // namespace ipso::trace

@@ -61,6 +61,30 @@ TEST(ExecPool, ParallelForPropagatesException) {
   EXPECT_EQ(counter.load(), 10);
 }
 
+TEST(ExecPool, ParallelForLateThrowRace) {
+  // Regression for an unguarded read found by thread-safety analysis:
+  // parallel_for used to read the shared exception slot after the
+  // completion wait with no lock held, racing a helper whose throw landed
+  // on the final index (the `failed` flag flips before the pointer is
+  // written). The error is now copied out under the mutex. Throwing on the
+  // *last* index maximizes the window; TSan (CI matrix) sees the write
+  // unsynchronized if the fix regresses.
+  runtime::ExecPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    constexpr std::size_t kCount = 64;
+    bool threw = false;
+    try {
+      pool.parallel_for(kCount, [](std::size_t i) {
+        if (i == kCount - 1) throw std::runtime_error("late boom");
+      });
+    } catch (const std::runtime_error& e) {
+      threw = true;
+      EXPECT_STREQ(e.what(), "late boom");
+    }
+    EXPECT_TRUE(threw) << "round " << round;
+  }
+}
+
 TEST(ExecPool, SingleWorkerPoolCompletes) {
   runtime::ExecPool pool(1);
   std::atomic<int> counter{0};

@@ -7,12 +7,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <future>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
+
+#include "core/sync.h"
 #include <vector>
 
 namespace ipso::serve {
@@ -256,8 +256,8 @@ TEST(ServeEngine, CacheHitsSkipTheFit) {
 
 TEST(ServeEngine, ConcurrentIdenticalFitsCoalesceToOneFit) {
   constexpr int kClients = 4;
-  std::mutex mu;
-  std::condition_variable cv;
+  ipso::sync::Mutex mu;
+  ipso::sync::CondVar cv;
   bool release = false;
   std::atomic<int> fits{0};
 
@@ -265,8 +265,8 @@ TEST(ServeEngine, ConcurrentIdenticalFitsCoalesceToOneFit) {
   cfg.threads = kClients;
   cfg.fit_hook = [&] {
     fits.fetch_add(1);
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return release; });
+    ipso::sync::MutexLock lock(mu);
+    cv.wait(mu, [&] { return release; });
   };
   ServeEngine engine(cfg);
 
@@ -281,7 +281,7 @@ TEST(ServeEngine, ConcurrentIdenticalFitsCoalesceToOneFit) {
   })) << "followers never coalesced; coalesced="
       << engine.stats().coalesced;
   {
-    std::lock_guard<std::mutex> lock(mu);
+    ipso::sync::MutexLock lock(mu);
     release = true;
   }
   cv.notify_all();
@@ -331,16 +331,16 @@ TEST(ServeEngine, ResponsesByteIdenticalAcrossThreadCounts) {
 }
 
 TEST(ServeEngine, OverloadSheddingIsBoundedAndImmediate) {
-  std::mutex mu;
-  std::condition_variable cv;
+  ipso::sync::Mutex mu;
+  ipso::sync::CondVar cv;
   bool release = false;
 
   ServeConfig cfg;
   cfg.threads = 1;
   cfg.queue_capacity = 2;
   cfg.fit_hook = [&] {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return release; });
+    ipso::sync::MutexLock lock(mu);
+    cv.wait(mu, [&] { return release; });
   };
   ServeEngine engine(cfg);
 
@@ -356,7 +356,7 @@ TEST(ServeEngine, OverloadSheddingIsBoundedAndImmediate) {
   EXPECT_LE(engine.stats().peak_queue_depth, cfg.queue_capacity);
 
   {
-    std::lock_guard<std::mutex> lock(mu);
+    ipso::sync::MutexLock lock(mu);
     release = true;
   }
   cv.notify_all();
@@ -365,15 +365,15 @@ TEST(ServeEngine, OverloadSheddingIsBoundedAndImmediate) {
 }
 
 TEST(ServeEngine, DrainCompletesAdmittedAndRejectsNew) {
-  std::mutex mu;
-  std::condition_variable cv;
+  ipso::sync::Mutex mu;
+  ipso::sync::CondVar cv;
   bool release = false;
 
   ServeConfig cfg;
   cfg.threads = 1;
   cfg.fit_hook = [&] {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return release; });
+    ipso::sync::MutexLock lock(mu);
+    cv.wait(mu, [&] { return release; });
   };
   ServeEngine engine(cfg);
 
@@ -390,7 +390,7 @@ TEST(ServeEngine, DrainCompletesAdmittedAndRejectsNew) {
   EXPECT_GE(engine.stats().rejected_draining, 1u);
 
   {
-    std::lock_guard<std::mutex> lock(mu);
+    ipso::sync::MutexLock lock(mu);
     release = true;
   }
   cv.notify_all();
@@ -411,8 +411,8 @@ TEST(ServeEngine, DrainCompletesAdmittedAndRejectsNew) {
 }
 
 TEST(ServeEngine, QueueDeadlineExpiresUnstartedRequests) {
-  std::mutex mu;
-  std::condition_variable cv;
+  ipso::sync::Mutex mu;
+  ipso::sync::CondVar cv;
   bool release = false;
   std::atomic<int> fits{0};
 
@@ -421,8 +421,8 @@ TEST(ServeEngine, QueueDeadlineExpiresUnstartedRequests) {
   cfg.fit_hook = [&] {
     // Only the first fit blocks; the deadline victim must never get here.
     if (fits.fetch_add(1) == 0) {
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] { return release; });
+      ipso::sync::MutexLock lock(mu);
+      cv.wait(mu, [&] { return release; });
     }
   };
   ServeEngine engine(cfg);
@@ -436,7 +436,7 @@ TEST(ServeEngine, QueueDeadlineExpiresUnstartedRequests) {
 
   std::this_thread::sleep_for(20ms);  // let the deadline lapse in-queue
   {
-    std::lock_guard<std::mutex> lock(mu);
+    ipso::sync::MutexLock lock(mu);
     release = true;
   }
   cv.notify_all();
@@ -453,8 +453,8 @@ TEST(ServeEngine, StatsConserveAcrossEveryOutcome) {
   // ServeStats conservation identity: received == completed +
   // deadline_expired + overloaded + rejected_draining + parse_errors once
   // the queue is empty.
-  std::mutex mu;
-  std::condition_variable cv;
+  ipso::sync::Mutex mu;
+  ipso::sync::CondVar cv;
   bool release = false;
   std::atomic<int> fits{0};
 
@@ -463,8 +463,8 @@ TEST(ServeEngine, StatsConserveAcrossEveryOutcome) {
   cfg.queue_capacity = 2;
   cfg.fit_hook = [&] {
     if (fits.fetch_add(1) == 0) {
-      std::unique_lock<std::mutex> lock(mu);
-      cv.wait(lock, [&] { return release; });
+      ipso::sync::MutexLock lock(mu);
+      cv.wait(mu, [&] { return release; });
     }
   };
   ServeEngine engine(cfg);
@@ -484,7 +484,7 @@ TEST(ServeEngine, StatsConserveAcrossEveryOutcome) {
 
   std::this_thread::sleep_for(20ms);  // let the victim's deadline lapse
   {
-    std::lock_guard<std::mutex> lock(mu);
+    ipso::sync::MutexLock lock(mu);
     release = true;
   }
   cv.notify_all();

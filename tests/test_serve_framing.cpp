@@ -7,6 +7,7 @@
 
 #include "serve/client.h"
 #include "serve/engine.h"
+#include "serve/event_loop.h"
 #include "serve/framing.h"
 #include "serve/proto.h"
 #include "serve/server.h"
@@ -575,6 +576,34 @@ TEST_F(ServeWireTest, NetStatsCountFramesAndBytes) {
   EXPECT_GT(stats.bytes_out, 0u);
   EXPECT_GE(stats.connections_accepted, 1u);
   EXPECT_EQ(server_->connections_accepted(), stats.connections_accepted);
+}
+
+TEST(EventLoop, CrossThreadDrainRegression) {
+  // Regression for an unguarded access found by thread-safety analysis:
+  // EventLoopServer::started_ was a plain bool written by start() and read
+  // by begin_drain()/finish(), which Router::shutdown and signal paths run
+  // from other threads. It is atomic now; this test drives exactly that
+  // cross-thread shape so the TSan leg of the CI matrix catches a
+  // regression to the unsynchronized bool.
+  ServeEngine engine((ServeConfig{}));
+  EventLoopConfig cfg;
+  cfg.shards = 2;
+  EventLoopServer server(
+      [&engine](std::string record, std::function<void(std::string)> done) {
+        engine.submit_async(std::move(record), std::move(done));
+      },
+      cfg);
+  ASSERT_TRUE(server.start().has_value());
+
+  std::thread stopper([&server] {
+    server.begin_drain();
+    server.finish();
+  });
+  stopper.join();
+
+  // Idempotent from the owning thread afterwards.
+  server.begin_drain();
+  server.finish();
 }
 
 }  // namespace

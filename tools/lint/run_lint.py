@@ -45,6 +45,23 @@ examples may use the banned constructs as assertions):
                              stdio (printf/fputs) is not file I/O and does
                              not match; qualified names like
                              AppendFile::open don't either.
+  naked-std-mutex            no raw std::mutex / std::shared_mutex /
+                             std::condition_variable / std::lock_guard /
+                             std::unique_lock (and friends) outside
+                             src/core/sync.h: all locking goes through the
+                             ipso::sync wrappers so clang Thread Safety
+                             Analysis sees every acquisition. Unlike most
+                             rules this one covers tests and benches too —
+                             an unannotated mutex anywhere is invisible to
+                             the analysis.
+  guarded-by-audit           every ipso::sync::Mutex / SharedMutex member
+                             in src/ must guard at least one field
+                             (IPSO_GUARDED_BY / IPSO_PT_GUARDED_BY naming
+                             it in the same file) or carry an explicit
+                             NOLINT(guarded-by-audit): reason on its
+                             declaration line. A mutex that guards nothing
+                             is either dead weight or undocumented
+                             discipline; both deserve a sentence.
 
 Usage:
   tools/lint/run_lint.py                 # run the Python rules
@@ -153,6 +170,33 @@ _NOLINT_OK = re.compile(r"NOLINT(NEXTLINE)?\([a-zA-Z0-9.,_-]+\)\s*:\s*\S")
 _NOLINT_ANY = re.compile(r"NOLINT\w*")
 
 
+# Guarded-by audit: for every sync::Mutex/SharedMutex *member* declaration,
+# the same file must annotate at least one field IPSO_GUARDED_BY /
+# IPSO_PT_GUARDED_BY with exactly that mutex name, or the declaration line
+# must carry NOLINT(guarded-by-audit): reason (the nolint-audit rule then
+# enforces that the reason is real). References (`sync::Mutex&` parameters)
+# are not declarations and do not match.
+class GuardedByAuditRule(Rule):
+    def check_text(self, path: Path, text: str) -> list[Finding]:
+        searchable = strip_comments_and_strings(text)
+        raw_lines = text.splitlines()
+        findings = []
+        for m in self.pattern.finditer(searchable):
+            name = m.group(1)
+            guarded = re.compile(
+                r"IPSO_(?:PT_)?GUARDED_BY\(\s*" + re.escape(name)
+                + r"\s*\)")
+            if guarded.search(searchable):
+                continue
+            line_no = searchable.count("\n", 0, m.start()) + 1
+            window = raw_lines[max(0, line_no - 2):line_no + 1]
+            if any("NOLINT(guarded-by-audit):" in ln for ln in window):
+                continue
+            line = raw_lines[line_no - 1] if raw_lines else ""
+            findings.append(Finding(self.name, path, line_no, line))
+        return findings
+
+
 class NolintAuditRule(Rule):
     def check_text(self, path: Path, text: str) -> list[Finding]:
         findings = []
@@ -216,6 +260,28 @@ RULES: list[Rule] = [
         why="file I/O goes through the store's io seam (io.cpp is the one "
             "audited site for fsync ordering, EINTR and short writes)",
     ),
+    Rule(
+        name="naked-std-mutex",
+        pattern=re.compile(
+            r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+            r"|shared_mutex|shared_timed_mutex|condition_variable"
+            r"|condition_variable_any|lock_guard|unique_lock|shared_lock"
+            r"|scoped_lock)\b"),
+        include=["src/**/*.cpp", "src/**/*.h", "tests/*.cpp", "bench/*.cpp",
+                 "examples/*.cpp", "tools/*.cpp"],
+        exclude=["src/core/sync.h"],
+        why="use the ipso::sync wrappers (core/sync.h) so clang thread "
+            "safety analysis sees the acquisition; sync.h is the one "
+            "audited site wrapping the std types",
+    ),
+    GuardedByAuditRule(
+        name="guarded-by-audit",
+        pattern=re.compile(r"(?:ipso::)?sync::(?:Shared)?Mutex\s+(\w+)"),
+        include=["src/**/*.cpp", "src/**/*.h"],
+        exclude=["src/core/sync.h"],
+        why="a mutex member must guard at least one IPSO_GUARDED_BY field "
+            "or justify itself with NOLINT(guarded-by-audit): reason",
+    ),
     NolintAuditRule(
         name="nolint-audit",
         pattern=_NOLINT_ANY,
@@ -256,7 +322,13 @@ SEEDED = {
     "raw-socket-io": "raw_socket.cpp",
     "raw-file-io": "raw_file.cpp",
     "nolint-audit": "bare_nolint.cpp",
+    "naked-std-mutex": "naked_std_mutex.cpp",
+    "guarded-by-audit": "unguarded_mutex.cpp",
 }
+
+# Thread-safety flags the CI leg builds the whole tree with; the self-test
+# proves they reject the seeded violations on a single TU.
+TSA_FLAGS = ["-Wthread-safety", "-Wthread-safety-beta", "-Werror"]
 
 
 def self_test() -> int:
@@ -278,6 +350,56 @@ def self_test() -> int:
     if audit.check_text(SELFTEST / "inline", ok_line):
         print("self-test: nolint-audit FALSELY fires on a justified NOLINT")
         failures += 1
+
+    # Negative control: a mutex member with a guarded field, and one with a
+    # justified NOLINT, must NOT trip the guarded-by audit.
+    guard_rule = by_name["guarded-by-audit"]
+    ok_member = (
+        "class C {\n"
+        "  sync::Mutex mu_;\n"
+        "  int x_ IPSO_GUARDED_BY(mu_);\n"
+        "  sync::Mutex order_mu_;  "
+        "// NOLINT(guarded-by-audit): ordering-only lock\n"
+        "  void f(sync::Mutex& ref);\n"  # reference param: not a member
+        "};\n")
+    if guard_rule.check_text(SELFTEST / "inline", ok_member):
+        print("self-test: guarded-by-audit FALSELY fires on a guarded or "
+              "justified mutex member")
+        failures += 1
+
+    # The thread-safety seeds must compile cleanly WITHOUT the analysis
+    # flags on any compiler (the gcc no-op macro path), and clang with
+    # -Wthread-safety* -Werror must reject both: the unguarded write and
+    # the lock-order inversion. clang is not in every dev container; the
+    # static rejection is then CI's job and we say so instead of failing.
+    tsa_seeds = ["tsa_unguarded_write.cpp", "tsa_lock_order.cpp"]
+    base_flags = ["-std=c++20", "-fsyntax-only", f"-I{REPO / 'src'}"]
+    anycxx = shutil.which("g++") or shutil.which("clang++") \
+        or shutil.which("c++")
+    if anycxx:
+        for seed in tsa_seeds:
+            r = subprocess.run([anycxx] + base_flags + [str(SELFTEST / seed)],
+                               capture_output=True, text=True)
+            ok = r.returncode == 0
+            print(f"self-test: {seed} no-op-macro compile: "
+                  f"{'accepted' if ok else 'REJECTED (BUG)'}")
+            if not ok:
+                print(r.stderr, file=sys.stderr)
+                failures += 1
+    clangxx = shutil.which("clang++")
+    if clangxx:
+        for seed in tsa_seeds:
+            r = subprocess.run(
+                [clangxx] + base_flags + TSA_FLAGS + [str(SELFTEST / seed)],
+                capture_output=True, text=True)
+            rejected = r.returncode != 0
+            print(f"self-test: {seed} -Wthread-safety compile: "
+                  f"{'rejected' if rejected else 'ACCEPTED (BUG)'}")
+            if not rejected:
+                failures += 1
+    else:
+        print("self-test: clang++ not on PATH; skipping the thread-safety "
+              "rejection check (the CI thread-safety leg enforces it)")
 
     # Compile-time rejection of out-of-domain literals: the seeded file must
     # fail to compile with contracts enabled and succeed with them off.

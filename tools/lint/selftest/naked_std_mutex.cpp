@@ -1,0 +1,25 @@
+// Seeded violation for the naked-std-mutex rule: raw std synchronization
+// types outside src/core/sync.h. Each line below is a distinct hit; the
+// fix is always the same — use the ipso::sync wrappers so clang Thread
+// Safety Analysis can see the acquisition.
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace selftest {
+
+std::mutex g_mu;                  // naked-std-mutex
+std::shared_mutex g_rw;           // naked-std-mutex
+std::condition_variable g_cv;     // naked-std-mutex
+
+inline int bump(int& x) {
+  std::lock_guard<std::mutex> lock(g_mu);  // naked-std-mutex (x2)
+  return ++x;
+}
+
+inline int peek(const int& x) {
+  std::unique_lock<std::mutex> lock(g_mu);  // naked-std-mutex (x2)
+  return x;
+}
+
+}  // namespace selftest

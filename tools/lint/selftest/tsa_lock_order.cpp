@@ -1,0 +1,39 @@
+// Compile-fail seed for the thread-safety leg: a lock-order inversion
+// against a declared IPSO_ACQUIRED_AFTER edge (the same mechanism DESIGN.md
+// §13 uses for the engine → pool and cache → store edges). `second_` is
+// declared acquired-after `first_`, yet bad_order() takes them in the
+// reverse order. Under
+//   clang++ -Wthread-safety -Wthread-safety-beta -Werror
+// (the ordering checks live behind -beta) this must be REJECTED
+// ("mutex 'first_' must be acquired before 'second_'"). Under the no-op
+// macro path it compiles — and would deadlock only at runtime, on the
+// interleaving TSan happens to miss, which is the whole point of the
+// static check.
+#include "core/sync.h"
+
+namespace selftest {
+
+class Pipeline {
+ public:
+  void good_order() {
+    ipso::sync::MutexLock a(first_);
+    ipso::sync::MutexLock b(second_);
+    ++front_;
+    ++back_;
+  }
+
+  void bad_order() {
+    ipso::sync::MutexLock b(second_);
+    ipso::sync::MutexLock a(first_);  // -Wthread-safety-beta: inversion
+    ++front_;
+    ++back_;
+  }
+
+ private:
+  ipso::sync::Mutex first_;
+  ipso::sync::Mutex second_ IPSO_ACQUIRED_AFTER(first_);
+  int front_ IPSO_GUARDED_BY(first_) = 0;
+  int back_ IPSO_GUARDED_BY(second_) = 0;
+};
+
+}  // namespace selftest

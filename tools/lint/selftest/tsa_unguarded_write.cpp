@@ -1,0 +1,33 @@
+// Compile-fail seed for the thread-safety leg: writes an IPSO_GUARDED_BY
+// field without holding its mutex. Under
+//   clang++ -Wthread-safety -Wthread-safety-beta -Werror
+// this translation unit must be REJECTED ("writing variable 'value_'
+// requires holding mutex 'mu_' exclusively"). Under gcc — or clang
+// without the flags — the annotation macros expand to nothing and the
+// file compiles, which is exactly the no-op path the gcc Release CI leg
+// relies on. run_lint.py --self-test checks both directions.
+#include "core/sync.h"
+
+namespace selftest {
+
+class Counter {
+ public:
+  void bump_locked() {
+    ipso::sync::MutexLock lock(mu_);
+    ++value_;  // fine: lock held
+  }
+
+  void bump_racy() {
+    ++value_;  // -Wthread-safety: write without holding mu_
+  }
+
+  int read_racy() const {
+    return value_;  // -Wthread-safety: read without holding mu_
+  }
+
+ private:
+  mutable ipso::sync::Mutex mu_;
+  int value_ IPSO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace selftest

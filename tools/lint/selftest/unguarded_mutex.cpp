@@ -1,0 +1,22 @@
+// Seeded violation for the guarded-by-audit rule: a sync::Mutex member
+// that guards nothing. No field in this file names `mu_` in an
+// IPSO_GUARDED_BY / IPSO_PT_GUARDED_BY annotation and the declaration
+// carries no NOLINT(guarded-by-audit): reason — so either the mutex is
+// dead weight or the discipline it enforces is undocumented.
+#include "core/sync.h"
+
+namespace selftest {
+
+class Counter {
+ public:
+  void bump() {
+    ipso::sync::MutexLock lock(mu_);
+    ++value_;
+  }
+
+ private:
+  ipso::sync::Mutex mu_;  // guarded-by-audit: value_ lacks IPSO_GUARDED_BY
+  int value_ = 0;
+};
+
+}  // namespace selftest
